@@ -1,0 +1,51 @@
+"""Ablation: control-plane work (bypasses, broken rings) for K=2 vs K=3.
+
+Replays the fault trace through the cluster manager (section 5.2 control
+plane) and reports how often rings heal over backup links versus break, plus
+the cumulative OCSTrx switching time -- the control-plane counterpart of the
+capacity-oriented Figure 13/14 comparison.
+"""
+
+from conftest import emit_report, format_table
+
+from repro.control.cluster_manager import ClusterManager
+
+N_NODES = 256
+TP_SIZE = 32
+
+
+def _run(trace_4gpu):
+    rows = []
+    for k in (2, 3):
+        manager = ClusterManager(n_nodes=N_NODES, k=k, gpus_per_node=4)
+        summary = manager.replay_trace(trace_4gpu, tp_size=TP_SIZE)
+        rows.append(
+            [
+                k,
+                summary.fault_events,
+                summary.bypass_reconfigurations,
+                summary.broken_rings,
+                summary.mean_ring_availability,
+                summary.total_switch_time_us / 1e3,
+            ]
+        )
+    return rows
+
+
+def test_ablation_control_plane(benchmark, trace_4gpu):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1, args=(trace_4gpu,))
+    text = format_table(
+        ["K", "faults", "bypasses", "broken rings", "mean ring availability",
+         "total switch time (ms)"],
+        rows,
+    ) + f"\n\n(cluster: {N_NODES} nodes, TP-{TP_SIZE} rings, 348-day trace)"
+    emit_report("ablation_control_plane", text)
+
+    by_k = {row[0]: row for row in rows}
+    # K=3 bridges more faults, so it performs at least as many bypasses,
+    # breaks no more rings, and keeps ring availability at least as high.
+    assert by_k[3][2] >= by_k[2][2]
+    assert by_k[3][3] <= by_k[2][3]
+    assert by_k[3][4] >= by_k[2][4] - 1e-9
+    # Every bypass costs one 60-80 us switch on each side of the gap.
+    assert by_k[2][5] > 0.0

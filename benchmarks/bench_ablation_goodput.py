@@ -1,0 +1,53 @@
+"""Ablation: end-to-end job goodput over the fault trace.
+
+Not a figure of the paper, but the job-centric consequence of its
+fault-resilience results: the same near-full-cluster training job replayed on
+every architecture accumulates waiting time whenever fragmentation or fault
+propagation pushes the usable GPU count below the job size.
+"""
+
+from conftest import SIM_NODES_4GPU, emit_report, format_table
+
+from repro.hbd import default_architectures
+from repro.simulation.goodput import GoodputConfig, goodput_comparison
+
+JOB_GPUS = 2560
+TP_SIZE = 32
+
+
+def _run(trace_4gpu):
+    config = GoodputConfig(
+        job_gpus=JOB_GPUS,
+        tp_size=TP_SIZE,
+        checkpoint_interval_hours=1.0,
+        restart_overhead_hours=0.25,
+        sample_interval_hours=6.0,
+    )
+    return goodput_comparison(
+        default_architectures(4), trace_4gpu, config, n_nodes=SIM_NODES_4GPU
+    )
+
+
+def test_ablation_goodput(benchmark, trace_4gpu):
+    reports = benchmark.pedantic(_run, rounds=1, iterations=1, args=(trace_4gpu,))
+    rows = [
+        [
+            name,
+            report.goodput,
+            report.waiting_fraction,
+            report.restart_hours,
+            report.job_impacting_faults,
+        ]
+        for name, report in reports.items()
+    ]
+    text = format_table(
+        ["Architecture", "goodput", "waiting fraction", "restart hours", "impacting faults"],
+        rows,
+    ) + f"\n\n(job: {JOB_GPUS} GPUs, TP-{TP_SIZE}, cluster {SIM_NODES_4GPU * 4} GPUs)"
+    emit_report("ablation_goodput", text)
+
+    inf = reports["InfiniteHBD(K=3)"]
+    assert inf.goodput >= reports["NVL-36"].goodput
+    assert inf.goodput >= reports["SiP-Ring"].goodput
+    assert inf.waiting_fraction <= reports["NVL-72"].waiting_fraction
+    assert abs(inf.goodput - reports["Big-Switch"].goodput) < 0.02

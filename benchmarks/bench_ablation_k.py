@@ -1,0 +1,72 @@
+"""Ablation: hop count K (OCSTrx bundles per node) vs fault resilience and cost.
+
+The paper evaluates K=2 and K=3 and argues (Appendix C, Figure 17d) that K=2
+is the sweet spot below ~12% node fault ratios.  This ablation sweeps K=1..4
+and reports the waste ratio at several fault ratios together with the
+per-GPU interconnect cost scaled from the published K=2/K=3 BOMs.
+"""
+
+from conftest import SIM_NODES_4GPU, emit_report, format_table
+
+from repro.analysis.waste_bound import waste_ratio_upper_bound
+from repro.cost.components import component
+from repro.hbd.infinitehbd import InfiniteHBDArchitecture
+from repro.simulation.sweeps import waste_ratio_vs_fault_ratio
+
+FAULT_RATIOS = (0.01, 0.03, 0.05, 0.10)
+TP_SIZE = 32
+
+
+def _interconnect_cost_per_gpu(k: int) -> float:
+    """Per-GPU cost of a K-bundle node: K OCSTrx bundles + (R-K) DAC pairs."""
+    ocstrx = component("ocstrx_800g")
+    dac = component("dac_1600g")
+    fiber = component("fiber_100gBps")
+    n_trx = 8 * k
+    n_dac = 2 * (4 - k) if k < 4 else 0
+    total = n_trx * (ocstrx.unit_cost_usd + fiber.unit_cost_usd) + n_dac * dac.unit_cost_usd
+    return total / 4.0
+
+
+def _run():
+    architectures = [InfiniteHBDArchitecture(k=k, gpus_per_node=4) for k in (1, 2, 3, 4)]
+    curves = waste_ratio_vs_fault_ratio(
+        architectures,
+        n_nodes=SIM_NODES_4GPU,
+        tp_size=TP_SIZE,
+        fault_ratios=FAULT_RATIOS,
+        n_samples=10,
+        seed=7,
+    )
+    rows = []
+    for k in (1, 2, 3, 4):
+        name = f"InfiniteHBD(K={k})"
+        rows.append(
+            [
+                k,
+                _interconnect_cost_per_gpu(k),
+                waste_ratio_upper_bound(0.0367, k, TP_SIZE, 4),
+            ]
+            + curves[name]
+        )
+    return rows
+
+
+def test_ablation_k(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(
+        ["K", "interconnect $/GPU", "Appendix C bound"]
+        + [f"waste @ {r:.0%}" for r in FAULT_RATIOS],
+        rows,
+    )
+    emit_report("ablation_k", text)
+
+    by_k = {row[0]: row for row in rows}
+    # Cost grows with K; waste shrinks with K; K>=2 is already near zero at
+    # production fault ratios while K=1 (a plain ring) degrades quickly.
+    costs = [by_k[k][1] for k in (1, 2, 3, 4)]
+    assert costs == sorted(costs)
+    waste_at_5pct = {k: by_k[k][3 + FAULT_RATIOS.index(0.05)] for k in (1, 2, 3, 4)}
+    assert waste_at_5pct[1] > waste_at_5pct[2] >= waste_at_5pct[3] >= waste_at_5pct[4]
+    assert waste_at_5pct[2] < 0.03
+    assert waste_at_5pct[1] > 0.05

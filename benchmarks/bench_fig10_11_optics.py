@@ -1,0 +1,51 @@
+"""Figures 10 and 11: OCSTrx insertion loss and core-module power vs temperature."""
+
+from conftest import emit_report, format_table
+
+from repro.hardware.optics import OpticalMeasurementCampaign, REPORTED_TEMPERATURES_C
+
+
+def _run():
+    campaign = OpticalMeasurementCampaign(seed=2025, n_devices=300)
+    return {
+        "loss": campaign.figure10a_insertion_loss(),
+        "power": campaign.figure10b_power(),
+        "histograms": campaign.figure11_loss_histograms(),
+    }
+
+
+def test_fig10_11_optics(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    loss_table = format_table(
+        ["Temperature (C)", "Average loss (dB)", "Max loss (dB)", "Min loss (dB)"],
+        [[r["temperature_c"], r["average_db"], r["max_db"], r["min_db"]] for r in data["loss"]],
+    )
+    power_rows = []
+    for path, series in sorted(data["power"].items()):
+        power_rows.append([f"Path {path}"] + list(series))
+    power_table = format_table(
+        ["Path"] + [f"{t:.0f} C" for t in REPORTED_TEMPERATURES_C], power_rows
+    )
+    hist_rows = []
+    for temp, (counts, edges) in sorted(data["histograms"].items()):
+        hist_rows.append([f"{temp:.0f} C"] + counts)
+    hist_table = format_table(
+        ["Temperature"] + ["2.0-2.5", "2.5-3.0", "3.0-3.5", "3.5-4.0", "4.0-4.5"],
+        hist_rows,
+    )
+    emit_report(
+        "fig10_11_optics",
+        "Figure 10a (insertion loss):\n" + loss_table
+        + "\n\nFigure 10b (core power, W):\n" + power_table
+        + "\n\nFigure 11 (loss histograms, device counts):\n" + hist_table,
+    )
+
+    # Published envelope: 2.5-4.0 dB spread, ~3.3 dB average at 25 C, power
+    # under 3.2 W for every path and temperature.
+    room = next(r for r in data["loss"] if r["temperature_c"] == 25.0)
+    assert abs(room["average_db"] - 3.3) < 0.2
+    for row in data["loss"]:
+        assert 2.0 <= row["min_db"] <= row["max_db"] <= 4.5
+    for series in data["power"].values():
+        assert max(series) <= 3.2

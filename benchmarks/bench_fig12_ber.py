@@ -1,0 +1,37 @@
+"""Figure 12: OCSTrx bit error rate versus OMA and ambient temperature."""
+
+from conftest import emit_report, format_table
+
+from repro.hardware.optics import (
+    BER_TEMPERATURES_C,
+    INDUSTRIAL_BER_THRESHOLD,
+    OpticalMeasurementCampaign,
+)
+
+OMA_SWEEP_MW = (0.25, 0.5, 0.75, 1.0, 1.25)
+
+
+def _run():
+    campaign = OpticalMeasurementCampaign(seed=2025)
+    return campaign.figure12_ber(OMA_SWEEP_MW)
+
+
+def test_fig12_ber(benchmark):
+    sweeps = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for temp in BER_TEMPERATURES_C:
+        rows.append([f"{temp:.0f} C"] + [ber for _, ber in sweeps[temp]])
+    text = format_table(["Temperature"] + [f"OMA {o} mW" for o in OMA_SWEEP_MW], rows)
+    emit_report("fig12_ber", text)
+
+    # Paper: BER is 0 at -5 C and 25 C across the sweep; at 50/75 C errors
+    # appear only at very low OMA and always stay below the industrial limit
+    # at the nominal operating point.
+    for oma, ber in sweeps[-5.0]:
+        assert ber == 0.0
+    for oma, ber in sweeps[25.0]:
+        assert ber == 0.0
+    assert any(ber > 0.0 for _, ber in sweeps[75.0])
+    for temp in BER_TEMPERATURES_C:
+        nominal = dict(sweeps[temp])[0.75]
+        assert nominal <= INDUSTRIAL_BER_THRESHOLD

@@ -1,0 +1,59 @@
+"""Figures 13 and 21: CDF of the GPU waste ratio over the production-style trace.
+
+Replays the 348-day 4-GPU-node fault trace on a 2,880-GPU cluster for every
+HBD architecture and reports the mean / p50 / p99 waste ratio per TP size
+(the CDFs of Figures 13 and 21 summarised by their quantiles).
+"""
+
+import numpy as np
+from conftest import SIM_NODES_4GPU, TP_SIZES, emit_report, format_table
+
+from repro.hbd import default_architectures
+from repro.simulation.sweeps import architecture_comparison_over_trace
+
+
+def _run(trace_4gpu, tp_size):
+    return architecture_comparison_over_trace(
+        default_architectures(4), trace_4gpu, tp_size=tp_size, n_nodes=SIM_NODES_4GPU
+    )
+
+
+def test_fig13_waste_cdf(benchmark, trace_4gpu):
+    all_results = {}
+
+    def run_all():
+        for tp in TP_SIZES:
+            all_results[tp] = _run(trace_4gpu, tp)
+        return all_results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    sections = []
+    for tp, results in all_results.items():
+        rows = []
+        for name, series in results.items():
+            values = np.asarray(series.waste_ratios)
+            rows.append(
+                [
+                    name,
+                    float(values.mean()),
+                    float(np.percentile(values, 50)),
+                    float(np.percentile(values, 99)),
+                ]
+            )
+        sections.append(
+            f"TP-{tp}:\n"
+            + format_table(["Architecture", "mean waste", "p50 waste", "p99 waste"], rows)
+        )
+    emit_report("fig13_waste_cdf", "\n\n".join(sections))
+
+    # Headline shape for TP-32 (Figure 13b): InfiniteHBD ~near-zero, far below
+    # NVL-72 and TPUv4; K=2 tracks K=3; K=3 tracks the Big-Switch ideal.
+    tp32 = all_results[32]
+    inf3 = tp32["InfiniteHBD(K=3)"].mean_waste_ratio
+    inf2 = tp32["InfiniteHBD(K=2)"].mean_waste_ratio
+    assert inf3 < 0.01
+    assert abs(inf3 - tp32["Big-Switch"].mean_waste_ratio) < 0.002
+    assert inf2 - inf3 < 0.01
+    assert tp32["NVL-72"].mean_waste_ratio > 5 * max(inf3, 1e-6)
+    assert tp32["TPUv4"].mean_waste_ratio > 3 * max(inf3, 1e-6)

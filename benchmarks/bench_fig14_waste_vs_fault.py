@@ -1,0 +1,51 @@
+"""Figures 14 and 22: GPU waste ratio versus the node fault ratio (i.i.d. model)."""
+
+from conftest import SIM_NODES_4GPU, TP_SIZES, emit_report, format_table
+
+from repro.hbd import default_architectures
+from repro.simulation.sweeps import waste_ratio_vs_fault_ratio
+
+FAULT_RATIOS = (0.0, 0.01, 0.02, 0.05, 0.07, 0.10)
+
+
+def _run(tp_size):
+    return waste_ratio_vs_fault_ratio(
+        default_architectures(4),
+        n_nodes=SIM_NODES_4GPU,
+        tp_size=tp_size,
+        fault_ratios=FAULT_RATIOS,
+        n_samples=10,
+        seed=14,
+    )
+
+
+def test_fig14_waste_vs_fault(benchmark):
+    all_curves = {}
+
+    def run_all():
+        for tp in TP_SIZES:
+            all_curves[tp] = _run(tp)
+        return all_curves
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    sections = []
+    for tp, curves in all_curves.items():
+        rows = [[name] + values for name, values in curves.items()]
+        sections.append(
+            f"TP-{tp}:\n"
+            + format_table(
+                ["Architecture"] + [f"fault {r:.0%}" for r in FAULT_RATIOS], rows
+            )
+        )
+    emit_report("fig14_waste_vs_fault", "\n\n".join(sections))
+
+    # Shape assertions (Figure 14b, TP-32): InfiniteHBD (K=3) stays near zero
+    # across the sweep, TPUv4 and SiP-Ring degrade with the fault ratio, and
+    # NVL-36/72 sit near their fragmentation floor even with no faults.
+    tp32 = all_curves[32]
+    assert max(tp32["InfiniteHBD(K=3)"]) < 0.02
+    assert tp32["TPUv4"][-1] > tp32["TPUv4"][0]
+    assert tp32["SiP-Ring"][-1] > 0.1
+    assert tp32["NVL-72"][0] > 0.08
+    assert tp32["InfiniteHBD(K=2)"][-1] < tp32["TPUv4"][-1]

@@ -1,0 +1,37 @@
+"""Figure 15: maximal job scale supported by a 2,880-GPU cluster over the trace."""
+
+from conftest import SIM_NODES_4GPU, TP_SIZES, emit_report, format_table
+
+from repro.hbd import default_architectures
+from repro.simulation.sweeps import max_job_scale_comparison
+
+
+def _run(trace_4gpu):
+    return max_job_scale_comparison(
+        default_architectures(4),
+        trace_4gpu,
+        tp_sizes=TP_SIZES,
+        n_nodes=SIM_NODES_4GPU,
+        availability=1.0,
+    )
+
+
+def test_fig15_max_job_scale(benchmark, trace_4gpu):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1, args=(trace_4gpu,))
+    rows = [[name] + [per_tp[tp] for tp in TP_SIZES] for name, per_tp in table.items()]
+    text = format_table(
+        ["Architecture"] + [f"TP-{tp}" for tp in TP_SIZES], rows
+    ) + f"\n\nUpper limit: {SIM_NODES_4GPU * 4} GPUs"
+    emit_report("fig15_max_job_scale", text)
+
+    # Shape: InfiniteHBD and NVL-576 lead; SiP-Ring declines as TP grows;
+    # nobody exceeds the physical 2,880-GPU limit.
+    upper = SIM_NODES_4GPU * 4
+    for per_tp in table.values():
+        assert all(0 <= v <= upper for v in per_tp.values())
+    for tp in TP_SIZES:
+        assert table["InfiniteHBD(K=3)"][tp] >= table["TPUv4"][tp]
+        assert table["InfiniteHBD(K=3)"][tp] >= table["SiP-Ring"][tp]
+        assert table["InfiniteHBD(K=2)"][tp] >= table["NVL-36"][tp]
+    sip = [table["SiP-Ring"][tp] for tp in TP_SIZES]
+    assert sip[-1] <= sip[0]

@@ -1,0 +1,49 @@
+"""Figures 16 and 23: job fault-waiting rate versus job scale over the trace."""
+
+from conftest import SIM_NODES_4GPU, emit_report, format_table
+
+from repro.hbd import default_architectures
+from repro.simulation.sweeps import fault_waiting_comparison
+
+JOB_SCALES = (2304, 2432, 2560, 2688, 2816)
+TP_SIZES = (16, 32)
+
+
+def _run(trace_4gpu, tp_size):
+    return fault_waiting_comparison(
+        default_architectures(4),
+        trace_4gpu,
+        tp_size=tp_size,
+        job_scales=JOB_SCALES,
+        n_nodes=SIM_NODES_4GPU,
+    )
+
+
+def test_fig16_fault_waiting(benchmark, trace_4gpu):
+    all_tables = {}
+
+    def run_all():
+        for tp in TP_SIZES:
+            all_tables[tp] = _run(trace_4gpu, tp)
+        return all_tables
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    sections = []
+    for tp, table in all_tables.items():
+        rows = [[name] + [rates[s] for s in JOB_SCALES] for name, rates in table.items()]
+        sections.append(
+            f"TP-{tp} (fault-waiting rate):\n"
+            + format_table(["Architecture"] + [str(s) for s in JOB_SCALES], rows)
+        )
+    emit_report("fig16_fault_waiting", "\n\n".join(sections))
+
+    # Shape: waiting rate is monotone in the job scale, and InfiniteHBD waits
+    # no more than NVL-36/72 or SiP-Ring at every scale (Figure 16b).
+    for tp, table in all_tables.items():
+        for rates in table.values():
+            series = [rates[s] for s in JOB_SCALES]
+            assert series == sorted(series)
+        for scale in JOB_SCALES:
+            assert table["InfiniteHBD(K=3)"][scale] <= table["NVL-72"][scale]
+            assert table["InfiniteHBD(K=3)"][scale] <= table["SiP-Ring"][scale]

@@ -1,0 +1,113 @@
+"""Figure 17a-c: cross-ToR traffic of the orchestration algorithm vs the baseline.
+
+* 17a -- sensitivity to cluster size (fixed job-scale ratio and fault ratio),
+* 17b -- impact of the job-scale ratio (fixed 5% node faults),
+* 17c -- sensitivity to the node fault ratio (fixed 85% job-scale ratio).
+"""
+
+import numpy as np
+from conftest import emit_report, format_table
+
+from repro.core.orchestrator import JobSpec, Orchestrator
+from repro.dcn.fattree import FatTreeConfig
+from repro.faults.model import sample_fault_set
+
+TP_SIZE = 32
+GPUS_PER_NODE = 4
+
+
+def _orchestrator(n_nodes):
+    return Orchestrator(
+        n_nodes=n_nodes,
+        k=2,
+        fat_tree_config=FatTreeConfig(
+            n_nodes=n_nodes, nodes_per_tor=4, tors_per_domain=64
+        ),
+    )
+
+
+def _cross_tor(orch, n_nodes, job_gpus, fault_ratio, method, seed=0):
+    rng = np.random.default_rng(seed)
+    faults = sample_fault_set(n_nodes, fault_ratio, rng)
+    job_gpus = (job_gpus // TP_SIZE) * TP_SIZE
+    job = JobSpec(total_gpus=job_gpus, tp_size=TP_SIZE, gpus_per_node=GPUS_PER_NODE)
+    _, report = orch.place_and_report(job, faults, method=method, seed=seed)
+    return report.cross_tor_rate
+
+
+def _run():
+    results = {}
+
+    # 17a: cluster-size sensitivity at 5% faults, 85% job-scale ratio.
+    cluster_rows = []
+    for n_gpus in (4096, 8192, 16384):
+        n_nodes = n_gpus // GPUS_PER_NODE
+        orch = _orchestrator(n_nodes)
+        job_gpus = int(0.85 * n_gpus)
+        cluster_rows.append(
+            [
+                n_gpus,
+                _cross_tor(orch, n_nodes, job_gpus, 0.05, "greedy", seed=1),
+                _cross_tor(orch, n_nodes, job_gpus, 0.05, "optimized", seed=1),
+            ]
+        )
+    results["cluster"] = cluster_rows
+
+    # 17b: job-scale ratio sweep at 5% faults on 8,192 GPUs.
+    n_gpus = 8192
+    n_nodes = n_gpus // GPUS_PER_NODE
+    orch = _orchestrator(n_nodes)
+    scale_rows = []
+    for ratio in (0.70, 0.75, 0.80, 0.85, 0.90):
+        job_gpus = int(ratio * n_gpus)
+        scale_rows.append(
+            [
+                ratio,
+                _cross_tor(orch, n_nodes, job_gpus, 0.05, "greedy", seed=2),
+                _cross_tor(orch, n_nodes, job_gpus, 0.05, "optimized", seed=2),
+            ]
+        )
+    results["job_scale"] = scale_rows
+
+    # 17c: fault-ratio sweep at 85% job scale on 8,192 GPUs.
+    fault_rows = []
+    for fault_ratio in (0.0, 0.01, 0.03, 0.05, 0.07, 0.09):
+        job_gpus = int(0.85 * n_gpus)
+        fault_rows.append(
+            [
+                fault_ratio,
+                _cross_tor(orch, n_nodes, job_gpus, fault_ratio, "greedy", seed=3),
+                _cross_tor(orch, n_nodes, job_gpus, fault_ratio, "optimized", seed=3),
+            ]
+        )
+    results["fault"] = fault_rows
+    return results
+
+
+def test_fig17_cross_tor(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    text = (
+        "Figure 17a (cluster-size sensitivity, 5% faults, 85% job scale):\n"
+        + format_table(["Cluster GPUs", "Baseline", "Optimized"], results["cluster"])
+        + "\n\nFigure 17b (job-scale ratio, 5% faults, 8192 GPUs):\n"
+        + format_table(["Job-scale ratio", "Baseline", "Optimized"], results["job_scale"])
+        + "\n\nFigure 17c (fault-ratio sensitivity, 85% job scale, 8192 GPUs):\n"
+        + format_table(["Node fault ratio", "Baseline", "Optimized"], results["fault"])
+    )
+    emit_report("fig17_cross_tor", text)
+
+    # Shape: the optimized algorithm beats the greedy baseline everywhere;
+    # the baseline hovers near the DCN share of total traffic (~10%) and is
+    # insensitive to cluster size; the optimized scheme is near zero without
+    # faults and degrades gracefully as faults accumulate.
+    for rows in results.values():
+        for row in rows:
+            baseline, optimized = row[-2], row[-1]
+            assert optimized < baseline
+    baseline_cluster = [row[1] for row in results["cluster"]]
+    assert max(baseline_cluster) - min(baseline_cluster) < 0.03
+    assert results["fault"][0][2] < 0.01           # optimized, no faults
+    assert all(row[1] > 0.06 for row in results["fault"])  # baseline level
+    optimized_fault = [row[2] for row in results["fault"]]
+    assert optimized_fault[0] <= optimized_fault[-1]

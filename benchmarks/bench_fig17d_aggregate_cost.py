@@ -1,0 +1,41 @@
+"""Figure 17d: fault-aware aggregate cost versus node fault ratio."""
+
+from conftest import emit_report, format_table
+
+from repro.cost.analysis import aggregate_cost_sweep
+
+FAULT_RATIOS = (0.0, 0.05, 0.10, 0.15, 0.20)
+
+
+def _run():
+    return aggregate_cost_sweep(
+        n_nodes=768,
+        fault_ratios=FAULT_RATIOS,
+        tp_size=32,
+        normalize=True,
+        n_samples=5,
+        seed=17,
+    )
+
+
+def test_fig17d_aggregate_cost(benchmark):
+    curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [[name] + values for name, values in curves.items()]
+    text = format_table(
+        ["Architecture"] + [f"fault {r:.0%}" for r in FAULT_RATIOS], rows
+    ) + "\n\n(normalised: InfiniteHBD(K=2) at 0% faults = 100)"
+    emit_report("fig17d_aggregate_cost", text)
+
+    # Shape: one of the InfiniteHBD variants is the cheapest at every fault
+    # ratio (K=2 below the ~12% crossover, K=3 may take over beyond it),
+    # every curve is non-decreasing in the fault ratio, and NVL-576 is the
+    # most expensive.
+    for i in range(len(FAULT_RATIOS)):
+        cheapest = min(curves, key=lambda name: curves[name][i])
+        assert cheapest in ("InfiniteHBD(K=2)", "InfiniteHBD(K=3)")
+    for i, ratio in enumerate(FAULT_RATIOS):
+        if ratio <= 0.05:
+            assert curves["InfiniteHBD(K=2)"][i] <= curves["InfiniteHBD(K=3)"][i]
+    assert max(curves, key=lambda name: curves[name][0]) == "NVL-576"
+    for series in curves.values():
+        assert all(b >= a - 1e-6 for a, b in zip(series, series[1:]))

@@ -1,0 +1,42 @@
+"""Figure 18: statistics of the (synthetic) production fault trace."""
+
+from conftest import emit_report, format_table
+
+import numpy as np
+
+
+def _summarise(trace):
+    stats = trace.statistics()
+    days, ratios = trace.fault_ratio_series()
+    values, cdf = trace.fault_ratio_cdf()
+    return stats, ratios, values, cdf
+
+
+def test_fig18_trace_statistics(benchmark, trace_8gpu):
+    stats, ratios, values, cdf = benchmark.pedantic(
+        _summarise, rounds=1, iterations=1, args=(trace_8gpu,)
+    )
+    deciles = np.percentile(np.asarray(values), [10, 25, 50, 75, 90, 99])
+    text = format_table(
+        ["metric", "value"],
+        [
+            ["trace days", trace_8gpu.duration_days],
+            ["nodes (8-GPU)", trace_8gpu.n_nodes],
+            ["fault events", stats.n_events],
+            ["mean fault-node ratio", stats.mean_fault_ratio],
+            ["p50 fault-node ratio", stats.p50_fault_ratio],
+            ["p99 fault-node ratio", stats.p99_fault_ratio],
+            ["max fault-node ratio", stats.max_fault_ratio],
+            ["mean repair time (hours)", stats.mean_repair_hours],
+        ],
+    ) + "\n\nCDF deciles (p10/p25/p50/p75/p90/p99): " + ", ".join(
+        f"{d:.4f}" for d in deciles
+    )
+    emit_report("fig18_trace_stats", text)
+
+    # Calibration targets from Appendix A: mean 2.33%, p99 7.22%, 348 days.
+    assert trace_8gpu.duration_days == 348
+    assert abs(stats.mean_fault_ratio - 0.0233) / 0.0233 < 0.15
+    assert 0.04 <= stats.p99_fault_ratio <= 0.11
+    assert stats.p99_fault_ratio > 2 * stats.mean_fault_ratio
+    assert len(ratios) == 348

@@ -1,0 +1,40 @@
+"""Figure 20: GPU waste ratio over the 348-day trace (timeline summary)."""
+
+import numpy as np
+from conftest import SIM_NODES_4GPU, emit_report, format_table
+
+from repro.hbd import default_architectures
+from repro.simulation.cluster import ClusterSimulator
+
+TP_SIZE = 32
+QUARTERS = 4
+
+
+def _run(trace_4gpu):
+    timelines = {}
+    for arch in default_architectures(4):
+        series = ClusterSimulator(arch, trace_4gpu, n_nodes=SIM_NODES_4GPU).run(TP_SIZE)
+        timelines[arch.name] = series
+    return timelines
+
+
+def test_fig20_waste_timeline(benchmark, trace_4gpu):
+    timelines = benchmark.pedantic(_run, rounds=1, iterations=1, args=(trace_4gpu,))
+
+    rows = []
+    for name, series in timelines.items():
+        values = np.asarray(series.waste_ratios)
+        chunks = np.array_split(values, QUARTERS)
+        rows.append([name] + [float(chunk.mean()) for chunk in chunks] + [float(values.max())])
+    text = format_table(
+        ["Architecture"] + [f"Q{i + 1} mean" for i in range(QUARTERS)] + ["max"], rows
+    )
+    emit_report("fig20_waste_timeline", text)
+
+    # The InfiniteHBD timeline stays near zero through the whole trace while
+    # NVL-36/72 hover around their fragmentation floor in every quarter.
+    inf3 = timelines["InfiniteHBD(K=3)"]
+    assert max(inf3.waste_ratios) < 0.03
+    nvl = np.asarray(timelines["NVL-72"].waste_ratios)
+    for chunk in np.array_split(nvl, QUARTERS):
+        assert chunk.mean() > 0.07

@@ -1,0 +1,37 @@
+"""Section 5.2: ring AllReduce bandwidth utilisation on the mini-cluster."""
+
+from conftest import emit_report, format_table
+
+from repro.collectives.ring_allreduce import RingAllReduceModel
+
+
+def _run():
+    model = RingAllReduceModel()
+    summary = model.section52_summary()
+    summary["small_packet_latency_advantage"] = model.small_packet_latency_advantage()
+    return summary
+
+
+def test_sec52_ring_allreduce(benchmark):
+    summary = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(
+        ["metric", "value"],
+        [
+            ["16-GPU ring AllReduce utilisation", summary["ring_16_gpu_utilization"]],
+            ["32-GPU ring AllReduce utilisation", summary["ring_32_gpu_utilization"]],
+            ["NVLink-switch 8-GPU utilisation", summary["nvlink_8_gpu_utilization"]],
+            ["small-packet latency advantage", summary["small_packet_latency_advantage"]],
+        ],
+    ) + (
+        "\n\nPaper reference: 77.11% (16 GPU), 77.26% (32 GPU), 81.77% "
+        "(NVLink 8 GPU), ~13% small-packet latency reduction."
+    )
+    emit_report("sec52_ring_allreduce", text)
+
+    u16 = summary["ring_16_gpu_utilization"]
+    u32 = summary["ring_32_gpu_utilization"]
+    assert 0.72 <= u16 <= 0.82
+    assert 0.72 <= u32 <= 0.82
+    assert abs(u32 - u16) < 0.02                      # minimal degradation with scale
+    assert summary["nvlink_8_gpu_utilization"] > u16  # single-node switch is higher
+    assert 0.05 < summary["small_packet_latency_advantage"] < 0.25

@@ -1,0 +1,40 @@
+"""Table 2: optimal parallelism and MFU for Llama 3.1-405B vs a TP-8 baseline.
+
+Regenerates, for each cluster size, the MFU-optimal (TP, PP, DP) strategy,
+the best MFU achievable when TP is capped at 8 (the conventional 8-GPU-node
+NVLink HBD), and the improvement ratio.
+"""
+
+from conftest import emit_report, format_table
+
+from repro.training.models import llama31_405b
+from repro.training.parallelism import optimal_mfu_table
+
+GPU_COUNTS = (1024, 4096, 8192, 16384, 32768, 65536, 131072)
+GLOBAL_BATCH = 2048
+
+
+def _run():
+    return optimal_mfu_table(
+        llama31_405b(), GPU_COUNTS, global_batch=GLOBAL_BATCH, baseline_max_tp=8
+    )
+
+
+def test_table2_llama_mfu(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["GPUs", "TP", "PP", "DP", "MFU", "MFU_TP-8", "Improve"],
+        [
+            [r["gpus"], r["tp"], r["pp"], r["dp"], r["mfu"], r["mfu_tp8"], r["improvement"]]
+            for r in rows
+        ],
+    )
+    emit_report("table2_llama_mfu", table)
+
+    # Shape assertions mirroring the paper's observations.
+    assert rows[-1]["tp"] > rows[0]["tp"], "optimal TP must grow with cluster size"
+    improvements = [r["improvement"] for r in rows]
+    assert improvements == sorted(improvements)
+    assert improvements[-1] > 3.0
+    mfus = [r["mfu"] for r in rows]
+    assert mfus == sorted(mfus, reverse=True)

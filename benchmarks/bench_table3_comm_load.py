@@ -1,0 +1,52 @@
+"""Table 3: per-MoE-layer communication load of TP AllReduce vs EP AllToAll."""
+
+from conftest import emit_report, format_table
+
+from repro.training.comm import (
+    ep_alltoall_volume_per_layer,
+    tp_allreduce_volume_per_layer,
+)
+from repro.training.models import gpt_moe_1t
+
+
+def _run():
+    model = gpt_moe_1t()
+    batch = 1
+    rows = []
+    for n in (2, 4, 8, 16, 32, 64):
+        tp_volume = tp_allreduce_volume_per_layer(
+            batch, model.seq_len, model.hidden_dim, n
+        )
+        ep_volume = ep_alltoall_volume_per_layer(
+            batch, model.seq_len, model.hidden_dim, n, model.moe_top_k
+        )
+        rows.append(
+            {
+                "parallel_size": n,
+                "tp_allreduce_MB": tp_volume / 1e6,
+                "ep_alltoall_MB": ep_volume / 1e6,
+                "ep_over_tp": ep_volume / tp_volume if tp_volume else 0.0,
+            }
+        )
+    return rows
+
+
+def test_table3_comm_load(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["n", "TP AllReduce (MB/layer)", "EP AllToAll (MB/layer)", "EP/TP ratio"],
+        [
+            [r["parallel_size"], r["tp_allreduce_MB"], r["ep_alltoall_MB"], r["ep_over_tp"]]
+            for r in rows
+        ],
+    )
+    emit_report("table3_comm_load", table)
+
+    # Table 3 conclusion: EP volume = TP volume * k/n, so EP is cheaper
+    # whenever k < n (here k = 2, so every n > 2) and the ratio shrinks as n
+    # grows.
+    ratios = {r["parallel_size"]: r["ep_over_tp"] for r in rows}
+    assert ratios[2] == 1.0
+    assert all(ratios[n] < 1.0 for n in (4, 8, 16, 32, 64))
+    ordered = [ratios[n] for n in sorted(ratios)]
+    assert ordered == sorted(ordered, reverse=True)

@@ -1,0 +1,38 @@
+"""Table 5: optimal parallelism strategies for GPT-MoE (1.1T) across scales."""
+
+from conftest import emit_report, format_table
+
+from repro.training.models import gpt_moe_1t
+from repro.training.parallelism import optimal_mfu_table
+
+GPU_COUNTS = (1024, 2048, 4096, 8192, 16384)
+GLOBAL_BATCH = 1536
+IMBALANCE = 0.2  # the paper sets the practical imbalance coefficient to 20%
+
+
+def _run():
+    return optimal_mfu_table(
+        gpt_moe_1t(),
+        GPU_COUNTS,
+        global_batch=GLOBAL_BATCH,
+        ep_choices=(1, 2, 4, 8),
+        expert_imbalance_coef=IMBALANCE,
+        baseline_max_tp=None,
+    )
+
+
+def test_table5_moe_mfu(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["GPUs", "TP", "DP", "PP", "EP", "MFU"],
+        [[r["gpus"], r["tp"], r["dp"], r["pp"], r["ep"], r["mfu"]] for r in rows],
+    )
+    emit_report("table5_moe_mfu", table)
+
+    # Shape: MoE trains efficiently with TP; the optimal TP grows with the
+    # cluster while EP stays small, and MFU declines slowly with scale.
+    assert rows[-1]["tp"] >= rows[0]["tp"]
+    assert sum(1 for r in rows if r["ep"] == 1) >= len(rows) // 2
+    mfus = [r["mfu"] for r in rows]
+    assert mfus == sorted(mfus, reverse=True)
+    assert all(r["mfu"] > 0.25 for r in rows)

@@ -1,0 +1,33 @@
+"""Table 6: interconnect cost and power per GPU and per GBps."""
+
+from conftest import emit_report, format_table
+
+from repro.cost.analysis import cost_reduction_vs, interconnect_cost_table
+
+
+def _run():
+    return interconnect_cost_table()
+
+
+def test_table6_interconnect_cost(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(
+        ["Architecture", "Per-GPU Cost ($)", "Per-GPU Watts", "Per-GBps Cost ($)", "Per-GBps Watts"],
+        [[r.name, r.cost_per_gpu, r.power_per_gpu, r.cost_per_gBps, r.power_per_gBps] for r in rows],
+    )
+    reductions = (
+        f"\nInfiniteHBD(K=2) per-GBps cost reduction vs NVL-72:  "
+        f"{cost_reduction_vs('InfiniteHBD(K=2)', 'NVL-72'):.2f}x\n"
+        f"InfiniteHBD(K=2) per-GBps cost reduction vs TPUv4:   "
+        f"{cost_reduction_vs('InfiniteHBD(K=2)', 'TPUv4'):.2f}x"
+    )
+    emit_report("table6_interconnect_cost", text + reductions)
+
+    by_name = {r.name: r for r in rows}
+    # Published headline numbers: 3.24x vs NVL-72, 1.59x vs TPUv4, and
+    # InfiniteHBD (K=2) is the cheapest per GBps.
+    assert abs(cost_reduction_vs("InfiniteHBD(K=2)", "NVL-72") - 3.24) < 0.05
+    assert abs(cost_reduction_vs("InfiniteHBD(K=2)", "TPUv4") - 1.59) < 0.05
+    assert min(by_name, key=lambda n: by_name[n].cost_per_gBps) == "InfiniteHBD(K=2)"
+    assert abs(by_name["InfiniteHBD(K=2)"].cost_per_gpu - 2626.80) < 1.0
+    assert abs(by_name["NVL-72"].cost_per_gpu - 9563.20) < 1.0

@@ -1,0 +1,31 @@
+"""Table 7: theoretical upper bound on the expected GPU waste ratio."""
+
+from conftest import emit_report, format_table
+
+from repro.analysis.waste_bound import waste_bound_table
+
+
+def _run():
+    return waste_bound_table(tp_size=32)
+
+
+def test_table7_waste_bound(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(
+        ["R (GPUs/node)", "node failure rate", "K=2", "K=3", "K=4"],
+        [
+            [r["gpus_per_node"], r["node_failure_rate"], r["k2_bound"], r["k3_bound"], r["k4_bound"]]
+            for r in rows
+        ],
+    )
+    emit_report("table7_waste_bound", text)
+
+    by_r = {r["gpus_per_node"]: r for r in rows}
+    # Exact published values (Appendix C, Table 7).
+    assert abs(by_r[4]["k2_bound"] - 0.0754) < 0.001
+    assert abs(by_r[4]["k3_bound"] - 0.0028) < 0.0005
+    assert abs(by_r[8]["k2_bound"] - 0.2502) < 0.001
+    assert abs(by_r[8]["k3_bound"] - 0.0181) < 0.001
+    # The bound decays rapidly with K.
+    for row in rows:
+        assert row["k4_bound"] < row["k3_bound"] < row["k2_bound"]

@@ -1,0 +1,44 @@
+"""Table 8: interconnect bill of materials per reference deployment."""
+
+from conftest import emit_report, format_table
+
+from repro.cost.architectures import all_reference_boms
+
+
+def _run():
+    return all_reference_boms(include_hpn=True)
+
+
+def test_table8_bom(benchmark):
+    boms = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for bom in boms:
+        for line in bom.lines:
+            rows.append(
+                [
+                    bom.name,
+                    bom.n_gpus,
+                    line.component.name,
+                    line.quantity,
+                    line.component.unit_cost_usd,
+                    line.component.unit_bandwidth_gBps,
+                    line.component.unit_power_watts,
+                ]
+            )
+    text = format_table(
+        ["Architecture", "GPUs", "Component", "Qty", "Unit cost ($)", "Unit BW (GBps)", "Unit power (W)"],
+        rows,
+    )
+    emit_report("table8_bom", text)
+
+    names = {bom.name for bom in boms}
+    assert {"TPUv4", "NVL-36", "NVL-72", "NVL-36x2", "NVL-576",
+            "Alibaba-HPN", "InfiniteHBD(K=2)", "InfiniteHBD(K=3)"} <= names
+    # Spot checks against the published quantities.
+    tpuv4 = next(b for b in boms if b.name == "TPUv4")
+    assert {(l.component.name, l.quantity) for l in tpuv4.lines} == {
+        ("palomar_ocs", 48), ("dac_50gBps", 5120),
+        ("optical_400g_fr4", 6144), ("fiber_50gBps", 6144),
+    }
+    k2 = next(b for b in boms if b.name == "InfiniteHBD(K=2)")
+    assert sum(l.quantity for l in k2.lines if l.component.name == "ocstrx_800g") == 16

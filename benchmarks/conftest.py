@@ -1,0 +1,73 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results are
+printed to stdout (visible with ``pytest -s`` or on failure) and persisted to
+``benchmarks/results/<name>.txt`` so the regenerated numbers can be inspected
+and diffed against the paper after a run.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.faults.convert import convert_trace_8gpu_to_4gpu          # noqa: E402
+from repro.faults.synthetic import (                                  # noqa: E402
+    SyntheticTraceConfig,
+    generate_synthetic_trace,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: Cluster size used by the section 6.2 simulations (2,880 GPUs, 4-GPU nodes).
+SIM_NODES_4GPU = 720
+
+#: TP sizes evaluated in the fault-resilience experiments.
+TP_SIZES = (8, 16, 32, 64)
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    header = f"\n===== {name} =====\n"
+    print(header + text)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def format_table(headers, rows) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@pytest.fixture(scope="session")
+def trace_8gpu():
+    """Synthetic 348-day production-style trace (8-GPU nodes, Appendix A)."""
+    return generate_synthetic_trace(SyntheticTraceConfig(seed=348))
+
+
+@pytest.fixture(scope="session")
+def trace_4gpu(trace_8gpu):
+    """The 8-GPU trace converted to 4-GPU nodes (Appendix A Bayes rule)."""
+    return convert_trace_8gpu_to_4gpu(trace_8gpu, seed=348)

@@ -1,0 +1,15 @@
+"""Pytest root configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. offline environments where ``pip install -e .`` cannot build an
+editable wheel).  When the package *is* installed, the installed copy wins
+only if it shadows the same path; inserting ``src`` first keeps tests running
+against the working tree.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""MoE on InfiniteHBD: planning TP x EP with the power-of-two wiring.
+
+Appendix G of the paper describes how re-wiring the backup links to
+``n +- 2^i`` lets InfiniteHBD run Expert Parallelism's AllToAll with the
+Binary Exchange algorithm.  This example plans a TP x EP layout on that
+wiring, prints the per-round exchange schedule, and estimates the AllToAll
+time versus the plain ring relay.
+
+Run with:  python examples/moe_alltoall_planner.py --tp 16 --ep 4
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.collectives.alltoall import binary_exchange_cost, ring_alltoall_cost
+from repro.collectives.cost_model import INFINITEHBD_GPU_LINK
+from repro.core.alltoall_topology import AllToAllTopologyConfig, PowerOfTwoTopology
+from repro.training.comm import ep_alltoall_volume_per_layer
+from repro.training.models import gpt_moe_1t
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=128)
+    parser.add_argument("--gpus-per-node", type=int, default=8)
+    parser.add_argument("--bundles", type=int, default=8)
+    parser.add_argument("--tp", type=int, default=16)
+    parser.add_argument("--ep", type=int, default=4)
+    args = parser.parse_args()
+
+    topology = PowerOfTwoTopology(
+        AllToAllTopologyConfig(
+            n_nodes=args.nodes,
+            n_bundles=args.bundles,
+            gpus_per_node=args.gpus_per_node,
+        )
+    )
+    print(f"Topology: {topology} (direct link distances {topology.link_distances()})")
+    print(
+        f"2-D parallelism limit: TP x EP <= {topology.config.max_group_product} GPUs\n"
+    )
+
+    plan = topology.plan_tp_ep(start=0, tp_size=args.tp, ep_size=args.ep)
+    print(f"TP-{args.tp} x EP-{args.ep} layout starting at node 0:")
+    for lead, span in plan["tp_spans"].items():
+        print(f"  EP member led by node {lead}: TP group on nodes {span}")
+    for round_index, pairs in enumerate(plan["exchange_schedule"], start=1):
+        print(f"  Binary Exchange round {round_index}: {pairs}")
+
+    # ------------------------------------------------------- per-layer timing
+    model = gpt_moe_1t()
+    block_bytes = ep_alltoall_volume_per_layer(
+        batch=1, seq_len=model.seq_len, hidden_dim=model.hidden_dim,
+        ep=args.ep, top_k=model.moe_top_k,
+    ) / max(1, args.ep - 1)
+    ring = ring_alltoall_cost(args.ep, block_bytes, INFINITEHBD_GPU_LINK)
+    bex = binary_exchange_cost(args.ep, block_bytes, INFINITEHBD_GPU_LINK)
+    print(
+        f"\nPer-MoE-layer AllToAll estimate for {model.name} "
+        f"(EP-{args.ep}, top-{model.moe_top_k}):"
+    )
+    print(f"  ring relay        : {ring.time_s * 1e3:.3f} ms")
+    print(f"  binary exchange   : {bex.time_s * 1e3:.3f} ms "
+          f"({ring.time_s / bex.time_s:.1f}x faster)")
+
+
+if __name__ == "__main__":
+    main()

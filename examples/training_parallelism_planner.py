@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Parallelism planner: find the MFU-optimal strategy for a model and cluster.
+
+Reproduces the analysis behind Tables 2 and 5: given a model (Llama 3.1-405B
+or the 1.1T GPT-MoE) and a GPU count, search TP/PP/DP/EP for the highest MFU,
+and show how much is lost when TP is capped at 8 (a conventional 8-GPU-node
+NVLink HBD).
+
+Run with:  python examples/training_parallelism_planner.py --model llama --gpus 8192
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.training.models import gpt_moe_1t, llama31_405b
+from repro.training.mfu import MFUSimulator
+from repro.training.parallelism import search_optimal_strategy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", choices=("llama", "moe"), default="llama")
+    parser.add_argument("--gpus", type=int, default=8192)
+    parser.add_argument("--global-batch", type=int, default=None)
+    parser.add_argument("--imbalance", type=float, default=0.2,
+                        help="expert imbalance coefficient for MoE EP configs")
+    args = parser.parse_args()
+
+    if args.model == "llama":
+        model = llama31_405b()
+        global_batch = args.global_batch or 2048
+        ep_choices = (1,)
+    else:
+        model = gpt_moe_1t()
+        global_batch = args.global_batch or 1536
+        ep_choices = (1, 2, 4, 8)
+
+    simulator = MFUSimulator()
+    print(f"Model: {model.name}  ({model.total_params / 1e9:.0f}B parameters, "
+          f"{model.activated_params / 1e9:.0f}B activated)")
+    print(f"Cluster: {args.gpus} GPUs, global batch {global_batch}\n")
+
+    best = search_optimal_strategy(
+        model, args.gpus, global_batch, simulator=simulator,
+        ep_choices=ep_choices, expert_imbalance_coef=args.imbalance,
+    )
+    capped = search_optimal_strategy(
+        model, args.gpus, global_batch, simulator=simulator,
+        ep_choices=ep_choices, expert_imbalance_coef=args.imbalance, max_tp=8,
+    )
+
+    for label, result in (("Unconstrained TP (InfiniteHBD)", best),
+                          ("TP capped at 8 (8-GPU NVLink HBD)", capped)):
+        config = result.best_config
+        estimate = result.best_estimate
+        if config is None:
+            print(f"{label}: no feasible configuration found")
+            continue
+        print(f"{label}:")
+        print(f"  TP={config.tp}  PP={config.pp}  DP={config.dp}  EP={config.ep}")
+        print(f"  MFU            : {estimate.mfu:.4f}")
+        print(f"  iteration time : {estimate.iteration_time_s:.2f} s")
+        print(f"  pipeline bubble: {estimate.bubble_fraction:.1%}")
+        print(f"  TP comm (exposed): {estimate.tp_comm_time_s:.2f} s")
+        print(f"  HBM per GPU    : {estimate.memory_gib_per_gpu:.1f} GiB")
+        print()
+
+    if capped.mfu > 0:
+        print(f"MFU improvement from a large HBD: {best.mfu / capped.mfu:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

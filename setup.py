@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``python setup.py develop`` works in offline environments where the ``wheel``
+package (needed by pip's modern editable-install path) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

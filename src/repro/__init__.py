@@ -1,0 +1,96 @@
+"""repro -- a from-scratch reproduction of InfiniteHBD (SIGCOMM 2025).
+
+InfiniteHBD is a transceiver-centric High-Bandwidth Domain architecture for
+LLM training: optical circuit switching embedded in every transceiver
+(OCSTrx), a reconfigurable K-Hop Ring topology, and an HBD-DCN orchestration
+algorithm.  This package implements the full system plus every substrate and
+baseline its evaluation depends on:
+
+* ``repro.hardware``    -- OCSTrx / MZI device models (section 4.1, 5.1).
+* ``repro.core``        -- nodes, the K-Hop Ring topology, ring construction
+  and the orchestration algorithms (sections 4.2, 4.3, Appendix D).
+* ``repro.hbd``         -- architecture models: InfiniteHBD, Big-Switch,
+  NVL-36/72/576, TPUv4, SiP-Ring (section 6.2).
+* ``repro.faults``      -- fault trace substrate (Appendix A).
+* ``repro.simulation``  -- trace-driven cluster simulation (section 6.2).
+* ``repro.dcn``         -- Fat-Tree DCN and cross-ToR traffic model (6.4).
+* ``repro.training``    -- LLM training MFU simulator (sections 2.3, 6.3).
+* ``repro.collectives`` -- ring AllReduce and AllToAll algorithms (5.2, App G).
+* ``repro.cost``        -- interconnect cost / power analysis (section 6.5).
+* ``repro.analysis``    -- theoretical waste-ratio bound (Appendix C).
+
+Quickstart::
+
+    from repro import InfiniteHBDArchitecture, generate_synthetic_trace
+    from repro.faults import convert_trace_8gpu_to_4gpu
+    from repro.simulation import ClusterSimulator
+
+    trace = convert_trace_8gpu_to_4gpu(generate_synthetic_trace())
+    arch = InfiniteHBDArchitecture(k=3, gpus_per_node=4)
+    series = ClusterSimulator(arch, trace, n_nodes=720).run(tp_size=32)
+    print(f"mean GPU waste ratio: {series.mean_waste_ratio:.2%}")
+"""
+
+from repro.core import (
+    GPU,
+    Node,
+    KHopRingTopology,
+    KHopTopologyConfig,
+    RingBuilder,
+    Orchestrator,
+)
+from repro.core.orchestrator import JobSpec
+from repro.hardware import OCSTrx, OCSTrxBundle, OCSTrxConfig, PathState
+from repro.hbd import (
+    BigSwitchHBD,
+    InfiniteHBDArchitecture,
+    NVLHBD,
+    SiPRingHBD,
+    TPUv4HBD,
+    default_architectures,
+)
+from repro.faults import (
+    FaultTrace,
+    generate_synthetic_trace,
+    convert_trace_8gpu_to_4gpu,
+)
+from repro.simulation import ClusterSimulator
+from repro.training import (
+    MFUSimulator,
+    ParallelismConfig,
+    HardwareSpec,
+    llama31_405b,
+    gpt_moe_1t,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPU",
+    "Node",
+    "KHopRingTopology",
+    "KHopTopologyConfig",
+    "RingBuilder",
+    "Orchestrator",
+    "JobSpec",
+    "OCSTrx",
+    "OCSTrxBundle",
+    "OCSTrxConfig",
+    "PathState",
+    "BigSwitchHBD",
+    "InfiniteHBDArchitecture",
+    "NVLHBD",
+    "SiPRingHBD",
+    "TPUv4HBD",
+    "default_architectures",
+    "FaultTrace",
+    "generate_synthetic_trace",
+    "convert_trace_8gpu_to_4gpu",
+    "ClusterSimulator",
+    "MFUSimulator",
+    "ParallelismConfig",
+    "HardwareSpec",
+    "llama31_405b",
+    "gpt_moe_1t",
+    "__version__",
+]

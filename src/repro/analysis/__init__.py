@@ -1,0 +1,15 @@
+"""Theoretical analyses accompanying the system (Appendix C)."""
+
+from repro.analysis.waste_bound import (
+    breakpoint_expectation_per_node,
+    expected_waste_per_breakpoint,
+    waste_ratio_upper_bound,
+    waste_bound_table,
+)
+
+__all__ = [
+    "breakpoint_expectation_per_node",
+    "expected_waste_per_breakpoint",
+    "waste_ratio_upper_bound",
+    "waste_bound_table",
+]

@@ -1,0 +1,221 @@
+"""Command-line interface for the InfiniteHBD reproduction.
+
+Exposes the main experiment pipelines as subcommands so results can be
+regenerated without writing Python:
+
+* ``trace``       -- generate a synthetic production-style fault trace (CSV).
+* ``waste``       -- trace-driven GPU-waste comparison across architectures.
+* ``orchestrate`` -- cross-ToR traffic of the greedy baseline vs the
+  optimized HBD-DCN orchestration algorithm.
+* ``mfu``         -- MFU-optimal parallelism search for Llama / GPT-MoE.
+* ``cost``        -- interconnect cost and power table (Table 6).
+* ``goodput``     -- job goodput over the fault trace.
+
+Run ``python -m repro.cli --help`` (or the ``infinitehbd-repro`` entry point)
+for the full option list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.orchestrator import JobSpec, Orchestrator
+from repro.cost.analysis import interconnect_cost_table
+from repro.dcn.fattree import FatTreeConfig
+from repro.faults.convert import convert_trace_8gpu_to_4gpu
+from repro.faults.model import sample_fault_set
+from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.hbd import default_architectures
+from repro.simulation.cluster import ClusterSimulator
+from repro.simulation.goodput import GoodputConfig, goodput_comparison
+from repro.training.models import gpt_moe_1t, llama31_405b
+from repro.training.parallelism import search_optimal_strategy
+
+
+# --------------------------------------------------------------------------
+# subcommand implementations (return lines of text so they are testable)
+# --------------------------------------------------------------------------
+def cmd_trace(args: argparse.Namespace) -> List[str]:
+    config = SyntheticTraceConfig(duration_days=args.days, seed=args.seed)
+    trace = generate_synthetic_trace(config)
+    if args.gpus_per_node == 4:
+        trace = convert_trace_8gpu_to_4gpu(trace, seed=args.seed)
+    stats = trace.statistics()
+    lines = [
+        f"nodes={trace.n_nodes} gpus_per_node={trace.gpus_per_node} days={trace.duration_days}",
+        f"events={stats.n_events} mean_ratio={stats.mean_fault_ratio:.4f} "
+        f"p99_ratio={stats.p99_fault_ratio:.4f}",
+    ]
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(trace.to_csv())
+        lines.append(f"wrote {args.output}")
+    return lines
+
+
+def cmd_waste(args: argparse.Namespace) -> List[str]:
+    trace8 = generate_synthetic_trace(
+        SyntheticTraceConfig(duration_days=args.days, seed=args.seed)
+    )
+    trace4 = convert_trace_8gpu_to_4gpu(trace8, seed=args.seed)
+    lines = [f"{'architecture':20s} {'mean waste':>11s} {'p99 waste':>10s} {'min usable':>11s}"]
+    for arch in default_architectures(4):
+        series = ClusterSimulator(arch, trace4, n_nodes=args.nodes).run(args.tp)
+        lines.append(
+            f"{arch.name:20s} {series.mean_waste_ratio:11.4f} "
+            f"{series.p99_waste_ratio:10.4f} {series.min_usable_gpus:11d}"
+        )
+    return lines
+
+
+def cmd_orchestrate(args: argparse.Namespace) -> List[str]:
+    gpus_per_node = 4
+    n_nodes = args.gpus // gpus_per_node
+    orchestrator = Orchestrator(
+        n_nodes=n_nodes,
+        k=args.k,
+        fat_tree_config=FatTreeConfig(
+            n_nodes=n_nodes, nodes_per_tor=4, tors_per_domain=args.tors_per_domain
+        ),
+    )
+    job_gpus = int(args.job_scale_ratio * args.gpus) // args.tp * args.tp
+    job = JobSpec(total_gpus=job_gpus, tp_size=args.tp, gpus_per_node=gpus_per_node)
+    faults = sample_fault_set(n_nodes, args.fault_ratio, np.random.default_rng(args.seed))
+    lines = [
+        f"cluster={args.gpus} GPUs  job={job_gpus} GPUs (TP-{args.tp})  "
+        f"faults={len(faults)} nodes ({args.fault_ratio:.1%})"
+    ]
+    for method in ("greedy", "optimized"):
+        result, report = orchestrator.place_and_report(job, faults, method=method, seed=args.seed)
+        lines.append(
+            f"{method:10s} satisfied={result.satisfied} "
+            f"constraints={result.constraints_used} "
+            f"cross_tor_rate={report.cross_tor_rate:.4f}"
+        )
+    return lines
+
+
+def cmd_mfu(args: argparse.Namespace) -> List[str]:
+    if args.model == "llama":
+        model = llama31_405b()
+        global_batch = args.global_batch or 2048
+        ep_choices: Sequence[int] = (1,)
+    else:
+        model = gpt_moe_1t()
+        global_batch = args.global_batch or 1536
+        ep_choices = (1, 2, 4, 8)
+    result = search_optimal_strategy(
+        model, args.gpus, global_batch, ep_choices=ep_choices,
+        expert_imbalance_coef=args.imbalance, max_tp=args.max_tp,
+    )
+    if result.best_config is None:
+        return [f"no feasible strategy for {model.name} on {args.gpus} GPUs"]
+    c, e = result.best_config, result.best_estimate
+    return [
+        f"model={model.name} gpus={args.gpus} global_batch={global_batch}",
+        f"best: TP={c.tp} PP={c.pp} DP={c.dp} EP={c.ep}",
+        f"mfu={e.mfu:.4f} iteration_time_s={e.iteration_time_s:.3f} "
+        f"bubble={e.bubble_fraction:.3f} memory_GiB={e.memory_gib_per_gpu:.1f}",
+    ]
+
+
+def cmd_cost(args: argparse.Namespace) -> List[str]:
+    rows = interconnect_cost_table(include_hpn=args.include_hpn)
+    lines = [f"{'architecture':20s} {'$/GPU':>10s} {'W/GPU':>8s} {'$/GBps':>8s} {'W/GBps':>8s}"]
+    for row in rows:
+        lines.append(
+            f"{row.name:20s} {row.cost_per_gpu:10.2f} {row.power_per_gpu:8.2f} "
+            f"{row.cost_per_gBps:8.2f} {row.power_per_gBps:8.3f}"
+        )
+    return lines
+
+
+def cmd_goodput(args: argparse.Namespace) -> List[str]:
+    trace8 = generate_synthetic_trace(
+        SyntheticTraceConfig(duration_days=args.days, seed=args.seed)
+    )
+    trace4 = convert_trace_8gpu_to_4gpu(trace8, seed=args.seed)
+    config = GoodputConfig(job_gpus=args.job_gpus, tp_size=args.tp)
+    reports = goodput_comparison(
+        default_architectures(4), trace4, config, n_nodes=args.nodes
+    )
+    lines = [f"{'architecture':20s} {'goodput':>8s} {'waiting':>8s} {'restarts':>9s}"]
+    for name, report in reports.items():
+        lines.append(
+            f"{name:20s} {report.goodput:8.4f} {report.waiting_fraction:8.4f} "
+            f"{report.job_impacting_faults:9d}"
+        )
+    return lines
+
+
+# --------------------------------------------------------------------------
+# argument parsing
+# --------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="infinitehbd-repro",
+        description="InfiniteHBD (SIGCOMM 2025) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("trace", help="generate a synthetic fault trace")
+    p.add_argument("--days", type=int, default=348)
+    p.add_argument("--seed", type=int, default=348)
+    p.add_argument("--gpus-per-node", type=int, choices=(4, 8), default=8)
+    p.add_argument("--output", type=str, default=None)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("waste", help="GPU waste comparison over the trace")
+    p.add_argument("--days", type=int, default=120)
+    p.add_argument("--seed", type=int, default=348)
+    p.add_argument("--nodes", type=int, default=720)
+    p.add_argument("--tp", type=int, default=32)
+    p.set_defaults(func=cmd_waste)
+
+    p = sub.add_parser("orchestrate", help="cross-ToR traffic comparison")
+    p.add_argument("--gpus", type=int, default=8192)
+    p.add_argument("--tp", type=int, default=32)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--job-scale-ratio", type=float, default=0.85)
+    p.add_argument("--fault-ratio", type=float, default=0.05)
+    p.add_argument("--tors-per-domain", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_orchestrate)
+
+    p = sub.add_parser("mfu", help="optimal parallelism search")
+    p.add_argument("--model", choices=("llama", "moe"), default="llama")
+    p.add_argument("--gpus", type=int, default=8192)
+    p.add_argument("--global-batch", type=int, default=None)
+    p.add_argument("--imbalance", type=float, default=0.2)
+    p.add_argument("--max-tp", type=int, default=None)
+    p.set_defaults(func=cmd_mfu)
+
+    p = sub.add_parser("cost", help="interconnect cost / power table")
+    p.add_argument("--include-hpn", action="store_true")
+    p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser("goodput", help="job goodput over the fault trace")
+    p.add_argument("--days", type=int, default=120)
+    p.add_argument("--seed", type=int, default=348)
+    p.add_argument("--nodes", type=int, default=720)
+    p.add_argument("--tp", type=int, default=32)
+    p.add_argument("--job-gpus", type=int, default=2560)
+    p.set_defaults(func=cmd_goodput)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    for line in args.func(args):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

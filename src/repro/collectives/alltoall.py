@@ -1,0 +1,251 @@
+"""AllToAll algorithms for sparse topologies (Appendix G).
+
+InfiniteHBD's ring topology handles AllToAll poorly (``O(p^2)`` traffic when
+messages are relayed around the ring).  Appendix G shows that rewiring the
+backup links to distances ``+-2^i`` and exploiting the OCSTrx Fast Switch
+mechanism enables the **Binary Exchange** algorithm at ``O(p log p)`` cost
+without requiring node-level loopback.
+
+This module provides:
+
+* a *functional* (data-level) implementation of Binary Exchange and pairwise
+  exchange so correctness can be property-tested, and
+* alpha-beta cost models of ring, pairwise, Bruck and Binary-Exchange
+  AllToAll used to regenerate the complexity comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.collectives.cost_model import CollectiveCost, LinkSpec
+
+
+# --------------------------------------------------------------------------
+# Functional (data level) algorithms
+# --------------------------------------------------------------------------
+def _check_power_of_two(p: int) -> None:
+    if p < 1 or (p & (p - 1)) != 0:
+        raise ValueError(f"group size must be a power of two, got {p}")
+
+
+def binary_exchange_alltoall(blocks: Sequence[Sequence]) -> List[List]:
+    """Run the Binary Exchange AllToAll on explicit data blocks.
+
+    ``blocks[i][j]`` is the payload node ``i`` wants to deliver to node ``j``.
+    The return value ``result`` satisfies ``result[i][j] == blocks[j][i]``
+    (node ``i`` ends up holding every node's payload destined for it, indexed
+    by source).
+
+    The exchange proceeds over ``log2(p)`` rounds; in round ``k`` node ``i``
+    talks only to ``i XOR 2^(log2(p)-k)``, forwarding every payload whose
+    destination lies in the partner's half of the address space -- the
+    communication pattern matching the ``+-2^i`` wiring of Appendix G.3.
+    """
+    p = len(blocks)
+    _check_power_of_two(p)
+    for i, row in enumerate(blocks):
+        if len(row) != p:
+            raise ValueError(f"blocks[{i}] must have {p} entries")
+
+    # held[i] maps (source, destination) -> payload currently stored at node i.
+    held: List[Dict[Tuple[int, int], object]] = [
+        {(i, dst): blocks[i][dst] for dst in range(p)} for i in range(p)
+    ]
+    rounds = int(math.log2(p)) if p > 1 else 0
+    for k in range(1, rounds + 1):
+        bit = rounds - k
+        mask = 1 << bit
+        new_held: List[Dict[Tuple[int, int], object]] = [dict() for _ in range(p)]
+        for i in range(p):
+            partner = i ^ mask
+            for (src, dst), payload in held[i].items():
+                if (dst >> bit) & 1 == (partner >> bit) & 1:
+                    new_held[partner][(src, dst)] = payload
+                else:
+                    new_held[i][(src, dst)] = payload
+        held = new_held
+
+    result: List[List] = [[None] * p for _ in range(p)]
+    for i in range(p):
+        for (src, dst), payload in held[i].items():
+            if dst != i:
+                raise RuntimeError(
+                    "binary exchange left a payload at the wrong node "
+                    f"(node {i}, destination {dst})"
+                )
+            result[i][src] = payload
+    return result
+
+
+def pairwise_exchange_alltoall(blocks: Sequence[Sequence]) -> List[List]:
+    """Pairwise-exchange AllToAll (reference algorithm, needs full mesh).
+
+    In round ``k`` (1..p-1) node ``i`` exchanges directly with ``i XOR k``;
+    requires direct connectivity between every pair, so it is listed only as
+    the full-mesh reference the paper compares against.
+    """
+    p = len(blocks)
+    _check_power_of_two(p)
+    for i, row in enumerate(blocks):
+        if len(row) != p:
+            raise ValueError(f"blocks[{i}] must have {p} entries")
+    result: List[List] = [[None] * p for _ in range(p)]
+    for i in range(p):
+        result[i][i] = blocks[i][i]
+    for k in range(1, p):
+        for i in range(p):
+            partner = i ^ k
+            result[partner][i] = blocks[i][partner]
+    return result
+
+
+# --------------------------------------------------------------------------
+# Cost models
+# --------------------------------------------------------------------------
+@dataclass
+class AllToAllCost:
+    """Cost of one AllToAll algorithm for a given group and block size."""
+
+    algorithm: str
+    group_size: int
+    block_bytes: float
+    steps: int
+    bytes_per_step: float
+    time_s: float
+    requires_fast_switch: bool = False
+    requires_gpu_forwarding: bool = False
+
+    @property
+    def total_bytes_per_node(self) -> float:
+        return self.steps * self.bytes_per_step
+
+
+def ring_alltoall_cost(
+    group_size: int, block_bytes: float, link: LinkSpec
+) -> AllToAllCost:
+    """AllToAll relayed around the ring without Fast Switch: O(p^2).
+
+    Every block travels ``p/2`` hops on average, so each node forwards
+    ``~p^2/2`` blocks worth of traffic over its two ring links.
+    """
+    p = group_size
+    if p < 1:
+        raise ValueError("group_size must be >= 1")
+    if p == 1:
+        return AllToAllCost("ring", p, block_bytes, 0, 0.0, 0.0)
+    steps = p - 1
+    # Per step each node forwards on the order of p/2 blocks (own + relayed).
+    bytes_per_step = block_bytes * p / 2.0
+    time_s = steps * link.transfer_time_s(bytes_per_step)
+    return AllToAllCost(
+        algorithm="ring",
+        group_size=p,
+        block_bytes=block_bytes,
+        steps=steps,
+        bytes_per_step=bytes_per_step,
+        time_s=time_s,
+        requires_gpu_forwarding=True,
+    )
+
+
+def pairwise_cost(
+    group_size: int, block_bytes: float, link: LinkSpec
+) -> AllToAllCost:
+    """Pairwise exchange over a full mesh: p-1 steps of one block each."""
+    p = group_size
+    if p < 1:
+        raise ValueError("group_size must be >= 1")
+    if p == 1:
+        return AllToAllCost("pairwise", p, block_bytes, 0, 0.0, 0.0)
+    steps = p - 1
+    time_s = steps * link.transfer_time_s(block_bytes)
+    return AllToAllCost(
+        algorithm="pairwise",
+        group_size=p,
+        block_bytes=block_bytes,
+        steps=steps,
+        bytes_per_step=block_bytes,
+        time_s=time_s,
+    )
+
+
+def bruck_cost(
+    group_size: int, block_bytes: float, link: LinkSpec
+) -> AllToAllCost:
+    """Bruck algorithm: log2(p) steps moving p/2 blocks each.
+
+    Needs node-level loopback / local rotation, which InfiniteHBD does not
+    provide -- listed as the theoretical reference the paper compares Binary
+    Exchange against for small ``p``.
+    """
+    p = group_size
+    _check_power_of_two(p)
+    if p == 1:
+        return AllToAllCost("bruck", p, block_bytes, 0, 0.0, 0.0)
+    steps = int(math.ceil(math.log2(p)))
+    bytes_per_step = block_bytes * p / 2.0
+    time_s = steps * link.transfer_time_s(bytes_per_step)
+    return AllToAllCost(
+        algorithm="bruck",
+        group_size=p,
+        block_bytes=block_bytes,
+        steps=steps,
+        bytes_per_step=bytes_per_step,
+        time_s=time_s,
+    )
+
+
+def binary_exchange_cost(
+    group_size: int,
+    block_bytes: float,
+    link: LinkSpec,
+    reconfiguration_us: float = 70.0,
+    overlap_reconfiguration: bool = True,
+) -> AllToAllCost:
+    """Binary Exchange on InfiniteHBD: log2(p) steps of p/2 blocks each.
+
+    Each round the OCSTrx must switch to a different partner; the 60-80 us
+    reconfiguration can be overlapped with computation
+    (``overlap_reconfiguration=True``, the paper's assumption) or added to
+    the critical path.
+    """
+    p = group_size
+    _check_power_of_two(p)
+    if p == 1:
+        return AllToAllCost("binary_exchange", p, block_bytes, 0, 0.0, 0.0,
+                            requires_fast_switch=True)
+    steps = int(math.ceil(math.log2(p)))
+    bytes_per_step = block_bytes * p / 2.0
+    per_step = link.transfer_time_s(bytes_per_step)
+    if not overlap_reconfiguration:
+        per_step += reconfiguration_us * 1e-6
+    time_s = steps * per_step
+    return AllToAllCost(
+        algorithm="binary_exchange",
+        group_size=p,
+        block_bytes=block_bytes,
+        steps=steps,
+        bytes_per_step=bytes_per_step,
+        time_s=time_s,
+        requires_fast_switch=True,
+    )
+
+
+def complexity_comparison(
+    group_sizes: Sequence[int],
+    block_bytes: float,
+    link: LinkSpec,
+) -> List[Dict[str, float]]:
+    """Ring vs Binary Exchange vs Bruck vs pairwise across group sizes."""
+    rows: List[Dict[str, float]] = []
+    for p in group_sizes:
+        row: Dict[str, float] = {"group_size": p}
+        row["ring_s"] = ring_alltoall_cost(p, block_bytes, link).time_s
+        row["binary_exchange_s"] = binary_exchange_cost(p, block_bytes, link).time_s
+        row["bruck_s"] = bruck_cost(p, block_bytes, link).time_s
+        row["pairwise_s"] = pairwise_cost(p, block_bytes, link).time_s
+        rows.append(row)
+    return rows

@@ -1,0 +1,104 @@
+"""Alpha-beta cost model for collective communication.
+
+All collective timing in this repository uses the classic alpha-beta model:
+sending a message of ``m`` bytes over a link costs
+``alpha + m / effective_bandwidth`` seconds, where ``alpha`` is the per-hop
+startup latency and the effective bandwidth is the link's peak bandwidth
+scaled by a protocol-efficiency factor (PCIe / Ethernet framing, flow
+control, NCCL protocol overhead, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One point-to-point link in the alpha-beta model.
+
+    Attributes
+    ----------
+    bandwidth_gbps:
+        Peak line rate in gigabits per second.
+    latency_us:
+        Per-message startup latency (``alpha``) in microseconds.
+    protocol_efficiency:
+        Fraction of the line rate achievable by the payload (0..1].
+    """
+
+    bandwidth_gbps: float
+    latency_us: float = 2.0
+    protocol_efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if self.latency_us < 0:
+            raise ValueError("latency_us must be non-negative")
+        if not 0.0 < self.protocol_efficiency <= 1.0:
+            raise ValueError("protocol_efficiency must be in (0, 1]")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_gbps * 1e9 / 8.0
+
+    @property
+    def effective_bytes_per_s(self) -> float:
+        return self.bandwidth_bytes_per_s * self.protocol_efficiency
+
+    @property
+    def alpha_s(self) -> float:
+        return self.latency_us * 1e-6
+
+    def transfer_time_s(self, message_bytes: float) -> float:
+        """alpha-beta time to move ``message_bytes`` over this link."""
+        if message_bytes < 0:
+            raise ValueError("message_bytes must be non-negative")
+        if message_bytes == 0:
+            return 0.0
+        return self.alpha_s + message_bytes / self.effective_bytes_per_s
+
+
+#: HBD link of one InfiniteHBD GPU: 8 x 800G OCSTrx = 6.4 Tbps.
+INFINITEHBD_GPU_LINK = LinkSpec(bandwidth_gbps=6400.0, latency_us=2.0,
+                                protocol_efficiency=0.95)
+
+#: DCN NIC (NVIDIA ConnectX-7 class, 400 Gbps).
+DCN_NIC_LINK = LinkSpec(bandwidth_gbps=400.0, latency_us=5.0,
+                        protocol_efficiency=0.92)
+
+#: PCIe-4 based experimental GPU of the section 5.2 mini-cluster (96 lanes).
+PCIE4_EXPERIMENTAL_LINK = LinkSpec(bandwidth_gbps=96 * 16.0, latency_us=3.0,
+                                   protocol_efficiency=0.79)
+
+#: NVLink-switch path inside an H100 DGX node.
+NVLINK_SWITCH_LINK = LinkSpec(bandwidth_gbps=3600.0, latency_us=2.3,
+                              protocol_efficiency=0.83)
+
+
+@dataclass
+class CollectiveCost:
+    """Timing result of a collective algorithm."""
+
+    algorithm: str
+    group_size: int
+    message_bytes: float
+    steps: int
+    total_bytes_on_wire: float
+    time_s: float
+
+    @property
+    def algorithm_bandwidth_bytes_per_s(self) -> float:
+        """Message size over time (the "algbw" convention)."""
+        if self.time_s == 0:
+            return 0.0
+        return self.message_bytes / self.time_s
+
+    @property
+    def bus_bandwidth_bytes_per_s(self) -> float:
+        """Per-rank wire traffic over time (the "busbw" convention)."""
+        if self.time_s == 0 or self.group_size == 0:
+            return 0.0
+        return (self.total_bytes_on_wire / self.group_size) / self.time_s

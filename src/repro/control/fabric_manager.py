@@ -1,0 +1,189 @@
+"""Node fabric manager: device-level control of one node's OCSTrx bundles.
+
+The fabric manager is the per-node agent of the control plane.  It translates
+ring-level intents ("be the head of a ring whose next node is 7", "bypass
+your failed left neighbour by connecting to node 5 instead") into OCSTrx
+bundle path activations, and reports the hardware reconfiguration latency of
+every change so the cluster manager can account for switching downtime.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.khop_ring import KHopRingTopology
+from repro.core.node import Node
+from repro.hardware.ocstrx import PathState
+
+
+class NodeRole(enum.Enum):
+    """Role of a node within its current GPU ring."""
+
+    UNASSIGNED = "unassigned"
+    HEAD = "head"        # closes the ring on its left side via loopback
+    MIDDLE = "middle"    # forwards in both directions
+    TAIL = "tail"        # closes the ring on its right side via loopback
+    SOLO = "solo"        # single-node ring (both bundles in loopback)
+
+
+@dataclass
+class FabricConfiguration:
+    """The intent most recently applied to a node."""
+
+    role: NodeRole
+    left_peer: Optional[int]
+    right_peer: Optional[int]
+
+
+class NodeFabricManager:
+    """Drives the OCSTrx bundles of a single node."""
+
+    def __init__(self, node: Node, topology: KHopRingTopology) -> None:
+        if node.n_bundles < 2:
+            raise ValueError("the fabric manager needs at least 2 OCSTrx bundles")
+        self.node = node
+        self.topology = topology
+        self._configuration = FabricConfiguration(NodeRole.UNASSIGNED, None, None)
+        self.total_reconfigurations = 0
+        self.total_switch_time_us = 0.0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def configuration(self) -> FabricConfiguration:
+        return self._configuration
+
+    @property
+    def role(self) -> NodeRole:
+        return self._configuration.role
+
+    # -------------------------------------------------------------- commands
+    def configure(
+        self,
+        role: NodeRole,
+        left_peer: Optional[int] = None,
+        right_peer: Optional[int] = None,
+    ) -> float:
+        """Apply a ring role; returns the switching latency in microseconds.
+
+        ``left_peer`` / ``right_peer`` are the neighbouring node ids along the
+        ring for the sides that face outwards; a loopback side needs no peer.
+        """
+        if self.node.failed:
+            raise RuntimeError(f"node {self.node_id} is failed")
+        self._validate(role, left_peer, right_peer)
+
+        left_bundle = self.node.bundle(0)
+        right_bundle = self.node.bundle(min(1, self.node.n_bundles - 1))
+        latencies: List[float] = []
+
+        if role is NodeRole.UNASSIGNED:
+            latencies.append(left_bundle.deactivate())
+            latencies.append(right_bundle.deactivate())
+        elif role is NodeRole.SOLO:
+            latencies.append(left_bundle.activate(PathState.LOOPBACK))
+            latencies.append(right_bundle.activate(PathState.LOOPBACK))
+        elif role is NodeRole.HEAD:
+            latencies.append(left_bundle.activate(PathState.LOOPBACK))
+            latencies.append(self._point(right_bundle, right_peer))
+        elif role is NodeRole.TAIL:
+            latencies.append(self._point(left_bundle, left_peer))
+            latencies.append(right_bundle.activate(PathState.LOOPBACK))
+        elif role is NodeRole.MIDDLE:
+            latencies.append(self._point(left_bundle, left_peer))
+            latencies.append(self._point(right_bundle, right_peer))
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown role {role}")
+
+        latency = max(latencies) if latencies else 0.0
+        if latency > 0:
+            self.total_reconfigurations += 1
+            self.total_switch_time_us += latency
+        self._configuration = FabricConfiguration(role, left_peer, right_peer)
+        return latency
+
+    def release(self) -> float:
+        """Return the node to the unassigned (dark) state."""
+        return self.configure(NodeRole.UNASSIGNED)
+
+    def bypass_left(self, new_left_peer: int) -> float:
+        """Re-point the left-facing bundle at a backup neighbour.
+
+        Used when the current left neighbour failed: the node keeps its role
+        but its left link now reaches the next healthy node within K hops.
+        """
+        if self.role not in (NodeRole.MIDDLE, NodeRole.TAIL):
+            raise RuntimeError(
+                f"node {self.node_id} has no outward-facing left link to bypass"
+            )
+        self._check_reachable(new_left_peer)
+        latency = self._point(self.node.bundle(0), new_left_peer, force=True)
+        self._configuration = FabricConfiguration(
+            self.role, new_left_peer, self._configuration.right_peer
+        )
+        self._count(latency)
+        return latency
+
+    def bypass_right(self, new_right_peer: int) -> float:
+        """Re-point the right-facing bundle at a backup neighbour."""
+        if self.role not in (NodeRole.MIDDLE, NodeRole.HEAD):
+            raise RuntimeError(
+                f"node {self.node_id} has no outward-facing right link to bypass"
+            )
+        self._check_reachable(new_right_peer)
+        bundle = self.node.bundle(min(1, self.node.n_bundles - 1))
+        latency = self._point(bundle, new_right_peer, force=True)
+        self._configuration = FabricConfiguration(
+            self.role, self._configuration.left_peer, new_right_peer
+        )
+        self._count(latency)
+        return latency
+
+    # -------------------------------------------------------------- internals
+    def _point(self, bundle, peer: Optional[int], force: bool = False) -> float:
+        if peer is None:
+            raise ValueError("an outward-facing side needs a peer node")
+        self._check_reachable(peer)
+        distance = self.topology.hop_distance(self.node_id, peer)
+        path = PathState.EXTERNAL_1 if distance == 1 else PathState.EXTERNAL_2
+        if bundle.peer(path) != peer:
+            bundle.wire_external(path, peer)
+        if force and bundle.state is path:
+            # Re-activating the same optical path towards a *different* peer
+            # still requires the far-end handshake; model it as one switch.
+            bundle.deactivate()
+        return bundle.activate(path)
+
+    def _check_reachable(self, peer: int) -> None:
+        if not self.topology.has_link(self.node_id, peer):
+            raise ValueError(
+                f"node {peer} is beyond K={self.topology.config.k} hops of "
+                f"node {self.node_id}"
+            )
+
+    def _validate(
+        self, role: NodeRole, left_peer: Optional[int], right_peer: Optional[int]
+    ) -> None:
+        if role is NodeRole.MIDDLE and (left_peer is None or right_peer is None):
+            raise ValueError("a middle node needs both peers")
+        if role is NodeRole.HEAD and right_peer is None:
+            raise ValueError("a head node needs a right peer")
+        if role is NodeRole.TAIL and left_peer is None:
+            raise ValueError("a tail node needs a left peer")
+
+    def _count(self, latency: float) -> None:
+        if latency > 0:
+            self.total_reconfigurations += 1
+            self.total_switch_time_us += latency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        c = self._configuration
+        return (
+            f"NodeFabricManager(node={self.node_id}, role={c.role.value}, "
+            f"left={c.left_peer}, right={c.right_peer})"
+        )

@@ -1,0 +1,64 @@
+"""Core InfiniteHBD contribution: nodes, K-Hop Ring topology, orchestration.
+
+* :mod:`repro.core.node` -- GPU node model (UBB 2.0 style 4-/8-GPU nodes with
+  OCSTrx bundles).
+* :mod:`repro.core.khop_ring` -- the reconfigurable K-Hop Ring / K-Hop Line
+  topology, fault bypass and healthy-segment extraction.
+* :mod:`repro.core.ring_builder` -- dynamic GPU-granular ring construction on
+  top of the K-Hop topology (intra-node loopback semantics).
+* :mod:`repro.core.orchestrator` -- the HBD-DCN orchestration algorithms
+  (Algorithms 1-5 of the paper) plus the greedy baseline.
+"""
+
+from repro.core.node import GPU, Node, make_nodes
+from repro.core.khop_ring import KHopRingTopology, KHopTopologyConfig, Segment
+from repro.core.alltoall_topology import AllToAllTopologyConfig, PowerOfTwoTopology
+from repro.core.ring_builder import GPURing, RingBuilder, RingConstructionError
+from repro.core.multidim import (
+    DimensionTraffic,
+    MultiDimensionPlanner,
+    MultiDimPlan,
+    MultiDimStrategy,
+)
+from repro.core.wiring import CableSpec, WiringPlan, WiringPlanner
+from repro.core.orchestrator import (
+    DeploymentPlan,
+    OrchestrationResult,
+    Orchestrator,
+    TPGroup,
+    deployment_strategy,
+    greedy_placement,
+    orchestrate_dcn_free,
+    orchestrate_fat_tree,
+    placement_fat_tree,
+)
+
+__all__ = [
+    "GPU",
+    "Node",
+    "make_nodes",
+    "KHopRingTopology",
+    "KHopTopologyConfig",
+    "Segment",
+    "AllToAllTopologyConfig",
+    "PowerOfTwoTopology",
+    "CableSpec",
+    "WiringPlan",
+    "WiringPlanner",
+    "DimensionTraffic",
+    "MultiDimensionPlanner",
+    "MultiDimPlan",
+    "MultiDimStrategy",
+    "GPURing",
+    "RingBuilder",
+    "RingConstructionError",
+    "DeploymentPlan",
+    "OrchestrationResult",
+    "Orchestrator",
+    "TPGroup",
+    "deployment_strategy",
+    "greedy_placement",
+    "orchestrate_dcn_free",
+    "orchestrate_fat_tree",
+    "placement_fat_tree",
+]

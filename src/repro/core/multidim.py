@@ -1,0 +1,153 @@
+"""Multi-dimensional parallelism over InfiniteHBD (section 7 discussion).
+
+InfiniteHBD natively optimises a single communication-intensive dimension
+(TP).  Section 7 sketches two ways to host a second HBD dimension (e.g. TP +
+EP, or TP + CP) and their trade-offs:
+
+* **Independent interconnects** -- the OCSTrx bundle of every GPU is split
+  into ``d`` sub-bundles, each wired into its own inter-node topology.  Every
+  dimension gets a *fixed* ``1/d`` share of the GPU's HBD bandwidth and full
+  fault-tolerance semantics, but bandwidth cannot shift between dimensions,
+  so a dimension that communicates rarely wastes its share.
+* **Time-division** -- the main and backup links are re-pointed between the
+  dimensions' topologies with the OCSTrx Fast Switch (60-80 us).  Each
+  dimension sees the *full* GPU bandwidth while it holds the fabric, at the
+  cost of a per-switch reconfiguration overhead and the loss of the backup
+  links' fault-isolation role while they are lent to the second dimension.
+
+:class:`MultiDimensionPlanner` quantifies both options for a given traffic
+mix so the trade-off can be evaluated instead of hand-waved.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+class MultiDimStrategy(enum.Enum):
+    """How a second (or third) HBD dimension is provisioned."""
+
+    INDEPENDENT = "independent_interconnects"
+    TIME_DIVISION = "time_division"
+
+
+@dataclass(frozen=True)
+class DimensionTraffic:
+    """Per-iteration traffic of one parallel dimension on the HBD.
+
+    ``phases`` is the number of separate communication bursts per iteration
+    (each burst needs one fabric hand-over under time division).
+    """
+
+    name: str
+    bytes_per_gpu: float
+    phases: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_gpu < 0:
+            raise ValueError("bytes_per_gpu must be non-negative")
+        if self.phases < 1:
+            raise ValueError("phases must be >= 1")
+
+
+@dataclass
+class MultiDimPlan:
+    """Evaluation of one provisioning strategy for a traffic mix."""
+
+    strategy: MultiDimStrategy
+    per_dimension_bandwidth_gbps: Dict[str, float]
+    communication_time_s: float
+    reconfiguration_time_s: float
+    keeps_backup_links: bool
+
+    @property
+    def total_time_s(self) -> float:
+        return self.communication_time_s + self.reconfiguration_time_s
+
+
+class MultiDimensionPlanner:
+    """Compare independent-interconnect vs time-division provisioning."""
+
+    def __init__(
+        self,
+        hbd_bandwidth_gbps: float = 6400.0,
+        reconfiguration_us: float = 70.0,
+    ) -> None:
+        if hbd_bandwidth_gbps <= 0:
+            raise ValueError("hbd_bandwidth_gbps must be positive")
+        if reconfiguration_us < 0:
+            raise ValueError("reconfiguration_us must be non-negative")
+        self.hbd_bandwidth_gbps = hbd_bandwidth_gbps
+        self.reconfiguration_us = reconfiguration_us
+
+    # ------------------------------------------------------------------ plans
+    def independent_plan(self, traffic: Sequence[DimensionTraffic]) -> MultiDimPlan:
+        """Every dimension owns a fixed ``1/d`` slice of the HBD bandwidth.
+
+        Dimensions communicate concurrently on their own sub-fabrics, so the
+        iteration's communication time is set by the slowest dimension.
+        """
+        self._check(traffic)
+        d = len(traffic)
+        share = self.hbd_bandwidth_gbps / d
+        share_bytes_per_s = share * 1e9 / 8.0
+        times = [t.bytes_per_gpu / share_bytes_per_s for t in traffic]
+        return MultiDimPlan(
+            strategy=MultiDimStrategy.INDEPENDENT,
+            per_dimension_bandwidth_gbps={t.name: share for t in traffic},
+            communication_time_s=max(times),
+            reconfiguration_time_s=0.0,
+            keeps_backup_links=False if d > 1 else True,
+        )
+
+    def time_division_plan(self, traffic: Sequence[DimensionTraffic]) -> MultiDimPlan:
+        """Dimensions take turns owning the full HBD bandwidth.
+
+        Communication serialises across dimensions; every phase hand-over
+        costs one OCSTrx reconfiguration.
+        """
+        self._check(traffic)
+        full_bytes_per_s = self.hbd_bandwidth_gbps * 1e9 / 8.0
+        comm_time = sum(t.bytes_per_gpu / full_bytes_per_s for t in traffic)
+        switches = sum(t.phases for t in traffic) if len(traffic) > 1 else 0
+        return MultiDimPlan(
+            strategy=MultiDimStrategy.TIME_DIVISION,
+            per_dimension_bandwidth_gbps={
+                t.name: self.hbd_bandwidth_gbps for t in traffic
+            },
+            communication_time_s=comm_time,
+            reconfiguration_time_s=switches * self.reconfiguration_us * 1e-6,
+            keeps_backup_links=len(traffic) <= 1,
+        )
+
+    def compare(self, traffic: Sequence[DimensionTraffic]) -> Dict[str, MultiDimPlan]:
+        """Both plans for the same traffic mix, keyed by strategy value."""
+        return {
+            MultiDimStrategy.INDEPENDENT.value: self.independent_plan(traffic),
+            MultiDimStrategy.TIME_DIVISION.value: self.time_division_plan(traffic),
+        }
+
+    def preferred_strategy(self, traffic: Sequence[DimensionTraffic]) -> MultiDimStrategy:
+        """Strategy with the lower total time for this traffic mix.
+
+        Balanced, always-busy dimensions favour independent interconnects
+        (parallel transfers hide each other); skewed or bursty mixes favour
+        time division (the busy dimension gets the whole fabric).
+        """
+        plans = self.compare(traffic)
+        independent = plans[MultiDimStrategy.INDEPENDENT.value]
+        time_division = plans[MultiDimStrategy.TIME_DIVISION.value]
+        if time_division.total_time_s < independent.total_time_s:
+            return MultiDimStrategy.TIME_DIVISION
+        return MultiDimStrategy.INDEPENDENT
+
+    # --------------------------------------------------------------- helpers
+    @staticmethod
+    def _check(traffic: Sequence[DimensionTraffic]) -> None:
+        if not traffic:
+            raise ValueError("at least one dimension is required")
+        names = [t.name for t in traffic]
+        if len(set(names)) != len(names):
+            raise ValueError("dimension names must be unique")

@@ -1,0 +1,164 @@
+"""GPU node model used by the InfiniteHBD topology.
+
+A node follows the OCP UBB 2.0 style layout of Figure 4: ``R`` GPUs are served
+by up to ``R`` OCSTrx bundles, each bundle connecting a *pair* of GPUs (one on
+the upper-half SerDes lanes, one on the lower-half).  In the K-Hop Ring
+topology a node uses ``K`` of its bundles for inter-node links towards each
+direction (for a total of ``2K`` external paths since every bundle has two
+external paths) and keeps the rest in loopback or replaces them with DAC
+links.
+
+The node model is intentionally lightweight: the large-scale cluster
+simulations (Figures 13-16) only need node identity, GPU count, failure state
+and bundle bookkeeping, while the ring-construction code
+(:mod:`repro.core.ring_builder`) manipulates the bundles directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.ocstrx import OCSTrxBundle, OCSTrxConfig, PathState
+
+
+@dataclass
+class GPU:
+    """A single GPU (or TPU-like accelerator) inside a node."""
+
+    gpu_id: str
+    node_id: int
+    local_index: int
+    hbd_bandwidth_gbps: float = 6400.0  # 8 x 800G OCSTrx
+    dcn_bandwidth_gbps: float = 400.0   # ConnectX-7 class NIC
+    failed: bool = False
+
+    @property
+    def healthy(self) -> bool:
+        return not self.failed
+
+
+class Node:
+    """A GPU node with OCSTrx bundles.
+
+    Parameters
+    ----------
+    node_id:
+        Integer identity of the node; also its position in the physical
+        deployment order (``S_all`` in the paper's notation).
+    n_gpus:
+        ``R`` -- GPUs per node (4 or 8 in the paper's evaluations).
+    n_bundles:
+        ``K`` -- OCSTrx bundles used for inter-node connectivity; determines
+        the hop count of the K-Hop Ring.  Must satisfy ``K <= R``.
+    modules_per_bundle:
+        Physical OCSTrx modules per bundle (8 x 800G for a 6.4 Tbps GPU).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        n_gpus: int = 4,
+        n_bundles: int = 2,
+        modules_per_bundle: int = 8,
+        trx_config: Optional[OCSTrxConfig] = None,
+    ) -> None:
+        if n_gpus < 2:
+            raise ValueError("a node needs at least 2 GPUs")
+        if n_gpus % 2 != 0:
+            raise ValueError("n_gpus must be even (bundles serve GPU pairs)")
+        if not 1 <= n_bundles <= n_gpus:
+            raise ValueError("n_bundles (K) must satisfy 1 <= K <= R")
+        self.node_id = node_id
+        self.n_gpus = n_gpus
+        self.n_bundles = n_bundles
+        self.gpus: List[GPU] = [
+            GPU(gpu_id=f"n{node_id}/g{i}", node_id=node_id, local_index=i)
+            for i in range(n_gpus)
+        ]
+        self.bundles: List[OCSTrxBundle] = [
+            OCSTrxBundle(
+                bundle_id=f"n{node_id}/b{i}",
+                n_modules=modules_per_bundle,
+                config=trx_config,
+            )
+            for i in range(n_bundles)
+        ]
+        self._failed = False
+
+    # ------------------------------------------------------------------ state
+    @property
+    def failed(self) -> bool:
+        """Whether the node (as a whole) is failed."""
+        return self._failed
+
+    @property
+    def healthy(self) -> bool:
+        return not self._failed
+
+    @property
+    def healthy_gpu_count(self) -> int:
+        if self._failed:
+            return 0
+        return sum(1 for g in self.gpus if g.healthy)
+
+    def fail(self) -> None:
+        """Fail the node: all GPUs and bundles become unavailable."""
+        self._failed = True
+        for gpu in self.gpus:
+            gpu.failed = True
+        for bundle in self.bundles:
+            bundle.fail()
+
+    def repair(self) -> None:
+        """Repair the node: GPUs and bundles become available again (dark)."""
+        self._failed = False
+        for gpu in self.gpus:
+            gpu.failed = False
+        for bundle in self.bundles:
+            bundle.repair()
+
+    # -------------------------------------------------------------- bandwidth
+    @property
+    def hbd_bandwidth_gbps(self) -> float:
+        """Per-GPU HBD bandwidth (the bundle the GPU drives)."""
+        if not self.gpus:
+            return 0.0
+        return self.gpus[0].hbd_bandwidth_gbps
+
+    # ---------------------------------------------------------------- wiring
+    def bundle(self, index: int) -> OCSTrxBundle:
+        """Bundle at ``index`` (0-based, < K)."""
+        return self.bundles[index]
+
+    def bundle_states(self) -> Dict[str, PathState]:
+        """Current path state per bundle id (for debugging / assertions)."""
+        return {b.bundle_id: b.state for b in self.bundles}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Node(id={self.node_id}, R={self.n_gpus}, K={self.n_bundles}, "
+            f"failed={self._failed})"
+        )
+
+
+def make_nodes(
+    n_nodes: int,
+    n_gpus: int = 4,
+    n_bundles: int = 2,
+    modules_per_bundle: int = 8,
+    trx_config: Optional[OCSTrxConfig] = None,
+) -> List[Node]:
+    """Create ``n_nodes`` identical nodes numbered 0..n_nodes-1."""
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    return [
+        Node(
+            node_id=i,
+            n_gpus=n_gpus,
+            n_bundles=n_bundles,
+            modules_per_bundle=modules_per_bundle,
+            trx_config=trx_config,
+        )
+        for i in range(n_nodes)
+    ]

@@ -1,0 +1,226 @@
+"""Dynamic GPU-granular ring construction over the K-Hop topology.
+
+This module implements the intra-node loopback mechanism of section 4.2: a
+group of nodes connected as a line can be closed into a GPU-level ring by
+activating the cross-lane loopback path of the OCSTrx bundles at the two ends
+of the line, while the bundles in the middle activate the external path
+towards the next node in the line.
+
+:class:`RingBuilder` works on actual :class:`~repro.core.node.Node` objects
+(driving their :class:`~repro.hardware.ocstrx.OCSTrxBundle` instances) so
+that the hardware-level state -- active paths, reconfiguration latency,
+delivered bandwidth -- can be asserted by tests, mirroring what the node
+fabric manager of the paper's control plane does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.khop_ring import KHopRingTopology
+from repro.core.node import Node
+from repro.hardware.ocstrx import PathState
+
+
+class RingConstructionError(RuntimeError):
+    """Raised when a GPU ring cannot be built from the requested nodes."""
+
+
+@dataclass
+class GPURing:
+    """A constructed GPU-level ring.
+
+    Attributes
+    ----------
+    gpu_order:
+        GPU identifiers in ring order; the last element connects back to the
+        first.
+    node_order:
+        The nodes (ids) the ring spans, in line order.
+    reconfiguration_latency_us:
+        Worst-case OCSTrx switching latency incurred to establish the ring
+        (bundles switch in parallel, so this is the max over all bundles).
+    bandwidth_gbps:
+        Per-hop ring bandwidth (the minimum bundle bandwidth along the ring).
+    """
+
+    gpu_order: Tuple[str, ...]
+    node_order: Tuple[int, ...]
+    reconfiguration_latency_us: float
+    bandwidth_gbps: float
+
+    @property
+    def size(self) -> int:
+        """Number of GPUs in the ring."""
+        return len(self.gpu_order)
+
+    def neighbors_of(self, gpu_id: str) -> Tuple[str, str]:
+        """(previous, next) GPUs of ``gpu_id`` on the ring."""
+        idx = self.gpu_order.index(gpu_id)
+        prev_gpu = self.gpu_order[(idx - 1) % len(self.gpu_order)]
+        next_gpu = self.gpu_order[(idx + 1) % len(self.gpu_order)]
+        return prev_gpu, next_gpu
+
+
+class RingBuilder:
+    """Builds GPU-granular rings over a set of nodes on a K-Hop topology."""
+
+    def __init__(self, topology: KHopRingTopology, nodes: Sequence[Node]) -> None:
+        if len(nodes) != topology.config.n_nodes:
+            raise ValueError(
+                "number of Node objects must match the topology node count"
+            )
+        for expected, node in enumerate(nodes):
+            if node.node_id != expected:
+                raise ValueError("nodes must be ordered by node_id starting at 0")
+        self.topology = topology
+        self.nodes = list(nodes)
+
+    # ----------------------------------------------------------------- checks
+    def validate_line(self, node_ids: Sequence[int]) -> None:
+        """Check that ``node_ids`` can form a line on the topology.
+
+        Every consecutive pair must share an OCSTrx link (be within K hops),
+        every node must be healthy, and nodes must be distinct.
+        """
+        if len(node_ids) < 1:
+            raise RingConstructionError("a ring needs at least one node")
+        if len(set(node_ids)) != len(node_ids):
+            raise RingConstructionError("duplicate nodes in ring request")
+        for node_id in node_ids:
+            if not 0 <= node_id < len(self.nodes):
+                raise RingConstructionError(f"unknown node {node_id}")
+            if self.nodes[node_id].failed:
+                raise RingConstructionError(f"node {node_id} is failed")
+            if len(node_ids) > 1 and self.nodes[node_id].n_bundles < 2:
+                raise RingConstructionError(
+                    f"node {node_id} has a single OCSTrx bundle; multi-node "
+                    "rings need at least 2 bundles per node"
+                )
+        for a, b in zip(node_ids, node_ids[1:]):
+            if not self.topology.has_link(a, b):
+                raise RingConstructionError(
+                    f"nodes {a} and {b} are {self.topology.hop_distance(a, b)} hops "
+                    f"apart, beyond K={self.topology.config.k}"
+                )
+
+    # ------------------------------------------------------------------ build
+    def build_ring(self, node_ids: Sequence[int]) -> GPURing:
+        """Construct a GPU ring over ``node_ids`` (in line order).
+
+        The two end nodes activate the loopback path on their outward-facing
+        bundle (closing the ring inside the node); intermediate hops activate
+        the external path towards their line neighbour.  All GPUs of every
+        node participate, so the ring size is ``len(node_ids) * R``.
+        """
+        self.validate_line(node_ids)
+        latencies: List[float] = []
+        bandwidths: List[float] = []
+
+        for position, node_id in enumerate(node_ids):
+            node = self.nodes[node_id]
+            left_bundle = node.bundle(0)
+            right_bundle = node.bundle(min(1, node.n_bundles - 1))
+            is_head = position == 0
+            is_tail = position == len(node_ids) - 1
+
+            if is_head and is_tail:
+                # Single-node ring: both bundles loop back internally.
+                latencies.append(left_bundle.activate(PathState.LOOPBACK))
+                if right_bundle is not left_bundle:
+                    latencies.append(right_bundle.activate(PathState.LOOPBACK))
+                bandwidths.append(left_bundle.bandwidth_gbps)
+                continue
+
+            if is_head:
+                latencies.append(left_bundle.activate(PathState.LOOPBACK))
+                latencies.append(
+                    self._activate_towards(node, right_bundle, node_ids[position + 1])
+                )
+                bandwidths.append(right_bundle.bandwidth_gbps)
+            elif is_tail:
+                latencies.append(
+                    self._activate_towards(node, left_bundle, node_ids[position - 1])
+                )
+                latencies.append(right_bundle.activate(PathState.LOOPBACK))
+                bandwidths.append(left_bundle.bandwidth_gbps)
+            else:
+                latencies.append(
+                    self._activate_towards(node, left_bundle, node_ids[position - 1])
+                )
+                latencies.append(
+                    self._activate_towards(node, right_bundle, node_ids[position + 1])
+                )
+                bandwidths.append(min(left_bundle.bandwidth_gbps,
+                                      right_bundle.bandwidth_gbps))
+
+        gpu_order = self._gpu_ring_order(node_ids)
+        return GPURing(
+            gpu_order=tuple(gpu_order),
+            node_order=tuple(node_ids),
+            reconfiguration_latency_us=max(latencies) if latencies else 0.0,
+            bandwidth_gbps=min(bandwidths) if bandwidths else 0.0,
+        )
+
+    def build_ring_bypassing_faults(
+        self, start: int, n_nodes: int
+    ) -> GPURing:
+        """Build a ring of ``n_nodes`` healthy nodes starting at ``start``.
+
+        Faulty nodes encountered along the deployment order are skipped as
+        long as the resulting gap stays within K hops; otherwise construction
+        fails with :class:`RingConstructionError`.
+        """
+        if n_nodes < 1:
+            raise RingConstructionError("n_nodes must be >= 1")
+        selected: List[int] = []
+        cursor = start
+        limit = self.topology.config.n_nodes
+        scanned = 0
+        while len(selected) < n_nodes and scanned < limit:
+            node_id = cursor % limit if self.topology.config.ring else cursor
+            if node_id >= limit:
+                break
+            if not self.nodes[node_id].failed:
+                selected.append(node_id)
+            cursor += 1
+            scanned += 1
+        if len(selected) < n_nodes:
+            raise RingConstructionError(
+                f"not enough healthy nodes from {start}: "
+                f"needed {n_nodes}, found {len(selected)}"
+            )
+        return self.build_ring(selected)
+
+    # -------------------------------------------------------------- internals
+    def _activate_towards(self, node: Node, bundle, peer_node_id: int) -> float:
+        """Activate the external path of ``bundle`` pointing at ``peer_node_id``.
+
+        The deployment wiring convention is: EXTERNAL_1 reaches the primary
+        (distance-1) neighbour, EXTERNAL_2 the backup (distance >= 2)
+        neighbour.  If the fibers have not been explicitly wired (the common
+        case in large-scale simulations) we wire them on demand according to
+        the hop distance.
+        """
+        distance = self.topology.hop_distance(node.node_id, peer_node_id)
+        path = PathState.EXTERNAL_1 if distance == 1 else PathState.EXTERNAL_2
+        if bundle.peer(path) is None:
+            bundle.wire_external(path, peer_node_id)
+        return bundle.activate(path)
+
+    def _gpu_ring_order(self, node_ids: Sequence[int]) -> List[str]:
+        """GPU traversal order of the ring.
+
+        The ring goes "out" along the upper-half GPUs of each node and comes
+        "back" along the lower-half GPUs, matching the cross-lane loopback of
+        Figure 2 (GPUs 1..R/2 forward, GPUs R/2+1..R on the return path).
+        """
+        forward: List[str] = []
+        backward: List[str] = []
+        for node_id in node_ids:
+            node = self.nodes[node_id]
+            half = node.n_gpus // 2
+            forward.extend(g.gpu_id for g in node.gpus[:half])
+            backward.extend(g.gpu_id for g in node.gpus[half:])
+        return forward + list(reversed(backward))

@@ -1,0 +1,176 @@
+"""Cost normalisation (Table 6) and fault-aware aggregate cost (Figure 17d).
+
+Table 6 normalises each reference BOM to interconnect dollars / watts per GPU
+and per GBps of per-GPU bandwidth.
+
+Figure 17d's *aggregate cost* folds fault resilience into the comparison:
+
+    aggregate = Cost_GPU * (N_wasted + N_faulty) + Cost_interconnect
+
+evaluated on a ~3K-GPU cluster running TP-32, as the node fault ratio varies.
+Architectures that waste more healthy GPUs under faults pay for idle
+accelerators on top of their interconnect bill.  We report the aggregate per
+GPU and also normalised to InfiniteHBD (K=2) at zero faults = 100 so the
+curves are directly comparable to the paper's y-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cost.architectures import ArchitectureBOM, all_reference_boms, infinitehbd_bom
+from repro.faults.model import IIDFaultModel
+from repro.hbd.base import HBDArchitecture
+from repro.hbd.registry import default_architectures
+
+#: Street price assumed for one H100-class accelerator (section 6.5 folds GPU
+#: cost into the aggregate metric; the exact value only scales the curves).
+DEFAULT_GPU_COST_USD = 25000.0
+
+#: Per-GPU HBD bandwidth all architectures are normalised to when comparing
+#: aggregate cost (the InfiniteHBD reference point of 800 GBps).  The Fig. 17d
+#: comparison is at iso-bandwidth: architectures delivering less per-GPU
+#: bandwidth are charged proportionally more interconnect to reach it.
+REFERENCE_BANDWIDTH_GBPS = 800.0
+
+
+@dataclass
+class CostSummary:
+    """One row of Table 6."""
+
+    name: str
+    cost_per_gpu: float
+    power_per_gpu: float
+    cost_per_gBps: float
+    power_per_gBps: float
+
+
+def interconnect_cost_table(include_hpn: bool = False) -> List[CostSummary]:
+    """Table 6: normalised interconnect cost and power per architecture."""
+    rows: List[CostSummary] = []
+    for bom in all_reference_boms(include_hpn=include_hpn):
+        rows.append(
+            CostSummary(
+                name=bom.name,
+                cost_per_gpu=bom.cost_per_gpu,
+                power_per_gpu=bom.power_per_gpu,
+                cost_per_gBps=bom.cost_per_gpu_per_gBps,
+                power_per_gBps=bom.power_per_gpu_per_gBps,
+            )
+        )
+    return rows
+
+
+def cost_reduction_vs(name_a: str = "InfiniteHBD(K=2)", name_b: str = "NVL-72") -> float:
+    """How many times cheaper (per GPU per GBps) architecture A is than B."""
+    table = {row.name: row for row in interconnect_cost_table()}
+    if name_a not in table or name_b not in table:
+        raise KeyError(f"unknown architecture; known: {sorted(table)}")
+    a, b = table[name_a], table[name_b]
+    if a.cost_per_gBps == 0:
+        raise ZeroDivisionError("architecture A has zero per-GBps cost")
+    return b.cost_per_gBps / a.cost_per_gBps
+
+
+# --------------------------------------------------------------------------
+# Aggregate (fault-aware) cost -- Figure 17d
+# --------------------------------------------------------------------------
+_BOM_FOR_ARCH: Dict[str, str] = {
+    "InfiniteHBD(K=2)": "InfiniteHBD(K=2)",
+    "InfiniteHBD(K=3)": "InfiniteHBD(K=3)",
+    "TPUv4": "TPUv4",
+    "NVL-36": "NVL-36",
+    "NVL-72": "NVL-72",
+    "NVL-576": "NVL-576",
+    "Big-Switch": "NVL-576",   # the ideal switch priced as the largest NVL
+    "SiP-Ring": "InfiniteHBD(K=2)",  # static rings use comparable optics
+}
+
+
+def _bom_for(arch: HBDArchitecture) -> ArchitectureBOM:
+    from repro.cost.architectures import reference_bom
+
+    bom_name = _BOM_FOR_ARCH.get(arch.name)
+    if bom_name is None:
+        raise KeyError(f"no reference BOM mapped for architecture {arch.name!r}")
+    return reference_bom(bom_name)
+
+
+def aggregate_cost(
+    architecture: HBDArchitecture,
+    n_nodes: int,
+    fault_ratio: float,
+    tp_size: int = 32,
+    gpu_cost_usd: float = DEFAULT_GPU_COST_USD,
+    n_samples: int = 10,
+    seed: int = 0,
+    reference_bandwidth_gBps: float = REFERENCE_BANDWIDTH_GBPS,
+) -> float:
+    """Per-GPU aggregate cost of ``architecture`` at ``fault_ratio``.
+
+    ``Cost_GPU * (wasted + faulty GPUs) / total + interconnect cost per GPU``,
+    averaged over Monte-Carlo i.i.d. fault sets.  The interconnect term is
+    normalised to ``reference_bandwidth_gBps`` of per-GPU HBD bandwidth so
+    architectures are compared at equal bandwidth (pass ``None`` to use each
+    architecture's native per-GPU cost instead).
+    """
+    model = IIDFaultModel(n_nodes=n_nodes, seed=seed, n_samples=n_samples)
+
+    def unavailable_ratio(fault_set) -> float:
+        return architecture.breakdown(n_nodes, fault_set, tp_size).unavailable_ratio
+
+    mean_unavailable = model.expectation(fault_ratio, unavailable_ratio)
+    bom = _bom_for(architecture)
+    if reference_bandwidth_gBps is None:
+        interconnect_per_gpu = bom.cost_per_gpu
+    else:
+        interconnect_per_gpu = bom.cost_per_gpu_per_gBps * reference_bandwidth_gBps
+    return gpu_cost_usd * mean_unavailable + interconnect_per_gpu
+
+
+def aggregate_cost_sweep(
+    architectures: Optional[Sequence[HBDArchitecture]] = None,
+    n_nodes: int = 768,
+    fault_ratios: Sequence[float] = (0.0, 0.05, 0.10, 0.15, 0.20),
+    tp_size: int = 32,
+    gpu_cost_usd: float = DEFAULT_GPU_COST_USD,
+    normalize: bool = True,
+    n_samples: int = 10,
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Aggregate cost curves versus node fault ratio (Figure 17d).
+
+    When ``normalize`` is True the curves are rescaled so that InfiniteHBD
+    (K=2) at the first fault ratio equals 100 (the paper's relative y-axis);
+    otherwise raw per-GPU dollars are returned.
+    """
+    if architectures is None:
+        architectures = [
+            a
+            for a in default_architectures(gpus_per_node=4)
+            if a.name not in ("Big-Switch", "SiP-Ring")
+        ]
+    curves: Dict[str, List[float]] = {}
+    for arch in architectures:
+        curves[arch.name] = [
+            aggregate_cost(
+                arch,
+                n_nodes=n_nodes,
+                fault_ratio=ratio,
+                tp_size=tp_size,
+                gpu_cost_usd=gpu_cost_usd,
+                n_samples=n_samples,
+                seed=seed,
+            )
+            for ratio in fault_ratios
+        ]
+    if normalize:
+        reference_curve = curves.get("InfiniteHBD(K=2)")
+        if reference_curve and reference_curve[0] > 0:
+            scale = 100.0 / reference_curve[0]
+            curves = {
+                name: [value * scale for value in values]
+                for name, values in curves.items()
+            }
+    return curves

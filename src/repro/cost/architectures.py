@@ -1,0 +1,200 @@
+"""Per-architecture interconnect bills of materials (Table 8).
+
+Each :class:`ArchitectureBOM` pins the reference deployment size (GPU count
+and per-GPU HBD bandwidth) and the list of component quantities exactly as
+published in Table 8, so the Table 6 normalisation is pure arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cost.components import Component, component
+
+
+@dataclass(frozen=True)
+class BOMLine:
+    """One line of a bill of materials."""
+
+    component: Component
+    quantity: int
+
+    def __post_init__(self) -> None:
+        if self.quantity < 0:
+            raise ValueError("quantity must be non-negative")
+
+    @property
+    def cost_usd(self) -> float:
+        return self.component.unit_cost_usd * self.quantity
+
+    @property
+    def power_watts(self) -> float:
+        return self.component.unit_power_watts * self.quantity
+
+
+@dataclass(frozen=True)
+class ArchitectureBOM:
+    """Interconnect BOM of one reference deployment."""
+
+    name: str
+    n_gpus: int
+    per_gpu_bandwidth_gBps: float
+    lines: Tuple[BOMLine, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        if self.per_gpu_bandwidth_gBps <= 0:
+            raise ValueError("per_gpu_bandwidth_gBps must be positive")
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(line.cost_usd for line in self.lines)
+
+    @property
+    def total_power_watts(self) -> float:
+        return sum(line.power_watts for line in self.lines)
+
+    @property
+    def cost_per_gpu(self) -> float:
+        return self.total_cost_usd / self.n_gpus
+
+    @property
+    def power_per_gpu(self) -> float:
+        return self.total_power_watts / self.n_gpus
+
+    @property
+    def cost_per_gpu_per_gBps(self) -> float:
+        return self.cost_per_gpu / self.per_gpu_bandwidth_gBps
+
+    @property
+    def power_per_gpu_per_gBps(self) -> float:
+        return self.power_per_gpu / self.per_gpu_bandwidth_gBps
+
+
+def _bom(name: str, n_gpus: int, bandwidth: float, parts: List[Tuple[str, int]]) -> ArchitectureBOM:
+    return ArchitectureBOM(
+        name=name,
+        n_gpus=n_gpus,
+        per_gpu_bandwidth_gBps=bandwidth,
+        lines=tuple(BOMLine(component(part), qty) for part, qty in parts),
+    )
+
+
+def tpuv4_bom() -> ArchitectureBOM:
+    """Google TPUv4: 4096 accelerators, 300 GBps/GPU."""
+    return _bom(
+        "TPUv4",
+        4096,
+        300.0,
+        [
+            ("palomar_ocs", 48),
+            ("dac_50gBps", 5120),
+            ("optical_400g_fr4", 6144),
+            ("fiber_50gBps", 6144),
+        ],
+    )
+
+
+def nvl36_bom() -> ArchitectureBOM:
+    """NVIDIA GB200 NVL-36: 36 GPUs, 900 GBps/GPU."""
+    return _bom(
+        "NVL-36",
+        36,
+        900.0,
+        [("nvlink_switch", 9), ("dac_25gBps", 2592)],
+    )
+
+
+def nvl72_bom() -> ArchitectureBOM:
+    """NVIDIA GB200 NVL-72: 72 GPUs, 900 GBps/GPU."""
+    return _bom(
+        "NVL-72",
+        72,
+        900.0,
+        [("nvlink_switch", 18), ("dac_25gBps", 5184)],
+    )
+
+
+def nvl36x2_bom() -> ArchitectureBOM:
+    """NVIDIA GB200 NVL-36x2: 72 GPUs, 900 GBps/GPU."""
+    return _bom(
+        "NVL-36x2",
+        72,
+        900.0,
+        [("nvlink_switch", 36), ("dac_25gBps", 6480), ("acc_1600g", 162)],
+    )
+
+
+def nvl576_bom() -> ArchitectureBOM:
+    """NVIDIA GB200 NVL-576: 576 GPUs, 900 GBps/GPU."""
+    return _bom(
+        "NVL-576",
+        576,
+        900.0,
+        [
+            ("nvlink_switch", 432),
+            ("dac_25gBps", 41472),
+            ("optical_osfp_1600g", 4608),
+            ("fiber_200gBps", 4608),
+        ],
+    )
+
+
+def alibaba_hpn_bom() -> ArchitectureBOM:
+    """Alibaba HPN DCN reference: 16,320 GPUs, 50 GBps/GPU (Table 8 only)."""
+    return _bom(
+        "Alibaba-HPN",
+        16320,
+        50.0,
+        [
+            ("eps_51_2t", 360),
+            ("dac_25gBps", 32640),
+            ("optical_400g_fr4", 28800),
+            ("fiber_50gBps", 14400),
+        ],
+    )
+
+
+def infinitehbd_bom(k: int = 2) -> ArchitectureBOM:
+    """InfiniteHBD per 4-GPU node, 800 GBps/GPU.
+
+    K = 2: 2 bundles are OCSTrx (8 modules each = 16), the remaining intra
+    node pairs use 1.6T DAC links (4).  K = 3: 3 bundles of OCSTrx (24) and
+    2 DAC links.
+    """
+    if k == 2:
+        parts = [("dac_1600g", 4), ("ocstrx_800g", 16), ("fiber_100gBps", 16)]
+    elif k == 3:
+        parts = [("dac_1600g", 2), ("ocstrx_800g", 24), ("fiber_100gBps", 24)]
+    else:
+        raise ValueError("the paper publishes BOMs for K=2 and K=3 only")
+    return _bom(f"InfiniteHBD(K={k})", 4, 800.0, parts)
+
+
+def all_reference_boms(include_hpn: bool = False) -> List[ArchitectureBOM]:
+    """All Table 8 deployments, in the paper's row order."""
+    boms = [
+        tpuv4_bom(),
+        nvl36_bom(),
+        nvl72_bom(),
+        nvl36x2_bom(),
+        nvl576_bom(),
+    ]
+    if include_hpn:
+        boms.append(alibaba_hpn_bom())
+    boms.extend([infinitehbd_bom(2), infinitehbd_bom(3)])
+    return boms
+
+
+def reference_bom(name: str) -> ArchitectureBOM:
+    """Look up a reference BOM by architecture name."""
+    catalog: Dict[str, ArchitectureBOM] = {
+        b.name.lower(): b for b in all_reference_boms(include_hpn=True)
+    }
+    key = name.lower()
+    if key not in catalog:
+        raise KeyError(f"unknown architecture {name!r}; known: {sorted(catalog)}")
+    return catalog[key]

@@ -1,0 +1,73 @@
+"""Interconnect component catalog (Table 8 of the paper).
+
+Unit costs come from public retailer pricing with the wholesale discount the
+paper applies, and from the industry analyses the paper cites for items
+without public pricing (NVLink Switch, Google Palomar OCS, 1.6T ACC cables).
+Only the *published* numbers of Table 8 are embedded here; nothing is
+re-derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Component:
+    """One interconnect component type.
+
+    Attributes
+    ----------
+    name:
+        Catalog key.
+    unit_cost_usd:
+        Cost per unit in US dollars.
+    unit_bandwidth_gBps:
+        Bandwidth per unit in gigabytes per second (as listed in Table 8).
+    unit_power_watts:
+        Power per unit in watts.
+    """
+
+    name: str
+    unit_cost_usd: float
+    unit_bandwidth_gBps: float
+    unit_power_watts: float
+
+    def __post_init__(self) -> None:
+        if self.unit_cost_usd < 0 or self.unit_power_watts < 0:
+            raise ValueError("cost and power must be non-negative")
+        if self.unit_bandwidth_gBps < 0:
+            raise ValueError("bandwidth must be non-negative")
+
+
+#: Table 8 component catalog, keyed by a short identifier.
+COMPONENT_CATALOG: Dict[str, Component] = {
+    # --- TPUv4 interconnect -------------------------------------------------
+    "palomar_ocs": Component("palomar_ocs", 80000.0, 6400.0, 108.0),
+    "dac_50gBps": Component("dac_50gBps", 63.60, 50.0, 0.1),
+    "optical_400g_fr4": Component("optical_400g_fr4", 360.0, 50.0, 12.0),
+    "fiber_50gBps": Component("fiber_50gBps", 6.80, 50.0, 0.0),
+    # --- NVIDIA GB200 NVL series --------------------------------------------
+    "nvlink_switch": Component("nvlink_switch", 28000.0, 3600.0, 275.0),
+    "dac_25gBps": Component("dac_25gBps", 35.60, 25.0, 0.1),
+    "acc_1600g": Component("acc_1600g", 320.0, 200.0, 2.5),
+    "optical_osfp_1600g": Component("optical_osfp_1600g", 850.0, 200.0, 25.0),
+    "fiber_200gBps": Component("fiber_200gBps", 6.80, 200.0, 0.0),
+    # --- Alibaba HPN (DCN reference, Table 8 only) ---------------------------
+    "eps_51_2t": Component("eps_51_2t", 14960.0, 6400.0, 3145.0),
+    # --- InfiniteHBD ---------------------------------------------------------
+    "dac_1600g": Component("dac_1600g", 199.60, 200.0, 0.1),
+    "ocstrx_800g": Component("ocstrx_800g", 600.0, 100.0, 12.0),
+    "fiber_100gBps": Component("fiber_100gBps", 6.80, 100.0, 0.0),
+}
+
+
+def component(name: str) -> Component:
+    """Look up a catalog entry, raising ``KeyError`` with the known names."""
+    try:
+        return COMPONENT_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown component {name!r}; known: {sorted(COMPONENT_CATALOG)}"
+        ) from None

@@ -1,0 +1,211 @@
+"""Cross-ToR traffic accounting for a TP placement (Figure 17a-c).
+
+The paper's communication-efficiency evaluation reports the *cross-ToR
+traffic rate*: the fraction of all training communication volume that must
+traverse links above the ToR layer of the Fat-Tree.  TP traffic always stays
+inside the HBD (InfiniteHBD provides direct GPU-GPU optical paths), so only
+the outer parallel dimensions (DP/CP/PP/SP) generate DCN traffic.  Whether
+that DCN traffic stays under a ToR depends on how the orchestrator placed the
+TP groups:
+
+* When the rank-``k`` nodes of the TP groups scheduled into the same
+  outer-parallel set share a ToR (rank alignment), the bulk of the DP/CP
+  volume is exchanged under that ToR.
+* A hierarchical second tier (ring over the per-ToR sets, carrying ``1/p`` of
+  the volume after the local reduce-scatter) always crosses ToRs.
+* When ranks are misaligned (e.g. faults shifted one sub-line's groups, or a
+  greedy scheduler ignored the ToR structure), the first tier volume also
+  crosses ToRs.
+
+:class:`TrafficModel` turns a placement into a :class:`CrossToRReport` using
+this two-tier model.  Default volumes correspond to a TP-32 Llama-scale
+workload where DCN traffic is roughly 10% of total communication volume,
+matching the baseline levels reported in Figure 17; the volumes can also be
+derived from :mod:`repro.training.comm` for a specific model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dcn.fattree import FatTree
+
+
+@dataclass(frozen=True)
+class TrafficVolumes:
+    """Per-node communication volume in arbitrary consistent units.
+
+    ``tp_volume`` is the HBD (intra-TP-group) volume per node per iteration;
+    ``outer_volume`` the DP/CP volume per node per iteration.  Only relative
+    magnitudes matter for the cross-ToR *rate*.
+    """
+
+    tp_volume: float = 9.0
+    outer_volume: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tp_volume < 0 or self.outer_volume < 0:
+            raise ValueError("volumes must be non-negative")
+        if self.tp_volume + self.outer_volume == 0:
+            raise ValueError("at least one volume must be positive")
+
+    @property
+    def dcn_share(self) -> float:
+        """Fraction of all traffic that is DCN (outer-parallel) traffic."""
+        return self.outer_volume / (self.tp_volume + self.outer_volume)
+
+
+@dataclass
+class CrossToRReport:
+    """Result of a cross-ToR traffic evaluation."""
+
+    total_volume: float
+    cross_tor_volume: float
+    tier1_edges: int
+    tier1_cross_edges: int
+    tier2_edges: int
+    placed_groups: int
+
+    @property
+    def cross_tor_rate(self) -> float:
+        """Cross-ToR volume as a fraction of all communication volume."""
+        if self.total_volume == 0:
+            return 0.0
+        return self.cross_tor_volume / self.total_volume
+
+    @property
+    def tier1_cross_fraction(self) -> float:
+        """Fraction of first-tier (local DP set) edges that cross ToRs."""
+        if self.tier1_edges == 0:
+            return 0.0
+        return self.tier1_cross_edges / self.tier1_edges
+
+
+class TrafficModel:
+    """Evaluate cross-ToR traffic for a placement of TP groups.
+
+    Parameters
+    ----------
+    fat_tree:
+        The DCN the nodes hang off.
+    volumes:
+        Relative TP vs outer-parallel communication volumes.
+    local_set_size:
+        Number of TP groups scheduled into one first-tier outer-parallel set.
+        Defaults to ``nodes_per_tor`` (the CP-across-sub-lines strategy of
+        the paper's Appendix D); ``None`` also selects that default.
+    """
+
+    def __init__(
+        self,
+        fat_tree: FatTree,
+        volumes: Optional[TrafficVolumes] = None,
+        local_set_size: Optional[int] = None,
+    ) -> None:
+        self.fat_tree = fat_tree
+        self.volumes = volumes or TrafficVolumes()
+        if local_set_size is None:
+            local_set_size = fat_tree.config.nodes_per_tor
+        if local_set_size < 1:
+            raise ValueError("local_set_size must be >= 1")
+        self.local_set_size = local_set_size
+
+    def evaluate(self, placement: Sequence[Sequence[int]]) -> CrossToRReport:
+        """Compute the cross-ToR report for ``placement``.
+
+        ``placement`` is a list of TP groups, each an ordered list of node
+        ids.  Groups are consumed in order; consecutive chunks of
+        ``local_set_size`` groups form one first-tier outer-parallel set.
+        """
+        groups = [list(g) for g in placement if g]
+        if not groups:
+            return CrossToRReport(
+                total_volume=0.0,
+                cross_tor_volume=0.0,
+                tier1_edges=0,
+                tier1_cross_edges=0,
+                tier2_edges=0,
+                placed_groups=0,
+            )
+        group_size = len(groups[0])
+        for g in groups:
+            if len(g) != group_size:
+                raise ValueError("all TP groups must have the same node count")
+
+        n_nodes_placed = len(groups) * group_size
+        v = self.volumes
+        total_volume = n_nodes_placed * (v.tp_volume + v.outer_volume)
+
+        cross_volume = 0.0
+        tier1_edges = 0
+        tier1_cross = 0
+        tier2_edges = 0
+
+        # First tier: ring among the rank-k nodes of each local set.
+        sets: List[List[List[int]]] = [
+            groups[i : i + self.local_set_size]
+            for i in range(0, len(groups), self.local_set_size)
+        ]
+        for local_set in sets:
+            if len(local_set) < 2:
+                continue
+            for rank in range(group_size):
+                members = [g[rank] for g in local_set]
+                ring_edges = self._ring_edges(members)
+                for a, b in ring_edges:
+                    tier1_edges += 1
+                    if not self.fat_tree.same_tor(a, b):
+                        tier1_cross += 1
+                        cross_volume += self._tier1_edge_volume(len(local_set))
+
+        # Second tier: ring over the sets (one representative per rank),
+        # carrying 1/local_set_size of the outer volume; inherently cross-ToR
+        # whenever the representatives sit under different ToRs.
+        if len(sets) >= 2:
+            for rank in range(group_size):
+                reps = [s[0][rank] for s in sets]
+                for a, b in self._ring_edges(reps):
+                    tier2_edges += 1
+                    if not self.fat_tree.same_tor(a, b):
+                        cross_volume += self._tier2_edge_volume()
+
+        return CrossToRReport(
+            total_volume=total_volume,
+            cross_tor_volume=cross_volume,
+            tier1_edges=tier1_edges,
+            tier1_cross_edges=tier1_cross,
+            tier2_edges=tier2_edges,
+            placed_groups=len(groups),
+        )
+
+    # ----------------------------------------------------------- edge volumes
+    def _tier1_edge_volume(self, set_size: int) -> float:
+        """Outer volume attributed to one first-tier ring edge.
+
+        The hierarchical AllReduce keeps ``(n-1)/n`` of each member's outer
+        volume inside its local set (reduce-scatter + all-gather among the
+        ``n`` set members); charging ``V * (n-1)/n`` per ring edge makes a
+        fully misaligned set contribute at most its members' local share.
+        """
+        if set_size <= 1:
+            return 0.0
+        return self.volumes.outer_volume * (set_size - 1) / set_size
+
+    def _tier2_edge_volume(self) -> float:
+        """Outer volume attributed to one second-tier (inter-set) ring edge.
+
+        After the local reduce-scatter only ``1/set_size`` of the data moves
+        between sets.
+        """
+        return self.volumes.outer_volume / float(self.local_set_size)
+
+    @staticmethod
+    def _ring_edges(members: Sequence[int]) -> List[Tuple[int, int]]:
+        """Edges of a ring over ``members`` (no self loops, no duplicates)."""
+        n = len(members)
+        if n < 2:
+            return []
+        if n == 2:
+            return [(members[0], members[1])]
+        return [(members[i], members[(i + 1) % n]) for i in range(n)]

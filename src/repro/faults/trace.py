@@ -1,0 +1,211 @@
+"""Fault trace data structures.
+
+A fault trace is a list of :class:`FaultEvent` records (node id, start time,
+end time) plus the number of nodes in the traced cluster and the trace
+duration, mirroring the schema described in Appendix A ("fault start time,
+fault end time, and the ID of the faulty node").
+
+:class:`FaultTrace` supports the queries the simulations need:
+
+* the set of faulty nodes at a given time,
+* a sampled time series of the faulty-node ratio (Figure 18a),
+* the CDF of that ratio (Figure 18b),
+* summary statistics (mean, p50, p99) and the mean repair duration,
+* (de)serialisation to a simple CSV format so generated traces can be saved
+  alongside benchmark outputs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+#: Hours per day -- trace times are expressed in hours from the trace start.
+HOURS_PER_DAY = 24.0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One node fault: the node is down in ``[start_hour, end_hour)``."""
+
+    node_id: int
+    start_hour: float
+    end_hour: float
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if self.end_hour < self.start_hour:
+            raise ValueError("end_hour must be >= start_hour")
+
+    @property
+    def duration_hours(self) -> float:
+        return self.end_hour - self.start_hour
+
+    def active_at(self, hour: float) -> bool:
+        """Whether the node is faulty at ``hour``."""
+        return self.start_hour <= hour < self.end_hour
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of the faulty-node-ratio process."""
+
+    mean_fault_ratio: float
+    p50_fault_ratio: float
+    p99_fault_ratio: float
+    max_fault_ratio: float
+    mean_repair_hours: float
+    n_events: int
+
+
+class FaultTrace:
+    """A node-level fault trace over a fixed-size cluster."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        duration_days: float,
+        events: Iterable[FaultEvent],
+        gpus_per_node: int = 8,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        self.n_nodes = n_nodes
+        self.duration_days = duration_days
+        self.gpus_per_node = gpus_per_node
+        self.events: List[FaultEvent] = sorted(
+            events, key=lambda e: (e.start_hour, e.node_id)
+        )
+        for event in self.events:
+            if event.node_id >= n_nodes:
+                raise ValueError(
+                    f"event node {event.node_id} outside cluster of {n_nodes} nodes"
+                )
+
+    # ------------------------------------------------------------------ query
+    @property
+    def duration_hours(self) -> float:
+        return self.duration_days * HOURS_PER_DAY
+
+    @property
+    def total_gpus(self) -> int:
+        return self.n_nodes * self.gpus_per_node
+
+    def faulty_nodes_at(self, hour: float) -> Set[int]:
+        """Set of node ids faulty at time ``hour``."""
+        return {e.node_id for e in self.events if e.active_at(hour)}
+
+    def fault_ratio_at(self, hour: float) -> float:
+        """Faulty-node ratio at time ``hour``."""
+        return len(self.faulty_nodes_at(hour)) / self.n_nodes
+
+    def sample_times(self, interval_hours: float = 24.0) -> List[float]:
+        """Sampling grid covering the trace at ``interval_hours`` spacing."""
+        if interval_hours <= 0:
+            raise ValueError("interval_hours must be positive")
+        times: List[float] = []
+        t = 0.0
+        while t < self.duration_hours:
+            times.append(t)
+            t += interval_hours
+        return times
+
+    def fault_ratio_series(
+        self, interval_hours: float = 24.0
+    ) -> Tuple[List[float], List[float]]:
+        """(times_in_days, faulty-node ratio) time series (Figure 18a)."""
+        times = self.sample_times(interval_hours)
+        ratios = [self.fault_ratio_at(t) for t in times]
+        return [t / HOURS_PER_DAY for t in times], ratios
+
+    def fault_ratio_cdf(
+        self, interval_hours: float = 24.0
+    ) -> Tuple[List[float], List[float]]:
+        """CDF of the faulty-node ratio (Figure 18b): (ratios, cumulative)."""
+        _, ratios = self.fault_ratio_series(interval_hours)
+        sorted_ratios = sorted(ratios)
+        n = len(sorted_ratios)
+        cdf = [(i + 1) / n for i in range(n)]
+        return sorted_ratios, cdf
+
+    def statistics(self, interval_hours: float = 24.0) -> TraceStatistics:
+        """Summary statistics of the trace (Appendix A numbers)."""
+        _, ratios = self.fault_ratio_series(interval_hours)
+        arr = np.asarray(ratios, dtype=float)
+        repairs = [e.duration_hours for e in self.events]
+        return TraceStatistics(
+            mean_fault_ratio=float(arr.mean()) if arr.size else 0.0,
+            p50_fault_ratio=float(np.percentile(arr, 50)) if arr.size else 0.0,
+            p99_fault_ratio=float(np.percentile(arr, 99)) if arr.size else 0.0,
+            max_fault_ratio=float(arr.max()) if arr.size else 0.0,
+            mean_repair_hours=float(np.mean(repairs)) if repairs else 0.0,
+            n_events=len(self.events),
+        )
+
+    def restrict_nodes(self, n_nodes: int) -> "FaultTrace":
+        """Project the trace onto the first ``n_nodes`` nodes.
+
+        Used when the simulated cluster is smaller than the traced one (the
+        paper simulates 2,880 GPUs against a ~3,200-GPU trace); events on
+        nodes beyond the new size are dropped.
+        """
+        if n_nodes > self.n_nodes:
+            raise ValueError("cannot restrict to more nodes than the trace has")
+        events = [e for e in self.events if e.node_id < n_nodes]
+        return FaultTrace(
+            n_nodes=n_nodes,
+            duration_days=self.duration_days,
+            events=events,
+            gpus_per_node=self.gpus_per_node,
+        )
+
+    # -------------------------------------------------------------- serialise
+    def to_csv(self) -> str:
+        """Serialise to CSV (header + one row per event)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["node_id", "start_hour", "end_hour"])
+        for event in self.events:
+            writer.writerow([event.node_id, event.start_hour, event.end_hour])
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(
+        cls,
+        text: str,
+        n_nodes: int,
+        duration_days: float,
+        gpus_per_node: int = 8,
+    ) -> "FaultTrace":
+        """Parse a trace previously produced by :meth:`to_csv`."""
+        reader = csv.DictReader(io.StringIO(text))
+        events = [
+            FaultEvent(
+                node_id=int(row["node_id"]),
+                start_hour=float(row["start_hour"]),
+                end_hour=float(row["end_hour"]),
+            )
+            for row in reader
+        ]
+        return cls(
+            n_nodes=n_nodes,
+            duration_days=duration_days,
+            events=events,
+            gpus_per_node=gpus_per_node,
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"FaultTrace(n_nodes={self.n_nodes}, days={self.duration_days}, "
+            f"events={len(self.events)})"
+        )

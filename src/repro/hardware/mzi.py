@@ -1,0 +1,232 @@
+"""Mach-Zehnder interferometer (MZI) switch element and matrix models.
+
+The OCSTrx realises optical circuit switching with a small MZI switch matrix
+embedded in the transceiver's Photonic Integrated Circuit (PIC).  Each MZI
+element is a 1x2 (or 2x2) optical switch whose routing decision is set by the
+phase difference between its two thermo-optic (TO) phase arms.  A cascade of
+elements forms an N x N cross-lane matrix used for the intra-node loopback
+path (section 4.1, Figure 3b).
+
+The model here is behavioural: it tracks the routing state of each element,
+the number of stages a signal traverses (which determines insertion loss), and
+the switching latency contributed by the thermo-optic effect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class MZIStateError(RuntimeError):
+    """Raised when an MZI element or matrix is driven into an invalid state."""
+
+
+#: Per-stage insertion loss of a single MZI element in dB.  Chosen such that a
+#: typical 3-4 stage path through the OCSTrx core lands in the 2.5-4.0 dB
+#: envelope reported in Figure 11 at room temperature.
+DEFAULT_STAGE_LOSS_DB = 0.52
+
+#: Waveguide/coupling loss independent of stage count (dB).
+DEFAULT_BASE_LOSS_DB = 0.7
+
+#: Thermo-optic phase shifter settling time in microseconds.  TO switching of
+#: a single element is a few tens of microseconds; the full path reconfiguration
+#: (several cascaded elements plus control-plane settle) lands at 60-80 us.
+DEFAULT_ELEMENT_SETTLE_US = 18.0
+
+
+@dataclass
+class MZISwitchElement:
+    """A single 2x2 MZI switch element with thermo-optic phase arms.
+
+    The element has two logical states:
+
+    * ``bar``   -- input 0 -> output 0, input 1 -> output 1
+    * ``cross`` -- input 0 -> output 1, input 1 -> output 0
+
+    The phase difference between the two arms selects the state.  A phase of
+    0 rad corresponds to ``bar`` and pi rad to ``cross`` (idealised).
+    """
+
+    name: str = "mzi"
+    stage_loss_db: float = DEFAULT_STAGE_LOSS_DB
+    settle_time_us: float = DEFAULT_ELEMENT_SETTLE_US
+    _phase_rad: float = field(default=0.0, repr=False)
+
+    @property
+    def phase_rad(self) -> float:
+        """Current phase difference between the two arms (radians)."""
+        return self._phase_rad
+
+    @property
+    def state(self) -> str:
+        """Logical routing state, ``"bar"`` or ``"cross"``."""
+        return "cross" if self._is_cross(self._phase_rad) else "bar"
+
+    @staticmethod
+    def _is_cross(phase_rad: float) -> bool:
+        # The element is in the cross state when the phase is closer to pi
+        # (mod 2*pi) than to 0.
+        reduced = phase_rad % (2.0 * math.pi)
+        return abs(reduced - math.pi) < math.pi / 2.0
+
+    def set_state(self, state: str) -> float:
+        """Drive the element to ``state`` and return the settling time in us.
+
+        Setting the element to its current state is free (0 us), mirroring the
+        fact that no thermal transition is needed.
+        """
+        if state not in ("bar", "cross"):
+            raise MZIStateError(f"unknown MZI state {state!r}")
+        if state == self.state:
+            return 0.0
+        self._phase_rad = math.pi if state == "cross" else 0.0
+        return self.settle_time_us
+
+    def set_phase(self, phase_rad: float) -> float:
+        """Set the raw phase difference; returns the settling time in us."""
+        changed = not math.isclose(phase_rad, self._phase_rad, abs_tol=1e-9)
+        self._phase_rad = phase_rad
+        return self.settle_time_us if changed else 0.0
+
+    def route(self, input_port: int) -> int:
+        """Return the output port a signal on ``input_port`` exits from."""
+        if input_port not in (0, 1):
+            raise MZIStateError(f"MZI element has 2 inputs, got {input_port}")
+        if self.state == "bar":
+            return input_port
+        return 1 - input_port
+
+    def transmission(self, input_port: int, output_port: int) -> float:
+        """Idealised power transmission (0..1) between two ports.
+
+        The interference at the output combiner splits power according to the
+        phase difference; for ideal 50/50 couplers the transfer function is
+        ``cos^2(phi/2)`` to the bar port and ``sin^2(phi/2)`` to the cross
+        port.
+        """
+        if input_port not in (0, 1) or output_port not in (0, 1):
+            raise MZIStateError("ports must be 0 or 1")
+        half = self._phase_rad / 2.0
+        bar_power = math.cos(half) ** 2
+        cross_power = math.sin(half) ** 2
+        if input_port == output_port:
+            return bar_power
+        return cross_power
+
+
+class MZISwitchMatrix:
+    """An ``n_lanes x n_lanes`` cross-lane MZI switch matrix.
+
+    The matrix implements an arbitrary permutation between input lanes and
+    output lanes using a Benes-like cascade of :class:`MZISwitchElement`.  For
+    the behavioural model we track the permutation directly and account for
+    the number of element stages a signal traverses, which is
+    ``ceil(log2(n_lanes))`` stages for the cross-lane selector plus the two
+    front routing elements described in Figure 3a.
+    """
+
+    def __init__(
+        self,
+        n_lanes: int,
+        stage_loss_db: float = DEFAULT_STAGE_LOSS_DB,
+        base_loss_db: float = DEFAULT_BASE_LOSS_DB,
+        element_settle_us: float = DEFAULT_ELEMENT_SETTLE_US,
+    ) -> None:
+        if n_lanes < 1:
+            raise ValueError("n_lanes must be >= 1")
+        self.n_lanes = n_lanes
+        self.stage_loss_db = stage_loss_db
+        self.base_loss_db = base_loss_db
+        self.element_settle_us = element_settle_us
+        # Identity permutation: lane i -> lane i.
+        self._mapping: Dict[int, int] = {i: i for i in range(n_lanes)}
+        self._elements: List[MZISwitchElement] = [
+            MZISwitchElement(name=f"mzi-{i}", stage_loss_db=stage_loss_db,
+                             settle_time_us=element_settle_us)
+            for i in range(self.stage_count * max(1, n_lanes // 2))
+        ]
+
+    @property
+    def stage_count(self) -> int:
+        """Number of cascaded MZI stages a signal traverses."""
+        if self.n_lanes <= 1:
+            return 1
+        return max(1, math.ceil(math.log2(self.n_lanes)))
+
+    @property
+    def elements(self) -> List[MZISwitchElement]:
+        """The underlying switch elements (behavioural placeholders)."""
+        return list(self._elements)
+
+    @property
+    def mapping(self) -> Dict[int, int]:
+        """Current input-lane -> output-lane permutation."""
+        return dict(self._mapping)
+
+    def route(self, input_lane: int) -> int:
+        """Return the output lane currently connected to ``input_lane``."""
+        self._check_lane(input_lane)
+        return self._mapping[input_lane]
+
+    def configure(self, mapping: Dict[int, int]) -> float:
+        """Install a new (partial) permutation and return settle time in us.
+
+        ``mapping`` maps input lanes to output lanes.  Lanes not mentioned
+        keep their current mapping.  The resulting complete mapping must be a
+        permutation (no two inputs may share an output).
+        """
+        new_mapping = dict(self._mapping)
+        for src, dst in mapping.items():
+            self._check_lane(src)
+            self._check_lane(dst)
+            new_mapping[src] = dst
+        if len(set(new_mapping.values())) != self.n_lanes:
+            raise MZIStateError("mapping is not a permutation of the lanes")
+        changed = new_mapping != self._mapping
+        self._mapping = new_mapping
+        if not changed:
+            return 0.0
+        # All stages settle in parallel; latency is one thermo-optic settle
+        # multiplied by the number of cascaded stages that must be re-biased.
+        return self.element_settle_us * self.stage_count
+
+    def swap(self, lane_a: int, lane_b: int) -> float:
+        """Swap the destinations of two lanes (convenience helper)."""
+        self._check_lane(lane_a)
+        self._check_lane(lane_b)
+        a_dst = self._mapping[lane_a]
+        b_dst = self._mapping[lane_b]
+        return self.configure({lane_a: b_dst, lane_b: a_dst})
+
+    def reset(self) -> float:
+        """Return to the identity permutation."""
+        return self.configure({i: i for i in range(self.n_lanes)})
+
+    def insertion_loss_db(self, extra_stages: int = 0) -> float:
+        """Insertion loss for a path through the matrix in dB.
+
+        ``extra_stages`` accounts for the two front routing elements of the
+        OCSTrx (Figure 3a) when the matrix is used as part of the loopback
+        path.
+        """
+        stages = self.stage_count + max(0, extra_stages)
+        return self.base_loss_db + stages * self.stage_loss_db
+
+    def is_identity(self) -> bool:
+        """True when every lane maps to itself."""
+        return all(src == dst for src, dst in self._mapping.items())
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.n_lanes:
+            raise MZIStateError(
+                f"lane {lane} out of range for {self.n_lanes}-lane matrix"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MZISwitchMatrix(n_lanes={self.n_lanes}, "
+            f"stages={self.stage_count}, identity={self.is_identity()})"
+        )

@@ -1,0 +1,334 @@
+"""Behavioural model of the SiPh-based OCS transceiver (OCSTrx).
+
+The OCSTrx (paper section 4.1) is a QSFP-DD 800 Gbps transceiver with a small
+optical circuit switch embedded in its photonic integrated circuit.  It
+exposes three optical paths:
+
+* ``EXTERNAL_1`` and ``EXTERNAL_2`` -- two external fiber paths, connected to
+  different remote nodes (the primary and backup neighbours of the K-Hop Ring
+  topology).
+* ``LOOPBACK`` -- the cross-lane internal loopback path, which connects the
+  two GPUs attached to the same OCSTrx bundle directly to each other and is
+  used to terminate a ring inside a node.
+
+Only one path is active at a time (time-division bandwidth allocation): the
+transceiver dedicates the full GPU bandwidth to the active path.  Switching
+between paths takes 60-80 microseconds.
+
+The :class:`OCSTrxBundle` groups the several physical OCSTrx modules that
+serve one GPU pair (e.g. 8 x 800 Gbps modules for a 6.4 Tbps GPU); the bundle
+switches as a unit.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.hardware.mzi import MZISwitchMatrix
+
+
+class PathState(enum.Enum):
+    """Optical path selected by the OCSTrx."""
+
+    EXTERNAL_1 = "external_1"
+    EXTERNAL_2 = "external_2"
+    LOOPBACK = "loopback"
+    DARK = "dark"  # no path activated (transceiver idle or failed)
+
+
+#: Alias used throughout the topology code.
+TrxPath = PathState
+
+
+@dataclass(frozen=True)
+class OCSTrxConfig:
+    """Static configuration of an OCSTrx module.
+
+    Attributes mirror the published hardware characteristics:
+
+    * ``line_rate_gbps`` -- 800 Gbps per QSFP-DD module.
+    * ``serdes_pairs`` -- 8 pairs of TX/RX SerDes per end.
+    * ``reconfig_latency_us`` -- (min, max) hardware switching latency.
+    * ``core_power_watts`` -- OCS core module power ceiling (3.2 W).
+    * ``peripheral_power_watts`` -- peripheral circuitry power (8.5 W at
+      8 x 112G).
+    """
+
+    line_rate_gbps: float = 800.0
+    serdes_pairs: int = 8
+    reconfig_latency_us: Tuple[float, float] = (60.0, 80.0)
+    core_power_watts: float = 3.2
+    peripheral_power_watts: float = 8.5
+    n_lanes: int = 8
+
+    @property
+    def total_power_watts(self) -> float:
+        """Total module power; must stay under the 12 W QSFP-DD budget."""
+        return self.core_power_watts + self.peripheral_power_watts
+
+    @property
+    def line_rate_gBps(self) -> float:
+        """Line rate in gigabytes per second."""
+        return self.line_rate_gbps / 8.0
+
+
+@dataclass
+class ReconfigurationEvent:
+    """Record of a single path switch performed by an OCSTrx."""
+
+    sequence: int
+    previous: PathState
+    new: PathState
+    latency_us: float
+
+
+_event_counter = itertools.count()
+
+
+class OCSTrx:
+    """A single OCSTrx module.
+
+    The module owns an :class:`~repro.hardware.mzi.MZISwitchMatrix` for the
+    cross-lane loopback path and tracks which of its three optical paths is
+    active.  Remote endpoints of the two external paths are opaque identifiers
+    (typically ``(node_id, trx_index)`` tuples assigned by the topology
+    layer).
+    """
+
+    def __init__(
+        self,
+        trx_id: str,
+        config: Optional[OCSTrxConfig] = None,
+    ) -> None:
+        self.trx_id = trx_id
+        self.config = config or OCSTrxConfig()
+        self.matrix = MZISwitchMatrix(self.config.n_lanes)
+        self._state = PathState.DARK
+        self._external_peers: dict = {
+            PathState.EXTERNAL_1: None,
+            PathState.EXTERNAL_2: None,
+        }
+        self._failed = False
+        self._history: List[ReconfigurationEvent] = []
+
+    # ------------------------------------------------------------------ state
+    @property
+    def state(self) -> PathState:
+        """Currently active optical path."""
+        return self._state
+
+    @property
+    def failed(self) -> bool:
+        """Whether the module has been marked failed."""
+        return self._failed
+
+    @property
+    def history(self) -> List[ReconfigurationEvent]:
+        """All reconfiguration events applied to this module."""
+        return list(self._history)
+
+    @property
+    def active_peer(self):
+        """Remote endpoint reachable through the active path, if external."""
+        if self._state in self._external_peers:
+            return self._external_peers[self._state]
+        return None
+
+    def peer(self, path: PathState):
+        """Remote endpoint wired to ``path`` (regardless of activation)."""
+        if path not in self._external_peers:
+            raise ValueError(f"{path} is not an external path")
+        return self._external_peers[path]
+
+    # ------------------------------------------------------------ provisioning
+    def wire_external(self, path: PathState, peer) -> None:
+        """Attach the fiber of an external path to a remote endpoint.
+
+        Wiring is a deployment-time (static) operation and does not count as a
+        reconfiguration.
+        """
+        if path not in self._external_peers:
+            raise ValueError(f"{path} is not an external path")
+        self._external_peers[path] = peer
+
+    # -------------------------------------------------------------- switching
+    def activate(self, path: PathState) -> float:
+        """Activate ``path`` and return the reconfiguration latency in us.
+
+        Activating the already-active path costs nothing.  Activating an
+        external path requires that a peer has been wired to it.  A failed
+        module refuses to switch.
+        """
+        if self._failed:
+            raise RuntimeError(f"OCSTrx {self.trx_id} has failed")
+        if path == self._state:
+            return 0.0
+        if path in self._external_peers and self._external_peers[path] is None:
+            raise RuntimeError(
+                f"OCSTrx {self.trx_id}: no fiber wired to {path.value}"
+            )
+        latency = self._switch_latency_us()
+        if path is PathState.LOOPBACK:
+            # Engage the cross-lane matrix: upper half lanes <-> lower half.
+            half = self.config.n_lanes // 2
+            mapping = {}
+            for lane in range(half):
+                mapping[lane] = lane + half
+                mapping[lane + half] = lane
+            self.matrix.configure(mapping)
+        else:
+            self.matrix.reset()
+        event = ReconfigurationEvent(
+            sequence=next(_event_counter),
+            previous=self._state,
+            new=path,
+            latency_us=latency,
+        )
+        self._history.append(event)
+        self._state = path
+        return latency
+
+    def deactivate(self) -> float:
+        """Go dark (no active path)."""
+        if self._state is PathState.DARK:
+            return 0.0
+        latency = self._switch_latency_us()
+        self._history.append(
+            ReconfigurationEvent(
+                sequence=next(_event_counter),
+                previous=self._state,
+                new=PathState.DARK,
+                latency_us=latency,
+            )
+        )
+        self._state = PathState.DARK
+        return latency
+
+    def fail(self) -> None:
+        """Mark the module failed; it goes dark and refuses to switch."""
+        self._failed = True
+        self._state = PathState.DARK
+
+    def repair(self) -> None:
+        """Clear the failure flag (module comes back dark)."""
+        self._failed = False
+        self._state = PathState.DARK
+
+    def _switch_latency_us(self) -> float:
+        """Deterministic mid-range hardware switching latency."""
+        lo, hi = self.config.reconfig_latency_us
+        return (lo + hi) / 2.0
+
+    # ------------------------------------------------------------- bandwidth
+    @property
+    def active_bandwidth_gbps(self) -> float:
+        """Bandwidth delivered on the active path (full rate or zero)."""
+        if self._failed or self._state is PathState.DARK:
+            return 0.0
+        return self.config.line_rate_gbps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"OCSTrx({self.trx_id!r}, state={self._state.value}, "
+            f"failed={self._failed})"
+        )
+
+
+class OCSTrxBundle:
+    """A bundle of OCSTrx modules serving one GPU pair.
+
+    In the intra-node topology (Figure 4) each bundle connects a pair of GPUs:
+    one GPU drives the upper-half SerDes lanes, the other the lower-half.  A
+    6.4 Tbps GPU uses 8 x 800 Gbps modules per bundle.  The bundle switches as
+    a unit: all modules activate the same path.
+    """
+
+    def __init__(
+        self,
+        bundle_id: str,
+        n_modules: int = 8,
+        config: Optional[OCSTrxConfig] = None,
+    ) -> None:
+        if n_modules < 1:
+            raise ValueError("bundle needs at least one OCSTrx module")
+        self.bundle_id = bundle_id
+        self.config = config or OCSTrxConfig()
+        self.modules: List[OCSTrx] = [
+            OCSTrx(f"{bundle_id}/trx{i}", self.config) for i in range(n_modules)
+        ]
+
+    # ------------------------------------------------------------------ state
+    @property
+    def n_modules(self) -> int:
+        return len(self.modules)
+
+    @property
+    def state(self) -> PathState:
+        """Bundle path state (DARK if modules disagree or any failed)."""
+        states = {m.state for m in self.modules}
+        if len(states) == 1:
+            return next(iter(states))
+        return PathState.DARK
+
+    @property
+    def failed(self) -> bool:
+        """The bundle is failed if any of its modules failed."""
+        return any(m.failed for m in self.modules)
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Aggregate bandwidth of the bundle on its active path."""
+        return sum(m.active_bandwidth_gbps for m in self.modules)
+
+    @property
+    def bandwidth_gBps(self) -> float:
+        return self.bandwidth_gbps / 8.0
+
+    # ------------------------------------------------------------ provisioning
+    def wire_external(self, path: PathState, peer) -> None:
+        """Wire all modules' ``path`` fibers to ``peer``."""
+        for module in self.modules:
+            module.wire_external(path, peer)
+
+    def peer(self, path: PathState):
+        """Peer wired to ``path`` (all modules are wired identically)."""
+        return self.modules[0].peer(path)
+
+    # -------------------------------------------------------------- switching
+    def activate(self, path: PathState) -> float:
+        """Activate ``path`` on every module; returns the bundle latency (us).
+
+        All modules switch in parallel, so the bundle latency equals the
+        slowest module latency rather than the sum.
+        """
+        latencies = [m.activate(path) for m in self.modules]
+        return max(latencies) if latencies else 0.0
+
+    def deactivate(self) -> float:
+        latencies = [m.deactivate() for m in self.modules]
+        return max(latencies) if latencies else 0.0
+
+    def fail(self) -> None:
+        for module in self.modules:
+            module.fail()
+
+    def repair(self) -> None:
+        for module in self.modules:
+            module.repair()
+
+    # ------------------------------------------------------------------ power
+    @property
+    def power_watts(self) -> float:
+        """Total power of the bundle (all modules powered when not failed)."""
+        return sum(
+            0.0 if m.failed else m.config.total_power_watts for m in self.modules
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"OCSTrxBundle({self.bundle_id!r}, n={self.n_modules}, "
+            f"state={self.state.value})"
+        )

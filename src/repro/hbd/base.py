@@ -1,0 +1,143 @@
+"""Common interface for HBD architecture models.
+
+The large-scale evaluation of the paper (section 6.2) compares architectures
+through three node-fault driven metrics:
+
+* **GPU waste ratio** -- healthy GPUs that cannot join any TP group (because
+  of fragmentation, disconnection or fault-radius propagation), divided by
+  the total GPU count.
+* **Maximum job scale** -- the largest multiple of the TP size that the
+  cluster can serve under a fault set.
+* **Fault-waiting** -- whether a job of a given scale can run at all.
+
+All of these reduce to a single architecture-specific primitive:
+``usable_gpus(n_nodes, faulty_nodes, tp_size)``.  Subclasses implement it;
+this base class derives the rest.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Set
+
+
+@dataclass(frozen=True)
+class WasteBreakdown:
+    """Detailed GPU accounting for one fault scenario."""
+
+    total_gpus: int
+    faulty_gpus: int
+    usable_gpus: int
+
+    @property
+    def healthy_gpus(self) -> int:
+        return self.total_gpus - self.faulty_gpus
+
+    @property
+    def wasted_gpus(self) -> int:
+        """Healthy GPUs that cannot be used."""
+        return self.healthy_gpus - self.usable_gpus
+
+    @property
+    def waste_ratio(self) -> float:
+        """Wasted healthy GPUs over the total GPU count (paper definition)."""
+        if self.total_gpus == 0:
+            return 0.0
+        return self.wasted_gpus / self.total_gpus
+
+    @property
+    def unavailable_ratio(self) -> float:
+        """Wasted plus faulty GPUs over the total (used for aggregate cost)."""
+        if self.total_gpus == 0:
+            return 0.0
+        return (self.wasted_gpus + self.faulty_gpus) / self.total_gpus
+
+
+class HBDArchitecture(abc.ABC):
+    """Abstract HBD architecture.
+
+    Parameters
+    ----------
+    gpus_per_node:
+        ``R`` -- GPUs per node.  All evaluated clusters are homogeneous.
+    """
+
+    #: Human-readable architecture name (used as legend label in benches).
+    name: str = "abstract"
+
+    def __init__(self, gpus_per_node: int = 4) -> None:
+        if gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+        self.gpus_per_node = gpus_per_node
+
+    # ------------------------------------------------------------- interface
+    @abc.abstractmethod
+    def usable_gpus(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> int:
+        """GPUs that can participate in TP groups of ``tp_size``.
+
+        ``faulty_nodes`` is a set of node indices in ``[0, n_nodes)``; a
+        faulty node loses all of its GPUs.  The return value is always a
+        multiple of ``tp_size``.
+        """
+
+    # ------------------------------------------------------------ derived API
+    def total_gpus(self, n_nodes: int) -> int:
+        return n_nodes * self.gpus_per_node
+
+    def breakdown(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> WasteBreakdown:
+        """Full GPU accounting for one fault scenario."""
+        faulty = self._clean_faults(n_nodes, faulty_nodes)
+        usable = self.usable_gpus(n_nodes, faulty, tp_size)
+        total = self.total_gpus(n_nodes)
+        faulty_gpus = len(faulty) * self.gpus_per_node
+        if usable > total - faulty_gpus:
+            raise RuntimeError(
+                f"{self.name}: usable ({usable}) exceeds healthy GPUs "
+                f"({total - faulty_gpus})"
+            )
+        return WasteBreakdown(
+            total_gpus=total, faulty_gpus=faulty_gpus, usable_gpus=usable
+        )
+
+    def waste_ratio(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> float:
+        """Healthy-but-unusable GPUs over total GPUs."""
+        return self.breakdown(n_nodes, faulty_nodes, tp_size).waste_ratio
+
+    def max_job_scale(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> int:
+        """Largest job (in GPUs, multiple of ``tp_size``) that fits."""
+        return self.usable_gpus(n_nodes, faulty_nodes, tp_size)
+
+    def supports_job(
+        self,
+        n_nodes: int,
+        faulty_nodes: Iterable[int],
+        tp_size: int,
+        job_gpus: int,
+    ) -> bool:
+        """Whether a job of ``job_gpus`` GPUs can run under the fault set."""
+        return self.usable_gpus(n_nodes, faulty_nodes, tp_size) >= job_gpus
+
+    # --------------------------------------------------------------- helpers
+    def _clean_faults(
+        self, n_nodes: int, faulty_nodes: Iterable[int]
+    ) -> FrozenSet[int]:
+        return frozenset(f for f in faulty_nodes if 0 <= f < n_nodes)
+
+    @staticmethod
+    def _fit(gpus: int, tp_size: int) -> int:
+        """Largest multiple of ``tp_size`` not exceeding ``gpus``."""
+        if tp_size < 1:
+            raise ValueError("tp_size must be >= 1")
+        return (gpus // tp_size) * tp_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(R={self.gpus_per_node})"

@@ -1,0 +1,27 @@
+"""Big-Switch: the idealised HBD upper bound (section 6.1).
+
+A single, infinitely large, zero-latency switch connects every GPU in the
+cluster.  Any set of healthy GPUs can form a TP group, so the only waste is
+the final remainder ``healthy_gpus mod tp_size`` over the *whole* cluster --
+the theoretical floor every other architecture is compared against.  The
+paper notes that InfiniteHBD with K=3 tracks this bound almost exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.hbd.base import HBDArchitecture
+
+
+class BigSwitchHBD(HBDArchitecture):
+    """Ideal HBD: one non-blocking switch across the whole datacenter."""
+
+    name = "Big-Switch"
+
+    def usable_gpus(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> int:
+        faulty = self._clean_faults(n_nodes, faulty_nodes)
+        healthy_gpus = (n_nodes - len(faulty)) * self.gpus_per_node
+        return self._fit(healthy_gpus, tp_size)

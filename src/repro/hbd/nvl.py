@@ -1,0 +1,86 @@
+"""Switch-centric NVL-style HBD (NVL-36 / NVL-72 / NVL-576).
+
+The cluster is partitioned into fixed HBD units of ``hbd_size`` GPUs, each
+internally connected by NVLink switches (any-to-any inside the unit, nothing
+across units).  TP groups must therefore fit entirely inside one unit, and
+each unit suffers fragmentation independently -- the paper's waste formula
+``((HBD_size - N_fault) mod TP_size) / HBD_size`` applied per unit.
+
+A TP size larger than the unit simply cannot run (zero usable GPUs), which is
+how the evaluation treats e.g. TP-64 on NVL-36.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.hbd.base import HBDArchitecture
+
+
+class NVLHBD(HBDArchitecture):
+    """NVL-style HBD composed of fixed-size switch-connected units."""
+
+    def __init__(self, hbd_size: int, gpus_per_node: int = 4) -> None:
+        super().__init__(gpus_per_node)
+        if hbd_size < gpus_per_node:
+            raise ValueError("hbd_size must be at least one node worth of GPUs")
+        if hbd_size % gpus_per_node:
+            raise ValueError("hbd_size must be a multiple of gpus_per_node")
+        self.hbd_size = hbd_size
+        self.name = f"NVL-{hbd_size}"
+
+    @property
+    def nodes_per_unit(self) -> int:
+        return self.hbd_size // self.gpus_per_node
+
+    def n_units(self, n_nodes: int) -> int:
+        """Number of complete HBD units in an ``n_nodes`` cluster."""
+        return n_nodes // self.nodes_per_unit
+
+    def usable_gpus(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> int:
+        if tp_size > self.hbd_size:
+            return 0
+        faulty = self._clean_faults(n_nodes, faulty_nodes)
+        faults_per_unit = self._faults_per_unit(n_nodes, faulty)
+        usable = 0
+        for unit in range(self.n_units(n_nodes)):
+            healthy = self.hbd_size - faults_per_unit.get(unit, 0) * self.gpus_per_node
+            usable += self._fit(healthy, tp_size)
+        # Nodes beyond the last complete unit (partial unit) are treated as a
+        # smaller switch domain of their own.
+        leftover_nodes = n_nodes % self.nodes_per_unit
+        if leftover_nodes:
+            start = self.n_units(n_nodes) * self.nodes_per_unit
+            healthy_leftover = sum(
+                self.gpus_per_node
+                for node in range(start, n_nodes)
+                if node not in faulty
+            )
+            usable += self._fit(healthy_leftover, tp_size)
+        return usable
+
+    # --------------------------------------------------------------- helpers
+    def _faults_per_unit(self, n_nodes: int, faulty) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for node in faulty:
+            unit = node // self.nodes_per_unit
+            if unit < self.n_units(n_nodes):
+                counts[unit] = counts.get(unit, 0) + 1
+        return counts
+
+
+def nvl36(gpus_per_node: int = 4) -> NVLHBD:
+    """NVIDIA GB200 NVL-36."""
+    return NVLHBD(36, gpus_per_node)
+
+
+def nvl72(gpus_per_node: int = 4) -> NVLHBD:
+    """NVIDIA GB200 NVL-72."""
+    return NVLHBD(72, gpus_per_node)
+
+
+def nvl576(gpus_per_node: int = 4) -> NVLHBD:
+    """NVIDIA GB200 NVL-576."""
+    return NVLHBD(576, gpus_per_node)

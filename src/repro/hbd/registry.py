@@ -1,0 +1,43 @@
+"""Registry of the HBD architectures compared throughout section 6."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hbd.base import HBDArchitecture
+from repro.hbd.bigswitch import BigSwitchHBD
+from repro.hbd.infinitehbd import InfiniteHBDArchitecture
+from repro.hbd.nvl import NVLHBD
+from repro.hbd.sipring import SiPRingHBD
+from repro.hbd.tpuv4 import TPUv4HBD
+
+
+def default_architectures(gpus_per_node: int = 4) -> List[HBDArchitecture]:
+    """The architecture line-up of Figures 13-16 and 20-23.
+
+    Returned in the paper's legend order: InfiniteHBD (K=2), InfiniteHBD
+    (K=3), Big-Switch, TPUv4, NVL-36, NVL-72, NVL-576, SiP-Ring.
+    """
+    return [
+        InfiniteHBDArchitecture(k=2, gpus_per_node=gpus_per_node),
+        InfiniteHBDArchitecture(k=3, gpus_per_node=gpus_per_node),
+        BigSwitchHBD(gpus_per_node=gpus_per_node),
+        TPUv4HBD(gpus_per_node=gpus_per_node),
+        NVLHBD(36, gpus_per_node=gpus_per_node),
+        NVLHBD(72, gpus_per_node=gpus_per_node),
+        NVLHBD(576, gpus_per_node=gpus_per_node),
+        SiPRingHBD(gpus_per_node=gpus_per_node),
+    ]
+
+
+def architecture_by_name(name: str, gpus_per_node: int = 4) -> HBDArchitecture:
+    """Look up an architecture by its legend name (case-insensitive)."""
+    catalog: Dict[str, HBDArchitecture] = {
+        arch.name.lower(): arch for arch in default_architectures(gpus_per_node)
+    }
+    key = name.lower()
+    if key not in catalog:
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {sorted(catalog)}"
+        )
+    return catalog[key]

@@ -1,0 +1,44 @@
+"""GPU-centric SiP-Ring HBD (section 2.2, Figure 1b).
+
+SiP-Ring connects nodes into *static*, fixed-size optical rings whose size
+equals the TP group size.  The ring cannot be reconfigured: a single node
+failure breaks the ring into a line, which can no longer host the TP group,
+so every healthy GPU in that ring is wasted (the HBD-level fault explosion
+radius of GPU-centric designs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.hbd.base import HBDArchitecture
+
+
+class SiPRingHBD(HBDArchitecture):
+    """Fixed-size static rings; a faulty node kills its whole ring."""
+
+    name = "SiP-Ring"
+
+    def usable_gpus(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> int:
+        faulty = self._clean_faults(n_nodes, faulty_nodes)
+        nodes_per_ring = max(1, -(-tp_size // self.gpus_per_node))
+        ring_gpu_capacity = nodes_per_ring * self.gpus_per_node
+        # A ring only supports the TP size it was built for; if the node
+        # granularity cannot host it exactly, the remainder inside the ring
+        # is also fragmented away.
+        per_ring_usable = self._fit(ring_gpu_capacity, tp_size)
+
+        n_rings = n_nodes // nodes_per_ring
+        faulty_rings: Dict[int, bool] = {}
+        for node in faulty:
+            ring = node // nodes_per_ring
+            if ring < n_rings:
+                faulty_rings[ring] = True
+
+        usable = 0
+        for ring in range(n_rings):
+            if not faulty_rings.get(ring, False):
+                usable += per_ring_usable
+        return usable

@@ -1,0 +1,84 @@
+"""Switch-GPU hybrid HBD modelled after Google TPUv4 (section 2.2, 6.1).
+
+TPUv4 arranges accelerators into 4x4x4 cubes (64 per cube) and connects the
+cubes through centralised OCS-based switches.  Resource management is
+cube-granular:
+
+* TP groups of up to 64 GPUs are carved out of individual cubes -- a cube
+  with ``f`` faulty nodes can only serve ``floor((64 - f*R) / tp) * tp``
+  GPUs, so a single fault wastes up to a cube's worth of capacity when the
+  TP size is large (the paper's "cube-level fault explosion radius").
+* TP groups larger than a cube combine *complete, fully healthy* cubes via
+  the OCS layer; a cube with any fault cannot participate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.hbd.base import HBDArchitecture
+
+
+class TPUv4HBD(HBDArchitecture):
+    """TPUv4-style hybrid HBD with cube-granular resource management."""
+
+    name = "TPUv4"
+
+    def __init__(self, gpus_per_node: int = 4, cube_size: int = 64) -> None:
+        super().__init__(gpus_per_node)
+        if cube_size < gpus_per_node or cube_size % gpus_per_node:
+            raise ValueError("cube_size must be a positive multiple of gpus_per_node")
+        self.cube_size = cube_size
+
+    @property
+    def nodes_per_cube(self) -> int:
+        return self.cube_size // self.gpus_per_node
+
+    def n_cubes(self, n_nodes: int) -> int:
+        return n_nodes // self.nodes_per_cube
+
+    def usable_gpus(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> int:
+        faulty = self._clean_faults(n_nodes, faulty_nodes)
+        faults_per_cube = self._faults_per_cube(n_nodes, faulty)
+        n_cubes = self.n_cubes(n_nodes)
+
+        if tp_size <= self.cube_size:
+            usable = 0
+            for cube in range(n_cubes):
+                healthy = (
+                    self.cube_size
+                    - faults_per_cube.get(cube, 0) * self.gpus_per_node
+                )
+                usable += self._fit(healthy, tp_size)
+            usable += self._leftover_usable(n_nodes, faulty, tp_size)
+            return usable
+
+        # TP group spans multiple cubes: only fully healthy cubes can join.
+        cubes_per_group = -(-tp_size // self.cube_size)
+        healthy_cubes = sum(
+            1 for cube in range(n_cubes) if faults_per_cube.get(cube, 0) == 0
+        )
+        groups = healthy_cubes // cubes_per_group
+        return groups * tp_size
+
+    # --------------------------------------------------------------- helpers
+    def _faults_per_cube(self, n_nodes: int, faulty) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for node in faulty:
+            cube = node // self.nodes_per_cube
+            if cube < self.n_cubes(n_nodes):
+                counts[cube] = counts.get(cube, 0) + 1
+        return counts
+
+    def _leftover_usable(self, n_nodes: int, faulty, tp_size: int) -> int:
+        """Nodes beyond the last complete cube form a partial cube."""
+        leftover_nodes = n_nodes % self.nodes_per_cube
+        if not leftover_nodes:
+            return 0
+        start = self.n_cubes(n_nodes) * self.nodes_per_cube
+        healthy = sum(
+            self.gpus_per_node for node in range(start, n_nodes) if node not in faulty
+        )
+        return self._fit(healthy, tp_size)

@@ -1,0 +1,126 @@
+"""Trace replay against an HBD architecture model.
+
+The simulator samples the fault trace on a regular grid (daily by default,
+matching Figure 18/20's per-day resolution), asks the architecture model how
+many GPUs remain usable for the requested TP size under each sampled fault
+set, and derives the section 6.2 metrics from the resulting time series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.faults.trace import FaultTrace, HOURS_PER_DAY
+from repro.hbd.base import HBDArchitecture, WasteBreakdown
+
+
+@dataclass
+class SimulationSeries:
+    """Time series produced by one trace replay."""
+
+    times_days: List[float]
+    waste_ratios: List[float]
+    usable_gpus: List[int]
+    faulty_gpus: List[int]
+    total_gpus: int
+
+    @property
+    def mean_waste_ratio(self) -> float:
+        if not self.waste_ratios:
+            return 0.0
+        return float(np.mean(self.waste_ratios))
+
+    @property
+    def p99_waste_ratio(self) -> float:
+        if not self.waste_ratios:
+            return 0.0
+        return float(np.percentile(self.waste_ratios, 99))
+
+    @property
+    def min_usable_gpus(self) -> int:
+        if not self.usable_gpus:
+            return 0
+        return int(min(self.usable_gpus))
+
+    def waste_ratio_cdf(self) -> Tuple[List[float], List[float]]:
+        """(sorted waste ratios, cumulative probability) -- Figures 13/21."""
+        values = sorted(self.waste_ratios)
+        n = len(values)
+        if n == 0:
+            return [], []
+        return values, [(i + 1) / n for i in range(n)]
+
+    def fault_waiting_rate(self, job_gpus: int) -> float:
+        """Fraction of sampled time the job of ``job_gpus`` GPUs cannot run."""
+        if not self.usable_gpus:
+            return 0.0
+        waiting = sum(1 for usable in self.usable_gpus if usable < job_gpus)
+        return waiting / len(self.usable_gpus)
+
+    def supported_job_scale(self, availability: float = 1.0) -> int:
+        """Largest job scale available at least ``availability`` of the time.
+
+        ``availability=1.0`` (the default, used for Figure 15) requires the
+        job to run through the whole trace without waiting.
+        """
+        if not self.usable_gpus:
+            return 0
+        if not 0.0 < availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+        quantile = 100.0 * (1.0 - availability)
+        return int(np.percentile(np.asarray(self.usable_gpus), quantile, method="lower"))
+
+
+class ClusterSimulator:
+    """Replay a fault trace against one HBD architecture."""
+
+    def __init__(
+        self,
+        architecture: HBDArchitecture,
+        trace: FaultTrace,
+        n_nodes: Optional[int] = None,
+        sample_interval_hours: float = HOURS_PER_DAY,
+    ) -> None:
+        if trace.gpus_per_node != architecture.gpus_per_node:
+            raise ValueError(
+                "trace GPUs/node "
+                f"({trace.gpus_per_node}) must match the architecture "
+                f"({architecture.gpus_per_node})"
+            )
+        self.architecture = architecture
+        self.n_nodes = n_nodes if n_nodes is not None else trace.n_nodes
+        if self.n_nodes > trace.n_nodes:
+            raise ValueError("simulated cluster larger than the fault trace")
+        self.trace = (
+            trace if self.n_nodes == trace.n_nodes else trace.restrict_nodes(self.n_nodes)
+        )
+        self.sample_interval_hours = sample_interval_hours
+
+    # --------------------------------------------------------------- running
+    def run(self, tp_size: int) -> SimulationSeries:
+        """Replay the trace for TP groups of ``tp_size`` GPUs."""
+        times = self.trace.sample_times(self.sample_interval_hours)
+        waste_ratios: List[float] = []
+        usable: List[int] = []
+        faulty_gpus: List[int] = []
+        for t in times:
+            fault_set = self.trace.faulty_nodes_at(t)
+            breakdown = self.architecture.breakdown(self.n_nodes, fault_set, tp_size)
+            waste_ratios.append(breakdown.waste_ratio)
+            usable.append(breakdown.usable_gpus)
+            faulty_gpus.append(breakdown.faulty_gpus)
+        return SimulationSeries(
+            times_days=[t / HOURS_PER_DAY for t in times],
+            waste_ratios=waste_ratios,
+            usable_gpus=usable,
+            faulty_gpus=faulty_gpus,
+            total_gpus=self.architecture.total_gpus(self.n_nodes),
+        )
+
+    def breakdown_at(self, hour: float, tp_size: int) -> WasteBreakdown:
+        """Single-instant GPU accounting (useful for spot checks)."""
+        fault_set = self.trace.faulty_nodes_at(hour)
+        return self.architecture.breakdown(self.n_nodes, fault_set, tp_size)

@@ -1,0 +1,151 @@
+"""Training-job goodput over a fault trace.
+
+The section 6.2 metrics measure *capacity* (how many GPUs could run TP
+groups).  This module adds the job-centric view used when arguing about
+end-to-end training efficiency: a single large job replayed against the fault
+trace accumulates
+
+* **productive time** -- enough healthy, non-fragmented GPUs are available;
+* **waiting time** -- usable capacity fell below the job size (the
+  fault-waiting behaviour of Figure 16);
+* **restart overhead** -- every fault that hits the job's allocation costs
+  the work since the last checkpoint plus a fixed restart time.
+
+Goodput is productive time net of restart losses over the wall-clock
+duration.  Architectures only differ through their usable-capacity function,
+so the comparison isolates the effect of fault isolation and fragmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.trace import FaultTrace, HOURS_PER_DAY
+from repro.hbd.base import HBDArchitecture
+
+
+@dataclass(frozen=True)
+class GoodputConfig:
+    """Parameters of the replayed training job."""
+
+    job_gpus: int
+    tp_size: int
+    checkpoint_interval_hours: float = 1.0
+    restart_overhead_hours: float = 0.25
+    sample_interval_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.job_gpus < 1 or self.tp_size < 1:
+            raise ValueError("job_gpus and tp_size must be positive")
+        if self.job_gpus % self.tp_size:
+            raise ValueError("job_gpus must be a multiple of tp_size")
+        if self.checkpoint_interval_hours <= 0 or self.sample_interval_hours <= 0:
+            raise ValueError("intervals must be positive")
+        if self.restart_overhead_hours < 0:
+            raise ValueError("restart_overhead_hours must be non-negative")
+
+
+@dataclass
+class GoodputReport:
+    """Outcome of one goodput replay."""
+
+    total_hours: float
+    productive_hours: float
+    waiting_hours: float
+    restart_hours: float
+    job_impacting_faults: int
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of wall-clock time spent making training progress."""
+        if self.total_hours == 0:
+            return 0.0
+        return max(0.0, self.productive_hours - self.restart_hours) / self.total_hours
+
+    @property
+    def waiting_fraction(self) -> float:
+        if self.total_hours == 0:
+            return 0.0
+        return self.waiting_hours / self.total_hours
+
+
+class GoodputSimulator:
+    """Replay one job against a fault trace for a given HBD architecture."""
+
+    def __init__(
+        self,
+        architecture: HBDArchitecture,
+        trace: FaultTrace,
+        config: GoodputConfig,
+        n_nodes: Optional[int] = None,
+    ) -> None:
+        if trace.gpus_per_node != architecture.gpus_per_node:
+            raise ValueError("trace and architecture GPU-per-node mismatch")
+        self.architecture = architecture
+        self.config = config
+        self.n_nodes = n_nodes if n_nodes is not None else trace.n_nodes
+        if self.n_nodes > trace.n_nodes:
+            raise ValueError("simulated cluster larger than the fault trace")
+        self.trace = (
+            trace if self.n_nodes == trace.n_nodes else trace.restrict_nodes(self.n_nodes)
+        )
+        if config.job_gpus > self.n_nodes * architecture.gpus_per_node:
+            raise ValueError("job larger than the cluster")
+
+    def run(self) -> GoodputReport:
+        cfg = self.config
+        step = cfg.sample_interval_hours
+        times = self.trace.sample_times(step)
+
+        productive = waiting = restart = 0.0
+        impacting_faults = 0
+        previous_faults: set = set()
+        job_nodes_fraction = cfg.job_gpus / (self.n_nodes * self.architecture.gpus_per_node)
+
+        for t in times:
+            faults = self.trace.faulty_nodes_at(t)
+            usable = self.architecture.usable_gpus(self.n_nodes, faults, cfg.tp_size)
+            running = usable >= cfg.job_gpus
+
+            new_faults = faults - previous_faults
+            if running and new_faults:
+                # A new fault lands inside the job's allocation with
+                # probability proportional to the job's share of the cluster;
+                # count the expected number of impacting faults and charge
+                # each the lost work since the last checkpoint plus the
+                # restart overhead.
+                expected_hits = len(new_faults) * job_nodes_fraction
+                impacting_faults += round(expected_hits) if expected_hits >= 1 else (
+                    1 if expected_hits > 0.5 else 0
+                )
+                restart += expected_hits * (
+                    cfg.checkpoint_interval_hours / 2.0 + cfg.restart_overhead_hours
+                )
+
+            if running:
+                productive += step
+            else:
+                waiting += step
+            previous_faults = faults
+
+        return GoodputReport(
+            total_hours=len(times) * step,
+            productive_hours=productive,
+            waiting_hours=waiting,
+            restart_hours=min(restart, productive),
+            job_impacting_faults=impacting_faults,
+        )
+
+
+def goodput_comparison(
+    architectures: Sequence[HBDArchitecture],
+    trace: FaultTrace,
+    config: GoodputConfig,
+    n_nodes: Optional[int] = None,
+) -> Dict[str, GoodputReport]:
+    """Goodput of the same job across several architectures."""
+    return {
+        arch.name: GoodputSimulator(arch, trace, config, n_nodes=n_nodes).run()
+        for arch in architectures
+    }

@@ -1,0 +1,201 @@
+"""Step-synchronous simulator for collective schedules on explicit links.
+
+The analytical models in :mod:`repro.collectives` assume every hop of a
+collective runs at the same speed.  This simulator executes a collective's
+*schedule* (an explicit list of rounds, each a set of point-to-point
+transfers) against a per-link bandwidth map, so heterogeneous situations can
+be studied: a degraded OCSTrx bundle, a hop that fell back to a longer
+backup path, or a partially failed link.
+
+It is used to answer questions the paper's design motivates but the
+analytical model cannot: how much does one slow link slow the whole TP ring
+(the reason InfiniteHBD dedicates the *full* GPU bandwidth to a single active
+path instead of splitting it), and how much does a Binary Exchange AllToAll
+suffer when one round must take a longer detour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.collectives.cost_model import LinkSpec
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point transfer inside a round."""
+
+    src: str
+    dst: str
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if self.src == self.dst:
+            raise ValueError("a transfer needs distinct endpoints")
+
+
+@dataclass
+class RoundResult:
+    """Timing of one schedule round."""
+
+    round_index: int
+    duration_s: float
+    slowest_transfer: Optional[Transfer]
+
+
+@dataclass
+class ScheduleResult:
+    """Timing of a whole schedule."""
+
+    rounds: List[RoundResult]
+    reconfiguration_s: float
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(r.duration_s for r in self.rounds) + self.reconfiguration_s
+
+    @property
+    def critical_path(self) -> List[Optional[Transfer]]:
+        return [r.slowest_transfer for r in self.rounds]
+
+
+class LinkMap:
+    """Per-pair link characteristics with a default fallback."""
+
+    def __init__(self, default: LinkSpec) -> None:
+        self.default = default
+        self._overrides: Dict[Tuple[str, str], LinkSpec] = {}
+
+    def set_link(self, a: str, b: str, spec: LinkSpec) -> None:
+        """Override the link between ``a`` and ``b`` (both directions)."""
+        self._overrides[(a, b)] = spec
+        self._overrides[(b, a)] = spec
+
+    def degrade_link(self, a: str, b: str, factor: float) -> None:
+        """Scale the bandwidth of one link by ``factor`` (0 < factor <= 1)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        base = self.link(a, b)
+        self.set_link(
+            a,
+            b,
+            LinkSpec(
+                bandwidth_gbps=base.bandwidth_gbps * factor,
+                latency_us=base.latency_us,
+                protocol_efficiency=base.protocol_efficiency,
+            ),
+        )
+
+    def link(self, a: str, b: str) -> LinkSpec:
+        return self._overrides.get((a, b), self.default)
+
+
+class ScheduleSimulator:
+    """Execute a round-based schedule over a :class:`LinkMap`."""
+
+    def __init__(self, links: LinkMap) -> None:
+        self.links = links
+
+    def run(
+        self,
+        schedule: Sequence[Sequence[Transfer]],
+        reconfiguration_us_per_round: float = 0.0,
+    ) -> ScheduleResult:
+        """Run ``schedule``; each round completes when its slowest transfer does."""
+        rounds: List[RoundResult] = []
+        for index, transfers in enumerate(schedule):
+            slowest: Optional[Transfer] = None
+            duration = 0.0
+            for transfer in transfers:
+                spec = self.links.link(transfer.src, transfer.dst)
+                time_s = spec.transfer_time_s(transfer.size_bytes)
+                if time_s > duration:
+                    duration = time_s
+                    slowest = transfer
+            rounds.append(
+                RoundResult(round_index=index, duration_s=duration, slowest_transfer=slowest)
+            )
+        reconfig = reconfiguration_us_per_round * 1e-6 * max(0, len(schedule))
+        return ScheduleResult(rounds=rounds, reconfiguration_s=reconfig)
+
+
+# --------------------------------------------------------------------------
+# Schedule builders
+# --------------------------------------------------------------------------
+def ring_allreduce_schedule(
+    members: Sequence[str], message_bytes: float
+) -> List[List[Transfer]]:
+    """Schedule of a bandwidth-optimal ring AllReduce.
+
+    ``2 * (n - 1)`` rounds; in every round each member sends one
+    ``message/n`` chunk to its ring successor.
+    """
+    n = len(members)
+    if n < 2 or message_bytes <= 0:
+        return []
+    chunk = message_bytes / n
+    rounds: List[List[Transfer]] = []
+    for _ in range(2 * (n - 1)):
+        rounds.append(
+            [
+                Transfer(src=members[i], dst=members[(i + 1) % n], size_bytes=chunk)
+                for i in range(n)
+            ]
+        )
+    return rounds
+
+
+def binary_exchange_schedule(
+    members: Sequence[str], block_bytes: float
+) -> List[List[Transfer]]:
+    """Schedule of the Binary Exchange AllToAll (Appendix G).
+
+    ``log2(n)`` rounds; in round ``k`` member ``i`` exchanges ``n/2`` blocks
+    with member ``i XOR 2^(rounds-k)``.
+    """
+    n = len(members)
+    if n < 2:
+        return []
+    if n & (n - 1):
+        raise ValueError("binary exchange needs a power-of-two member count")
+    rounds_count = n.bit_length() - 1
+    per_round_bytes = block_bytes * n / 2.0
+    rounds: List[List[Transfer]] = []
+    for k in range(1, rounds_count + 1):
+        mask = 1 << (rounds_count - k)
+        transfers: List[Transfer] = []
+        for i in range(n):
+            partner = i ^ mask
+            transfers.append(
+                Transfer(src=members[i], dst=members[partner], size_bytes=per_round_bytes)
+            )
+        rounds.append(transfers)
+    return rounds
+
+
+def simulate_degraded_ring(
+    n_members: int,
+    message_bytes: float,
+    link: LinkSpec,
+    degraded_pairs: Iterable[Tuple[int, int]] = (),
+    degradation_factor: float = 0.5,
+) -> Tuple[float, float]:
+    """(healthy_time, degraded_time) of a ring AllReduce with slow links.
+
+    Convenience wrapper used by tests and examples: members are numbered
+    ``0..n-1`` and ``degraded_pairs`` lists ring edges whose bandwidth is
+    scaled by ``degradation_factor``.
+    """
+    members = [f"gpu{i}" for i in range(n_members)]
+    schedule = ring_allreduce_schedule(members, message_bytes)
+
+    healthy = ScheduleSimulator(LinkMap(link)).run(schedule)
+
+    degraded_map = LinkMap(link)
+    for a, b in degraded_pairs:
+        degraded_map.degrade_link(members[a], members[b], degradation_factor)
+    degraded = ScheduleSimulator(degraded_map).run(schedule)
+    return healthy.total_time_s, degraded.total_time_s

@@ -1,0 +1,93 @@
+"""Architecture comparison sweeps used by the benchmark harness.
+
+These helpers glue together the fault substrate, the HBD architecture models
+and the trace replay simulator to produce the exact data series behind the
+paper's fault-resilience figures:
+
+* :func:`architecture_comparison_over_trace` -- Figures 13, 20, 21
+  (waste-ratio time series and CDFs over the production-style trace).
+* :func:`waste_ratio_vs_fault_ratio` -- Figures 14 and 22 (i.i.d. fault-ratio
+  sweep).
+* :func:`max_job_scale_comparison` -- Figure 15.
+* :func:`fault_waiting_comparison` -- Figures 16 and 23.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.faults.model import IIDFaultModel
+from repro.faults.trace import FaultTrace
+from repro.hbd.base import HBDArchitecture
+from repro.simulation.cluster import ClusterSimulator, SimulationSeries
+
+
+def architecture_comparison_over_trace(
+    architectures: Sequence[HBDArchitecture],
+    trace: FaultTrace,
+    tp_size: int,
+    n_nodes: Optional[int] = None,
+) -> Dict[str, SimulationSeries]:
+    """Replay ``trace`` against every architecture for one TP size."""
+    results: Dict[str, SimulationSeries] = {}
+    for arch in architectures:
+        simulator = ClusterSimulator(arch, trace, n_nodes=n_nodes)
+        results[arch.name] = simulator.run(tp_size)
+    return results
+
+
+def waste_ratio_vs_fault_ratio(
+    architectures: Sequence[HBDArchitecture],
+    n_nodes: int,
+    tp_size: int,
+    fault_ratios: Sequence[float],
+    n_samples: int = 20,
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Mean GPU waste ratio versus node fault ratio (Figures 14 / 22)."""
+    model = IIDFaultModel(n_nodes=n_nodes, seed=seed, n_samples=n_samples)
+    results: Dict[str, List[float]] = {}
+    for arch in architectures:
+        def metric(fault_set: Set[int], _arch=arch) -> float:
+            return _arch.waste_ratio(n_nodes, fault_set, tp_size)
+
+        results[arch.name] = model.sweep(fault_ratios, metric)
+    return results
+
+
+def max_job_scale_comparison(
+    architectures: Sequence[HBDArchitecture],
+    trace: FaultTrace,
+    tp_sizes: Sequence[int],
+    n_nodes: Optional[int] = None,
+    availability: float = 1.0,
+) -> Dict[str, Dict[int, int]]:
+    """Maximum job scale (GPUs) supported through the trace (Figure 15)."""
+    results: Dict[str, Dict[int, int]] = {}
+    for arch in architectures:
+        simulator = ClusterSimulator(arch, trace, n_nodes=n_nodes)
+        per_tp: Dict[int, int] = {}
+        for tp in tp_sizes:
+            series = simulator.run(tp)
+            per_tp[tp] = series.supported_job_scale(availability)
+        results[arch.name] = per_tp
+    return results
+
+
+def fault_waiting_comparison(
+    architectures: Sequence[HBDArchitecture],
+    trace: FaultTrace,
+    tp_size: int,
+    job_scales: Sequence[int],
+    n_nodes: Optional[int] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Job fault-waiting rate versus job scale (Figures 16 / 23)."""
+    results: Dict[str, Dict[int, float]] = {}
+    for arch in architectures:
+        simulator = ClusterSimulator(arch, trace, n_nodes=n_nodes)
+        series = simulator.run(tp_size)
+        results[arch.name] = {
+            scale: series.fault_waiting_rate(scale) for scale in job_scales
+        }
+    return results

@@ -1,0 +1,63 @@
+"""LLM training performance simulator (sections 2.3 and 6.3).
+
+The paper motivates InfiniteHBD with an in-house LLM training simulator that
+searches parallelism strategies (TP / PP / DP / EP) for maximum Model FLOPs
+Utilization (MFU).  This subpackage rebuilds that simulator analytically:
+
+* :mod:`repro.training.models` -- model configurations (Llama 3.1-405B with
+  the paper's MHA simplification, and the 1.1T GPT-MoE of Appendix B) and
+  parameter counting.
+* :mod:`repro.training.flops` -- FLOPs per token / per iteration.
+* :mod:`repro.training.comm` -- per-layer and per-iteration communication
+  volumes for TP, EP and DP (Table 3 formulas).
+* :mod:`repro.training.mfu` -- the iteration-time and MFU model (compute,
+  GEMM-efficiency degradation with TP, pipeline bubble, TP/EP/DP
+  communication, expert imbalance stragglers).
+* :mod:`repro.training.parallelism` -- grid search for the optimal strategy
+  (Tables 2, 4 and 5).
+"""
+
+from repro.training.models import (
+    ModelConfig,
+    llama31_405b,
+    gpt_moe_1t,
+)
+from repro.training.flops import flops_per_token, flops_per_iteration
+from repro.training.comm import (
+    tp_allreduce_volume_per_layer,
+    ep_alltoall_volume_per_layer,
+    CommVolumes,
+    iteration_comm_volumes,
+)
+from repro.training.mfu import (
+    HardwareSpec,
+    ParallelismConfig,
+    MFUEstimate,
+    MFUSimulator,
+)
+from repro.training.parallelism import (
+    StrategySearchResult,
+    search_optimal_strategy,
+    optimal_mfu_table,
+    tp_vs_ep_imbalance_table,
+)
+
+__all__ = [
+    "ModelConfig",
+    "llama31_405b",
+    "gpt_moe_1t",
+    "flops_per_token",
+    "flops_per_iteration",
+    "tp_allreduce_volume_per_layer",
+    "ep_alltoall_volume_per_layer",
+    "CommVolumes",
+    "iteration_comm_volumes",
+    "HardwareSpec",
+    "ParallelismConfig",
+    "MFUEstimate",
+    "MFUSimulator",
+    "StrategySearchResult",
+    "search_optimal_strategy",
+    "optimal_mfu_table",
+    "tp_vs_ep_imbalance_table",
+]

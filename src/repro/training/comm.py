@@ -1,0 +1,160 @@
+"""Communication volumes for TP, EP and DP (Table 3 and section 6.3).
+
+Table 3 of the paper gives the per-MoE-layer traffic of the two
+communication-intensive parallelisms (``b``: batch, ``s``: sequence length,
+``h``: hidden dim, ``k``: router top-k, ``n``: parallel size):
+
+* TP AllReduce:  ``2 b s h (n-1)/n``
+* EP AllToAll:   ``2 b s h (n-1)/n * k/n``
+
+Those are *activation counts*; multiplying by the element size gives bytes.
+The iteration-level helpers below extend the per-layer formulas to the whole
+model (forward + backward, all layers of one pipeline stage) and add the DP
+gradient AllReduce, producing the volumes the MFU model and the cross-ToR
+traffic model consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.training.models import ModelConfig
+
+#: Bytes per activation / gradient element (bf16).
+BYTES_PER_ELEMENT = 2
+
+
+def tp_allreduce_volume_per_layer(
+    batch: int, seq_len: int, hidden_dim: int, tp: int,
+    bytes_per_element: int = BYTES_PER_ELEMENT,
+) -> float:
+    """Table 3 TP AllReduce volume for one layer, in bytes."""
+    if tp < 1:
+        raise ValueError("tp must be >= 1")
+    if tp == 1:
+        return 0.0
+    elements = 2.0 * batch * seq_len * hidden_dim * (tp - 1) / tp
+    return elements * bytes_per_element
+
+
+def ep_alltoall_volume_per_layer(
+    batch: int, seq_len: int, hidden_dim: int, ep: int, top_k: int,
+    bytes_per_element: int = BYTES_PER_ELEMENT,
+) -> float:
+    """Table 3 EP AllToAll volume for one MoE layer, in bytes."""
+    if ep < 1:
+        raise ValueError("ep must be >= 1")
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    if ep == 1:
+        return 0.0
+    elements = (
+        2.0 * batch * seq_len * hidden_dim * (ep - 1) / ep * (top_k / ep)
+    )
+    return elements * bytes_per_element
+
+
+def dp_allreduce_volume(
+    params_per_gpu: float, dp: int, bytes_per_element: int = BYTES_PER_ELEMENT,
+) -> float:
+    """Ring AllReduce gradient volume per GPU per iteration, in bytes."""
+    if dp < 1:
+        raise ValueError("dp must be >= 1")
+    if dp == 1:
+        return 0.0
+    return 2.0 * params_per_gpu * (dp - 1) / dp * bytes_per_element
+
+
+@dataclass(frozen=True)
+class CommVolumes:
+    """Per-GPU, per-iteration communication volumes in bytes."""
+
+    tp_bytes: float
+    ep_bytes: float
+    dp_bytes: float
+
+    @property
+    def hbd_bytes(self) -> float:
+        """Volume carried by the HBD (TP + EP)."""
+        return self.tp_bytes + self.ep_bytes
+
+    @property
+    def dcn_bytes(self) -> float:
+        """Volume carried by the DCN (outer parallelism)."""
+        return self.dp_bytes
+
+    @property
+    def dcn_share(self) -> float:
+        total = self.hbd_bytes + self.dcn_bytes
+        if total == 0:
+            return 0.0
+        return self.dcn_bytes / total
+
+
+def iteration_comm_volumes(
+    model: ModelConfig,
+    tp: int,
+    pp: int,
+    dp: int,
+    ep: int,
+    global_batch: int,
+    bytes_per_element: int = BYTES_PER_ELEMENT,
+) -> CommVolumes:
+    """Per-GPU communication volumes of one training iteration.
+
+    TP: in a transformer block there are two column+row parallel pairs
+    (attention and MLP), each needing one AllReduce in the forward and one in
+    the backward pass -- four AllReduces per layer per microbatch, each of
+    ``b_local * s * h`` activations, where ``b_local`` is the number of
+    sequences a pipeline stage processes per iteration (``global_batch/dp``).
+
+    EP: one AllToAll pair (dispatch + combine) in forward and backward per
+    MoE layer, with the Table 3 per-layer volume.
+
+    DP: one gradient ring AllReduce over the parameters held by the GPU.
+    """
+    if min(tp, pp, dp, ep) < 1:
+        raise ValueError("parallel sizes must be >= 1")
+    if global_batch < 1:
+        raise ValueError("global_batch must be >= 1")
+
+    local_batch = global_batch / dp
+    layers_per_stage = model.n_layers / pp
+    moe_fraction = model.n_moe_layers / model.n_layers if model.n_layers else 0.0
+    moe_layers_per_stage = layers_per_stage * moe_fraction
+
+    per_sequence_tp = tp_allreduce_volume_per_layer(
+        batch=1,
+        seq_len=model.seq_len,
+        hidden_dim=model.hidden_dim,
+        tp=tp,
+        bytes_per_element=bytes_per_element,
+    )
+    dense_layers_per_stage = layers_per_stage - moe_layers_per_stage
+    # Two column/row-parallel pairs (attention + MLP), forward and backward,
+    # per dense layer.  When experts are distributed with EP (> 1) the MoE
+    # FFN is computed locally per expert and communicates via AllToAll
+    # instead, so only the attention pair needs a TP AllReduce there.
+    tp_factor_moe = 2.0 if ep > 1 else 4.0
+    tp_bytes = (
+        4.0 * per_sequence_tp * local_batch * dense_layers_per_stage
+        + tp_factor_moe * per_sequence_tp * local_batch * moe_layers_per_stage
+    )
+
+    per_sequence_ep = ep_alltoall_volume_per_layer(
+        batch=1,
+        seq_len=model.seq_len,
+        hidden_dim=model.hidden_dim,
+        ep=ep,
+        top_k=model.moe_top_k,
+        bytes_per_element=bytes_per_element,
+    )
+    # Dispatch + combine, forward and backward.
+    ep_bytes = 2.0 * 2.0 * per_sequence_ep * local_batch * moe_layers_per_stage
+
+    dp_bytes = dp_allreduce_volume(
+        params_per_gpu=model.params_per_gpu(tp, pp, ep),
+        dp=dp,
+        bytes_per_element=bytes_per_element,
+    )
+    return CommVolumes(tp_bytes=tp_bytes, ep_bytes=ep_bytes, dp_bytes=dp_bytes)

@@ -1,0 +1,38 @@
+"""FLOPs accounting for decoder-only transformers.
+
+The MFU definition used throughout the paper is the standard one:
+
+    MFU = model FLOPs per iteration / (iteration time * cluster peak FLOPs)
+
+where "model FLOPs" counts only the mathematically required operations
+(forward + backward, no recomputation): ``6 * activated_params`` per token
+for the matmul parts plus the attention score/value products, which add
+``12 * n_layers * hidden_dim * seq_len`` FLOPs per token for causal MHA
+(counting the 2x of the backward pass and the 0.5x of causal masking).
+"""
+
+from __future__ import annotations
+
+from repro.training.models import ModelConfig
+
+
+def attention_flops_per_token(model: ModelConfig) -> float:
+    """Quadratic attention FLOPs per token (fwd+bwd, causal)."""
+    # Per layer, per token: QK^T and PV each cost 2 * s * h multiply-adds in
+    # the forward pass; backward costs twice the forward; causal masking
+    # halves the effective sequence length.
+    forward = 2 * 2 * model.seq_len * model.hidden_dim * 0.5
+    return 3 * forward * model.n_layers  # fwd + 2x bwd
+
+
+def flops_per_token(model: ModelConfig) -> float:
+    """Model FLOPs per training token (forward + backward)."""
+    return 6.0 * model.activated_params + attention_flops_per_token(model)
+
+
+def flops_per_iteration(model: ModelConfig, global_batch: int) -> float:
+    """Model FLOPs of one optimizer step at ``global_batch`` sequences."""
+    if global_batch < 1:
+        raise ValueError("global_batch must be >= 1")
+    tokens = global_batch * model.seq_len
+    return flops_per_token(model) * tokens

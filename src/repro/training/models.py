@@ -1,0 +1,188 @@
+"""LLM model configurations and parameter counting.
+
+Two reference models drive the paper's parallelism analysis:
+
+* **Llama 3.1-405B** (Table 2), with GQA simplified to MHA as the paper does
+  ("we simplified the GQA architecture ... to a traditional MHA
+  architecture") so attention projections are full ``4 h^2`` per layer.
+* **GPT-MoE** (Appendix B): 192 layers, hidden 12288, FFN 49152, 8 experts,
+  MoE on every other layer, top-2 routing -- roughly 1.1T total parameters.
+
+Parameter counting follows the standard decoder-only accounting; exact
+agreement with the official parameter counts is not required (the MFU model
+only depends on the order of magnitude and the dense/MoE split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A decoder-only transformer, optionally with MoE layers.
+
+    Attributes
+    ----------
+    name:
+        Human-readable model name.
+    n_layers:
+        Transformer blocks.
+    hidden_dim:
+        Model (embedding) dimension ``h``.
+    ffn_dim:
+        Feed-forward inner dimension.
+    n_heads:
+        Attention heads (MHA).
+    vocab_size:
+        Vocabulary size (tied embedding assumed).
+    seq_len:
+        Training sequence length ``s``.
+    gated_mlp:
+        True for SwiGLU-style MLPs (3 weight matrices), False for the classic
+        2-matrix GELU MLP.
+    n_experts:
+        Experts per MoE layer (1 = dense model).
+    moe_layer_ratio:
+        Fraction of layers that are MoE layers.
+    moe_top_k:
+        Experts activated per token.
+    """
+
+    name: str
+    n_layers: int
+    hidden_dim: int
+    ffn_dim: int
+    n_heads: int
+    vocab_size: int
+    seq_len: int
+    gated_mlp: bool = True
+    n_experts: int = 1
+    moe_layer_ratio: float = 0.0
+    moe_top_k: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.n_layers, self.hidden_dim, self.ffn_dim, self.n_heads,
+               self.vocab_size, self.seq_len) < 1:
+            raise ValueError("model dimensions must be positive")
+        if self.n_experts < 1:
+            raise ValueError("n_experts must be >= 1")
+        if not 0.0 <= self.moe_layer_ratio <= 1.0:
+            raise ValueError("moe_layer_ratio must be in [0, 1]")
+        if self.moe_top_k < 1 or self.moe_top_k > self.n_experts:
+            raise ValueError("moe_top_k must be in [1, n_experts]")
+
+    # ----------------------------------------------------------- layer counts
+    @property
+    def is_moe(self) -> bool:
+        return self.n_experts > 1 and self.moe_layer_ratio > 0.0
+
+    @property
+    def n_moe_layers(self) -> int:
+        return int(round(self.n_layers * self.moe_layer_ratio)) if self.is_moe else 0
+
+    @property
+    def n_dense_layers(self) -> int:
+        return self.n_layers - self.n_moe_layers
+
+    # -------------------------------------------------------- parameter counts
+    @property
+    def attention_params_per_layer(self) -> int:
+        """QKV + output projections (MHA): 4 h^2."""
+        return 4 * self.hidden_dim * self.hidden_dim
+
+    @property
+    def mlp_params_per_expert(self) -> int:
+        matrices = 3 if self.gated_mlp else 2
+        return matrices * self.hidden_dim * self.ffn_dim
+
+    @property
+    def dense_layer_params(self) -> int:
+        return self.attention_params_per_layer + self.mlp_params_per_expert
+
+    @property
+    def moe_layer_params(self) -> int:
+        router = self.hidden_dim * self.n_experts
+        return (
+            self.attention_params_per_layer
+            + self.n_experts * self.mlp_params_per_expert
+            + router
+        )
+
+    @property
+    def embedding_params(self) -> int:
+        return self.vocab_size * self.hidden_dim
+
+    @property
+    def total_params(self) -> int:
+        """All trainable parameters (embeddings counted once: tied)."""
+        return (
+            self.embedding_params
+            + self.n_dense_layers * self.dense_layer_params
+            + self.n_moe_layers * self.moe_layer_params
+        )
+
+    @property
+    def activated_params(self) -> int:
+        """Parameters touched per token (top-k experts only in MoE layers)."""
+        if not self.is_moe:
+            return self.total_params
+        activated_moe_layer = (
+            self.attention_params_per_layer
+            + self.moe_top_k * self.mlp_params_per_expert
+            + self.hidden_dim * self.n_experts
+        )
+        return (
+            self.embedding_params
+            + self.n_dense_layers * self.dense_layer_params
+            + self.n_moe_layers * activated_moe_layer
+        )
+
+    def params_per_gpu(self, tp: int, pp: int, ep: int = 1) -> float:
+        """Approximate parameters held by one GPU under (tp, pp, ep).
+
+        TP shards every matrix, PP splits layers, EP distributes experts (the
+        expert weights of a MoE layer are split ``ep`` ways instead of being
+        replicated).
+        """
+        if min(tp, pp, ep) < 1:
+            raise ValueError("parallel sizes must be >= 1")
+        dense_part = (
+            self.embedding_params
+            + self.n_dense_layers * self.dense_layer_params
+            + self.n_moe_layers * self.attention_params_per_layer
+        )
+        expert_part = self.n_moe_layers * self.n_experts * self.mlp_params_per_expert
+        return dense_part / (tp * pp) + expert_part / (tp * pp * ep)
+
+
+def llama31_405b(seq_len: int = 8192) -> ModelConfig:
+    """Llama 3.1-405B with the paper's MHA simplification."""
+    return ModelConfig(
+        name="Llama-3.1-405B (MHA)",
+        n_layers=126,
+        hidden_dim=16384,
+        ffn_dim=53248,
+        n_heads=128,
+        vocab_size=128256,
+        seq_len=seq_len,
+        gated_mlp=True,
+    )
+
+
+def gpt_moe_1t(seq_len: int = 2048) -> ModelConfig:
+    """The 1.1T-parameter GPT-MoE of Appendix B."""
+    return ModelConfig(
+        name="GPT-MoE-1.1T",
+        n_layers=192,
+        hidden_dim=12288,
+        ffn_dim=49152,
+        n_heads=128,
+        vocab_size=64000,
+        seq_len=seq_len,
+        gated_mlp=False,
+        n_experts=8,
+        moe_layer_ratio=0.5,
+        moe_top_k=2,
+    )

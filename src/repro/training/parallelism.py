@@ -1,0 +1,208 @@
+"""Parallelism strategy search (Tables 2, 4 and 5).
+
+The search space follows the paper's footnote 6: TP in powers of two up to
+128, PP in {1, 2, 4, 8, 16}, DP in powers of two up to 1024, EP in
+{1, 2, 4, 8} for MoE models, with ``TP * PP * DP = world size`` and the
+global batch fixed per model.  Every candidate is scored by the
+:class:`~repro.training.mfu.MFUSimulator`; infeasible candidates (memory,
+divisibility, head/layer limits) are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.training.mfu import HardwareSpec, MFUEstimate, MFUSimulator, ParallelismConfig
+from repro.training.models import ModelConfig, gpt_moe_1t, llama31_405b
+
+DEFAULT_TP_CHOICES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+DEFAULT_PP_CHOICES: Tuple[int, ...] = (1, 2, 4, 8, 16)
+DEFAULT_EP_CHOICES: Tuple[int, ...] = (1, 2, 4, 8)
+MAX_DP = 1024
+
+
+@dataclass
+class StrategySearchResult:
+    """Best strategy found for one (model, world size) pair."""
+
+    model_name: str
+    world_size: int
+    best_config: Optional[ParallelismConfig]
+    best_estimate: Optional[MFUEstimate]
+    n_evaluated: int
+
+    @property
+    def mfu(self) -> float:
+        return self.best_estimate.mfu if self.best_estimate else 0.0
+
+
+def enumerate_configs(
+    world_size: int,
+    global_batch: int,
+    tp_choices: Sequence[int] = DEFAULT_TP_CHOICES,
+    pp_choices: Sequence[int] = DEFAULT_PP_CHOICES,
+    ep_choices: Sequence[int] = (1,),
+    micro_batch: int = 1,
+    expert_imbalance_coef: float = 0.0,
+    max_dp: int = MAX_DP,
+) -> List[ParallelismConfig]:
+    """All (tp, pp, dp, ep) combinations that exactly tile ``world_size``."""
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    configs: List[ParallelismConfig] = []
+    for tp in tp_choices:
+        for pp in pp_choices:
+            if world_size % (tp * pp):
+                continue
+            dp = world_size // (tp * pp)
+            if dp < 1 or dp > max_dp:
+                continue
+            if global_batch % dp:
+                continue
+            for ep in ep_choices:
+                if ep > dp:
+                    continue
+                configs.append(
+                    ParallelismConfig(
+                        tp=tp,
+                        pp=pp,
+                        dp=dp,
+                        ep=ep,
+                        global_batch=global_batch,
+                        micro_batch=micro_batch,
+                        expert_imbalance_coef=expert_imbalance_coef,
+                    )
+                )
+    return configs
+
+
+def search_optimal_strategy(
+    model: ModelConfig,
+    world_size: int,
+    global_batch: int,
+    simulator: Optional[MFUSimulator] = None,
+    tp_choices: Sequence[int] = DEFAULT_TP_CHOICES,
+    pp_choices: Sequence[int] = DEFAULT_PP_CHOICES,
+    ep_choices: Sequence[int] = (1,),
+    expert_imbalance_coef: float = 0.0,
+    max_tp: Optional[int] = None,
+) -> StrategySearchResult:
+    """Grid search for the MFU-optimal strategy.
+
+    ``max_tp`` caps the TP size (the paper's ``MFU_TP-8`` baseline uses
+    ``max_tp=8`` to emulate a conventional 8-GPU NVLink HBD).
+    """
+    simulator = simulator or MFUSimulator()
+    if max_tp is not None:
+        tp_choices = tuple(tp for tp in tp_choices if tp <= max_tp)
+    candidates = enumerate_configs(
+        world_size,
+        global_batch,
+        tp_choices=tp_choices,
+        pp_choices=pp_choices,
+        ep_choices=ep_choices,
+        expert_imbalance_coef=expert_imbalance_coef,
+    )
+    best_config: Optional[ParallelismConfig] = None
+    best_estimate: Optional[MFUEstimate] = None
+    evaluated = 0
+    for config in candidates:
+        estimate = simulator.estimate(model, config)
+        evaluated += 1
+        if not estimate.feasible:
+            continue
+        if best_estimate is None or estimate.mfu > best_estimate.mfu:
+            best_config, best_estimate = config, estimate
+    return StrategySearchResult(
+        model_name=model.name,
+        world_size=world_size,
+        best_config=best_config,
+        best_estimate=best_estimate,
+        n_evaluated=evaluated,
+    )
+
+
+def optimal_mfu_table(
+    model: ModelConfig,
+    gpu_counts: Sequence[int],
+    global_batch: int,
+    simulator: Optional[MFUSimulator] = None,
+    ep_choices: Sequence[int] = (1,),
+    expert_imbalance_coef: float = 0.0,
+    baseline_max_tp: Optional[int] = 8,
+) -> List[Dict[str, float]]:
+    """Rows of Table 2 (dense) or Table 5 (MoE).
+
+    Each row contains the optimal parallelism, its MFU, and -- when
+    ``baseline_max_tp`` is set -- the best MFU achievable with TP capped at
+    that size plus the improvement ratio (Table 2's last two columns).
+    """
+    simulator = simulator or MFUSimulator()
+    rows: List[Dict[str, float]] = []
+    for world in gpu_counts:
+        unconstrained = search_optimal_strategy(
+            model,
+            world,
+            global_batch,
+            simulator=simulator,
+            ep_choices=ep_choices,
+            expert_imbalance_coef=expert_imbalance_coef,
+        )
+        row: Dict[str, float] = {
+            "gpus": world,
+            "tp": unconstrained.best_config.tp if unconstrained.best_config else 0,
+            "pp": unconstrained.best_config.pp if unconstrained.best_config else 0,
+            "dp": unconstrained.best_config.dp if unconstrained.best_config else 0,
+            "ep": unconstrained.best_config.ep if unconstrained.best_config else 0,
+            "mfu": unconstrained.mfu,
+        }
+        if baseline_max_tp is not None:
+            constrained = search_optimal_strategy(
+                model,
+                world,
+                global_batch,
+                simulator=simulator,
+                ep_choices=ep_choices,
+                expert_imbalance_coef=expert_imbalance_coef,
+                max_tp=baseline_max_tp,
+            )
+            row[f"mfu_tp{baseline_max_tp}"] = constrained.mfu
+            row["improvement"] = (
+                unconstrained.mfu / constrained.mfu if constrained.mfu > 0 else 0.0
+            )
+        rows.append(row)
+    return rows
+
+
+def tp_vs_ep_imbalance_table(
+    model: Optional[ModelConfig] = None,
+    world_size: int = 1024,
+    global_batch: int = 1536,
+    imbalance_coefs: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
+    simulator: Optional[MFUSimulator] = None,
+) -> Dict[str, Dict[float, float]]:
+    """Table 4: TP-only MFU versus EP MFU across imbalance coefficients.
+
+    The TP-only column shards experts with tensor parallelism (EP = 1), so it
+    is insensitive to the imbalance coefficient; the EP column uses the best
+    configuration with EP > 1 and pays the straggler penalty.
+    """
+    model = model or gpt_moe_1t()
+    simulator = simulator or MFUSimulator()
+    tp_result = search_optimal_strategy(
+        model, world_size, global_batch, simulator=simulator, ep_choices=(1,)
+    )
+    results: Dict[str, Dict[float, float]] = {"tp": {}, "ep": {}}
+    for coef in imbalance_coefs:
+        results["tp"][coef] = tp_result.mfu
+        ep_result = search_optimal_strategy(
+            model,
+            world_size,
+            global_batch,
+            simulator=simulator,
+            ep_choices=(2, 4, 8),
+            expert_imbalance_coef=coef,
+        )
+        results["ep"][coef] = ep_result.mfu
+    return results

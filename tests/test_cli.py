@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("trace", "waste", "orchestrate", "mfu", "cost", "goodput"):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_cost_command(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "InfiniteHBD(K=2)" in out
+        assert "NVL-72" in out
+
+    def test_cost_command_with_hpn(self, capsys):
+        main(["cost", "--include-hpn"])
+        assert "Alibaba-HPN" in capsys.readouterr().out
+
+    def test_mfu_command(self, capsys):
+        assert main(["mfu", "--model", "llama", "--gpus", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "best: TP=" in out
+        assert "mfu=" in out
+
+    def test_mfu_command_with_tp_cap(self, capsys):
+        main(["mfu", "--model", "llama", "--gpus", "4096", "--max-tp", "8"])
+        out = capsys.readouterr().out
+        assert "TP=8" in out or "TP=4" in out or "TP=2" in out
+
+    def test_trace_command(self, capsys, tmp_path):
+        output = tmp_path / "trace.csv"
+        assert main(["trace", "--days", "30", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "mean_ratio=" in out
+        assert output.exists()
+        assert output.read_text().startswith("node_id,start_hour,end_hour")
+
+    def test_trace_command_4gpu_conversion(self, capsys):
+        main(["trace", "--days", "20", "--gpus-per-node", "4"])
+        assert "gpus_per_node=4" in capsys.readouterr().out
+
+    def test_orchestrate_command(self, capsys):
+        assert main([
+            "orchestrate", "--gpus", "1024", "--fault-ratio", "0.02",
+            "--tors-per-domain", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out and "optimized" in out
+
+    def test_waste_command_small(self, capsys):
+        assert main(["waste", "--days", "20", "--nodes", "288"]) == 0
+        out = capsys.readouterr().out
+        assert "InfiniteHBD(K=3)" in out
+        assert "SiP-Ring" in out
+
+    def test_goodput_command_small(self, capsys):
+        assert main([
+            "goodput", "--days", "20", "--nodes", "288", "--job-gpus", "1024",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "InfiniteHBD(K=2)" in out

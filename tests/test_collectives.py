@@ -1,0 +1,206 @@
+"""Tests for the collective cost model, ring AllReduce and AllToAll algorithms."""
+
+import math
+
+import pytest
+
+from repro.collectives.cost_model import (
+    CollectiveCost,
+    DCN_NIC_LINK,
+    INFINITEHBD_GPU_LINK,
+    LinkSpec,
+    NVLINK_SWITCH_LINK,
+    PCIE4_EXPERIMENTAL_LINK,
+)
+from repro.collectives.ring_allreduce import (
+    RingAllReduceModel,
+    ring_allreduce_time,
+    ring_allreduce_utilization,
+)
+from repro.collectives.alltoall import (
+    binary_exchange_alltoall,
+    binary_exchange_cost,
+    bruck_cost,
+    complexity_comparison,
+    pairwise_cost,
+    pairwise_exchange_alltoall,
+    ring_alltoall_cost,
+)
+
+
+class TestLinkSpec:
+    def test_bandwidth_conversions(self):
+        link = LinkSpec(bandwidth_gbps=800.0, latency_us=2.0, protocol_efficiency=0.5)
+        assert link.bandwidth_bytes_per_s == pytest.approx(1e11)
+        assert link.effective_bytes_per_s == pytest.approx(5e10)
+
+    def test_transfer_time_alpha_beta(self):
+        link = LinkSpec(bandwidth_gbps=8.0, latency_us=10.0, protocol_efficiency=1.0)
+        # 1e9 bytes at 1e9 B/s = 1 s plus 10 us alpha
+        assert link.transfer_time_s(1e9) == pytest.approx(1.00001)
+
+    def test_zero_message_is_free(self):
+        assert INFINITEHBD_GPU_LINK.transfer_time_s(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_gbps=1.0, latency_us=-1.0)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth_gbps=1.0, protocol_efficiency=0.0)
+        with pytest.raises(ValueError):
+            INFINITEHBD_GPU_LINK.transfer_time_s(-5)
+
+
+class TestRingAllReduce:
+    def test_steps_and_wire_bytes(self):
+        cost = ring_allreduce_time(8, 1024.0, INFINITEHBD_GPU_LINK)
+        assert cost.steps == 14
+        assert cost.total_bytes_on_wire == pytest.approx(8 * 14 * 128.0)
+
+    def test_single_rank_is_free(self):
+        cost = ring_allreduce_time(1, 1024.0, INFINITEHBD_GPU_LINK)
+        assert cost.time_s == 0.0
+
+    def test_time_grows_with_message(self):
+        small = ring_allreduce_time(16, 1 << 20, PCIE4_EXPERIMENTAL_LINK)
+        large = ring_allreduce_time(16, 1 << 30, PCIE4_EXPERIMENTAL_LINK)
+        assert large.time_s > small.time_s
+
+    def test_utilization_large_message_near_protocol_efficiency(self):
+        util = ring_allreduce_utilization(16, 1 << 30, PCIE4_EXPERIMENTAL_LINK)
+        assert util == pytest.approx(PCIE4_EXPERIMENTAL_LINK.protocol_efficiency, abs=0.02)
+
+    def test_utilization_small_message_is_low(self):
+        util = ring_allreduce_utilization(16, 4096, PCIE4_EXPERIMENTAL_LINK)
+        assert util < 0.3
+
+    def test_section52_shape(self):
+        """16 vs 32 GPU utilisation nearly flat; NVLink single node higher."""
+        model = RingAllReduceModel()
+        summary = model.section52_summary()
+        u16 = summary["ring_16_gpu_utilization"]
+        u32 = summary["ring_32_gpu_utilization"]
+        u_nvlink = summary["nvlink_8_gpu_utilization"]
+        assert 0.70 <= u16 <= 0.82
+        assert 0.70 <= u32 <= 0.82
+        assert abs(u16 - u32) < 0.02
+        assert u_nvlink > u16
+
+    def test_small_packet_latency_advantage(self):
+        advantage = RingAllReduceModel().small_packet_latency_advantage()
+        assert 0.0 < advantage < 0.25
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_time(0, 100, INFINITEHBD_GPU_LINK)
+        with pytest.raises(ValueError):
+            ring_allreduce_time(4, -1, INFINITEHBD_GPU_LINK)
+
+
+class TestAllToAllFunctional:
+    def test_binary_exchange_correctness_small(self):
+        p = 4
+        blocks = [[f"{src}->{dst}" for dst in range(p)] for src in range(p)]
+        result = binary_exchange_alltoall(blocks)
+        for dst in range(p):
+            for src in range(p):
+                assert result[dst][src] == f"{src}->{dst}"
+
+    @pytest.mark.parametrize("p", [1, 2, 8, 16, 32])
+    def test_binary_exchange_correctness_sizes(self, p):
+        blocks = [[(src, dst) for dst in range(p)] for src in range(p)]
+        result = binary_exchange_alltoall(blocks)
+        for dst in range(p):
+            assert result[dst] == [(src, dst) for src in range(p)]
+
+    def test_binary_exchange_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            binary_exchange_alltoall([[1, 2, 3]] * 3)
+
+    def test_binary_exchange_rejects_ragged_blocks(self):
+        with pytest.raises(ValueError):
+            binary_exchange_alltoall([[1, 2], [1]])
+
+    def test_pairwise_matches_binary_exchange(self):
+        p = 8
+        blocks = [[(src, dst) for dst in range(p)] for src in range(p)]
+        assert pairwise_exchange_alltoall(blocks) == binary_exchange_alltoall(blocks)
+
+
+class TestAllToAllCosts:
+    def test_binary_exchange_step_count(self):
+        cost = binary_exchange_cost(16, 1 << 20, INFINITEHBD_GPU_LINK)
+        assert cost.steps == 4
+        assert cost.requires_fast_switch
+
+    def test_ring_step_count_and_forwarding(self):
+        cost = ring_alltoall_cost(16, 1 << 20, INFINITEHBD_GPU_LINK)
+        assert cost.steps == 15
+        assert cost.requires_gpu_forwarding
+
+    def test_binary_exchange_beats_ring_for_large_groups(self):
+        """Appendix G: O(p log p) vs O(p^2)."""
+        for p in (8, 16, 64, 128):
+            ring = ring_alltoall_cost(p, 1 << 20, INFINITEHBD_GPU_LINK)
+            bex = binary_exchange_cost(p, 1 << 20, INFINITEHBD_GPU_LINK)
+            assert bex.time_s < ring.time_s
+
+    def test_ring_to_binary_ratio_grows_with_p(self):
+        ratios = []
+        for p in (8, 32, 128):
+            ring = ring_alltoall_cost(p, 1 << 20, INFINITEHBD_GPU_LINK)
+            bex = binary_exchange_cost(p, 1 << 20, INFINITEHBD_GPU_LINK)
+            ratios.append(ring.time_s / bex.time_s)
+        assert ratios == sorted(ratios)
+
+    def test_binary_exchange_matches_bruck_volume(self):
+        """Paper: for p < 8 with K=2, performance matches the ideal Bruck."""
+        bex = binary_exchange_cost(4, 1 << 20, INFINITEHBD_GPU_LINK)
+        bruck = bruck_cost(4, 1 << 20, INFINITEHBD_GPU_LINK)
+        assert bex.time_s == pytest.approx(bruck.time_s)
+
+    def test_reconfiguration_overhead_optional(self):
+        overlapped = binary_exchange_cost(16, 1 << 20, INFINITEHBD_GPU_LINK)
+        exposed = binary_exchange_cost(
+            16, 1 << 20, INFINITEHBD_GPU_LINK, overlap_reconfiguration=False
+        )
+        assert exposed.time_s > overlapped.time_s
+        assert exposed.time_s - overlapped.time_s == pytest.approx(4 * 70e-6, rel=1e-6)
+
+    def test_pairwise_cost_steps(self):
+        cost = pairwise_cost(8, 1 << 20, INFINITEHBD_GPU_LINK)
+        assert cost.steps == 7
+        assert cost.bytes_per_step == 1 << 20
+
+    def test_single_rank_costs_are_zero(self):
+        for fn in (ring_alltoall_cost, pairwise_cost, bruck_cost, binary_exchange_cost):
+            assert fn(1, 1 << 20, INFINITEHBD_GPU_LINK).time_s == 0.0
+
+    def test_complexity_comparison_table(self):
+        rows = complexity_comparison([2, 4, 8, 16], 1 << 20, INFINITEHBD_GPU_LINK)
+        assert len(rows) == 4
+        for row in rows:
+            assert set(row) == {
+                "group_size", "ring_s", "binary_exchange_s", "bruck_s", "pairwise_s"
+            }
+
+    def test_total_bytes_per_node(self):
+        cost = binary_exchange_cost(16, 1024.0, INFINITEHBD_GPU_LINK)
+        assert cost.total_bytes_per_node == pytest.approx(4 * 16 / 2 * 1024.0)
+
+
+class TestCollectiveCostDataclass:
+    def test_bandwidth_properties(self):
+        cost = CollectiveCost(
+            algorithm="x", group_size=4, message_bytes=100.0, steps=2,
+            total_bytes_on_wire=400.0, time_s=2.0,
+        )
+        assert cost.algorithm_bandwidth_bytes_per_s == pytest.approx(50.0)
+        assert cost.bus_bandwidth_bytes_per_s == pytest.approx(50.0)
+
+    def test_zero_time(self):
+        cost = CollectiveCost("x", 4, 0.0, 0, 0.0, 0.0)
+        assert cost.algorithm_bandwidth_bytes_per_s == 0.0
+        assert cost.bus_bandwidth_bytes_per_s == 0.0

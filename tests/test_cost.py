@@ -1,0 +1,148 @@
+"""Tests for the interconnect cost / power analysis (Tables 6, 8, Fig. 17d)."""
+
+import pytest
+
+from repro.cost.analysis import (
+    aggregate_cost,
+    aggregate_cost_sweep,
+    cost_reduction_vs,
+    interconnect_cost_table,
+)
+from repro.cost.architectures import (
+    all_reference_boms,
+    infinitehbd_bom,
+    nvl36_bom,
+    nvl72_bom,
+    nvl36x2_bom,
+    nvl576_bom,
+    reference_bom,
+    tpuv4_bom,
+)
+from repro.cost.components import COMPONENT_CATALOG, Component, component
+from repro.hbd import InfiniteHBDArchitecture, NVLHBD
+
+
+class TestComponents:
+    def test_catalog_contains_table8_entries(self):
+        for key in ("palomar_ocs", "nvlink_switch", "ocstrx_800g", "dac_1600g"):
+            assert key in COMPONENT_CATALOG
+
+    def test_component_lookup(self):
+        assert component("ocstrx_800g").unit_cost_usd == 600.0
+        with pytest.raises(KeyError):
+            component("quantum_link")
+
+    def test_component_validation(self):
+        with pytest.raises(ValueError):
+            Component("x", -1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Component("x", 1.0, -1.0, 1.0)
+
+
+class TestBOMs:
+    def test_table6_per_gpu_costs_match_paper(self):
+        """Exact Table 6 'Per-GPU Cost' column."""
+        assert tpuv4_bom().cost_per_gpu == pytest.approx(1567.20, abs=0.5)
+        assert nvl36_bom().cost_per_gpu == pytest.approx(9563.20, abs=0.5)
+        assert nvl72_bom().cost_per_gpu == pytest.approx(9563.20, abs=0.5)
+        assert nvl36x2_bom().cost_per_gpu == pytest.approx(17924.00, abs=0.5)
+        assert nvl576_bom().cost_per_gpu == pytest.approx(30417.60, abs=0.5)
+        assert infinitehbd_bom(2).cost_per_gpu == pytest.approx(2626.80, abs=0.5)
+        assert infinitehbd_bom(3).cost_per_gpu == pytest.approx(3740.60, abs=0.5)
+
+    def test_table6_per_gpu_power_matches_paper(self):
+        assert tpuv4_bom().power_per_gpu == pytest.approx(19.39, abs=0.05)
+        assert nvl72_bom().power_per_gpu == pytest.approx(75.95, abs=0.05)
+        assert nvl576_bom().power_per_gpu == pytest.approx(413.45, abs=0.1)
+        assert infinitehbd_bom(2).power_per_gpu == pytest.approx(48.10, abs=0.05)
+        assert infinitehbd_bom(3).power_per_gpu == pytest.approx(72.05, abs=0.05)
+
+    def test_table6_per_gBps_costs_match_paper(self):
+        assert tpuv4_bom().cost_per_gpu_per_gBps == pytest.approx(5.22, abs=0.02)
+        assert nvl72_bom().cost_per_gpu_per_gBps == pytest.approx(10.63, abs=0.02)
+        assert infinitehbd_bom(2).cost_per_gpu_per_gBps == pytest.approx(3.28, abs=0.02)
+        assert infinitehbd_bom(3).cost_per_gpu_per_gBps == pytest.approx(4.68, abs=0.02)
+
+    def test_infinitehbd_is_the_cheapest_per_gBps(self):
+        table = {b.name: b.cost_per_gpu_per_gBps for b in all_reference_boms()}
+        assert min(table, key=table.get) == "InfiniteHBD(K=2)"
+
+    def test_headline_cost_reductions(self):
+        """Paper abstract: 31% of NVL-72 cost and ~63% of TPUv4 (per GBps)."""
+        assert infinitehbd_bom(2).cost_per_gpu_per_gBps / nvl72_bom().cost_per_gpu_per_gBps == pytest.approx(0.31, abs=0.02)
+        assert infinitehbd_bom(2).cost_per_gpu_per_gBps / tpuv4_bom().cost_per_gpu_per_gBps == pytest.approx(0.63, abs=0.02)
+
+    def test_reference_bom_lookup(self):
+        assert reference_bom("nvl-72").n_gpus == 72
+        assert reference_bom("InfiniteHBD(K=3)").n_gpus == 4
+        with pytest.raises(KeyError):
+            reference_bom("unknown")
+
+    def test_infinitehbd_bom_only_published_k(self):
+        with pytest.raises(ValueError):
+            infinitehbd_bom(4)
+
+    def test_hpn_included_on_request(self):
+        names = [b.name for b in all_reference_boms(include_hpn=True)]
+        assert "Alibaba-HPN" in names
+        assert "Alibaba-HPN" not in [b.name for b in all_reference_boms()]
+
+    def test_bom_line_totals(self):
+        bom = infinitehbd_bom(2)
+        assert bom.total_cost_usd == pytest.approx(4 * 199.60 + 16 * 600 + 16 * 6.80)
+        assert bom.total_power_watts == pytest.approx(4 * 0.1 + 16 * 12.0)
+
+
+class TestCostTableAndAggregate:
+    def test_interconnect_cost_table_rows(self):
+        rows = interconnect_cost_table()
+        names = [r.name for r in rows]
+        assert "TPUv4" in names and "InfiniteHBD(K=2)" in names
+        for row in rows:
+            assert row.cost_per_gpu > 0
+            assert row.cost_per_gBps > 0
+
+    def test_cost_reduction_vs_nvl(self):
+        """Paper: 3.24x cheaper than NVL-72, 1.59x cheaper than TPUv4."""
+        assert cost_reduction_vs("InfiniteHBD(K=2)", "NVL-72") == pytest.approx(3.24, abs=0.05)
+        assert cost_reduction_vs("InfiniteHBD(K=2)", "TPUv4") == pytest.approx(1.59, abs=0.05)
+
+    def test_cost_reduction_unknown_name(self):
+        with pytest.raises(KeyError):
+            cost_reduction_vs("InfiniteHBD(K=2)", "Dojo")
+
+    def test_aggregate_cost_increases_with_fault_ratio(self):
+        arch = NVLHBD(72, gpus_per_node=4)
+        low = aggregate_cost(arch, n_nodes=720, fault_ratio=0.0, n_samples=3)
+        high = aggregate_cost(arch, n_nodes=720, fault_ratio=0.15, n_samples=3)
+        assert high > low
+
+    def test_infinitehbd_lowest_aggregate_cost(self):
+        """Figure 17d: InfiniteHBD consistently exhibits the lowest aggregate cost."""
+        infinite = aggregate_cost(
+            InfiniteHBDArchitecture(k=2, gpus_per_node=4), 720, 0.05, n_samples=3
+        )
+        nvl = aggregate_cost(NVLHBD(72, gpus_per_node=4), 720, 0.05, n_samples=3)
+        assert infinite < nvl
+
+    def test_aggregate_cost_sweep_normalised(self):
+        curves = aggregate_cost_sweep(
+            n_nodes=360, fault_ratios=(0.0, 0.1), n_samples=2
+        )
+        assert curves["InfiniteHBD(K=2)"][0] == pytest.approx(100.0)
+        for series in curves.values():
+            assert len(series) == 2
+
+    def test_aggregate_cost_sweep_raw(self):
+        curves = aggregate_cost_sweep(
+            architectures=[InfiniteHBDArchitecture(k=2, gpus_per_node=4)],
+            n_nodes=360, fault_ratios=(0.0,), normalize=False, n_samples=2,
+        )
+        value = curves["InfiniteHBD(K=2)"][0]
+        assert value == pytest.approx(infinitehbd_bom(2).cost_per_gpu, rel=0.05)
+
+    def test_k2_cheaper_than_k3_at_low_fault_ratio(self):
+        """Paper: K=2 is the better design below ~12% fault ratio."""
+        k2 = aggregate_cost(InfiniteHBDArchitecture(k=2, gpus_per_node=4), 720, 0.02, n_samples=3)
+        k3 = aggregate_cost(InfiniteHBDArchitecture(k=3, gpus_per_node=4), 720, 0.02, n_samples=3)
+        assert k2 < k3

@@ -1,0 +1,136 @@
+"""Failure-injection property tests for the control plane and architectures.
+
+Random fault / repair sequences are driven against the cluster manager and
+the architecture models; the tests check structural invariants that must hold
+after *every* step, not just in the curated scenarios of the unit tests.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.control.cluster_manager import ClusterManager, RingState
+from repro.control.fabric_manager import NodeRole
+from repro.hbd import InfiniteHBDArchitecture, default_architectures
+
+
+# Sequences of (operation, node) pairs: True = fault, False = repair.
+fault_repair_sequences = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=31)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _check_invariants(manager: ClusterManager) -> None:
+    # 1. No node is assigned to two live rings.
+    assignments = {}
+    for ring in manager.rings.values():
+        if ring.state is RingState.RELEASED:
+            continue
+        for node in ring.node_ids:
+            assert node not in assignments, (
+                f"node {node} in rings {assignments[node]} and {ring.ring_id}"
+            )
+            assignments[node] = ring.ring_id
+
+    # 2. Free nodes are healthy and unassigned.
+    free = set(manager.free_nodes())
+    assert free.isdisjoint(manager.faulty_nodes)
+    assert free.isdisjoint(assignments)
+
+    # 3. Live ring members are healthy, and active/degraded rings keep their
+    #    endpoints' fabric roles consistent.
+    for ring in manager.rings.values():
+        if ring.state not in (RingState.ACTIVE, RingState.DEGRADED):
+            continue
+        for node in ring.node_ids:
+            assert not manager.nodes[node].failed
+        if len(ring.node_ids) >= 2:
+            head = manager.fabric_managers[ring.node_ids[0]]
+            tail = manager.fabric_managers[ring.node_ids[-1]]
+            assert head.role in (NodeRole.HEAD, NodeRole.SOLO)
+            assert tail.role in (NodeRole.TAIL, NodeRole.SOLO)
+        elif len(ring.node_ids) == 1:
+            only = manager.fabric_managers[ring.node_ids[0]]
+            assert only.role is NodeRole.SOLO
+
+    # 4. Consecutive members of a live ring stay within K-hop reach.
+    for ring in manager.rings.values():
+        if ring.state not in (RingState.ACTIVE, RingState.DEGRADED):
+            continue
+        for a, b in zip(ring.node_ids, ring.node_ids[1:]):
+            assert manager.topology.has_link(a, b)
+
+
+class TestClusterManagerUnderRandomFaults:
+    @given(fault_repair_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_after_every_step(self, sequence):
+        manager = ClusterManager(n_nodes=32, k=2, gpus_per_node=4)
+        manager.allocate_rings(tp_size=16)
+        for is_fault, node in sequence:
+            if is_fault:
+                manager.handle_fault(node)
+            else:
+                manager.handle_repair(node)
+            _check_invariants(manager)
+
+    @given(fault_repair_sequences)
+    @settings(max_examples=30, deadline=None)
+    def test_reallocation_after_chaos_is_consistent(self, sequence):
+        manager = ClusterManager(n_nodes=32, k=3, gpus_per_node=4)
+        manager.allocate_rings(tp_size=32)
+        for is_fault, node in sequence:
+            if is_fault:
+                manager.handle_fault(node)
+            else:
+                manager.handle_repair(node)
+        # Release everything and re-allocate on the surviving nodes.
+        manager.release_all()
+        rings = manager.allocate_rings(tp_size=32)
+        _check_invariants(manager)
+        placed = [n for r in rings for n in r.node_ids]
+        assert len(placed) == len(set(placed))
+        assert set(placed).isdisjoint(manager.faulty_nodes)
+
+    @given(st.sets(st.integers(min_value=0, max_value=31), max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_bypasses_never_exceed_faults(self, fault_nodes):
+        manager = ClusterManager(n_nodes=32, k=2, gpus_per_node=4)
+        manager.allocate_rings(tp_size=16)
+        bypasses = 0
+        for node in sorted(fault_nodes):
+            if manager.handle_fault(node) is not None:
+                bypasses += 1
+        assert bypasses <= len(fault_nodes)
+        _check_invariants(manager)
+
+
+class TestArchitecturesUnderRandomFaults:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=143), min_size=0, max_size=80),
+        st.sampled_from([8, 16, 32]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_faults_never_increase_capacity(self, fault_order, tp):
+        """Capacity is monotonically non-increasing as faults accumulate."""
+        for arch in (
+            InfiniteHBDArchitecture(k=2, gpus_per_node=4),
+            InfiniteHBDArchitecture(k=3, gpus_per_node=4),
+        ):
+            faults = set()
+            previous = arch.usable_gpus(144, faults, tp)
+            for node in fault_order:
+                faults.add(node)
+                current = arch.usable_gpus(144, faults, tp)
+                assert current <= previous
+                previous = current
+
+    @given(st.sets(st.integers(min_value=0, max_value=143), max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_repair_restores_capacity(self, faults):
+        """Repairing every fault returns each architecture to a fault-free state."""
+        for arch in default_architectures(4):
+            degraded = arch.usable_gpus(144, faults, 32)
+            restored = arch.usable_gpus(144, set(), 32)
+            assert degraded <= restored
+            assert restored == arch.usable_gpus(144, set(), 32)

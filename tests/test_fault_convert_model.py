@@ -1,0 +1,121 @@
+"""Tests for the 8-GPU to 4-GPU trace conversion and the i.i.d. fault model."""
+
+import numpy as np
+import pytest
+
+from repro.faults.convert import (
+    conversion_probability,
+    convert_trace_8gpu_to_4gpu,
+    node_fault_probability,
+    per_gpu_fault_probability,
+)
+from repro.faults.model import IIDFaultModel, sample_fault_set
+from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.faults.trace import FaultEvent, FaultTrace
+
+
+class TestProbabilityMath:
+    def test_per_gpu_probability_matches_appendix_a(self):
+        p = per_gpu_fault_probability(0.0233, 8)
+        assert p == pytest.approx(0.0029, abs=2e-4)
+
+    def test_node_probability_4gpu(self):
+        p = per_gpu_fault_probability(0.0233, 8)
+        assert node_fault_probability(p, 4) == pytest.approx(0.0117, abs=5e-4)
+
+    def test_conversion_probability_matches_paper(self):
+        assert conversion_probability(0.0233, 8, 4) == pytest.approx(0.5021, abs=0.005)
+
+    def test_roundtrip_consistency(self):
+        p_gpu = per_gpu_fault_probability(0.05, 8)
+        assert node_fault_probability(p_gpu, 8) == pytest.approx(0.05)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            per_gpu_fault_probability(1.5, 8)
+        with pytest.raises(ValueError):
+            node_fault_probability(-0.1, 8)
+        with pytest.raises(ValueError):
+            per_gpu_fault_probability(0.1, 0)
+
+
+class TestTraceConversion:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return generate_synthetic_trace(
+            SyntheticTraceConfig(n_nodes=200, duration_days=120, seed=5)
+        )
+
+    def test_converted_shape(self, source):
+        converted = convert_trace_8gpu_to_4gpu(source, seed=1)
+        assert converted.n_nodes == 2 * source.n_nodes
+        assert converted.gpus_per_node == 4
+        assert converted.duration_days == source.duration_days
+
+    def test_converted_fault_ratio_roughly_halved(self, source):
+        converted = convert_trace_8gpu_to_4gpu(source, seed=1)
+        source_mean = source.statistics().mean_fault_ratio
+        converted_mean = converted.statistics().mean_fault_ratio
+        assert converted_mean == pytest.approx(source_mean * 0.50, rel=0.25)
+
+    def test_converted_events_map_to_child_nodes(self, source):
+        converted = convert_trace_8gpu_to_4gpu(source, seed=1)
+        source_nodes = {e.node_id for e in source.events}
+        for event in converted.events:
+            assert event.node_id // 2 in source_nodes
+
+    def test_requires_8gpu_trace(self):
+        trace = FaultTrace(
+            n_nodes=4,
+            duration_days=1,
+            events=[FaultEvent(0, 0.0, 1.0)],
+            gpus_per_node=4,
+        )
+        with pytest.raises(ValueError):
+            convert_trace_8gpu_to_4gpu(trace)
+
+    def test_deterministic_per_seed(self, source):
+        a = convert_trace_8gpu_to_4gpu(source, seed=3)
+        b = convert_trace_8gpu_to_4gpu(source, seed=3)
+        assert a.to_csv() == b.to_csv()
+
+
+class TestIIDFaultModel:
+    def test_sample_count_matches_ratio(self):
+        rng = np.random.default_rng(0)
+        faults = sample_fault_set(1000, 0.05, rng)
+        assert len(faults) == 50
+        assert all(0 <= f < 1000 for f in faults)
+
+    def test_zero_ratio(self):
+        rng = np.random.default_rng(0)
+        assert sample_fault_set(100, 0.0, rng) == set()
+
+    def test_full_ratio(self):
+        rng = np.random.default_rng(0)
+        assert len(sample_fault_set(100, 1.0, rng)) == 100
+
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_fault_set(0, 0.1, rng)
+        with pytest.raises(ValueError):
+            sample_fault_set(10, 1.5, rng)
+
+    def test_expectation_of_indicator(self):
+        model = IIDFaultModel(n_nodes=100, seed=1, n_samples=30)
+        mean_size = model.expectation(0.1, lambda s: len(s))
+        assert mean_size == pytest.approx(10.0)
+
+    def test_sweep_shape_and_monotonicity(self):
+        model = IIDFaultModel(n_nodes=200, seed=2, n_samples=10)
+        ratios = [0.0, 0.05, 0.1, 0.2]
+        sizes = model.sweep(ratios, lambda s: len(s))
+        assert len(sizes) == 4
+        assert sizes == sorted(sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IIDFaultModel(n_nodes=0)
+        with pytest.raises(ValueError):
+            IIDFaultModel(n_nodes=10, n_samples=0)

@@ -1,0 +1,118 @@
+"""Tests for the fault-trace data structures."""
+
+import pytest
+
+from repro.faults.trace import FaultEvent, FaultTrace, HOURS_PER_DAY
+
+
+def simple_trace():
+    events = [
+        FaultEvent(node_id=0, start_hour=0.0, end_hour=48.0),
+        FaultEvent(node_id=1, start_hour=24.0, end_hour=72.0),
+        FaultEvent(node_id=2, start_hour=100.0, end_hour=124.0),
+    ]
+    return FaultTrace(n_nodes=10, duration_days=10, events=events, gpus_per_node=8)
+
+
+class TestFaultEvent:
+    def test_duration(self):
+        event = FaultEvent(node_id=0, start_hour=10.0, end_hour=34.0)
+        assert event.duration_hours == 24.0
+
+    def test_active_at_is_half_open(self):
+        event = FaultEvent(node_id=0, start_hour=10.0, end_hour=20.0)
+        assert event.active_at(10.0)
+        assert event.active_at(19.999)
+        assert not event.active_at(20.0)
+        assert not event.active_at(5.0)
+
+    def test_rejects_negative_node(self):
+        with pytest.raises(ValueError):
+            FaultEvent(node_id=-1, start_hour=0.0, end_hour=1.0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            FaultEvent(node_id=0, start_hour=5.0, end_hour=1.0)
+
+
+class TestFaultTrace:
+    def test_faulty_nodes_at(self):
+        trace = simple_trace()
+        assert trace.faulty_nodes_at(0.0) == {0}
+        assert trace.faulty_nodes_at(30.0) == {0, 1}
+        assert trace.faulty_nodes_at(80.0) == set()
+        assert trace.faulty_nodes_at(110.0) == {2}
+
+    def test_fault_ratio_at(self):
+        trace = simple_trace()
+        assert trace.fault_ratio_at(30.0) == pytest.approx(0.2)
+
+    def test_sample_times_cover_duration(self):
+        trace = simple_trace()
+        times = trace.sample_times(24.0)
+        assert len(times) == 10
+        assert times[0] == 0.0
+
+    def test_fault_ratio_series(self):
+        trace = simple_trace()
+        days, ratios = trace.fault_ratio_series(24.0)
+        assert len(days) == len(ratios) == 10
+        assert ratios[0] == pytest.approx(0.1)
+        assert ratios[1] == pytest.approx(0.2)
+
+    def test_fault_ratio_cdf_monotone(self):
+        trace = simple_trace()
+        ratios, cdf = trace.fault_ratio_cdf()
+        assert ratios == sorted(ratios)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+
+    def test_statistics(self):
+        stats = simple_trace().statistics()
+        assert stats.n_events == 3
+        assert stats.mean_repair_hours == pytest.approx((48 + 48 + 24) / 3)
+        assert 0.0 <= stats.mean_fault_ratio <= stats.p99_fault_ratio <= 1.0
+
+    def test_restrict_nodes_drops_out_of_range_events(self):
+        trace = simple_trace()
+        small = trace.restrict_nodes(2)
+        assert small.n_nodes == 2
+        assert len(small) == 2
+        with pytest.raises(ValueError):
+            trace.restrict_nodes(11)
+
+    def test_event_outside_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            FaultTrace(
+                n_nodes=2,
+                duration_days=1,
+                events=[FaultEvent(node_id=5, start_hour=0, end_hour=1)],
+            )
+
+    def test_csv_round_trip(self):
+        trace = simple_trace()
+        text = trace.to_csv()
+        restored = FaultTrace.from_csv(text, n_nodes=10, duration_days=10)
+        assert len(restored) == len(trace)
+        assert restored.faulty_nodes_at(30.0) == trace.faulty_nodes_at(30.0)
+
+    def test_events_sorted_by_start(self):
+        events = [
+            FaultEvent(node_id=1, start_hour=50.0, end_hour=60.0),
+            FaultEvent(node_id=0, start_hour=0.0, end_hour=10.0),
+        ]
+        trace = FaultTrace(n_nodes=2, duration_days=5, events=events)
+        assert trace.events[0].node_id == 0
+
+    def test_total_gpus(self):
+        assert simple_trace().total_gpus == 80
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FaultTrace(n_nodes=0, duration_days=1, events=[])
+        with pytest.raises(ValueError):
+            FaultTrace(n_nodes=1, duration_days=0, events=[])
+
+    def test_invalid_sampling_interval(self):
+        with pytest.raises(ValueError):
+            simple_trace().sample_times(0.0)

@@ -1,0 +1,121 @@
+"""Tests for the job-goodput simulator."""
+
+import pytest
+
+from repro.faults.convert import convert_trace_8gpu_to_4gpu
+from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.faults.trace import FaultEvent, FaultTrace
+from repro.hbd import BigSwitchHBD, InfiniteHBDArchitecture, NVLHBD, SiPRingHBD
+from repro.simulation.goodput import (
+    GoodputConfig,
+    GoodputReport,
+    GoodputSimulator,
+    goodput_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def trace4():
+    trace8 = generate_synthetic_trace(
+        SyntheticTraceConfig(n_nodes=400, duration_days=60, seed=77)
+    )
+    return convert_trace_8gpu_to_4gpu(trace8, seed=77)
+
+
+class TestGoodputConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoodputConfig(job_gpus=0, tp_size=32)
+        with pytest.raises(ValueError):
+            GoodputConfig(job_gpus=100, tp_size=32)
+        with pytest.raises(ValueError):
+            GoodputConfig(job_gpus=64, tp_size=32, checkpoint_interval_hours=0)
+        with pytest.raises(ValueError):
+            GoodputConfig(job_gpus=64, tp_size=32, restart_overhead_hours=-1)
+
+
+class TestGoodputReport:
+    def test_ratios(self):
+        report = GoodputReport(
+            total_hours=100.0,
+            productive_hours=90.0,
+            waiting_hours=10.0,
+            restart_hours=5.0,
+            job_impacting_faults=3,
+        )
+        assert report.goodput == pytest.approx(0.85)
+        assert report.waiting_fraction == pytest.approx(0.10)
+
+    def test_zero_duration(self):
+        report = GoodputReport(0.0, 0.0, 0.0, 0.0, 0)
+        assert report.goodput == 0.0
+        assert report.waiting_fraction == 0.0
+
+
+class TestGoodputSimulator:
+    def test_no_faults_full_goodput(self):
+        trace = FaultTrace(n_nodes=100, duration_days=10, events=[], gpus_per_node=4)
+        config = GoodputConfig(job_gpus=320, tp_size=32)
+        report = GoodputSimulator(BigSwitchHBD(4), trace, config).run()
+        assert report.goodput == pytest.approx(1.0)
+        assert report.waiting_hours == 0.0
+        assert report.job_impacting_faults == 0
+
+    def test_permanent_capacity_loss_causes_waiting(self):
+        # 10 nodes, a job needing every GPU, one node down for the whole trace.
+        events = [FaultEvent(node_id=0, start_hour=0.0, end_hour=240.0)]
+        trace = FaultTrace(n_nodes=10, duration_days=10, events=events, gpus_per_node=4)
+        config = GoodputConfig(job_gpus=40, tp_size=4)
+        report = GoodputSimulator(BigSwitchHBD(4), trace, config).run()
+        assert report.waiting_fraction == pytest.approx(1.0)
+        assert report.goodput == 0.0
+
+    def test_restart_charged_on_new_fault(self):
+        events = [FaultEvent(node_id=0, start_hour=24.0, end_hour=48.0)]
+        trace = FaultTrace(n_nodes=10, duration_days=10, events=events, gpus_per_node=4)
+        # Job only needs 8 of 40 GPUs, so it keeps running but may be hit.
+        config = GoodputConfig(job_gpus=8, tp_size=4)
+        report = GoodputSimulator(BigSwitchHBD(4), trace, config).run()
+        assert report.waiting_hours == 0.0
+        assert report.restart_hours >= 0.0
+        assert report.goodput <= 1.0
+
+    def test_validation(self, trace4):
+        with pytest.raises(ValueError):
+            GoodputSimulator(NVLHBD(72, gpus_per_node=8), trace4,
+                             GoodputConfig(job_gpus=64, tp_size=32))
+        with pytest.raises(ValueError):
+            GoodputSimulator(BigSwitchHBD(4), trace4,
+                             GoodputConfig(job_gpus=64, tp_size=32),
+                             n_nodes=trace4.n_nodes + 1)
+        with pytest.raises(ValueError):
+            GoodputSimulator(BigSwitchHBD(4), trace4,
+                             GoodputConfig(job_gpus=10**7, tp_size=32))
+
+    def test_goodput_bounded(self, trace4):
+        config = GoodputConfig(job_gpus=2560, tp_size=32)
+        report = GoodputSimulator(
+            InfiniteHBDArchitecture(k=2, gpus_per_node=4), trace4, config, n_nodes=720
+        ).run()
+        assert 0.0 <= report.goodput <= 1.0
+        assert report.total_hours == pytest.approx(60 * 24, rel=0.01)
+
+
+class TestGoodputComparison:
+    def test_infinitehbd_goodput_at_least_nvl(self, trace4):
+        """Fault isolation translates into equal or better goodput."""
+        config = GoodputConfig(job_gpus=2560, tp_size=32)
+        reports = goodput_comparison(
+            [
+                InfiniteHBDArchitecture(k=3, gpus_per_node=4),
+                NVLHBD(36, gpus_per_node=4),
+                SiPRingHBD(gpus_per_node=4),
+            ],
+            trace4,
+            config,
+            n_nodes=720,
+        )
+        inf = reports["InfiniteHBD(K=3)"]
+        assert inf.goodput >= reports["NVL-36"].goodput
+        assert inf.goodput >= reports["SiP-Ring"].goodput
+        assert inf.waiting_fraction <= reports["NVL-36"].waiting_fraction

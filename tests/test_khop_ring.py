@@ -1,0 +1,209 @@
+"""Tests for the K-Hop Ring / Line topology."""
+
+import networkx as nx
+import pytest
+
+from repro.core.khop_ring import KHopRingTopology, KHopTopologyConfig, Segment
+
+
+def make(n=32, k=2, r=4, ring=True):
+    return KHopRingTopology(KHopTopologyConfig(n_nodes=n, k=k, gpus_per_node=r, ring=ring))
+
+
+class TestConfig:
+    def test_total_gpus(self):
+        assert KHopTopologyConfig(n_nodes=10, gpus_per_node=4).total_gpus == 40
+
+    def test_degree_is_2k(self):
+        assert KHopTopologyConfig(n_nodes=100, k=3).degree == 6
+
+    def test_degree_capped_by_size(self):
+        assert KHopTopologyConfig(n_nodes=3, k=5).degree == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            KHopTopologyConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            KHopTopologyConfig(n_nodes=4, k=0)
+        with pytest.raises(ValueError):
+            KHopTopologyConfig(n_nodes=4, gpus_per_node=0)
+
+
+class TestNeighbors:
+    def test_ring_neighbors_k2(self):
+        topo = make(n=10, k=2)
+        assert topo.neighbors(0) == [1, 2, 8, 9]
+        assert topo.neighbors(5) == [3, 4, 6, 7]
+
+    def test_line_neighbors_at_edge(self):
+        topo = make(n=10, k=2, ring=False)
+        assert topo.neighbors(0) == [1, 2]
+        assert topo.neighbors(9) == [7, 8]
+
+    def test_has_link_within_k(self):
+        topo = make(n=20, k=3)
+        assert topo.has_link(0, 3)
+        assert not topo.has_link(0, 4)
+        assert topo.has_link(0, 17)  # wrap-around at distance 3
+
+    def test_no_self_link(self):
+        assert not make().has_link(5, 5)
+
+    def test_hop_distance_ring_wraps(self):
+        topo = make(n=10, k=2)
+        assert topo.hop_distance(0, 9) == 1
+        assert topo.hop_distance(0, 5) == 5
+
+    def test_hop_distance_line(self):
+        topo = make(n=10, k=2, ring=False)
+        assert topo.hop_distance(0, 9) == 9
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(ValueError):
+            make(n=10).neighbors(10)
+
+
+class TestGraph:
+    def test_graph_degree_matches_2k(self):
+        topo = make(n=20, k=2)
+        g = topo.graph()
+        assert all(deg == 4 for _, deg in g.degree())
+
+    def test_graph_removes_faulty_nodes(self):
+        topo = make(n=20, k=2)
+        g = topo.graph(faulty={3, 4})
+        assert 3 not in g and 4 not in g
+        assert g.number_of_nodes() == 18
+
+    def test_graph_connected_without_faults(self):
+        g = make(n=30, k=2).graph()
+        assert nx.is_connected(g)
+
+    def test_graph_stays_connected_bypassing_single_fault(self):
+        topo = make(n=30, k=2)
+        g = topo.graph(faulty={7})
+        assert nx.is_connected(g)
+
+    def test_graph_disconnects_on_k_consecutive_faults_line(self):
+        topo = make(n=30, k=2, ring=False)
+        g = topo.graph(faulty={10, 11})
+        assert not nx.is_connected(g)
+
+
+class TestHealthySegments:
+    def test_no_faults_single_ring_segment(self):
+        topo = make(n=16, k=2)
+        segments = topo.healthy_segments(set())
+        assert len(segments) == 1
+        assert segments[0].is_ring
+        assert len(segments[0]) == 16
+
+    def test_single_fault_is_bypassed(self):
+        topo = make(n=16, k=2)
+        segments = topo.healthy_segments({5})
+        assert len(segments) == 1
+        assert len(segments[0]) == 15
+
+    def test_k_minus_one_consecutive_faults_bypassed(self):
+        topo = make(n=32, k=3)
+        segments = topo.healthy_segments({10, 11})
+        assert len(segments) == 1
+        assert len(segments[0]) == 30
+
+    def test_k_consecutive_faults_break_segment(self):
+        topo = make(n=32, k=2, ring=False)
+        segments = topo.healthy_segments({10, 11})
+        assert len(segments) == 2
+        sizes = sorted(len(s) for s in segments)
+        assert sizes == [10, 20]
+
+    def test_ring_merges_across_wrap(self):
+        topo = make(n=32, k=2)
+        # Break the ring in the middle only; the wrap point stays intact so
+        # the two halves merge into a single line segment across index 0.
+        segments = topo.healthy_segments({10, 11})
+        assert len(segments) == 1
+        assert len(segments[0]) == 30
+
+    def test_ring_two_breakpoints_two_segments(self):
+        topo = make(n=32, k=2)
+        segments = topo.healthy_segments({10, 11, 20, 21})
+        assert len(segments) == 2
+
+    def test_all_nodes_faulty(self):
+        topo = make(n=8, k=2)
+        assert topo.healthy_segments(set(range(8))) == []
+
+    def test_segments_preserve_order(self):
+        topo = make(n=12, k=2, ring=False)
+        segments = topo.healthy_segments({4})
+        nodes = [n for s in segments for n in s.nodes]
+        assert nodes == sorted(nodes)
+
+    def test_segment_capacity_and_leftover(self):
+        segment = Segment(nodes=tuple(range(10)))
+        assert segment.tp_group_capacity(4) == 2
+        assert segment.leftover_nodes(4) == 2
+
+
+class TestBreakpoints:
+    def test_no_breakpoints_without_faults(self):
+        assert make(n=20, k=2).breakpoints(set()) == 0
+
+    def test_single_fault_no_breakpoint(self):
+        assert make(n=20, k=2).breakpoints({5}) == 0
+
+    def test_two_consecutive_faults_is_breakpoint_for_k2(self):
+        assert make(n=20, k=2).breakpoints({5, 6}) == 1
+
+    def test_two_consecutive_faults_not_breakpoint_for_k3(self):
+        assert make(n=20, k=3).breakpoints({5, 6}) == 0
+
+    def test_line_end_run_is_not_breakpoint(self):
+        topo = make(n=20, k=2, ring=False)
+        assert topo.breakpoints({0, 1, 2}) == 0
+
+    def test_ring_wrap_run_is_breakpoint(self):
+        topo = make(n=20, k=2)
+        assert topo.breakpoints({19, 0}) == 1
+
+
+class TestCapacity:
+    def test_usable_gpus_no_faults(self):
+        topo = make(n=16, k=2, r=4)
+        assert topo.usable_gpus(set(), tp_size=32) == 64
+
+    def test_usable_gpus_with_fragmentation(self):
+        topo = make(n=10, k=2, r=4)
+        # 10 nodes = 40 GPUs, TP-32 needs 8 nodes -> one group, 2 nodes wasted
+        assert topo.usable_gpus(set(), tp_size=32) == 32
+        assert topo.wasted_gpus(set(), tp_size=32) == 8
+
+    def test_waste_ratio_definition(self):
+        topo = make(n=10, k=2, r=4)
+        assert topo.waste_ratio(set(), tp_size=32) == pytest.approx(8 / 40)
+
+    def test_single_fault_waste_small(self):
+        topo = make(n=720, k=3, r=4)
+        waste = topo.waste_ratio({100}, tp_size=32)
+        # one missing node leaves 719 healthy; 719 // 8 * 8 = 712 usable
+        assert waste == pytest.approx((719 - 712) * 4 / 2880)
+
+    def test_nodes_per_tp_group(self):
+        topo = make(r=4)
+        assert topo.nodes_per_tp_group(32) == 8
+        assert topo.nodes_per_tp_group(8) == 2
+        assert topo.nodes_per_tp_group(2) == 1
+
+    def test_wasted_plus_usable_equals_healthy(self):
+        topo = make(n=100, k=2, r=4)
+        faulty = {3, 4, 50, 80}
+        usable = topo.usable_gpus(faulty, 16)
+        wasted = topo.wasted_gpus(faulty, 16)
+        assert usable + wasted == (100 - 4) * 4
+
+    def test_k3_never_wastes_more_than_k2(self):
+        faulty = {5, 6, 30, 31, 60}
+        k2 = make(n=128, k=2, r=4)
+        k3 = make(n=128, k=3, r=4)
+        assert k3.wasted_gpus(faulty, 32) <= k2.wasted_gpus(faulty, 32)

@@ -1,0 +1,119 @@
+"""Tests for the multi-dimensional parallelism planner (section 7)."""
+
+import pytest
+
+from repro.core.multidim import (
+    DimensionTraffic,
+    MultiDimensionPlanner,
+    MultiDimPlan,
+    MultiDimStrategy,
+)
+
+
+def gb(value: float) -> float:
+    return value * 1e9
+
+
+class TestValidation:
+    def test_traffic_validation(self):
+        with pytest.raises(ValueError):
+            DimensionTraffic("tp", -1.0)
+        with pytest.raises(ValueError):
+            DimensionTraffic("tp", 1.0, phases=0)
+
+    def test_planner_validation(self):
+        with pytest.raises(ValueError):
+            MultiDimensionPlanner(hbd_bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            MultiDimensionPlanner(reconfiguration_us=-1)
+
+    def test_empty_and_duplicate_dimensions_rejected(self):
+        planner = MultiDimensionPlanner()
+        with pytest.raises(ValueError):
+            planner.independent_plan([])
+        with pytest.raises(ValueError):
+            planner.time_division_plan(
+                [DimensionTraffic("tp", gb(1)), DimensionTraffic("tp", gb(2))]
+            )
+
+
+class TestIndependentInterconnects:
+    def test_bandwidth_split_evenly(self):
+        planner = MultiDimensionPlanner(hbd_bandwidth_gbps=6400)
+        plan = planner.independent_plan(
+            [DimensionTraffic("tp", gb(8)), DimensionTraffic("ep", gb(8))]
+        )
+        assert plan.per_dimension_bandwidth_gbps == {"tp": 3200.0, "ep": 3200.0}
+        assert not plan.keeps_backup_links
+
+    def test_slowest_dimension_dominates(self):
+        planner = MultiDimensionPlanner(hbd_bandwidth_gbps=6400)
+        plan = planner.independent_plan(
+            [DimensionTraffic("tp", gb(80)), DimensionTraffic("ep", gb(1))]
+        )
+        # 80 GB over 400 GB/s (half of 800 GB/s)
+        assert plan.communication_time_s == pytest.approx(0.2)
+        assert plan.reconfiguration_time_s == 0.0
+
+    def test_single_dimension_keeps_backups(self):
+        planner = MultiDimensionPlanner()
+        plan = planner.independent_plan([DimensionTraffic("tp", gb(1))])
+        assert plan.keeps_backup_links
+        assert plan.per_dimension_bandwidth_gbps["tp"] == 6400.0
+
+
+class TestTimeDivision:
+    def test_full_bandwidth_but_serialised(self):
+        planner = MultiDimensionPlanner(hbd_bandwidth_gbps=6400)
+        plan = planner.time_division_plan(
+            [DimensionTraffic("tp", gb(80)), DimensionTraffic("ep", gb(80))]
+        )
+        assert plan.per_dimension_bandwidth_gbps["tp"] == 6400.0
+        # 160 GB over 800 GB/s
+        assert plan.communication_time_s == pytest.approx(0.2)
+
+    def test_reconfiguration_charged_per_phase(self):
+        planner = MultiDimensionPlanner(reconfiguration_us=70.0)
+        plan = planner.time_division_plan(
+            [
+                DimensionTraffic("tp", gb(1), phases=4),
+                DimensionTraffic("ep", gb(1), phases=2),
+            ]
+        )
+        assert plan.reconfiguration_time_s == pytest.approx(6 * 70e-6)
+
+    def test_single_dimension_needs_no_switching(self):
+        planner = MultiDimensionPlanner()
+        plan = planner.time_division_plan([DimensionTraffic("tp", gb(1), phases=10)])
+        assert plan.reconfiguration_time_s == 0.0
+        assert plan.keeps_backup_links
+
+
+class TestComparison:
+    def test_balanced_traffic_prefers_independent(self):
+        """Two equally busy dimensions overlap on independent sub-fabrics."""
+        planner = MultiDimensionPlanner()
+        traffic = [DimensionTraffic("tp", gb(40)), DimensionTraffic("ep", gb(40))]
+        assert planner.preferred_strategy(traffic) is MultiDimStrategy.INDEPENDENT
+
+    def test_skewed_traffic_prefers_time_division(self):
+        """A dominant dimension wants the whole fabric, not half of it."""
+        planner = MultiDimensionPlanner()
+        traffic = [DimensionTraffic("tp", gb(80)), DimensionTraffic("ep", gb(0.1))]
+        assert planner.preferred_strategy(traffic) is MultiDimStrategy.TIME_DIVISION
+
+    def test_compare_returns_both_plans(self):
+        planner = MultiDimensionPlanner()
+        plans = planner.compare([DimensionTraffic("tp", gb(1)), DimensionTraffic("cp", gb(1))])
+        assert set(plans) == {"independent_interconnects", "time_division"}
+        assert all(isinstance(p, MultiDimPlan) for p in plans.values())
+
+    def test_total_time_includes_reconfiguration(self):
+        plan = MultiDimPlan(
+            strategy=MultiDimStrategy.TIME_DIVISION,
+            per_dimension_bandwidth_gbps={"tp": 6400.0},
+            communication_time_s=1.0,
+            reconfiguration_time_s=0.5,
+            keeps_backup_links=False,
+        )
+        assert plan.total_time_s == pytest.approx(1.5)

@@ -1,0 +1,149 @@
+"""Tests for the MZI switch element and matrix models."""
+
+import math
+
+import pytest
+
+from repro.hardware.mzi import (
+    DEFAULT_ELEMENT_SETTLE_US,
+    MZISwitchElement,
+    MZISwitchMatrix,
+    MZIStateError,
+)
+
+
+class TestMZISwitchElement:
+    def test_initial_state_is_bar(self):
+        element = MZISwitchElement()
+        assert element.state == "bar"
+        assert element.phase_rad == 0.0
+
+    def test_set_state_cross(self):
+        element = MZISwitchElement()
+        latency = element.set_state("cross")
+        assert element.state == "cross"
+        assert latency == pytest.approx(DEFAULT_ELEMENT_SETTLE_US)
+
+    def test_set_state_same_state_is_free(self):
+        element = MZISwitchElement()
+        assert element.set_state("bar") == 0.0
+        element.set_state("cross")
+        assert element.set_state("cross") == 0.0
+
+    def test_set_state_rejects_unknown(self):
+        element = MZISwitchElement()
+        with pytest.raises(MZIStateError):
+            element.set_state("diagonal")
+
+    def test_route_bar(self):
+        element = MZISwitchElement()
+        assert element.route(0) == 0
+        assert element.route(1) == 1
+
+    def test_route_cross(self):
+        element = MZISwitchElement()
+        element.set_state("cross")
+        assert element.route(0) == 1
+        assert element.route(1) == 0
+
+    def test_route_rejects_bad_port(self):
+        element = MZISwitchElement()
+        with pytest.raises(MZIStateError):
+            element.route(2)
+
+    def test_transmission_bar_state(self):
+        element = MZISwitchElement()
+        assert element.transmission(0, 0) == pytest.approx(1.0)
+        assert element.transmission(0, 1) == pytest.approx(0.0)
+
+    def test_transmission_cross_state(self):
+        element = MZISwitchElement()
+        element.set_state("cross")
+        assert element.transmission(0, 1) == pytest.approx(1.0)
+        assert element.transmission(0, 0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_transmission_conserves_power(self):
+        element = MZISwitchElement()
+        for phase in (0.0, 0.3, math.pi / 2, 1.9, math.pi):
+            element.set_phase(phase)
+            total = element.transmission(0, 0) + element.transmission(0, 1)
+            assert total == pytest.approx(1.0)
+
+    def test_set_phase_latency_only_when_changed(self):
+        element = MZISwitchElement()
+        assert element.set_phase(0.0) == 0.0
+        assert element.set_phase(1.0) > 0.0
+
+    def test_transmission_rejects_bad_ports(self):
+        element = MZISwitchElement()
+        with pytest.raises(MZIStateError):
+            element.transmission(0, 3)
+
+
+class TestMZISwitchMatrix:
+    def test_identity_by_default(self):
+        matrix = MZISwitchMatrix(8)
+        assert matrix.is_identity()
+        assert all(matrix.route(i) == i for i in range(8))
+
+    def test_stage_count_log2(self):
+        assert MZISwitchMatrix(8).stage_count == 3
+        assert MZISwitchMatrix(4).stage_count == 2
+        assert MZISwitchMatrix(2).stage_count == 1
+        assert MZISwitchMatrix(1).stage_count == 1
+
+    def test_configure_partial_mapping(self):
+        matrix = MZISwitchMatrix(4)
+        latency = matrix.configure({0: 2, 2: 0})
+        assert latency > 0
+        assert matrix.route(0) == 2
+        assert matrix.route(2) == 0
+        assert matrix.route(1) == 1
+
+    def test_configure_rejects_non_permutation(self):
+        matrix = MZISwitchMatrix(4)
+        with pytest.raises(MZIStateError):
+            matrix.configure({0: 2, 1: 2})
+
+    def test_configure_same_mapping_is_free(self):
+        matrix = MZISwitchMatrix(4)
+        matrix.configure({0: 1, 1: 0})
+        assert matrix.configure({0: 1, 1: 0}) == 0.0
+
+    def test_configure_rejects_out_of_range_lane(self):
+        matrix = MZISwitchMatrix(4)
+        with pytest.raises(MZIStateError):
+            matrix.configure({4: 0})
+
+    def test_swap(self):
+        matrix = MZISwitchMatrix(8)
+        matrix.swap(0, 4)
+        assert matrix.route(0) == 4
+        assert matrix.route(4) == 0
+
+    def test_reset(self):
+        matrix = MZISwitchMatrix(8)
+        matrix.swap(0, 4)
+        matrix.reset()
+        assert matrix.is_identity()
+
+    def test_insertion_loss_increases_with_extra_stages(self):
+        matrix = MZISwitchMatrix(8)
+        assert matrix.insertion_loss_db(2) > matrix.insertion_loss_db(0)
+
+    def test_insertion_loss_in_published_envelope(self):
+        """A loopback path (matrix + 2 front elements) should land in 2-4.5 dB."""
+        matrix = MZISwitchMatrix(8)
+        loss = matrix.insertion_loss_db(extra_stages=2)
+        assert 2.0 <= loss <= 4.5
+
+    def test_invalid_lane_count(self):
+        with pytest.raises(ValueError):
+            MZISwitchMatrix(0)
+
+    def test_settle_latency_scales_with_stages(self):
+        small = MZISwitchMatrix(2)
+        large = MZISwitchMatrix(16)
+        small_latency = small.configure({0: 1, 1: 0})
+        large_latency = large.configure({0: 1, 1: 0})
+        assert large_latency > small_latency

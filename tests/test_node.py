@@ -1,0 +1,80 @@
+"""Tests for the GPU node model."""
+
+import pytest
+
+from repro.core.node import GPU, Node, make_nodes
+from repro.hardware.ocstrx import PathState
+
+
+class TestNode:
+    def test_default_node_shape(self):
+        node = Node(node_id=0)
+        assert node.n_gpus == 4
+        assert node.n_bundles == 2
+        assert len(node.gpus) == 4
+        assert len(node.bundles) == 2
+
+    def test_eight_gpu_node(self):
+        node = Node(node_id=1, n_gpus=8, n_bundles=3)
+        assert node.n_gpus == 8
+        assert len(node.bundles) == 3
+
+    def test_gpu_ids_are_unique(self):
+        node = Node(node_id=2, n_gpus=8, n_bundles=2)
+        ids = [g.gpu_id for g in node.gpus]
+        assert len(set(ids)) == 8
+
+    def test_node_requires_even_gpu_count(self):
+        with pytest.raises(ValueError):
+            Node(node_id=0, n_gpus=3)
+
+    def test_node_requires_at_least_two_gpus(self):
+        with pytest.raises(ValueError):
+            Node(node_id=0, n_gpus=0)
+
+    def test_bundle_count_bounded_by_gpu_count(self):
+        with pytest.raises(ValueError):
+            Node(node_id=0, n_gpus=4, n_bundles=5)
+
+    def test_fail_and_repair(self):
+        node = Node(node_id=0)
+        assert node.healthy
+        assert node.healthy_gpu_count == 4
+        node.fail()
+        assert node.failed
+        assert node.healthy_gpu_count == 0
+        assert all(g.failed for g in node.gpus)
+        assert all(b.failed for b in node.bundles)
+        node.repair()
+        assert node.healthy
+        assert node.healthy_gpu_count == 4
+
+    def test_bundle_access(self):
+        node = Node(node_id=0)
+        assert node.bundle(0).bundle_id == "n0/b0"
+        assert node.bundle(1).bundle_id == "n0/b1"
+
+    def test_bundle_states_start_dark(self):
+        node = Node(node_id=0)
+        assert all(s is PathState.DARK for s in node.bundle_states().values())
+
+    def test_hbd_bandwidth_default(self):
+        node = Node(node_id=0)
+        assert node.hbd_bandwidth_gbps == pytest.approx(6400.0)
+
+
+class TestMakeNodes:
+    def test_make_nodes_count_and_ids(self):
+        nodes = make_nodes(10, n_gpus=4, n_bundles=2)
+        assert len(nodes) == 10
+        assert [n.node_id for n in nodes] == list(range(10))
+
+    def test_make_nodes_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_nodes(0)
+
+    def test_gpu_dataclass_health(self):
+        gpu = GPU(gpu_id="x", node_id=0, local_index=0)
+        assert gpu.healthy
+        gpu.failed = True
+        assert not gpu.healthy

@@ -1,0 +1,163 @@
+"""Tests for the OCSTrx transceiver and bundle models."""
+
+import pytest
+
+from repro.hardware.ocstrx import (
+    OCSTrx,
+    OCSTrxBundle,
+    OCSTrxConfig,
+    PathState,
+)
+
+
+class TestOCSTrxConfig:
+    def test_defaults_match_published_specs(self):
+        config = OCSTrxConfig()
+        assert config.line_rate_gbps == 800.0
+        assert config.serdes_pairs == 8
+        assert config.reconfig_latency_us == (60.0, 80.0)
+        assert config.core_power_watts <= 3.2
+
+    def test_total_power_under_qsfpdd_budget(self):
+        config = OCSTrxConfig()
+        assert config.total_power_watts < 12.0
+
+    def test_line_rate_gbytes(self):
+        assert OCSTrxConfig().line_rate_gBps == pytest.approx(100.0)
+
+
+class TestOCSTrx:
+    def test_starts_dark(self):
+        trx = OCSTrx("t0")
+        assert trx.state is PathState.DARK
+        assert trx.active_bandwidth_gbps == 0.0
+
+    def test_activate_loopback(self):
+        trx = OCSTrx("t0")
+        latency = trx.activate(PathState.LOOPBACK)
+        assert trx.state is PathState.LOOPBACK
+        assert 60.0 <= latency <= 80.0
+        assert trx.active_bandwidth_gbps == 800.0
+
+    def test_loopback_engages_cross_lane_matrix(self):
+        trx = OCSTrx("t0")
+        trx.activate(PathState.LOOPBACK)
+        half = trx.config.n_lanes // 2
+        assert trx.matrix.route(0) == half
+        assert trx.matrix.route(half) == 0
+
+    def test_external_requires_wiring(self):
+        trx = OCSTrx("t0")
+        with pytest.raises(RuntimeError):
+            trx.activate(PathState.EXTERNAL_1)
+
+    def test_activate_external_after_wiring(self):
+        trx = OCSTrx("t0")
+        trx.wire_external(PathState.EXTERNAL_1, peer=("node", 3))
+        latency = trx.activate(PathState.EXTERNAL_1)
+        assert 60.0 <= latency <= 80.0
+        assert trx.active_peer == ("node", 3)
+
+    def test_reactivating_same_path_is_free(self):
+        trx = OCSTrx("t0")
+        trx.activate(PathState.LOOPBACK)
+        assert trx.activate(PathState.LOOPBACK) == 0.0
+
+    def test_switching_resets_matrix(self):
+        trx = OCSTrx("t0")
+        trx.wire_external(PathState.EXTERNAL_2, peer=1)
+        trx.activate(PathState.LOOPBACK)
+        trx.activate(PathState.EXTERNAL_2)
+        assert trx.matrix.is_identity()
+
+    def test_wire_rejects_loopback_path(self):
+        trx = OCSTrx("t0")
+        with pytest.raises(ValueError):
+            trx.wire_external(PathState.LOOPBACK, peer=1)
+
+    def test_only_one_path_active_at_a_time(self):
+        """Activating one external path disables the other (full bandwidth)."""
+        trx = OCSTrx("t0")
+        trx.wire_external(PathState.EXTERNAL_1, peer=1)
+        trx.wire_external(PathState.EXTERNAL_2, peer=2)
+        trx.activate(PathState.EXTERNAL_1)
+        trx.activate(PathState.EXTERNAL_2)
+        assert trx.state is PathState.EXTERNAL_2
+        assert trx.active_bandwidth_gbps == 800.0
+
+    def test_fail_and_repair(self):
+        trx = OCSTrx("t0")
+        trx.activate(PathState.LOOPBACK)
+        trx.fail()
+        assert trx.failed
+        assert trx.state is PathState.DARK
+        assert trx.active_bandwidth_gbps == 0.0
+        with pytest.raises(RuntimeError):
+            trx.activate(PathState.LOOPBACK)
+        trx.repair()
+        assert not trx.failed
+        trx.activate(PathState.LOOPBACK)
+        assert trx.state is PathState.LOOPBACK
+
+    def test_history_records_reconfigurations(self):
+        trx = OCSTrx("t0")
+        trx.activate(PathState.LOOPBACK)
+        trx.deactivate()
+        history = trx.history
+        assert len(history) == 2
+        assert history[0].previous is PathState.DARK
+        assert history[0].new is PathState.LOOPBACK
+        assert history[1].new is PathState.DARK
+
+    def test_deactivate_when_dark_is_free(self):
+        trx = OCSTrx("t0")
+        assert trx.deactivate() == 0.0
+
+
+class TestOCSTrxBundle:
+    def test_bundle_aggregate_bandwidth(self):
+        bundle = OCSTrxBundle("b0", n_modules=8)
+        bundle.activate(PathState.LOOPBACK)
+        assert bundle.bandwidth_gbps == pytest.approx(6400.0)
+        assert bundle.bandwidth_gBps == pytest.approx(800.0)
+
+    def test_bundle_switches_as_a_unit(self):
+        bundle = OCSTrxBundle("b0", n_modules=4)
+        bundle.wire_external(PathState.EXTERNAL_1, peer=7)
+        bundle.activate(PathState.EXTERNAL_1)
+        assert bundle.state is PathState.EXTERNAL_1
+        assert all(m.state is PathState.EXTERNAL_1 for m in bundle.modules)
+
+    def test_bundle_latency_is_parallel_max(self):
+        bundle = OCSTrxBundle("b0", n_modules=8)
+        latency = bundle.activate(PathState.LOOPBACK)
+        assert 60.0 <= latency <= 80.0
+
+    def test_bundle_fail_propagates(self):
+        bundle = OCSTrxBundle("b0", n_modules=2)
+        bundle.fail()
+        assert bundle.failed
+        assert bundle.bandwidth_gbps == 0.0
+        bundle.repair()
+        assert not bundle.failed
+
+    def test_bundle_peer_lookup(self):
+        bundle = OCSTrxBundle("b0", n_modules=2)
+        bundle.wire_external(PathState.EXTERNAL_2, peer=42)
+        assert bundle.peer(PathState.EXTERNAL_2) == 42
+        assert bundle.peer(PathState.EXTERNAL_1) is None
+
+    def test_bundle_power_budget(self):
+        bundle = OCSTrxBundle("b0", n_modules=8)
+        assert bundle.power_watts == pytest.approx(8 * OCSTrxConfig().total_power_watts)
+        bundle.fail()
+        assert bundle.power_watts == 0.0
+
+    def test_bundle_requires_at_least_one_module(self):
+        with pytest.raises(ValueError):
+            OCSTrxBundle("b0", n_modules=0)
+
+    def test_bundle_dark_when_states_disagree(self):
+        bundle = OCSTrxBundle("b0", n_modules=2)
+        bundle.modules[0].activate(PathState.LOOPBACK)
+        assert bundle.state is PathState.DARK

@@ -1,0 +1,142 @@
+"""Tests for the insertion-loss, power and BER optical models (Fig. 10-12)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.optics import (
+    BER_TEMPERATURES_C,
+    BERModel,
+    INDUSTRIAL_BER_THRESHOLD,
+    InsertionLossModel,
+    OpticalMeasurementCampaign,
+    PowerModel,
+    REPORTED_TEMPERATURES_C,
+)
+
+
+class TestInsertionLossModel:
+    def setup_method(self):
+        self.model = InsertionLossModel()
+        self.rng = np.random.default_rng(7)
+
+    def test_mean_loss_at_room_temperature(self):
+        assert self.model.mean_loss_db(25.0) == pytest.approx(3.3)
+
+    def test_mean_loss_rises_with_temperature(self):
+        assert self.model.mean_loss_db(85.0) > self.model.mean_loss_db(0.0)
+
+    def test_samples_within_published_envelope(self):
+        samples = self.model.sample(25.0, 2000, self.rng)
+        assert samples.min() >= 2.0
+        assert samples.max() <= 4.5
+
+    def test_sample_count(self):
+        assert self.model.sample(25.0, 17, self.rng).shape == (17,)
+        assert self.model.sample(25.0, 0, self.rng).shape == (0,)
+
+    def test_sample_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            self.model.sample(25.0, -1, self.rng)
+
+    def test_statistics_fields(self):
+        stats = self.model.statistics(25.0, 500, self.rng)
+        assert stats["min_db"] <= stats["average_db"] <= stats["max_db"]
+        assert stats["average_db"] == pytest.approx(3.3, abs=0.15)
+
+    def test_histogram_total_counts(self):
+        counts, edges = self.model.histogram(50.0, 300, self.rng)
+        assert counts.sum() == 300
+        assert len(edges) == len(counts) + 1
+
+
+class TestPowerModel:
+    def test_power_below_published_ceiling(self):
+        model = PowerModel()
+        for temp in REPORTED_TEMPERATURES_C:
+            for path in (1, 2, 3):
+                assert model.power_watts(temp, path) <= 3.2
+
+    def test_power_increases_with_temperature(self):
+        model = PowerModel()
+        assert model.power_watts(85.0, 1) >= model.power_watts(0.0, 1)
+
+    def test_path3_draws_most_power(self):
+        model = PowerModel()
+        assert model.power_watts(25.0, 3) >= model.power_watts(25.0, 1)
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel().power_watts(25.0, 4)
+
+    def test_sweep_shape(self):
+        sweep = PowerModel().sweep()
+        assert set(sweep) == {1, 2, 3}
+        assert all(len(v) == len(REPORTED_TEMPERATURES_C) for v in sweep.values())
+
+
+class TestBERModel:
+    def test_zero_ber_at_low_temperatures(self):
+        model = BERModel()
+        for oma in (0.3, 0.5, 0.75, 1.0):
+            assert model.ber(oma, -5.0) == 0.0
+            assert model.ber(oma, 25.0) == 0.0
+
+    def test_errors_only_at_low_oma_when_hot(self):
+        model = BERModel()
+        assert model.ber(1.0, 75.0) == 0.0
+        assert model.ber(0.25, 75.0) > 0.0
+
+    def test_ber_decreases_with_oma(self):
+        model = BERModel()
+        bers = [model.ber(oma, 75.0) for oma in (0.2, 0.4, 0.6, 0.8)]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_ber_increases_with_temperature(self):
+        model = BERModel()
+        assert model.ber(0.3, 75.0) >= model.ber(0.3, 50.0)
+
+    def test_zero_oma_means_no_link(self):
+        assert BERModel().ber(0.0, 25.0) == 1.0
+
+    def test_industrial_threshold_met_at_operating_points(self):
+        model = BERModel()
+        for temp in BER_TEMPERATURES_C:
+            assert model.meets_industrial_threshold(0.6, temp)
+
+    def test_threshold_constant_is_pre_fec(self):
+        assert INDUSTRIAL_BER_THRESHOLD == pytest.approx(2.4e-4)
+
+
+class TestOpticalMeasurementCampaign:
+    def setup_method(self):
+        self.campaign = OpticalMeasurementCampaign(seed=11, n_devices=100)
+
+    def test_figure10a_rows(self):
+        rows = self.campaign.figure10a_insertion_loss()
+        assert [r["temperature_c"] for r in rows] == list(REPORTED_TEMPERATURES_C)
+        for row in rows:
+            assert 2.0 <= row["min_db"] <= row["average_db"] <= row["max_db"] <= 4.5
+
+    def test_figure10b_power_series(self):
+        series = self.campaign.figure10b_power()
+        assert set(series) == {1, 2, 3}
+        for values in series.values():
+            assert max(values) <= 3.2
+
+    def test_figure11_histograms(self):
+        histograms = self.campaign.figure11_loss_histograms()
+        assert set(histograms) == set(REPORTED_TEMPERATURES_C)
+        for counts, edges in histograms.values():
+            assert sum(counts) == 100
+
+    def test_figure12_ber_sweeps(self):
+        sweeps = self.campaign.figure12_ber()
+        assert set(sweeps) == set(BER_TEMPERATURES_C)
+        for temp, points in sweeps.items():
+            for oma, ber in points:
+                assert ber >= 0.0
+
+    def test_reproducible_with_same_seed(self):
+        a = OpticalMeasurementCampaign(seed=3).figure10a_insertion_loss()
+        b = OpticalMeasurementCampaign(seed=3).figure10a_insertion_loss()
+        assert a == b

@@ -1,0 +1,281 @@
+"""Tests for the HBD-DCN orchestration algorithms (Algorithms 1-5)."""
+
+import pytest
+
+from repro.core.orchestrator import (
+    DeploymentPlan,
+    JobSpec,
+    Orchestrator,
+    TPGroup,
+    deployment_strategy,
+    greedy_placement,
+    orchestrate_dcn_free,
+    orchestrate_fat_tree,
+    placement_fat_tree,
+)
+from repro.dcn.fattree import FatTree, FatTreeConfig
+
+
+class TestJobSpec:
+    def test_nodes_per_group(self):
+        job = JobSpec(total_gpus=256, tp_size=32, gpus_per_node=4)
+        assert job.nodes_per_group == 8
+        assert job.groups_needed == 8
+
+    def test_tp_smaller_than_node(self):
+        job = JobSpec(total_gpus=64, tp_size=2, gpus_per_node=4)
+        assert job.nodes_per_group == 1
+
+    def test_rejects_non_divisible_scale(self):
+        with pytest.raises(ValueError):
+            JobSpec(total_gpus=100, tp_size=32, gpus_per_node=4)
+
+    def test_rejects_incompatible_tp_and_node(self):
+        with pytest.raises(ValueError):
+            JobSpec(total_gpus=96, tp_size=6, gpus_per_node=4)
+
+
+class TestDeploymentStrategy:
+    def test_interleaves_sublines(self):
+        plan = deployment_strategy(n_nodes=16, k=2, nodes_per_tor=4)
+        # sub-line 0 = ToR position 0 of every ToR: nodes 0, 4, 8, 12, then
+        # sub-line 1 = 1, 5, 9, 13, etc.
+        assert plan.order[:4] == [0, 4, 8, 12]
+        assert plan.order[4:8] == [1, 5, 9, 13]
+        assert sorted(plan.order) == list(range(16))
+
+    def test_hbd_neighbours_are_in_different_tors(self):
+        plan = deployment_strategy(n_nodes=64, k=2, nodes_per_tor=4)
+        tree = FatTree(FatTreeConfig(n_nodes=64, nodes_per_tor=4, tors_per_domain=4))
+        for a, b in zip(plan.order, plan.order[1:]):
+            if abs(plan.position_of(a) - plan.position_of(b)) == 1:
+                # neighbours on the same sub-line never share a ToR
+                if (plan.position_of(a) + 1) % (64 // 4) != 0:
+                    assert not tree.same_tor(a, b)
+
+    def test_leftover_nodes_appended(self):
+        plan = deployment_strategy(n_nodes=10, k=2, nodes_per_tor=4)
+        assert sorted(plan.order) == list(range(10))
+        assert plan.order[-2:] == [8, 9]
+
+    def test_positions_and_edges(self):
+        plan = deployment_strategy(n_nodes=8, k=2, nodes_per_tor=2)
+        assert plan.position_of(plan.order[3]) == 3
+        edges = plan.edges()
+        # every node except the last two has a distance-1 and a distance-2 edge
+        assert (plan.order[0], plan.order[1]) in edges
+        assert (plan.order[0], plan.order[2]) in edges
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentPlan(order=[0, 1, 1], k=2, nodes_per_tor=2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            deployment_strategy(0, 2, 4)
+        with pytest.raises(ValueError):
+            deployment_strategy(8, 0, 4)
+        with pytest.raises(ValueError):
+            deployment_strategy(8, 2, 0)
+
+
+class TestOrchestrateDCNFree:
+    def test_no_faults_full_packing(self):
+        groups = orchestrate_dcn_free(list(range(16)), k=2, faulty=set(), nodes_per_group=4)
+        assert len(groups) == 4
+        assert groups[0].nodes == (0, 1, 2, 3)
+
+    def test_fault_bridged_by_backup_link(self):
+        groups = orchestrate_dcn_free(list(range(9)), k=2, faulty={4}, nodes_per_group=4)
+        assert len(groups) == 2
+        assert groups[0].nodes == (0, 1, 2, 3)
+        assert groups[1].nodes == (5, 6, 7, 8)
+
+    def test_unbridgeable_gap_splits_components(self):
+        groups = orchestrate_dcn_free(
+            list(range(12)), k=2, faulty={4, 5}, nodes_per_group=4
+        )
+        # components are [0..3] and [6..11] -> 1 + 1 groups
+        assert len(groups) == 2
+        assert groups[1].nodes == (6, 7, 8, 9)
+
+    def test_k3_bridges_two_faults(self):
+        groups = orchestrate_dcn_free(
+            list(range(12)), k=3, faulty={4, 5}, nodes_per_group=4
+        )
+        # the two faults are bridged, so the healthy run 0-3,6-11 packs two
+        # groups (with 10, 11 left over as the fragmentation remainder)
+        assert len(groups) == 2
+        assert groups[1].nodes == (6, 7, 8, 9)
+
+    def test_leftover_nodes_not_grouped(self):
+        groups = orchestrate_dcn_free(list(range(10)), k=2, faulty=set(), nodes_per_group=4)
+        assert len(groups) == 2
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            orchestrate_dcn_free([0, 1], k=2, faulty=set(), nodes_per_group=0)
+
+
+class TestPlacementFatTree:
+    def setup_method(self):
+        self.n_nodes = 128
+        self.tree = FatTree(
+            FatTreeConfig(n_nodes=self.n_nodes, nodes_per_tor=4, tors_per_domain=8)
+        )
+        self.plan = deployment_strategy(self.n_nodes, k=2, nodes_per_tor=4)
+
+    def test_zero_constraints_equals_dcn_free(self):
+        groups = placement_fat_tree(self.plan, self.tree, 0, set(), nodes_per_group=4)
+        free = orchestrate_dcn_free(self.plan.order, 2, set(), 4)
+        assert [g.nodes for g in groups] == [g.nodes for g in free]
+
+    def test_full_constraints_confine_groups_to_domains(self):
+        n_domains = self.tree.config.n_domains
+        n_maxsubline = n_domains * 4
+        groups = placement_fat_tree(
+            self.plan, self.tree, n_maxsubline + n_domains, set(), nodes_per_group=4
+        )
+        for group in groups:
+            domains = {self.tree.domain_of(n) for n in group.nodes}
+            assert len(domains) == 1
+
+    def test_alignment_constraint_expands_faults_to_tor(self):
+        n_domains = self.tree.config.n_domains
+        n_maxsubline = n_domains * 4
+        faulty = {0}  # node 0 lives in ToR 0 together with nodes 1, 2, 3
+        constrained = placement_fat_tree(
+            self.plan, self.tree, n_maxsubline + n_domains, faulty, nodes_per_group=4
+        )
+        placed_nodes = {n for g in constrained for n in g.nodes}
+        assert placed_nodes.isdisjoint({0, 1, 2, 3})
+
+    def test_without_alignment_tor_mates_still_used(self):
+        faulty = {0}
+        groups = placement_fat_tree(self.plan, self.tree, 0, faulty, nodes_per_group=4)
+        placed_nodes = {n for g in groups for n in g.nodes}
+        assert 0 not in placed_nodes
+        assert {1, 2, 3} <= placed_nodes
+
+    def test_more_constraints_never_increase_capacity(self):
+        faulty = {5, 17, 40, 77, 90}
+        capacities = []
+        for constraints in (0, 16, 32, 40):
+            groups = placement_fat_tree(
+                self.plan, self.tree, constraints, faulty, nodes_per_group=4
+            )
+            capacities.append(len(groups))
+        assert capacities == sorted(capacities, reverse=True)
+
+    def test_negative_constraints_rejected(self):
+        with pytest.raises(ValueError):
+            placement_fat_tree(self.plan, self.tree, -1, set(), 4)
+
+
+class TestOrchestrateFatTree:
+    def setup_method(self):
+        self.n_nodes = 256
+        self.tree = FatTree(
+            FatTreeConfig(n_nodes=self.n_nodes, nodes_per_tor=4, tors_per_domain=16)
+        )
+        self.plan = deployment_strategy(self.n_nodes, k=2, nodes_per_tor=4)
+
+    def test_satisfies_job_without_faults(self):
+        job = JobSpec(total_gpus=768, tp_size=32, gpus_per_node=4)
+        result = orchestrate_fat_tree(self.plan, self.tree, set(), job)
+        assert result.satisfied
+        assert result.placed_groups == job.groups_needed
+        assert result.constraints_used > 0
+
+    def test_placement_groups_have_requested_size(self):
+        job = JobSpec(total_gpus=512, tp_size=16, gpus_per_node=4)
+        result = orchestrate_fat_tree(self.plan, self.tree, set(), job)
+        assert all(len(g) == job.nodes_per_group for g in result.placement)
+
+    def test_no_faulty_node_is_placed(self):
+        faulty = {3, 10, 77, 130, 200}
+        job = JobSpec(total_gpus=512, tp_size=32, gpus_per_node=4)
+        result = orchestrate_fat_tree(self.plan, self.tree, faulty, job)
+        placed = {n for g in result.placement for n in g.nodes}
+        assert placed.isdisjoint(faulty)
+
+    def test_no_node_placed_twice(self):
+        job = JobSpec(total_gpus=768, tp_size=32, gpus_per_node=4)
+        result = orchestrate_fat_tree(self.plan, self.tree, set(), job)
+        nodes = [n for g in result.placement for n in g.nodes]
+        assert len(nodes) == len(set(nodes))
+
+    def test_unsatisfiable_job_reports_failure(self):
+        job = JobSpec(total_gpus=2048, tp_size=32, gpus_per_node=4)
+        faulty = set(range(0, 200))
+        result = orchestrate_fat_tree(self.plan, self.tree, faulty, job)
+        assert not result.satisfied
+
+    def test_constraints_relax_under_faults(self):
+        job = JobSpec(total_gpus=960, tp_size=32, gpus_per_node=4)
+        clean = orchestrate_fat_tree(self.plan, self.tree, set(), job)
+        faulty = set(range(0, 256, 16))  # 16 spread-out faults
+        degraded = orchestrate_fat_tree(self.plan, self.tree, faulty, job)
+        assert degraded.satisfied
+        assert degraded.constraints_used <= clean.constraints_used
+
+
+class TestGreedyBaseline:
+    def test_greedy_respects_faults(self):
+        plan = deployment_strategy(64, k=2, nodes_per_tor=4)
+        job = JobSpec(total_gpus=128, tp_size=16, gpus_per_node=4)
+        faulty = {1, 2, 33}
+        result = greedy_placement(plan, faulty, job, seed=3)
+        placed = {n for g in result.placement for n in g.nodes}
+        assert placed.isdisjoint(faulty)
+
+    def test_greedy_meets_scale_when_possible(self):
+        plan = deployment_strategy(64, k=2, nodes_per_tor=4)
+        job = JobSpec(total_gpus=192, tp_size=16, gpus_per_node=4)
+        result = greedy_placement(plan, set(), job, seed=0)
+        assert result.satisfied
+        assert result.placed_groups == job.groups_needed
+
+    def test_greedy_is_deterministic_per_seed(self):
+        plan = deployment_strategy(64, k=2, nodes_per_tor=4)
+        job = JobSpec(total_gpus=128, tp_size=16, gpus_per_node=4)
+        a = greedy_placement(plan, set(), job, seed=5)
+        b = greedy_placement(plan, set(), job, seed=5)
+        assert [g.nodes for g in a.placement] == [g.nodes for g in b.placement]
+
+
+class TestOrchestratorFacade:
+    def setup_method(self):
+        self.orch = Orchestrator(
+            n_nodes=256,
+            k=2,
+            fat_tree_config=FatTreeConfig(n_nodes=256, nodes_per_tor=4, tors_per_domain=16),
+        )
+        self.job = JobSpec(total_gpus=768, tp_size=32, gpus_per_node=4)
+
+    def test_optimized_beats_greedy_on_cross_tor(self):
+        _, report_opt = self.orch.place_and_report(self.job, method="optimized")
+        _, report_greedy = self.orch.place_and_report(self.job, method="greedy", seed=2)
+        assert report_opt.cross_tor_rate < report_greedy.cross_tor_rate
+
+    def test_optimized_near_zero_without_faults(self):
+        _, report = self.orch.place_and_report(self.job, method="optimized")
+        assert report.cross_tor_rate < 0.02
+
+    def test_greedy_cross_tor_near_dcn_share(self):
+        _, report = self.orch.place_and_report(self.job, method="greedy", seed=1)
+        share = self.orch.traffic_model.volumes.dcn_share
+        assert report.cross_tor_rate > 0.5 * share
+
+    def test_dcn_free_method(self):
+        result = self.orch.place(self.job, method="dcn_free")
+        assert result.method == "dcn_free"
+        assert result.satisfied
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            self.orch.place(self.job, method="magic")
+
+    def test_mismatched_config_rejected(self):
+        with pytest.raises(ValueError):
+            Orchestrator(n_nodes=64, fat_tree_config=FatTreeConfig(n_nodes=32))

@@ -1,0 +1,114 @@
+"""Tests for the Rail-Optimized DCN model."""
+
+import networkx as nx
+import pytest
+
+from repro.dcn.railopt import RailOptimized, RailOptimizedConfig, RailTrafficModel
+
+
+def make(n_nodes=64, r=4, nodes_per_pod=16):
+    return RailOptimized(
+        RailOptimizedConfig(n_nodes=n_nodes, gpus_per_node=r, nodes_per_pod=nodes_per_pod)
+    )
+
+
+class TestConfig:
+    def test_pod_count(self):
+        config = RailOptimizedConfig(n_nodes=64, gpus_per_node=4, nodes_per_pod=16)
+        assert config.n_pods == 4
+        assert config.rails_per_pod == 4
+
+    def test_partial_pod(self):
+        config = RailOptimizedConfig(n_nodes=20, nodes_per_pod=16)
+        assert config.n_pods == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RailOptimizedConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            RailOptimizedConfig(n_nodes=4, nodes_per_pod=0)
+
+
+class TestLocality:
+    def test_pod_of(self):
+        fabric = make()
+        assert fabric.pod_of(0) == 0
+        assert fabric.pod_of(15) == 0
+        assert fabric.pod_of(16) == 1
+
+    def test_rail_identity(self):
+        fabric = make()
+        assert fabric.rail_of(3, 2) == (0, 2)
+        assert fabric.rail_of(17, 2) == (1, 2)
+
+    def test_same_rail_requires_same_pod_and_index(self):
+        fabric = make()
+        assert fabric.same_rail(0, 1, 5, 1)
+        assert not fabric.same_rail(0, 1, 5, 2)
+        assert not fabric.same_rail(0, 1, 20, 1)
+
+    def test_switch_hops(self):
+        fabric = make()
+        assert fabric.switch_hops(0, 0, 0, 0) == 0
+        assert fabric.switch_hops(0, 1, 5, 1) == 1    # same rail
+        assert fabric.switch_hops(0, 1, 5, 2) == 3    # same pod, other rail
+        assert fabric.switch_hops(0, 1, 20, 1) == 5   # cross pod
+
+    def test_nodes_in_pod(self):
+        fabric = make()
+        assert fabric.nodes_in_pod(1) == list(range(16, 32))
+        with pytest.raises(ValueError):
+            fabric.nodes_in_pod(10)
+
+    def test_bad_inputs(self):
+        fabric = make()
+        with pytest.raises(ValueError):
+            fabric.pod_of(999)
+        with pytest.raises(ValueError):
+            fabric.rail_of(0, 9)
+
+
+class TestGraph:
+    def test_graph_structure(self):
+        fabric = make(n_nodes=8, r=2, nodes_per_pod=4)
+        g = fabric.graph()
+        kinds = nx.get_node_attributes(g, "kind")
+        assert sum(1 for k in kinds.values() if k == "gpu") == 16
+        assert sum(1 for k in kinds.values() if k == "rail") == 4
+        assert nx.is_connected(g)
+
+    def test_same_rail_gpus_two_hops_apart(self):
+        fabric = make(n_nodes=8, r=2, nodes_per_pod=4)
+        g = fabric.graph()
+        assert nx.shortest_path_length(g, (0, 1), (3, 1)) == 2
+        assert nx.shortest_path_length(g, (0, 1), (3, 0)) == 4
+
+
+class TestRailTrafficModel:
+    def test_pod_local_placement_needs_no_spine(self):
+        fabric = make()
+        model = RailTrafficModel(fabric)
+        placement = [[0, 1], [2, 3], [4, 5], [6, 7]]  # all in pod 0
+        assert model.cross_spine_fraction(placement) == 0.0
+
+    def test_cross_pod_placement_uses_spine(self):
+        fabric = make()
+        model = RailTrafficModel(fabric)
+        placement = [[0, 1], [2, 3], [16, 17], [18, 19]]  # two pods in one set
+        assert model.cross_spine_fraction(placement) > 0.0
+
+    def test_single_group_is_free(self):
+        fabric = make()
+        model = RailTrafficModel(fabric)
+        assert model.cross_spine_fraction([[0, 1, 2]]) == 0.0
+
+    def test_mismatched_group_sizes_rejected(self):
+        fabric = make()
+        model = RailTrafficModel(fabric)
+        with pytest.raises(ValueError):
+            model.cross_spine_fraction([[0, 1], [2]])
+
+    def test_local_set_size_validation(self):
+        fabric = make()
+        with pytest.raises(ValueError):
+            RailTrafficModel(fabric, local_set_size=0)

@@ -1,0 +1,157 @@
+"""Tests for dynamic GPU-ring construction over the K-Hop topology."""
+
+import pytest
+
+from repro.core.khop_ring import KHopRingTopology, KHopTopologyConfig
+from repro.core.node import make_nodes
+from repro.core.ring_builder import GPURing, RingBuilder, RingConstructionError
+from repro.hardware.ocstrx import PathState
+
+
+def build_setup(n_nodes=16, k=2, r=4, ring=True):
+    topo = KHopRingTopology(
+        KHopTopologyConfig(n_nodes=n_nodes, k=k, gpus_per_node=r, ring=ring)
+    )
+    nodes = make_nodes(n_nodes, n_gpus=r, n_bundles=max(2, k))
+    return topo, nodes, RingBuilder(topo, nodes)
+
+
+class TestValidation:
+    def test_node_count_must_match(self):
+        topo = KHopRingTopology(KHopTopologyConfig(n_nodes=8, k=2))
+        nodes = make_nodes(7)
+        with pytest.raises(ValueError):
+            RingBuilder(topo, nodes)
+
+    def test_nodes_must_be_ordered(self):
+        topo = KHopRingTopology(KHopTopologyConfig(n_nodes=3, k=2))
+        nodes = make_nodes(3)
+        with pytest.raises(ValueError):
+            RingBuilder(topo, list(reversed(nodes)))
+
+    def test_validate_rejects_duplicates(self):
+        _, _, builder = build_setup()
+        with pytest.raises(RingConstructionError):
+            builder.validate_line([0, 1, 1])
+
+    def test_validate_rejects_unknown_node(self):
+        _, _, builder = build_setup()
+        with pytest.raises(RingConstructionError):
+            builder.validate_line([0, 1, 99])
+
+    def test_validate_rejects_failed_node(self):
+        _, nodes, builder = build_setup()
+        nodes[2].fail()
+        with pytest.raises(RingConstructionError):
+            builder.validate_line([1, 2, 3])
+
+    def test_validate_rejects_nodes_beyond_k_hops(self):
+        _, _, builder = build_setup(k=2)
+        with pytest.raises(RingConstructionError):
+            builder.validate_line([0, 3])
+
+    def test_validate_accepts_backup_link_distance(self):
+        _, _, builder = build_setup(k=2)
+        builder.validate_line([0, 2, 4])  # distance-2 hops use backup links
+
+
+class TestBuildRing:
+    def test_ring_size_is_nodes_times_gpus(self):
+        _, _, builder = build_setup(r=4)
+        ring = builder.build_ring([0, 1, 2, 3])
+        assert ring.size == 16
+        assert ring.node_order == (0, 1, 2, 3)
+
+    def test_ring_gpu_order_contains_every_gpu_once(self):
+        _, nodes, builder = build_setup(r=4)
+        ring = builder.build_ring([0, 1, 2])
+        expected = {g.gpu_id for n in nodes[:3] for g in n.gpus}
+        assert set(ring.gpu_order) == expected
+        assert len(ring.gpu_order) == len(set(ring.gpu_order))
+
+    def test_endpoint_bundles_loop_back(self):
+        _, nodes, builder = build_setup()
+        builder.build_ring([0, 1, 2, 3])
+        assert nodes[0].bundle(0).state is PathState.LOOPBACK
+        assert nodes[3].bundle(1).state is PathState.LOOPBACK
+
+    def test_intermediate_bundles_use_external_paths(self):
+        _, nodes, builder = build_setup()
+        builder.build_ring([0, 1, 2, 3])
+        assert nodes[1].bundle(0).state is PathState.EXTERNAL_1
+        assert nodes[1].bundle(1).state is PathState.EXTERNAL_1
+
+    def test_reconfiguration_latency_within_spec(self):
+        _, _, builder = build_setup()
+        ring = builder.build_ring([0, 1, 2, 3])
+        assert 60.0 <= ring.reconfiguration_latency_us <= 80.0
+
+    def test_ring_bandwidth_is_full_bundle_rate(self):
+        _, _, builder = build_setup()
+        ring = builder.build_ring([0, 1, 2])
+        assert ring.bandwidth_gbps == pytest.approx(6400.0)
+
+    def test_single_node_ring(self):
+        _, nodes, builder = build_setup()
+        ring = builder.build_ring([5])
+        assert ring.size == 4
+        assert nodes[5].bundle(0).state is PathState.LOOPBACK
+
+    def test_neighbors_of_wraps_around(self):
+        _, _, builder = build_setup()
+        ring = builder.build_ring([0, 1])
+        first = ring.gpu_order[0]
+        prev_gpu, next_gpu = ring.neighbors_of(first)
+        assert prev_gpu == ring.gpu_order[-1]
+        assert next_gpu == ring.gpu_order[1]
+
+    def test_arbitrary_ring_sizes_supported(self):
+        """Rings of any node count can be built anywhere on the topology."""
+        _, _, builder = build_setup(n_nodes=32)
+        for size in (1, 2, 3, 5, 8, 13):
+            ring = builder.build_ring(list(range(10, 10 + size)))
+            assert ring.size == size * 4
+
+
+class TestFaultBypass:
+    def test_bypass_single_fault(self):
+        _, nodes, builder = build_setup(k=2)
+        nodes[2].fail()
+        ring = builder.build_ring_bypassing_faults(start=0, n_nodes=4)
+        assert ring.node_order == (0, 1, 3, 4)
+
+    def test_bypass_requires_gap_within_k(self):
+        _, nodes, builder = build_setup(k=2)
+        nodes[2].fail()
+        nodes[3].fail()
+        with pytest.raises(RingConstructionError):
+            builder.build_ring_bypassing_faults(start=0, n_nodes=4)
+
+    def test_bypass_with_k3_handles_two_consecutive_faults(self):
+        _, nodes, builder = build_setup(k=3)
+        nodes[2].fail()
+        nodes[3].fail()
+        ring = builder.build_ring_bypassing_faults(start=0, n_nodes=4)
+        assert ring.node_order == (0, 1, 4, 5)
+
+    def test_bypass_insufficient_healthy_nodes(self):
+        _, nodes, builder = build_setup(n_nodes=4)
+        nodes[1].fail()
+        nodes[2].fail()
+        with pytest.raises(RingConstructionError):
+            builder.build_ring_bypassing_faults(start=0, n_nodes=4)
+
+    def test_bypass_zero_nodes_rejected(self):
+        _, _, builder = build_setup()
+        with pytest.raises(RingConstructionError):
+            builder.build_ring_bypassing_faults(start=0, n_nodes=0)
+
+    def test_fault_isolation_is_node_level(self):
+        """A fault only removes its own node from the ring (node-level radius)."""
+        _, nodes, builder = build_setup(n_nodes=16, k=2)
+        nodes[5].fail()
+        ring = builder.build_ring_bypassing_faults(start=0, n_nodes=8)
+        assert 5 not in ring.node_order
+        assert ring.size == 32
+        healthy_used = set(ring.node_order)
+        assert healthy_used == {0, 1, 2, 3, 4, 6, 7, 8}

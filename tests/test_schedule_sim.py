@@ -1,0 +1,125 @@
+"""Tests for the step-synchronous collective schedule simulator."""
+
+import pytest
+
+from repro.collectives.cost_model import INFINITEHBD_GPU_LINK, LinkSpec
+from repro.collectives.ring_allreduce import ring_allreduce_time
+from repro.collectives.alltoall import binary_exchange_cost
+from repro.simulation.schedule_sim import (
+    LinkMap,
+    ScheduleSimulator,
+    Transfer,
+    binary_exchange_schedule,
+    ring_allreduce_schedule,
+    simulate_degraded_ring,
+)
+
+
+class TestTransfer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Transfer(src="a", dst="a", size_bytes=10)
+        with pytest.raises(ValueError):
+            Transfer(src="a", dst="b", size_bytes=-1)
+
+
+class TestLinkMap:
+    def test_default_and_override(self):
+        links = LinkMap(INFINITEHBD_GPU_LINK)
+        assert links.link("a", "b") is INFINITEHBD_GPU_LINK
+        slow = LinkSpec(bandwidth_gbps=100.0)
+        links.set_link("a", "b", slow)
+        assert links.link("a", "b") is slow
+        assert links.link("b", "a") is slow
+        assert links.link("a", "c") is INFINITEHBD_GPU_LINK
+
+    def test_degrade_link(self):
+        links = LinkMap(INFINITEHBD_GPU_LINK)
+        links.degrade_link("a", "b", 0.25)
+        assert links.link("a", "b").bandwidth_gbps == pytest.approx(1600.0)
+        with pytest.raises(ValueError):
+            links.degrade_link("a", "b", 0.0)
+
+
+class TestSchedules:
+    def test_ring_allreduce_schedule_shape(self):
+        members = [f"g{i}" for i in range(8)]
+        schedule = ring_allreduce_schedule(members, 8 * 1024.0)
+        assert len(schedule) == 14
+        assert all(len(round_) == 8 for round_ in schedule)
+        assert schedule[0][0].size_bytes == pytest.approx(1024.0)
+
+    def test_ring_schedule_degenerate(self):
+        assert ring_allreduce_schedule(["only"], 100.0) == []
+        assert ring_allreduce_schedule(["a", "b"], 0.0) == []
+
+    def test_binary_exchange_schedule_shape(self):
+        members = [f"g{i}" for i in range(8)]
+        schedule = binary_exchange_schedule(members, 1024.0)
+        assert len(schedule) == 3
+        assert all(len(round_) == 8 for round_ in schedule)
+        assert schedule[0][0].size_bytes == pytest.approx(4 * 1024.0)
+
+    def test_binary_exchange_schedule_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            binary_exchange_schedule(["a", "b", "c"], 100.0)
+
+
+class TestScheduleSimulator:
+    def test_homogeneous_ring_matches_analytical_model(self):
+        members = [f"g{i}" for i in range(16)]
+        message = float(1 << 30)
+        schedule = ring_allreduce_schedule(members, message)
+        simulated = ScheduleSimulator(LinkMap(INFINITEHBD_GPU_LINK)).run(schedule)
+        analytical = ring_allreduce_time(16, message, INFINITEHBD_GPU_LINK)
+        assert simulated.total_time_s == pytest.approx(analytical.time_s, rel=1e-9)
+
+    def test_homogeneous_binary_exchange_matches_analytical_model(self):
+        members = [f"g{i}" for i in range(16)]
+        block = float(1 << 20)
+        schedule = binary_exchange_schedule(members, block)
+        simulated = ScheduleSimulator(LinkMap(INFINITEHBD_GPU_LINK)).run(schedule)
+        analytical = binary_exchange_cost(16, block, INFINITEHBD_GPU_LINK)
+        assert simulated.total_time_s == pytest.approx(analytical.time_s, rel=1e-9)
+
+    def test_reconfiguration_added_per_round(self):
+        members = [f"g{i}" for i in range(8)]
+        schedule = binary_exchange_schedule(members, 1024.0)
+        sim = ScheduleSimulator(LinkMap(INFINITEHBD_GPU_LINK))
+        with_reconfig = sim.run(schedule, reconfiguration_us_per_round=70.0)
+        without = sim.run(schedule)
+        assert with_reconfig.total_time_s - without.total_time_s == pytest.approx(3 * 70e-6)
+
+    def test_slowest_transfer_identified(self):
+        links = LinkMap(INFINITEHBD_GPU_LINK)
+        links.degrade_link("g1", "g2", 0.1)
+        members = [f"g{i}" for i in range(4)]
+        schedule = ring_allreduce_schedule(members, float(1 << 24))
+        result = ScheduleSimulator(links).run(schedule)
+        slowest = result.critical_path[0]
+        assert {slowest.src, slowest.dst} == {"g1", "g2"}
+
+    def test_empty_schedule(self):
+        result = ScheduleSimulator(LinkMap(INFINITEHBD_GPU_LINK)).run([])
+        assert result.total_time_s == 0.0
+
+
+class TestDegradedRing:
+    def test_one_slow_link_slows_the_whole_ring(self):
+        """Motivation for full-bandwidth single-path OCSTrx switching: the
+        ring runs at the speed of its slowest hop."""
+        healthy, degraded = simulate_degraded_ring(
+            n_members=16,
+            message_bytes=float(1 << 28),
+            link=INFINITEHBD_GPU_LINK,
+            degraded_pairs=[(3, 4)],
+            degradation_factor=0.5,
+        )
+        assert degraded > healthy
+        assert degraded == pytest.approx(healthy * 2.0, rel=0.1)
+
+    def test_degradation_factor_one_is_noop(self):
+        healthy, degraded = simulate_degraded_ring(
+            8, float(1 << 20), INFINITEHBD_GPU_LINK, [(0, 1)], 1.0
+        )
+        assert healthy == pytest.approx(degraded)

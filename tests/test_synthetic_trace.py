@@ -1,0 +1,102 @@
+"""Tests for the synthetic fault-trace generator (Appendix A calibration)."""
+
+import pytest
+
+from repro.faults.synthetic import (
+    SyntheticTraceConfig,
+    _lognormal_sigma,
+    generate_synthetic_trace,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        config = SyntheticTraceConfig()
+        assert config.duration_days == 348
+        assert config.gpus_per_node == 8
+        assert config.mean_fault_ratio == pytest.approx(0.0233)
+        assert config.p99_fault_ratio == pytest.approx(0.0722)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(n_nodes=0)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(mean_fault_ratio=0.0)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(mean_fault_ratio=0.05, p99_fault_ratio=0.01)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(ar1_coefficient=1.0)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(mean_repair_days=0.5)
+
+
+class TestLognormalSigma:
+    def test_matches_target_ratio(self):
+        sigma = _lognormal_sigma(0.0233, 0.0722)
+        import math
+        ratio = math.exp(2.326347874 * sigma - sigma * sigma / 2.0)
+        assert ratio == pytest.approx(0.0722 / 0.0233, rel=1e-3)
+
+    def test_degenerate_ratio(self):
+        assert _lognormal_sigma(0.02, 0.02) == 0.0
+
+
+class TestGeneratedTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_synthetic_trace(SyntheticTraceConfig(seed=42))
+
+    def test_shape(self, trace):
+        assert trace.n_nodes == 400
+        assert trace.duration_days == 348
+        assert trace.gpus_per_node == 8
+        assert len(trace) > 0
+
+    def test_mean_fault_ratio_calibrated(self, trace):
+        stats = trace.statistics()
+        assert stats.mean_fault_ratio == pytest.approx(0.0233, rel=0.15)
+
+    def test_p99_fault_ratio_in_range(self, trace):
+        stats = trace.statistics()
+        assert 0.03 <= stats.p99_fault_ratio <= 0.12
+
+    def test_heavy_tail(self, trace):
+        """p99 must sit well above the mean, as in the production trace."""
+        stats = trace.statistics()
+        assert stats.p99_fault_ratio > 1.5 * stats.mean_fault_ratio
+
+    def test_events_within_bounds(self, trace):
+        for event in trace.events:
+            assert 0 <= event.node_id < trace.n_nodes
+            assert 0.0 <= event.start_hour < event.end_hour <= trace.duration_hours
+
+    def test_repair_time_positive_and_reasonable(self, trace):
+        stats = trace.statistics()
+        assert 24.0 <= stats.mean_repair_hours <= 24.0 * 14
+
+    def test_no_overlapping_events_per_node(self, trace):
+        per_node = {}
+        for event in trace.events:
+            per_node.setdefault(event.node_id, []).append(event)
+        for events in per_node.values():
+            events.sort(key=lambda e: e.start_hour)
+            for a, b in zip(events, events[1:]):
+                assert a.end_hour <= b.start_hour
+
+    def test_reproducible_with_seed(self):
+        config = SyntheticTraceConfig(n_nodes=50, duration_days=30, seed=9)
+        a = generate_synthetic_trace(config)
+        b = generate_synthetic_trace(config)
+        assert a.to_csv() == b.to_csv()
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_trace(SyntheticTraceConfig(n_nodes=50, duration_days=30, seed=1))
+        b = generate_synthetic_trace(SyntheticTraceConfig(n_nodes=50, duration_days=30, seed=2))
+        assert a.to_csv() != b.to_csv()
+
+    def test_small_cluster_generation(self):
+        trace = generate_synthetic_trace(
+            SyntheticTraceConfig(n_nodes=20, duration_days=30, seed=0)
+        )
+        assert trace.n_nodes == 20
+        assert trace.statistics().max_fault_ratio <= 0.5

@@ -1,0 +1,116 @@
+"""Tests for the cross-ToR traffic model."""
+
+import pytest
+
+from repro.dcn.fattree import FatTree, FatTreeConfig
+from repro.dcn.traffic import CrossToRReport, TrafficModel, TrafficVolumes
+
+
+def make_model(n_nodes=64, p=4, tors_per_domain=4, volumes=None):
+    tree = FatTree(FatTreeConfig(n_nodes=n_nodes, nodes_per_tor=p,
+                                 tors_per_domain=tors_per_domain))
+    return TrafficModel(tree, volumes=volumes)
+
+
+class TestTrafficVolumes:
+    def test_dcn_share(self):
+        v = TrafficVolumes(tp_volume=9.0, outer_volume=1.0)
+        assert v.dcn_share == pytest.approx(0.1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TrafficVolumes(tp_volume=-1.0, outer_volume=1.0)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            TrafficVolumes(tp_volume=0.0, outer_volume=0.0)
+
+
+class TestTrafficModel:
+    def test_empty_placement(self):
+        report = make_model().evaluate([])
+        assert report.cross_tor_rate == 0.0
+        assert report.placed_groups == 0
+
+    def test_fully_aligned_placement_is_nearly_zero(self):
+        """Groups whose rank-k nodes share ToRs keep tier-1 traffic local."""
+        model = make_model()
+        # 4 groups, one per intra-ToR index, covering ToRs 0 and 1.
+        placement = [
+            [0, 4],   # intra-ToR index 0, ToRs 0 and 1
+            [1, 5],   # index 1
+            [2, 6],   # index 2
+            [3, 7],   # index 3
+        ]
+        report = model.evaluate(placement)
+        assert report.tier1_cross_edges == 0
+        assert report.cross_tor_rate == 0.0
+
+    def test_misaligned_placement_crosses_tors(self):
+        model = make_model()
+        # Same groups but one group shifted to different ToRs.
+        placement = [
+            [0, 4],
+            [1, 5],
+            [2, 6],
+            [11, 15],  # lives under ToRs 2 and 3 -> misaligned
+        ]
+        report = model.evaluate(placement)
+        assert report.tier1_cross_edges > 0
+        assert report.cross_tor_rate > 0.0
+
+    def test_cross_rate_bounded_by_dcn_share(self):
+        volumes = TrafficVolumes(tp_volume=9.0, outer_volume=1.0)
+        model = make_model(volumes=volumes)
+        # Fully scattered placement: every group in a different ToR pair.
+        placement = [[i * 8, i * 8 + 4] for i in range(8)]
+        report = model.evaluate(placement)
+        assert report.cross_tor_rate <= volumes.dcn_share + 1e-9
+
+    def test_second_tier_always_counted(self):
+        model = make_model()
+        placement = [
+            [0, 4], [1, 5], [2, 6], [3, 7],          # set 1 (ToRs 0-1)
+            [8, 12], [9, 13], [10, 14], [11, 15],    # set 2 (ToRs 2-3)
+        ]
+        report = model.evaluate(placement)
+        assert report.tier1_cross_edges == 0
+        assert report.tier2_edges > 0
+        assert 0.0 < report.cross_tor_rate < model.volumes.dcn_share
+
+    def test_groups_must_have_equal_size(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.evaluate([[0, 4], [1]])
+
+    def test_report_totals_scale_with_nodes(self):
+        model = make_model()
+        small = model.evaluate([[0, 4], [1, 5], [2, 6], [3, 7]])
+        large = model.evaluate(
+            [[0, 4], [1, 5], [2, 6], [3, 7], [8, 12], [9, 13], [10, 14], [11, 15]]
+        )
+        assert large.total_volume == pytest.approx(2 * small.total_volume)
+
+    def test_tier1_cross_fraction(self):
+        report = CrossToRReport(
+            total_volume=100.0,
+            cross_tor_volume=5.0,
+            tier1_edges=20,
+            tier1_cross_edges=5,
+            tier2_edges=2,
+            placed_groups=8,
+        )
+        assert report.tier1_cross_fraction == pytest.approx(0.25)
+        assert report.cross_tor_rate == pytest.approx(0.05)
+
+    def test_local_set_size_validation(self):
+        tree = FatTree(FatTreeConfig(n_nodes=16, nodes_per_tor=4, tors_per_domain=2))
+        with pytest.raises(ValueError):
+            TrafficModel(tree, local_set_size=0)
+
+    def test_single_group_has_no_outer_edges(self):
+        model = make_model()
+        report = model.evaluate([[0, 4, 8, 12]])
+        assert report.tier1_edges == 0
+        assert report.tier2_edges == 0
+        assert report.cross_tor_rate == 0.0

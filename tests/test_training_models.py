@@ -1,0 +1,165 @@
+"""Tests for model configurations, FLOPs and communication-volume accounting."""
+
+import pytest
+
+from repro.training.comm import (
+    CommVolumes,
+    dp_allreduce_volume,
+    ep_alltoall_volume_per_layer,
+    iteration_comm_volumes,
+    tp_allreduce_volume_per_layer,
+)
+from repro.training.flops import flops_per_iteration, flops_per_token
+from repro.training.models import ModelConfig, gpt_moe_1t, llama31_405b
+
+
+class TestModelConfigs:
+    def test_llama_405b_parameter_count(self):
+        model = llama31_405b()
+        # MHA simplification inflates the official 405B count somewhat.
+        assert 4.0e11 <= model.total_params <= 5.2e11
+        assert model.activated_params == model.total_params
+        assert not model.is_moe
+
+    def test_gpt_moe_parameter_count(self):
+        model = gpt_moe_1t()
+        assert 1.0e12 <= model.total_params <= 1.3e12
+        assert model.activated_params < model.total_params
+        assert model.is_moe
+
+    def test_gpt_moe_layer_split(self):
+        model = gpt_moe_1t()
+        assert model.n_moe_layers == 96
+        assert model.n_dense_layers == 96
+
+    def test_moe_layer_params_exceed_dense(self):
+        model = gpt_moe_1t()
+        assert model.moe_layer_params > model.dense_layer_params
+
+    def test_params_per_gpu_shrinks_with_parallelism(self):
+        model = llama31_405b()
+        assert model.params_per_gpu(8, 8) < model.params_per_gpu(8, 4)
+        assert model.params_per_gpu(16, 8) < model.params_per_gpu(8, 8)
+
+    def test_ep_only_shards_expert_weights(self):
+        model = gpt_moe_1t()
+        with_ep = model.params_per_gpu(8, 8, ep=8)
+        without_ep = model.params_per_gpu(8, 8, ep=1)
+        assert with_ep < without_ep
+        dense_only = (
+            model.embedding_params
+            + model.n_dense_layers * model.dense_layer_params
+            + model.n_moe_layers * model.attention_params_per_layer
+        ) / 64
+        assert with_ep > dense_only
+
+    def test_dense_model_ep_has_no_effect_on_activated(self):
+        model = llama31_405b()
+        assert model.activated_params == model.total_params
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 0, 1, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 1, 1, 1, 1, 1, 1, n_experts=0)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 1, 1, 1, 1, 1, 1, n_experts=4, moe_top_k=5)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 1, 1, 1, 1, 1, 1, moe_layer_ratio=1.5)
+        with pytest.raises(ValueError):
+            llama31_405b().params_per_gpu(0, 1)
+
+
+class TestFlops:
+    def test_flops_per_token_dominated_by_6n(self):
+        model = llama31_405b()
+        assert flops_per_token(model) >= 6.0 * model.total_params
+        assert flops_per_token(model) < 8.0 * model.total_params
+
+    def test_moe_flops_use_activated_params(self):
+        model = gpt_moe_1t()
+        assert flops_per_token(model) < 6.0 * model.total_params
+
+    def test_flops_per_iteration_scales_with_batch(self):
+        model = llama31_405b()
+        assert flops_per_iteration(model, 2048) == pytest.approx(
+            2 * flops_per_iteration(model, 1024)
+        )
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            flops_per_iteration(llama31_405b(), 0)
+
+
+class TestCommFormulas:
+    def test_tp_allreduce_matches_table3(self):
+        """2 b s h (n-1)/n elements per layer."""
+        volume = tp_allreduce_volume_per_layer(4, 2048, 12288, 8, bytes_per_element=1)
+        assert volume == pytest.approx(2 * 4 * 2048 * 12288 * 7 / 8)
+
+    def test_ep_alltoall_matches_table3(self):
+        volume = ep_alltoall_volume_per_layer(4, 2048, 12288, 8, 2, bytes_per_element=1)
+        expected = 2 * 4 * 2048 * 12288 * (7 / 8) * (2 / 8)
+        assert volume == pytest.approx(expected)
+
+    def test_ep_cheaper_than_tp_when_topk_less_than_n(self):
+        """Table 3 conclusion: EP wins when k < n."""
+        tp = tp_allreduce_volume_per_layer(1, 2048, 12288, 8)
+        ep = ep_alltoall_volume_per_layer(1, 2048, 12288, 8, 2)
+        assert ep < tp
+
+    def test_degenerate_single_way(self):
+        assert tp_allreduce_volume_per_layer(1, 10, 10, 1) == 0.0
+        assert ep_alltoall_volume_per_layer(1, 10, 10, 1, 1) == 0.0
+        assert dp_allreduce_volume(1e9, 1) == 0.0
+
+    def test_dp_allreduce_volume(self):
+        assert dp_allreduce_volume(1000, 4, bytes_per_element=1) == pytest.approx(
+            2 * 1000 * 3 / 4
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tp_allreduce_volume_per_layer(1, 1, 1, 0)
+        with pytest.raises(ValueError):
+            ep_alltoall_volume_per_layer(1, 1, 1, 0, 1)
+        with pytest.raises(ValueError):
+            ep_alltoall_volume_per_layer(1, 1, 1, 2, 0)
+        with pytest.raises(ValueError):
+            dp_allreduce_volume(1, 0)
+
+
+class TestIterationVolumes:
+    def test_volumes_positive_for_parallel_training(self):
+        volumes = iteration_comm_volumes(
+            llama31_405b(), tp=16, pp=4, dp=16, ep=1, global_batch=2048
+        )
+        assert volumes.tp_bytes > 0
+        assert volumes.ep_bytes == 0
+        assert volumes.dp_bytes > 0
+        assert 0.0 < volumes.dcn_share < 1.0
+
+    def test_tp_volume_grows_with_tp(self):
+        small = iteration_comm_volumes(llama31_405b(), 8, 4, 32, 1, 2048)
+        large = iteration_comm_volumes(llama31_405b(), 32, 4, 8, 1, 2048)
+        assert large.tp_bytes / 32 > 0  # defined
+        assert large.tp_bytes * 1.0 >= small.tp_bytes  # (n-1)/n grows with n
+
+    def test_ep_reduces_moe_tp_volume(self):
+        moe = gpt_moe_1t()
+        no_ep = iteration_comm_volumes(moe, 16, 8, 16, 1, 1536)
+        with_ep = iteration_comm_volumes(moe, 16, 8, 16, 8, 1536)
+        assert with_ep.tp_bytes < no_ep.tp_bytes
+        assert with_ep.ep_bytes > 0
+
+    def test_hbd_and_dcn_split(self):
+        volumes = CommVolumes(tp_bytes=80.0, ep_bytes=20.0, dp_bytes=25.0)
+        assert volumes.hbd_bytes == 100.0
+        assert volumes.dcn_bytes == 25.0
+        assert volumes.dcn_share == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            iteration_comm_volumes(llama31_405b(), 0, 1, 1, 1, 8)
+        with pytest.raises(ValueError):
+            iteration_comm_volumes(llama31_405b(), 1, 1, 1, 1, 0)

@@ -1,0 +1,84 @@
+"""Tests for the Appendix C theoretical waste-ratio bound (Table 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.waste_bound import (
+    TABLE7_NODE_FAILURE_RATE,
+    breakpoint_expectation_per_node,
+    expected_waste_per_breakpoint,
+    waste_bound_table,
+    waste_ratio_upper_bound,
+)
+from repro.faults.model import sample_fault_set
+from repro.hbd.infinitehbd import InfiniteHBDArchitecture
+
+
+class TestBoundFormulas:
+    def test_breakpoint_expectation(self):
+        assert breakpoint_expectation_per_node(0.1, 2) == pytest.approx(
+            2 * (0.01 + 0.0001)
+        )
+
+    def test_breakpoint_expectation_decays_with_k(self):
+        assert breakpoint_expectation_per_node(0.05, 3) < breakpoint_expectation_per_node(0.05, 2)
+
+    def test_expected_waste_per_breakpoint(self):
+        assert expected_waste_per_breakpoint(32, 4) == 4 * 28
+        assert expected_waste_per_breakpoint(8, 8) == 0
+
+    def test_table7_values_match_paper(self):
+        """Exact Table 7 entries."""
+        assert waste_ratio_upper_bound(0.0367, 2, 32, 4) == pytest.approx(0.0754, abs=0.0005)
+        assert waste_ratio_upper_bound(0.0367, 3, 32, 4) == pytest.approx(0.0028, abs=0.0002)
+        assert waste_ratio_upper_bound(0.0367, 4, 32, 4) == pytest.approx(1.02e-4, rel=0.05)
+        assert waste_ratio_upper_bound(0.0722, 2, 32, 8) == pytest.approx(0.2502, abs=0.001)
+        assert waste_ratio_upper_bound(0.0722, 3, 32, 8) == pytest.approx(0.0181, abs=0.0005)
+        assert waste_ratio_upper_bound(0.0722, 4, 32, 8) == pytest.approx(0.0013, abs=0.0001)
+
+    def test_bound_zero_when_group_fits_in_node(self):
+        assert waste_ratio_upper_bound(0.05, 2, 4, 8) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            breakpoint_expectation_per_node(1.5, 2)
+        with pytest.raises(ValueError):
+            breakpoint_expectation_per_node(0.1, 0)
+        with pytest.raises(ValueError):
+            expected_waste_per_breakpoint(0, 4)
+
+
+class TestWasteBoundTable:
+    def test_table_shape(self):
+        rows = waste_bound_table()
+        assert len(rows) == 2
+        assert set(rows[0]) >= {"gpus_per_node", "node_failure_rate", "k2_bound", "k3_bound", "k4_bound"}
+
+    def test_uses_published_failure_rates(self):
+        assert TABLE7_NODE_FAILURE_RATE[4] == pytest.approx(0.0367)
+        assert TABLE7_NODE_FAILURE_RATE[8] == pytest.approx(0.0722)
+
+    def test_missing_rate_rejected(self):
+        with pytest.raises(KeyError):
+            waste_bound_table(node_sizes=(16,))
+
+
+class TestBoundHoldsEmpirically:
+    """The analytical bound must upper-bound the simulated waste ratio."""
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_simulated_waste_below_bound(self, k):
+        p_s = 0.0367
+        arch = InfiniteHBDArchitecture(k=k, gpus_per_node=4)
+        bound = waste_ratio_upper_bound(p_s, k, 32, 4)
+        rng = np.random.default_rng(123)
+        n_nodes = 1000
+        waste_ratios = []
+        for _ in range(30):
+            faults = sample_fault_set(n_nodes, p_s, rng)
+            waste_ratios.append(arch.waste_ratio(n_nodes, faults, 32))
+        mean_waste = float(np.mean(waste_ratios))
+        # The bound also absorbs the fragmentation remainder of the whole
+        # line, so allow that one-group tolerance before comparing.
+        tolerance = 32 / (n_nodes * 4)
+        assert mean_waste <= bound + tolerance

@@ -1,0 +1,105 @@
+"""Tests for the physical wiring planner."""
+
+import pytest
+
+from repro.core.khop_ring import KHopRingTopology, KHopTopologyConfig
+from repro.core.wiring import WiringPlanner
+from repro.cost.architectures import infinitehbd_bom
+from repro.dcn.fattree import FatTree, FatTreeConfig
+from repro.hardware.ocstrx import PathState
+
+
+def make_planner(n_nodes=64, k=2, r=4, nodes_per_tor=4, tors_per_domain=4):
+    fat_tree = FatTree(
+        FatTreeConfig(n_nodes=n_nodes, nodes_per_tor=nodes_per_tor,
+                      tors_per_domain=tors_per_domain)
+    )
+    return WiringPlanner(n_nodes=n_nodes, k=k, gpus_per_node=r, fat_tree=fat_tree)
+
+
+class TestWiringPlan:
+    def test_cable_count_matches_khop_link_count(self):
+        n, k = 64, 2
+        plan = make_planner(n_nodes=n, k=k).build()
+        # A K-hop line has sum_{d=1..K} (n - d) links.
+        expected = sum(n - d for d in range(1, k + 1))
+        assert plan.total_cables == expected
+
+    def test_every_cable_is_a_topology_link(self):
+        n, k = 48, 3
+        planner = make_planner(n_nodes=n, k=k)
+        plan = planner.build()
+        deployment = planner.plan
+        for cable in plan.cables:
+            pos_a = deployment.position_of(cable.node_a)
+            pos_b = deployment.position_of(cable.node_b)
+            assert abs(pos_a - pos_b) == cable.hop_distance
+            assert cable.hop_distance <= k
+
+    def test_ports_follow_convention(self):
+        plan = make_planner().build()
+        for cable in plan.cables:
+            assert cable.port_a is PathState.EXTERNAL_1
+            assert cable.port_b is PathState.EXTERNAL_2
+            assert cable.bundle_a == cable.bundle_b == cable.hop_distance - 1
+
+    def test_no_endpoint_reused(self):
+        plan = make_planner(n_nodes=32, k=3).build()
+        plan.validate()  # raises on duplicates
+
+    def test_interior_nodes_have_2k_links(self):
+        k = 2
+        plan = make_planner(n_nodes=40, k=k).build()
+        link_counts = {}
+        for cable in plan.cables:
+            for node in (cable.node_a, cable.node_b):
+                link_counts[node] = link_counts.get(node, 0) + 1
+        assert max(link_counts.values()) == 2 * k
+        # Only the few nodes at the ends of the deployment line have fewer.
+        assert sum(1 for v in link_counts.values() if v < 2 * k) <= 2 * k
+
+    def test_hbd_links_cross_tors(self):
+        """The deployment strategy places HBD neighbours in different ToRs."""
+        plan = make_planner(n_nodes=64, k=2).build()
+        assert plan.cross_tor_cable_fraction() > 0.95
+
+    def test_per_node_bom_matches_table8(self):
+        for k in (2, 3):
+            planner = make_planner(n_nodes=64, k=k)
+            plan = planner.build()
+            check = planner.bom_check(plan)
+            bom = infinitehbd_bom(k)
+            ocstrx_in_bom = sum(
+                line.quantity for line in bom.lines if line.component.name == "ocstrx_800g"
+            )
+            dac_in_bom = sum(
+                line.quantity for line in bom.lines if line.component.name == "dac_1600g"
+            )
+            assert check["ocstrx_modules_per_node"] == ocstrx_in_bom
+            assert check["dac_links_per_node"] == dac_in_bom
+
+    def test_cables_by_hop_distance(self):
+        plan = make_planner(n_nodes=20, k=2).build()
+        by_distance = plan.cables_by_hop_distance()
+        assert by_distance[1] == 19
+        assert by_distance[2] == 18
+
+    def test_cables_of_node(self):
+        plan = make_planner(n_nodes=20, k=2).build()
+        deployment_middle = plan.cables_of_node(10)
+        assert 1 <= len(deployment_middle) <= 4
+
+    def test_fiber_and_module_totals(self):
+        plan = make_planner(n_nodes=16, k=2).build()
+        assert plan.total_ocstrx_modules == 16 * 16
+        assert plan.total_fiber_pairs == plan.total_cables * 8
+        assert plan.total_dac_links == 16 * 4
+
+    def test_validation_rejects_k_exceeding_gpus(self):
+        with pytest.raises(ValueError):
+            WiringPlanner(n_nodes=8, k=5, gpus_per_node=4)
+
+    def test_mismatched_fat_tree_rejected(self):
+        fat_tree = FatTree(FatTreeConfig(n_nodes=32))
+        with pytest.raises(ValueError):
+            WiringPlanner(n_nodes=64, k=2, fat_tree=fat_tree)
