@@ -1,0 +1,72 @@
+"""Runner vs. seed-style serial loop: wall-clock on the 8-architecture line-up.
+
+The seed replayed the trace with one :class:`ClusterSimulator` per
+architecture, re-scanning the trace's fault events eight times.  The
+Unified Experiment API samples the trace into one shared fault timeline and
+(on multi-core hosts) fans the line-up out over a process pool.  This
+benchmark times both on the full 348-day trace and checks they produce the
+same numbers, with the runner no slower than the serial loop.
+"""
+
+import time
+
+from conftest import SIM_NODES_4GPU, emit_report, format_table
+
+from repro.api import ExperimentRunner, ExperimentSpec, Scenario, TraceSpec
+from repro.hbd import default_architectures
+from repro.simulation.cluster import ClusterSimulator
+
+TP_SIZE = 32
+
+
+def _serial_seed_style(trace_4gpu):
+    """The seed's architecture_comparison_over_trace loop, verbatim."""
+    results = {}
+    for arch in default_architectures(4):
+        simulator = ClusterSimulator(arch, trace_4gpu, n_nodes=SIM_NODES_4GPU)
+        results[arch.name] = simulator.run(TP_SIZE)
+    return results
+
+
+def test_runner_beats_serial_loop(benchmark, trace_4gpu):
+    trace_spec = TraceSpec(days=348, seed=348, gpus_per_node=4)
+    trace_spec.build()  # pre-warm the memoized trace: time execution, not generation
+
+    spec = ExperimentSpec.of(
+        scenario=Scenario.default(
+            "runner-vs-serial",
+            trace=trace_spec,
+            tp_sizes=(TP_SIZE,),
+            n_nodes=SIM_NODES_4GPU,
+        ),
+        experiments=("waste",),
+    )
+
+    start = time.perf_counter()
+    serial = _serial_seed_style(trace_4gpu)
+    serial_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    results = benchmark.pedantic(
+        lambda: ExperimentRunner(spec).run(), rounds=1, iterations=1
+    )
+    runner_elapsed = time.perf_counter() - start
+
+    rows = [
+        ["serial per-architecture loop", serial_elapsed],
+        ["ExperimentRunner (shared timeline, parallel)", runner_elapsed],
+        ["speedup", serial_elapsed / max(runner_elapsed, 1e-9)],
+    ]
+    emit_report(
+        "api_runner_vs_serial",
+        format_table(["Path", "seconds / x"], rows),
+    )
+
+    # Same numbers out of both paths ...
+    for result in results:
+        assert result.metric("mean_waste_ratio") == (
+            serial[result.architecture].mean_waste_ratio
+        )
+    # ... and the runner is at least as fast as the seed's serial loop
+    # (shared timeline wins even on one core; processes win on many).
+    assert runner_elapsed < serial_elapsed

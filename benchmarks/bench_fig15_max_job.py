@@ -1,23 +1,35 @@
-"""Figure 15: maximal job scale supported by a 2,880-GPU cluster over the trace."""
+"""Figure 15: maximal job scale supported by a 2,880-GPU cluster over the trace.
+
+Runs through the Unified Experiment API: one declarative spec sweeps the
+full architecture × TP-size grid off a shared fault timeline.
+"""
 
 from conftest import SIM_NODES_4GPU, TP_SIZES, emit_report, format_table
 
-from repro.hbd import default_architectures
-from repro.simulation.sweeps import max_job_scale_comparison
+from repro.api import ExperimentRunner, ExperimentSpec, Scenario, TraceSpec
 
 
-def _run(trace_4gpu):
-    return max_job_scale_comparison(
-        default_architectures(4),
-        trace_4gpu,
-        tp_sizes=TP_SIZES,
-        n_nodes=SIM_NODES_4GPU,
-        availability=1.0,
+def _spec():
+    return ExperimentSpec.of(
+        scenario=Scenario.default(
+            "fig15",
+            trace=TraceSpec(days=348, seed=348, gpus_per_node=4),
+            tp_sizes=TP_SIZES,
+            n_nodes=SIM_NODES_4GPU,
+        ),
+        experiments=("max_job_scale",),
     )
 
 
-def test_fig15_max_job_scale(benchmark, trace_4gpu):
-    table = benchmark.pedantic(_run, rounds=1, iterations=1, args=(trace_4gpu,))
+def _run(spec):
+    results = ExperimentRunner(spec).run()
+    return results.metric_table("max_job_scale", "max_job_scale")
+
+
+def test_fig15_max_job_scale(benchmark):
+    spec = _spec()
+    spec.scenario.trace.build()  # time the sweep, not trace generation
+    table = benchmark.pedantic(_run, rounds=1, iterations=1, args=(spec,))
     rows = [[name] + [per_tp[tp] for tp in TP_SIZES] for name, per_tp in table.items()]
     text = format_table(
         ["Architecture"] + [f"TP-{tp}" for tp in TP_SIZES], rows

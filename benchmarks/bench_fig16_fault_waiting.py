@@ -1,33 +1,46 @@
-"""Figures 16 and 23: job fault-waiting rate versus job scale over the trace."""
+"""Figures 16 and 23: job fault-waiting rate versus job scale over the trace.
+
+Runs through the Unified Experiment API: the ``fault_waiting`` experiment
+evaluates every job scale from one replay per (architecture, TP size).
+"""
 
 from conftest import SIM_NODES_4GPU, emit_report, format_table
 
-from repro.hbd import default_architectures
-from repro.simulation.sweeps import fault_waiting_comparison
+from repro.api import ExperimentRunner, ExperimentSpec, Scenario, TraceSpec
 
 JOB_SCALES = (2304, 2432, 2560, 2688, 2816)
 TP_SIZES = (16, 32)
 
 
-def _run(trace_4gpu, tp_size):
-    return fault_waiting_comparison(
-        default_architectures(4),
-        trace_4gpu,
-        tp_size=tp_size,
-        job_scales=JOB_SCALES,
-        n_nodes=SIM_NODES_4GPU,
+def _spec():
+    return ExperimentSpec.of(
+        scenario=Scenario.default(
+            "fig16",
+            trace=TraceSpec(days=348, seed=348, gpus_per_node=4),
+            tp_sizes=TP_SIZES,
+            n_nodes=SIM_NODES_4GPU,
+        ),
+        experiments=("fault_waiting",),
+        options={"fault_waiting": {"job_scales": list(JOB_SCALES)}},
     )
 
 
-def test_fig16_fault_waiting(benchmark, trace_4gpu):
+def _run(spec):
+    results = ExperimentRunner(spec).run()
     all_tables = {}
+    for tp in TP_SIZES:
+        table = {}
+        for arch in results.architectures():
+            series = results.filter("fault_waiting", arch, tp)[0].series_dict
+            table[arch] = dict(zip(series["job_scales"], series["waiting_rates"]))
+        all_tables[tp] = table
+    return all_tables
 
-    def run_all():
-        for tp in TP_SIZES:
-            all_tables[tp] = _run(trace_4gpu, tp)
-        return all_tables
 
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
+def test_fig16_fault_waiting(benchmark):
+    spec = _spec()
+    spec.scenario.trace.build()  # time the sweep, not trace generation
+    all_tables = benchmark.pedantic(_run, rounds=1, iterations=1, args=(spec,))
 
     sections = []
     for tp, table in all_tables.items():

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Unified Experiment API demo: spec files, the plugin registry, the runner.
+
+This walks the three pieces of :mod:`repro.api` end to end:
+
+1. register a *custom* HBD architecture ("dual-rail", an NVL-144 variant)
+   into the plugin registry -- no core module is edited;
+2. declare a scenario as a plain JSON-able spec (trace, line-up including
+   the custom architecture, TP sizes) and write it to disk, exactly the file
+   ``python -m repro.cli run --spec`` consumes;
+3. execute the spec with the parallel :class:`~repro.api.ExperimentRunner`
+   and round-trip the serializable results.
+
+Run with:  python examples/experiment_api_demo.py [--days 60] [--workers N]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.api import (
+    REGISTRY,
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultSet,
+)
+from repro.hbd import NVLHBD
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=60, help="trace duration in days")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: one per CPU)")
+    args = parser.parse_args()
+
+    # ------------------------------------------------------------------
+    # 1. Plug a custom architecture into the registry by name.
+    # ------------------------------------------------------------------
+    @REGISTRY.register("dual-rail", defaults={"hbd_size": 144}, override=True,
+                       description="two NVL-72 rails fused into one 144-GPU unit")
+    def _dual_rail(gpus_per_node=4, hbd_size=144):
+        return NVLHBD(hbd_size, gpus_per_node=gpus_per_node)
+
+    print("registered 'dual-rail'; registry now knows:")
+    print(" ", ", ".join(sorted(n for n in REGISTRY.names())), "\n")
+
+    # ------------------------------------------------------------------
+    # 2. Declare the experiment as data and write the spec file.
+    # ------------------------------------------------------------------
+    spec_data = {
+        "scenario": {
+            "name": "api-demo",
+            "trace": {"days": args.days, "seed": 348, "gpus_per_node": 4},
+            "architectures": [
+                "InfiniteHBD(K=3)",
+                "NVL-72",
+                "dual-rail",               # the custom plugin, by name
+                {"name": "infinitehbd", "params": {"k": 4}},  # parameterized
+            ],
+            "tp_sizes": [16, 32],
+            "n_nodes": 288,
+            "job_gpus": 1024,
+        },
+        "experiments": ["waste", "goodput"],
+    }
+    spec = ExperimentSpec.from_dict(spec_data)
+    spec_path = os.path.join(tempfile.gettempdir(), "infinitehbd_demo_spec.json")
+    with open(spec_path, "w") as handle:
+        handle.write(spec.to_json())
+    print(f"spec written to {spec_path} (sha256 {spec.digest()[:12]})")
+    print(f"  equivalent CLI: python -m repro.cli run --spec {spec_path}\n")
+
+    # ------------------------------------------------------------------
+    # 3. Run it and round-trip the results.
+    # ------------------------------------------------------------------
+    results = ExperimentRunner(spec, max_workers=args.workers).run()
+
+    print(f"{'architecture':18s} {'TP':>4s} {'mean waste':>11s} {'goodput':>8s}")
+    for arch in results.architectures():
+        for tp in spec.scenario.tp_sizes:
+            waste = results.filter("waste", arch, tp)[0]
+            goodput = results.filter("goodput", arch, tp)[0]
+            print(
+                f"{arch:18s} {tp:4d} {waste.metric('mean_waste_ratio'):10.2%} "
+                f"{goodput.metric('goodput'):8.4f}"
+            )
+
+    restored = ResultSet.from_json(results.to_json())
+    assert restored == results
+    print(
+        f"\n{len(results)} results round-tripped through JSON; every record "
+        f"carries provenance (seed={results[0].provenance.seed}, "
+        f"spec {results[0].provenance.spec_sha256[:12]})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Fault-resilience study: replay a production-style fault trace (section 6.2).
 
-Generates a 348-day synthetic fault trace calibrated to the paper's Appendix A
-statistics, converts it to 4-GPU nodes, and replays it on a 2,880-GPU cluster
-for every HBD architecture, reporting the mean GPU waste ratio, the maximum
-job scale, and the fault-waiting rate of a near-full-cluster job.
+Declares the study through the Unified Experiment API: a 348-day synthetic
+trace calibrated to the paper's Appendix A statistics, converted to 4-GPU
+nodes and replayed on a 2,880-GPU cluster for every HBD architecture.  The
+waste, max-job-scale and fault-waiting experiments run through the parallel
+:class:`~repro.api.ExperimentRunner` off one shared fault timeline.
 
 Run with:  python examples/fault_resilience_study.py [--days 120] [--tp 32]
 """
@@ -15,10 +16,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro.faults.convert import convert_trace_8gpu_to_4gpu
-from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
-from repro.hbd import default_architectures
-from repro.simulation.cluster import ClusterSimulator
+from repro.api import ExperimentRunner, ExperimentSpec, Scenario, TraceSpec
 
 
 def main() -> None:
@@ -28,19 +26,31 @@ def main() -> None:
     parser.add_argument("--nodes", type=int, default=720, help="4-GPU nodes simulated")
     parser.add_argument("--job-gpus", type=int, default=2560,
                         help="job scale for the fault-waiting metric")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: one per CPU)")
     args = parser.parse_args()
 
-    print(f"Generating a {args.days}-day synthetic trace (Appendix A statistics) ...")
-    trace8 = generate_synthetic_trace(
-        SyntheticTraceConfig(duration_days=args.days, seed=348)
+    spec = ExperimentSpec.of(
+        scenario=Scenario.default(
+            "fault-resilience",
+            trace=TraceSpec(days=args.days, seed=348, gpus_per_node=4),
+            tp_sizes=(args.tp,),
+            n_nodes=args.nodes,
+            job_gpus=args.job_gpus,
+        ),
+        experiments=("waste", "max_job_scale", "fault_waiting"),
     )
-    stats = trace8.statistics()
+
+    trace = spec.scenario.trace.build()
+    stats = trace.statistics()
+    print(f"Replaying a {args.days}-day synthetic trace (Appendix A statistics) ...")
     print(
         f"  mean faulty-node ratio {stats.mean_fault_ratio:.2%}, "
-        f"p99 {stats.p99_fault_ratio:.2%}, {stats.n_events} events"
+        f"p99 {stats.p99_fault_ratio:.2%}, {stats.n_events} events, "
+        f"{trace.n_nodes} 4-GPU nodes\n"
     )
-    trace4 = convert_trace_8gpu_to_4gpu(trace8, seed=348)
-    print(f"  converted to {trace4.n_nodes} 4-GPU nodes\n")
+
+    results = ExperimentRunner(spec, max_workers=args.workers).run()
 
     header = (
         f"{'Architecture':18s} {'mean waste':>11s} {'p99 waste':>10s} "
@@ -48,13 +58,15 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    for arch in default_architectures(4):
-        series = ClusterSimulator(arch, trace4, n_nodes=args.nodes).run(args.tp)
+    for arch in results.architectures():
+        waste = results.filter("waste", arch, args.tp)[0]
+        scale = results.filter("max_job_scale", arch, args.tp)[0]
+        waiting = results.filter("fault_waiting", arch, args.tp)[0]
         print(
-            f"{arch.name:18s} {series.mean_waste_ratio:10.2%} "
-            f"{series.p99_waste_ratio:10.2%} "
-            f"{series.supported_job_scale():15d} "
-            f"{series.fault_waiting_rate(args.job_gpus):12.2%}"
+            f"{arch:18s} {waste.metric('mean_waste_ratio'):10.2%} "
+            f"{waste.metric('p99_waste_ratio'):10.2%} "
+            f"{scale.metric('max_job_scale'):15d} "
+            f"{waiting.metric('fault_waiting_rate'):12.2%}"
         )
 
     print(

@@ -19,7 +19,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(
 from repro.core.khop_ring import KHopRingTopology, KHopTopologyConfig
 from repro.core.node import make_nodes
 from repro.core.ring_builder import RingBuilder
-from repro.hbd import InfiniteHBDArchitecture, NVLHBD
+from repro.hbd import architecture_by_name
 
 
 def main() -> None:
@@ -56,12 +56,13 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # 4. Waste-ratio comparison against NVL-72 at a 2,880-GPU scale.
+    #    Architectures come from the plugin registry by legend name --
+    #    the same names spec files and the CLI use.
     # ------------------------------------------------------------------
     cluster_nodes = 720
     faulty = {10, 95, 222, 402, 561, 703}
-    infinite = InfiniteHBDArchitecture(k=3, gpus_per_node=4)
-    nvl = NVLHBD(72, gpus_per_node=4)
-    for arch in (infinite, nvl):
+    for arch_name in ("InfiniteHBD(K=3)", "NVL-72"):
+        arch = architecture_by_name(arch_name, gpus_per_node=4)
         breakdown = arch.breakdown(cluster_nodes, faulty, tp_size=32)
         print(
             f"{arch.name:18s} usable={breakdown.usable_gpus:5d} GPUs   "

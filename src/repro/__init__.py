@@ -18,17 +18,33 @@ baseline its evaluation depends on:
 * ``repro.collectives`` -- ring AllReduce and AllToAll algorithms (5.2, App G).
 * ``repro.cost``        -- interconnect cost / power analysis (section 6.5).
 * ``repro.analysis``    -- theoretical waste-ratio bound (Appendix C).
+* ``repro.api``         -- the Unified Experiment API: declarative scenario
+  specs, a plugin architecture registry, and a parallel experiment runner.
 
-Quickstart::
+Quickstart -- declare a scenario, run it, serialize the results::
 
-    from repro import InfiniteHBDArchitecture, generate_synthetic_trace
-    from repro.faults import convert_trace_8gpu_to_4gpu
-    from repro.simulation import ClusterSimulator
+    from repro.api import ExperimentSpec, Scenario, TraceSpec, run_experiment
 
-    trace = convert_trace_8gpu_to_4gpu(generate_synthetic_trace())
-    arch = InfiniteHBDArchitecture(k=3, gpus_per_node=4)
-    series = ClusterSimulator(arch, trace, n_nodes=720).run(tp_size=32)
-    print(f"mean GPU waste ratio: {series.mean_waste_ratio:.2%}")
+    spec = ExperimentSpec.of(
+        scenario=Scenario.default(
+            "quickstart",                      # the paper's 8-architecture line-up
+            trace=TraceSpec(days=120, seed=348, gpus_per_node=4),
+            tp_sizes=(32,),
+            n_nodes=720,                       # a 2,880-GPU cluster
+        ),
+        experiments=("waste", "goodput"),
+    )
+    results = run_experiment(spec)             # parallel across architectures
+    for r in results.filter(experiment="waste"):
+        print(f"{r.architecture:18s} mean waste {r.metric('mean_waste_ratio'):.2%}")
+    open("results.json", "w").write(results.to_json())   # round-trippable
+
+The same spec runs from the shell: save ``spec.to_json()`` to a file and
+``python -m repro.cli run --spec spec.json --output results.json``.  New HBD
+variants plug in by name through the registry (see :mod:`repro.api.registry`)
+without touching core code; the lower-level building blocks
+(:class:`ClusterSimulator`, the architecture classes, the fault substrate)
+remain importable for bespoke studies.
 """
 
 from repro.core import (
@@ -47,7 +63,20 @@ from repro.hbd import (
     NVLHBD,
     SiPRingHBD,
     TPUv4HBD,
+    architecture_by_name,
     default_architectures,
+    list_architectures,
+)
+from repro.api import (
+    REGISTRY,
+    ArchitectureSpec,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultSet,
+    Scenario,
+    TraceSpec,
+    run_experiment,
 )
 from repro.faults import (
     FaultTrace,
@@ -82,7 +111,18 @@ __all__ = [
     "NVLHBD",
     "SiPRingHBD",
     "TPUv4HBD",
+    "architecture_by_name",
     "default_architectures",
+    "list_architectures",
+    "REGISTRY",
+    "ArchitectureSpec",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "ResultSet",
+    "Scenario",
+    "TraceSpec",
+    "run_experiment",
     "FaultTrace",
     "generate_synthetic_trace",
     "convert_trace_8gpu_to_4gpu",

@@ -1,0 +1,72 @@
+"""Unified Experiment API: the canonical way to run every experiment.
+
+The package ties three layers together:
+
+* :mod:`repro.api.registry` -- a plugin registry of HBD architecture
+  factories (:data:`REGISTRY`); new variants register with a decorator and
+  become runnable by name everywhere, spec files included.
+* :mod:`repro.api.spec` -- frozen, JSON-round-trippable experiment
+  descriptions (:class:`TraceSpec`, :class:`ArchitectureSpec`,
+  :class:`Scenario`, :class:`ExperimentSpec`).
+* :mod:`repro.api.runner` -- :class:`ExperimentRunner`, which executes the
+  architecture × TP-size sweep with process parallelism, memoized trace
+  generation and shared fault timelines, emitting a uniform
+  :class:`ResultSet` of :class:`ExperimentResult` records with provenance.
+
+Quickstart::
+
+    from repro.api import ExperimentSpec, Scenario, run_experiment
+
+    spec = ExperimentSpec.of(
+        scenario=Scenario.default("demo", tp_sizes=(32,), n_nodes=288, job_gpus=1024),
+        experiments=("waste", "goodput"),
+    )
+    results = run_experiment(spec)
+    for r in results.filter(experiment="waste"):
+        print(r.architecture, r.metric("mean_waste_ratio"))
+
+The same spec serializes to JSON (``spec.to_json()``) and runs from the
+command line: ``python -m repro.cli run --spec spec.json``.
+"""
+
+from repro.api.registry import (
+    ArchitectureEntry,
+    ArchitectureRegistry,
+    REGISTRY,
+    get_registry,
+)
+from repro.api.spec import (
+    KNOWN_EXPERIMENTS,
+    ArchitectureSpec,
+    ExperimentSpec,
+    Scenario,
+    TraceSpec,
+    default_architecture_specs,
+)
+from repro.api.results import ExperimentResult, Provenance, ResultSet
+from repro.api.runner import (
+    ExperimentRunner,
+    compare_architectures_over_trace,
+    compare_architectures_over_tp_sizes,
+    run_experiment,
+)
+
+__all__ = [
+    "ArchitectureEntry",
+    "ArchitectureRegistry",
+    "REGISTRY",
+    "get_registry",
+    "KNOWN_EXPERIMENTS",
+    "ArchitectureSpec",
+    "ExperimentSpec",
+    "Scenario",
+    "TraceSpec",
+    "default_architecture_specs",
+    "ExperimentResult",
+    "Provenance",
+    "ResultSet",
+    "ExperimentRunner",
+    "compare_architectures_over_trace",
+    "compare_architectures_over_tp_sizes",
+    "run_experiment",
+]

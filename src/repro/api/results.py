@@ -1,0 +1,183 @@
+"""Unified, serializable experiment results.
+
+Every experiment the runner executes -- waste, max-job-scale, fault-waiting,
+goodput, cross-ToR, MFU, cost -- emits the same record shape: a
+:class:`ExperimentResult` with scalar ``metrics``, optional named ``series``
+(time series / CDF inputs), and :class:`Provenance` (seed, package version,
+spec digest) so any result file can be traced back to the exact spec that
+produced it.  :class:`ResultSet` is the ordered container with JSON I/O.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a result came from: enough to reproduce it bit-for-bit."""
+
+    seed: int
+    version: str
+    spec_sha256: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Provenance":
+        return cls(
+            seed=data["seed"],
+            version=data["version"],
+            spec_sha256=data["spec_sha256"],
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One (experiment, architecture, TP size) cell of a sweep.
+
+    ``architecture`` is the legend name (or a pseudo-name such as
+    ``orchestrator:greedy`` / a model name for non-architecture experiments);
+    ``tp_size`` is 0 when the experiment has no TP axis.
+    """
+
+    experiment: str
+    scenario: str
+    architecture: str
+    tp_size: int
+    metrics: Tuple[Tuple[str, Any], ...]
+    series: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
+    provenance: Optional[Provenance] = None
+
+    @classmethod
+    def of(
+        cls,
+        experiment: str,
+        scenario: str,
+        architecture: str,
+        tp_size: int,
+        metrics: Mapping[str, Any],
+        series: Optional[Mapping[str, Sequence[float]]] = None,
+        provenance: Optional[Provenance] = None,
+    ) -> "ExperimentResult":
+        return cls(
+            experiment=experiment,
+            scenario=scenario,
+            architecture=architecture,
+            tp_size=tp_size,
+            metrics=tuple(sorted(metrics.items())),
+            series=tuple(sorted((k, tuple(v)) for k, v in (series or {}).items())),
+            provenance=provenance,
+        )
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def metrics_dict(self) -> Dict[str, Any]:
+        return dict(self.metrics)
+
+    @property
+    def series_dict(self) -> Dict[str, Tuple[float, ...]]:
+        return dict(self.series)
+
+    def metric(self, name: str) -> Any:
+        try:
+            return self.metrics_dict[name]
+        except KeyError:
+            raise KeyError(
+                f"result {self.experiment}/{self.architecture} has no metric "
+                f"{name!r}; available: {sorted(self.metrics_dict)}"
+            ) from None
+
+    def with_provenance(self, provenance: Provenance) -> "ExperimentResult":
+        return dataclasses.replace(self, provenance=provenance)
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "experiment": self.experiment,
+            "scenario": self.scenario,
+            "architecture": self.architecture,
+            "tp_size": self.tp_size,
+            "metrics": self.metrics_dict,
+        }
+        if self.series:
+            data["series"] = {k: list(v) for k, v in self.series}
+        if self.provenance is not None:
+            data["provenance"] = self.provenance.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        provenance = data.get("provenance")
+        return cls.of(
+            experiment=data["experiment"],
+            scenario=data["scenario"],
+            architecture=data["architecture"],
+            tp_size=data["tp_size"],
+            metrics=data["metrics"],
+            series=data.get("series"),
+            provenance=Provenance.from_dict(provenance) if provenance else None,
+        )
+
+
+@dataclass
+class ResultSet:
+    """Ordered collection of :class:`ExperimentResult` with JSON round-trip."""
+
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> ExperimentResult:
+        return self.results[index]
+
+    def filter(
+        self,
+        experiment: Optional[str] = None,
+        architecture: Optional[str] = None,
+        tp_size: Optional[int] = None,
+    ) -> "ResultSet":
+        """Sub-set matching every given axis (None = wildcard)."""
+        return ResultSet([
+            r for r in self.results
+            if (experiment is None or r.experiment == experiment)
+            and (architecture is None or r.architecture == architecture)
+            and (tp_size is None or r.tp_size == tp_size)
+        ])
+
+    def architectures(self) -> List[str]:
+        """Distinct architecture names, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for r in self.results:
+            seen.setdefault(r.architecture)
+        return list(seen)
+
+    def metric_table(self, experiment: str, metric: str) -> Dict[str, Dict[int, Any]]:
+        """``{architecture: {tp_size: value}}`` for one experiment metric."""
+        table: Dict[str, Dict[int, Any]] = {}
+        for r in self.filter(experiment=experiment):
+            table.setdefault(r.architecture, {})[r.tp_size] = r.metric(metric)
+        return table
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {"results": [r.to_dict() for r in self.results]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResultSet":
+        return cls([ExperimentResult.from_dict(r) for r in data["results"]])
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,450 @@
+"""Spec-driven experiment execution with process parallelism.
+
+:class:`ExperimentRunner` turns an :class:`~repro.api.spec.ExperimentSpec`
+into a deterministic list of independent tasks (one per experiment ×
+architecture × TP size), executes them -- in parallel over a forked process
+pool when more than one CPU is available -- and assembles the uniform
+:class:`~repro.api.results.ResultSet`.
+
+Two things make the runner faster than the seed's serial sweep loops even on
+a single core:
+
+* the fault trace is generated once per process and memoized
+  (:meth:`TraceSpec.build`), and
+* the trace is sampled into a :class:`~repro.simulation.cluster.FaultTimeline`
+  once per (trace, cluster size) and replayed against every architecture,
+  instead of re-scanning the trace per line-up member.
+
+The module also exposes the timeline-sharing comparison helpers that
+:mod:`repro.simulation.sweeps` is now a thin shim over.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.results import ExperimentResult, Provenance, ResultSet
+from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
+from repro.faults.trace import FaultTrace, HOURS_PER_DAY
+from repro.hbd.base import HBDArchitecture
+from repro.simulation.cluster import (
+    FaultTimeline,
+    SimulationSeries,
+    replay_timeline,
+)
+from repro.simulation.goodput import GoodputConfig, GoodputSimulator
+
+
+# ------------------------------------------------------------- parallel plumbing
+def _resolve_workers(max_workers: Optional[int], n_tasks: int) -> int:
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    return max(1, min(max_workers, n_tasks))
+
+
+def _fork_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def _map_tasks(fn: Callable[[Any], Any], payloads: Sequence[Any], max_workers: Optional[int]) -> List[Any]:
+    """Map ``fn`` over ``payloads``, forking a pool when it can help.
+
+    Falls back to in-process serial execution on a single core or when fork
+    is unavailable; results keep payload order either way, so the output is
+    identical no matter how it was executed.
+    """
+    workers = _resolve_workers(max_workers, len(payloads))
+    context = _fork_context() if workers > 1 else None
+    if context is None:
+        return [fn(p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        return list(pool.map(fn, payloads))
+
+
+# ------------------------------------------------------- shared fault timelines
+_TIMELINE_CACHE: Dict[Tuple[TraceSpec, Optional[int], float], FaultTimeline] = {}
+_TIMELINE_LOCK = threading.Lock()
+
+
+def _timeline_for(
+    trace_spec: TraceSpec,
+    n_nodes: Optional[int],
+    sample_interval_hours: float = HOURS_PER_DAY,
+) -> FaultTimeline:
+    """Per-process memoized fault timeline for a declarative trace."""
+    key = (trace_spec, n_nodes, sample_interval_hours)
+    with _TIMELINE_LOCK:
+        cached = _TIMELINE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    timeline = FaultTimeline.from_trace(
+        trace_spec.build(), n_nodes=n_nodes, sample_interval_hours=sample_interval_hours
+    )
+    with _TIMELINE_LOCK:
+        _TIMELINE_CACHE.setdefault(key, timeline)
+    return timeline
+
+
+# ------------------------------------------------ concrete-object sweep helpers
+def _sweep_one(args: Tuple[HBDArchitecture, FaultTimeline, int]) -> SimulationSeries:
+    architecture, timeline, tp_size = args
+    return replay_timeline(architecture, timeline, tp_size)
+
+
+def compare_architectures_over_trace(
+    architectures: Sequence[HBDArchitecture],
+    trace: FaultTrace,
+    tp_size: int,
+    n_nodes: Optional[int] = None,
+    max_workers: Optional[int] = 1,
+) -> Dict[str, SimulationSeries]:
+    """Replay one trace against many architectures over a shared timeline."""
+    timeline = FaultTimeline.from_trace(trace, n_nodes=n_nodes)
+    payloads = [(arch, timeline, tp_size) for arch in architectures]
+    series = _map_tasks(_sweep_one, payloads, max_workers)
+    return {arch.name: s for arch, s in zip(architectures, series)}
+
+
+def compare_architectures_over_tp_sizes(
+    architectures: Sequence[HBDArchitecture],
+    trace: FaultTrace,
+    tp_sizes: Sequence[int],
+    n_nodes: Optional[int] = None,
+    max_workers: Optional[int] = 1,
+) -> Dict[str, Dict[int, SimulationSeries]]:
+    """Full architecture × TP-size replay grid over a shared timeline."""
+    timeline = FaultTimeline.from_trace(trace, n_nodes=n_nodes)
+    payloads = [(arch, timeline, tp) for arch in architectures for tp in tp_sizes]
+    series = _map_tasks(_sweep_one, payloads, max_workers)
+    grid: Dict[str, Dict[int, SimulationSeries]] = {}
+    for (arch, _, tp), s in zip(payloads, series):
+        grid.setdefault(arch.name, {})[tp] = s
+    return grid
+
+
+# ------------------------------------------------------------ experiment tasks
+def _scenario_nodes(scenario: Scenario) -> int:
+    if scenario.n_nodes is not None:
+        return scenario.n_nodes
+    return scenario.trace.build().n_nodes
+
+
+def _run_capacity_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """waste / max_job_scale / fault_waiting: timeline-replay experiments."""
+    scenario = spec.scenario
+    experiment = payload["experiment"]
+    arch_spec = ArchitectureSpec.from_dict(payload["arch"])
+    tp_size = payload["tp_size"]
+    architecture = arch_spec.build(gpus_per_node=scenario.trace.gpus_per_node)
+    timeline = _timeline_for(scenario.trace, scenario.n_nodes)
+    series = replay_timeline(architecture, timeline, tp_size)
+
+    if experiment == "waste":
+        metrics: Dict[str, Any] = {
+            "mean_waste_ratio": series.mean_waste_ratio,
+            "p99_waste_ratio": series.p99_waste_ratio,
+            "min_usable_gpus": series.min_usable_gpus,
+            "total_gpus": series.total_gpus,
+        }
+        out_series = {
+            "times_days": series.times_days,
+            "waste_ratios": series.waste_ratios,
+            "usable_gpus": series.usable_gpus,
+        }
+    elif experiment == "max_job_scale":
+        metrics = {
+            "max_job_scale": series.supported_job_scale(scenario.availability),
+            "availability": scenario.availability,
+            "total_gpus": series.total_gpus,
+        }
+        out_series = {}
+    else:  # fault_waiting
+        options = spec.options_for("fault_waiting")
+        job_scales = [int(s) for s in options.get("job_scales", [scenario.job_gpus])]
+        rates = [series.fault_waiting_rate(scale) for scale in job_scales]
+        metrics = {
+            "fault_waiting_rate": series.fault_waiting_rate(scenario.job_gpus),
+            "job_gpus": scenario.job_gpus,
+        }
+        out_series = {"job_scales": job_scales, "waiting_rates": rates}
+
+    return [
+        ExperimentResult.of(
+            experiment, scenario.name, architecture.name, tp_size, metrics, out_series
+        ).to_dict()
+    ]
+
+
+def _run_goodput_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    scenario = spec.scenario
+    arch_spec = ArchitectureSpec.from_dict(payload["arch"])
+    tp_size = payload["tp_size"]
+    architecture = arch_spec.build(gpus_per_node=scenario.trace.gpus_per_node)
+    options = spec.options_for("goodput")
+    config = GoodputConfig(
+        job_gpus=int(options.get("job_gpus", scenario.job_gpus)),
+        tp_size=tp_size,
+        checkpoint_interval_hours=float(options.get("checkpoint_interval_hours", 1.0)),
+        restart_overhead_hours=float(options.get("restart_overhead_hours", 0.25)),
+        sample_interval_hours=float(options.get("sample_interval_hours", 1.0)),
+    )
+    report = GoodputSimulator(
+        architecture, scenario.trace.build(), config, n_nodes=scenario.n_nodes
+    ).run()
+    metrics = {
+        "goodput": report.goodput,
+        "waiting_fraction": report.waiting_fraction,
+        "job_impacting_faults": report.job_impacting_faults,
+        "productive_hours": report.productive_hours,
+        "waiting_hours": report.waiting_hours,
+        "restart_hours": report.restart_hours,
+        "total_hours": report.total_hours,
+        "job_gpus": config.job_gpus,
+    }
+    return [
+        ExperimentResult.of(
+            "goodput", scenario.name, architecture.name, tp_size, metrics
+        ).to_dict()
+    ]
+
+
+def _run_cross_tor_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    import numpy as np
+
+    from repro.core.orchestrator import JobSpec, Orchestrator
+    from repro.dcn.fattree import FatTreeConfig
+    from repro.faults.model import sample_fault_set
+
+    scenario = spec.scenario
+    options = spec.options_for("cross_tor")
+    method = payload["method"]
+    tp_size = payload["tp_size"]
+    n_nodes = _scenario_nodes(scenario)
+    gpus_per_node = scenario.trace.gpus_per_node
+    total_gpus = n_nodes * gpus_per_node
+
+    orchestrator = Orchestrator(
+        n_nodes=n_nodes,
+        k=int(options.get("k", 2)),
+        fat_tree_config=FatTreeConfig(
+            n_nodes=n_nodes,
+            nodes_per_tor=int(options.get("nodes_per_tor", 4)),
+            tors_per_domain=int(options.get("tors_per_domain", 64)),
+        ),
+    )
+    job_scale_ratio = float(options.get("job_scale_ratio", 0.85))
+    fault_ratio = float(options.get("fault_ratio", 0.05))
+    job_gpus = int(job_scale_ratio * total_gpus) // tp_size * tp_size
+    job = JobSpec(total_gpus=job_gpus, tp_size=tp_size, gpus_per_node=gpus_per_node)
+    faults = sample_fault_set(
+        n_nodes, fault_ratio, np.random.default_rng(scenario.seed)
+    )
+    result, report = orchestrator.place_and_report(
+        job, faults, method=method, seed=scenario.seed
+    )
+    metrics = {
+        "cross_tor_rate": report.cross_tor_rate,
+        "satisfied": bool(result.satisfied),
+        "constraints_used": result.constraints_used,
+        "job_gpus": job_gpus,
+        "fault_ratio": fault_ratio,
+    }
+    return [
+        ExperimentResult.of(
+            "cross_tor", scenario.name, f"orchestrator:{method}", tp_size, metrics
+        ).to_dict()
+    ]
+
+
+def _run_mfu_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    from repro.training.models import gpt_moe_1t, llama31_405b
+    from repro.training.parallelism import search_optimal_strategy
+
+    scenario = spec.scenario
+    options = spec.options_for("mfu")
+    model_name = str(options.get("model", "llama"))
+    if model_name == "llama":
+        model = llama31_405b()
+        global_batch = int(options.get("global_batch") or 2048)
+        ep_choices: Sequence[int] = (1,)
+    elif model_name == "moe":
+        model = gpt_moe_1t()
+        global_batch = int(options.get("global_batch") or 1536)
+        ep_choices = (1, 2, 4, 8)
+    else:
+        raise ValueError(f"unknown mfu model {model_name!r}; known: ['llama', 'moe']")
+    result = search_optimal_strategy(
+        model,
+        int(options.get("gpus", 8192)),
+        global_batch,
+        ep_choices=ep_choices,
+        expert_imbalance_coef=float(options.get("imbalance", 0.2)),
+        max_tp=options.get("max_tp"),
+    )
+    if result.best_config is None:
+        metrics: Dict[str, Any] = {"feasible": False}
+    else:
+        c, e = result.best_config, result.best_estimate
+        metrics = {
+            "feasible": True,
+            "mfu": e.mfu,
+            "iteration_time_s": e.iteration_time_s,
+            "bubble_fraction": e.bubble_fraction,
+            "memory_gib_per_gpu": e.memory_gib_per_gpu,
+            "tp": c.tp,
+            "pp": c.pp,
+            "dp": c.dp,
+            "ep": c.ep,
+            "global_batch": global_batch,
+        }
+    return [
+        ExperimentResult.of("mfu", scenario.name, model.name, 0, metrics).to_dict()
+    ]
+
+
+def _run_cost_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    from repro.cost.analysis import interconnect_cost_table
+
+    scenario = spec.scenario
+    options = spec.options_for("cost")
+    rows = interconnect_cost_table(include_hpn=bool(options.get("include_hpn", False)))
+    return [
+        ExperimentResult.of(
+            "cost",
+            scenario.name,
+            row.name,
+            0,
+            {
+                "cost_per_gpu": row.cost_per_gpu,
+                "power_per_gpu": row.power_per_gpu,
+                "cost_per_gBps": row.cost_per_gBps,
+                "power_per_gBps": row.power_per_gBps,
+            },
+        ).to_dict()
+        for row in rows
+    ]
+
+
+_HANDLERS: Dict[str, Callable[[ExperimentSpec, Mapping[str, Any]], List[Dict[str, Any]]]] = {
+    "waste": _run_capacity_task,
+    "max_job_scale": _run_capacity_task,
+    "fault_waiting": _run_capacity_task,
+    "goodput": _run_goodput_task,
+    "cross_tor": _run_cross_tor_task,
+    "mfu": _run_mfu_task,
+    "cost": _run_cost_task,
+}
+
+#: Experiments swept over the architecture × TP-size grid.
+_ARCH_SWEEP_EXPERIMENTS = ("waste", "max_job_scale", "fault_waiting", "goodput")
+
+
+def _execute_payload(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Top-level task entry point (picklable for the process pool)."""
+    spec = ExperimentSpec.from_dict(payload["spec"])
+    return _HANDLERS[payload["experiment"]](spec, payload)
+
+
+# ---------------------------------------------------------------- the runner
+class ExperimentRunner:
+    """Execute an :class:`ExperimentSpec` and collect a :class:`ResultSet`."""
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.spec = spec
+        self.max_workers = max_workers if max_workers is not None else spec.max_workers
+
+    def tasks(self) -> List[Dict[str, Any]]:
+        """The deterministic task list (experiment × architecture × TP)."""
+        spec = self.spec
+        scenario = spec.scenario
+        spec_dict = spec.to_dict()
+        payloads: List[Dict[str, Any]] = []
+        for experiment in spec.experiments:
+            if experiment in _ARCH_SWEEP_EXPERIMENTS:
+                if not scenario.architectures:
+                    raise ValueError(
+                        f"experiment {experiment!r} needs scenario.architectures"
+                    )
+                for arch in scenario.architectures:
+                    for tp in scenario.tp_sizes:
+                        payloads.append({
+                            "spec": spec_dict,
+                            "experiment": experiment,
+                            "arch": arch.to_dict(),
+                            "tp_size": tp,
+                        })
+            elif experiment == "cross_tor":
+                methods = spec.options_for("cross_tor").get(
+                    "methods", ["greedy", "optimized"]
+                )
+                for method in methods:
+                    payloads.append({
+                        "spec": spec_dict,
+                        "experiment": experiment,
+                        "method": method,
+                        "tp_size": scenario.tp_sizes[0],
+                    })
+            else:  # mfu, cost: one task each
+                payloads.append({"spec": spec_dict, "experiment": experiment})
+        return payloads
+
+    def run(self) -> ResultSet:
+        """Execute all tasks (parallel when possible) and stamp provenance."""
+        payloads = self.tasks()
+        self._warm_caches()
+        chunks = _map_tasks(_execute_payload, payloads, self.max_workers)
+        provenance = Provenance(
+            seed=self.spec.scenario.seed,
+            version=_package_version(),
+            spec_sha256=self.spec.digest(),
+        )
+        results = [
+            ExperimentResult.from_dict(data).with_provenance(provenance)
+            for chunk in chunks
+            for data in chunk
+        ]
+        return ResultSet(results)
+
+    def _warm_caches(self) -> None:
+        """Build the trace (and shared timelines) before the pool forks.
+
+        Forked workers inherit the parent's memo caches copy-on-write, so
+        warming here means the trace is generated and sampled exactly once
+        per run instead of once per worker process.
+        """
+        scenario = self.spec.scenario
+        needs_trace = any(
+            e in _ARCH_SWEEP_EXPERIMENTS for e in self.spec.experiments
+        )
+        if needs_trace:
+            scenario.trace.build()
+        if any(
+            e in ("waste", "max_job_scale", "fault_waiting")
+            for e in self.spec.experiments
+        ):
+            _timeline_for(scenario.trace, scenario.n_nodes)
+
+
+def run_experiment(
+    spec: ExperimentSpec, max_workers: Optional[int] = None
+) -> ResultSet:
+    """One-call convenience wrapper around :class:`ExperimentRunner`."""
+    return ExperimentRunner(spec, max_workers=max_workers).run()
+
+
+def _package_version() -> str:
+    import repro
+
+    return getattr(repro, "__version__", "0")

@@ -1,0 +1,307 @@
+"""Declarative experiment specifications.
+
+A spec file describes *what* to run -- the fault trace, the architecture
+line-up, TP sizes, the experiments -- without any imperative wiring.  Every
+dataclass here is frozen, JSON round-trippable via ``to_dict``/``from_dict``,
+and strict about unknown keys so typos in spec files fail loudly::
+
+    {
+      "scenario": {
+        "name": "smoke",
+        "trace": {"days": 20, "seed": 348, "gpus_per_node": 4},
+        "architectures": ["InfiniteHBD(K=3)", "NVL-72"],
+        "tp_sizes": [32],
+        "n_nodes": 288
+      },
+      "experiments": ["waste", "goodput"]
+    }
+
+``ExperimentSpec.from_dict(json.load(f))`` turns that into a runnable spec;
+:class:`~repro.api.runner.ExperimentRunner` executes it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar, Union
+
+from repro.faults.trace import FaultTrace
+
+#: Experiments the runner knows how to execute.
+KNOWN_EXPERIMENTS = (
+    "waste",
+    "max_job_scale",
+    "fault_waiting",
+    "goodput",
+    "cross_tor",
+    "mfu",
+    "cost",
+)
+
+T = TypeVar("T")
+
+
+def _check_fields(cls: Type[T], data: Mapping[str, Any]) -> None:
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"{cls.__name__}: unknown field(s) {unknown}; known: {sorted(known)}")
+
+
+# --------------------------------------------------------------------- traces
+_TRACE_CACHE: Dict["TraceSpec", FaultTrace] = {}
+_TRACE_CACHE_LOCK = threading.Lock()
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative fault-trace configuration.
+
+    ``kind="synthetic"`` generates the Appendix-A-calibrated 8-GPU-node trace
+    and, when ``gpus_per_node == 4``, applies the Bayes 8-to-4 conversion --
+    the two node granularities the paper evaluates.
+    """
+
+    kind: str = "synthetic"
+    days: int = 120
+    seed: int = 348
+    source_nodes: int = 400
+    gpus_per_node: int = 4
+    mean_fault_ratio: float = 0.0233
+    p99_fault_ratio: float = 0.0722
+
+    def __post_init__(self) -> None:
+        if self.kind != "synthetic":
+            raise ValueError(f"unknown trace kind {self.kind!r}; known: ['synthetic']")
+        if self.gpus_per_node not in (4, 8):
+            raise ValueError("gpus_per_node must be 4 or 8")
+
+    def build(self) -> FaultTrace:
+        """Generate (or fetch the memoized) trace for this spec.
+
+        Traces are cached per process keyed on the full spec, so a sweep over
+        eight architectures generates the trace once, and forked runner
+        workers inherit the parent's cache for free.
+        """
+        with _TRACE_CACHE_LOCK:
+            cached = _TRACE_CACHE.get(self)
+        if cached is not None:
+            return cached
+
+        from repro.faults.convert import convert_trace_8gpu_to_4gpu
+        from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+
+        trace = generate_synthetic_trace(
+            SyntheticTraceConfig(
+                n_nodes=self.source_nodes,
+                duration_days=self.days,
+                seed=self.seed,
+                mean_fault_ratio=self.mean_fault_ratio,
+                p99_fault_ratio=self.p99_fault_ratio,
+            )
+        )
+        if self.gpus_per_node == 4:
+            trace = convert_trace_8gpu_to_4gpu(trace, seed=self.seed)
+        elif self.gpus_per_node == 8:
+            pass  # the generated trace is already 8 GPUs/node
+        else:  # pragma: no cover - rejected in __post_init__
+            raise ValueError("gpus_per_node must be 4 or 8")
+        with _TRACE_CACHE_LOCK:
+            _TRACE_CACHE.setdefault(self, trace)
+        return trace
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceSpec":
+        _check_fields(cls, data)
+        return cls(**data)
+
+
+# -------------------------------------------------------------- architectures
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A registry name plus constructor parameter overrides."""
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **params: Any) -> "ArchitectureSpec":
+        return cls(name=name, params=tuple(sorted(params.items())))
+
+    def build(self, gpus_per_node: int = 4, registry=None):
+        """Instantiate through the (global by default) architecture registry."""
+        from repro.api.registry import REGISTRY
+
+        reg = registry if registry is not None else REGISTRY
+        return reg.create(self.name, gpus_per_node=gpus_per_node, **dict(self.params))
+
+    def to_dict(self) -> Union[str, Dict[str, Any]]:
+        if not self.params:
+            return self.name
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "ArchitectureSpec":
+        if isinstance(data, str):
+            return cls(name=data)
+        _check_fields(cls, data)
+        return cls.of(data["name"], **dict(data.get("params", {})))
+
+
+def default_architecture_specs() -> Tuple[ArchitectureSpec, ...]:
+    """The paper's eight-architecture line-up as registry specs."""
+    from repro.hbd.registry import DEFAULT_LINEUP
+
+    return tuple(ArchitectureSpec(name=name) for name in DEFAULT_LINEUP)
+
+
+# ------------------------------------------------------------------ scenarios
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation scenario: a trace, a line-up, and the sweep axes."""
+
+    name: str
+    trace: TraceSpec = field(default_factory=TraceSpec)
+    architectures: Tuple[ArchitectureSpec, ...] = ()
+    tp_sizes: Tuple[int, ...] = (32,)
+    n_nodes: Optional[int] = 720
+    seed: int = 348
+    job_gpus: int = 2560
+    availability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.tp_sizes or any(tp < 1 for tp in self.tp_sizes):
+            raise ValueError("tp_sizes must be a non-empty tuple of positive ints")
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+
+    @classmethod
+    def default(cls, name: str = "default", **overrides: Any) -> "Scenario":
+        """The paper's 2,880-GPU line-up scenario with optional overrides."""
+        overrides.setdefault("architectures", default_architecture_specs())
+        return cls(name=name, **overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace": self.trace.to_dict(),
+            "architectures": [a.to_dict() for a in self.architectures],
+            "tp_sizes": list(self.tp_sizes),
+            "n_nodes": self.n_nodes,
+            "seed": self.seed,
+            "job_gpus": self.job_gpus,
+            "availability": self.availability,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        _check_fields(cls, data)
+        fields = dict(data)
+        if "trace" in fields:
+            fields["trace"] = TraceSpec.from_dict(fields["trace"])
+        if "architectures" in fields:
+            fields["architectures"] = tuple(
+                ArchitectureSpec.from_dict(a) for a in fields["architectures"]
+            )
+        if "tp_sizes" in fields:
+            fields["tp_sizes"] = tuple(fields["tp_sizes"])
+        return cls(**fields)
+
+
+# ------------------------------------------------------------------ the spec
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A scenario plus the experiments to run over it.
+
+    ``options`` carries per-experiment keyword overrides, keyed by experiment
+    name (e.g. ``{"fault_waiting": {"job_scales": [2304, 2560]}}``).
+    ``max_workers`` bounds the runner's process pool (``None`` = auto,
+    ``0``/``1`` = serial).
+    """
+
+    scenario: Scenario
+    experiments: Tuple[str, ...] = ("waste",)
+    options: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        unknown = sorted(set(self.experiments) - set(KNOWN_EXPERIMENTS))
+        if unknown:
+            raise ValueError(
+                f"unknown experiment(s) {unknown}; known: {list(KNOWN_EXPERIMENTS)}"
+            )
+        if not self.experiments:
+            raise ValueError("experiments must be non-empty")
+        bad_options = sorted(
+            name for name, _ in self.options if name not in KNOWN_EXPERIMENTS
+        )
+        if bad_options:
+            raise ValueError(
+                f"options for unknown experiment(s) {bad_options}; "
+                f"known: {list(KNOWN_EXPERIMENTS)}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        scenario: Scenario,
+        experiments: Tuple[str, ...] = ("waste",),
+        options: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        max_workers: Optional[int] = None,
+    ) -> "ExperimentSpec":
+        """Build a spec from plain mappings (the ergonomic constructor)."""
+        packed = tuple(
+            (name, tuple(sorted(opts.items())))
+            for name, opts in sorted((options or {}).items())
+        )
+        return cls(
+            scenario=scenario,
+            experiments=tuple(experiments),
+            options=packed,
+            max_workers=max_workers,
+        )
+
+    def options_for(self, experiment: str) -> Dict[str, Any]:
+        for name, opts in self.options:
+            if name == experiment:
+                return dict(opts)
+        return {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "experiments": list(self.experiments),
+            "options": {name: dict(opts) for name, opts in self.options},
+            "max_workers": self.max_workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        _check_fields(cls, data)
+        return cls.of(
+            scenario=Scenario.from_dict(data["scenario"]),
+            experiments=tuple(data.get("experiments", ("waste",))),
+            options=data.get("options"),
+            max_workers=data.get("max_workers"),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Stable SHA-256 of the canonical JSON form (stamped into results)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -3,13 +3,20 @@
 Exposes the main experiment pipelines as subcommands so results can be
 regenerated without writing Python:
 
-* ``trace``       -- generate a synthetic production-style fault trace (CSV).
-* ``waste``       -- trace-driven GPU-waste comparison across architectures.
-* ``orchestrate`` -- cross-ToR traffic of the greedy baseline vs the
+* ``trace``         -- generate a synthetic production-style fault trace (CSV).
+* ``waste``         -- trace-driven GPU-waste comparison across architectures.
+* ``orchestrate``   -- cross-ToR traffic of the greedy baseline vs the
   optimized HBD-DCN orchestration algorithm.
-* ``mfu``         -- MFU-optimal parallelism search for Llama / GPT-MoE.
-* ``cost``        -- interconnect cost and power table (Table 6).
-* ``goodput``     -- job goodput over the fault trace.
+* ``mfu``           -- MFU-optimal parallelism search for Llama / GPT-MoE.
+* ``cost``          -- interconnect cost and power table (Table 6).
+* ``goodput``       -- job goodput over the fault trace.
+* ``run``           -- execute a declarative JSON experiment spec through the
+  Unified Experiment API (:mod:`repro.api`) and emit serializable results.
+* ``architectures`` -- list every architecture in the plugin registry.
+
+The trace-driven subcommands are all built on :class:`repro.api.
+ExperimentRunner`, so they share memoized trace generation and can fan the
+architecture line-up out over a process pool (``--workers``).
 
 Run ``python -m repro.cli --help`` (or the ``infinitehbd-repro`` entry point)
 for the full option list.
@@ -18,32 +25,29 @@ for the full option list.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.orchestrator import JobSpec, Orchestrator
-from repro.cost.analysis import interconnect_cost_table
-from repro.dcn.fattree import FatTreeConfig
-from repro.faults.convert import convert_trace_8gpu_to_4gpu
-from repro.faults.model import sample_fault_set
-from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
-from repro.hbd import default_architectures
-from repro.simulation.cluster import ClusterSimulator
-from repro.simulation.goodput import GoodputConfig, goodput_comparison
-from repro.training.models import gpt_moe_1t, llama31_405b
-from repro.training.parallelism import search_optimal_strategy
+from repro.api.results import ResultSet
+from repro.api.runner import ExperimentRunner
+from repro.api.spec import (
+    ExperimentSpec,
+    Scenario,
+    TraceSpec,
+    default_architecture_specs,
+)
 
 
 # --------------------------------------------------------------------------
 # subcommand implementations (return lines of text so they are testable)
 # --------------------------------------------------------------------------
 def cmd_trace(args: argparse.Namespace) -> List[str]:
-    config = SyntheticTraceConfig(duration_days=args.days, seed=args.seed)
-    trace = generate_synthetic_trace(config)
-    if args.gpus_per_node == 4:
-        trace = convert_trace_8gpu_to_4gpu(trace, seed=args.seed)
+    # TraceSpec owns the node-granularity logic: 8 GPUs/node is the generated
+    # trace, 4 GPUs/node applies the Bayes conversion; anything else is
+    # rejected by both argparse (choices) and TraceSpec validation.
+    spec = TraceSpec(days=args.days, seed=args.seed, gpus_per_node=args.gpus_per_node)
+    trace = spec.build()
     stats = trace.statistics()
     lines = [
         f"nodes={trace.n_nodes} gpus_per_node={trace.gpus_per_node} days={trace.duration_days}",
@@ -58,21 +62,35 @@ def cmd_trace(args: argparse.Namespace) -> List[str]:
 
 
 def cmd_waste(args: argparse.Namespace) -> List[str]:
-    trace8 = generate_synthetic_trace(
-        SyntheticTraceConfig(duration_days=args.days, seed=args.seed)
+    spec = ExperimentSpec.of(
+        scenario=Scenario(
+            name="cli-waste",
+            trace=TraceSpec(days=args.days, seed=args.seed, gpus_per_node=4),
+            architectures=default_architecture_specs(),
+            tp_sizes=(args.tp,),
+            n_nodes=args.nodes,
+            seed=args.seed,
+        ),
+        experiments=("waste",),
+        max_workers=args.workers,
     )
-    trace4 = convert_trace_8gpu_to_4gpu(trace8, seed=args.seed)
+    results = ExperimentRunner(spec).run()
     lines = [f"{'architecture':20s} {'mean waste':>11s} {'p99 waste':>10s} {'min usable':>11s}"]
-    for arch in default_architectures(4):
-        series = ClusterSimulator(arch, trace4, n_nodes=args.nodes).run(args.tp)
+    for result in results:
         lines.append(
-            f"{arch.name:20s} {series.mean_waste_ratio:11.4f} "
-            f"{series.p99_waste_ratio:10.4f} {series.min_usable_gpus:11d}"
+            f"{result.architecture:20s} {result.metric('mean_waste_ratio'):11.4f} "
+            f"{result.metric('p99_waste_ratio'):10.4f} {result.metric('min_usable_gpus'):11d}"
         )
     return lines
 
 
 def cmd_orchestrate(args: argparse.Namespace) -> List[str]:
+    import numpy as np
+
+    from repro.core.orchestrator import JobSpec, Orchestrator
+    from repro.dcn.fattree import FatTreeConfig
+    from repro.faults.model import sample_fault_set
+
     gpus_per_node = 4
     n_nodes = args.gpus // gpus_per_node
     orchestrator = Orchestrator(
@@ -100,6 +118,9 @@ def cmd_orchestrate(args: argparse.Namespace) -> List[str]:
 
 
 def cmd_mfu(args: argparse.Namespace) -> List[str]:
+    from repro.training.models import gpt_moe_1t, llama31_405b
+    from repro.training.parallelism import search_optimal_strategy
+
     if args.model == "llama":
         model = llama31_405b()
         global_batch = args.global_batch or 2048
@@ -124,6 +145,8 @@ def cmd_mfu(args: argparse.Namespace) -> List[str]:
 
 
 def cmd_cost(args: argparse.Namespace) -> List[str]:
+    from repro.cost.analysis import interconnect_cost_table
+
     rows = interconnect_cost_table(include_hpn=args.include_hpn)
     lines = [f"{'architecture':20s} {'$/GPU':>10s} {'W/GPU':>8s} {'$/GBps':>8s} {'W/GBps':>8s}"]
     for row in rows:
@@ -135,21 +158,70 @@ def cmd_cost(args: argparse.Namespace) -> List[str]:
 
 
 def cmd_goodput(args: argparse.Namespace) -> List[str]:
-    trace8 = generate_synthetic_trace(
-        SyntheticTraceConfig(duration_days=args.days, seed=args.seed)
+    spec = ExperimentSpec.of(
+        scenario=Scenario(
+            name="cli-goodput",
+            trace=TraceSpec(days=args.days, seed=args.seed, gpus_per_node=4),
+            architectures=default_architecture_specs(),
+            tp_sizes=(args.tp,),
+            n_nodes=args.nodes,
+            seed=args.seed,
+            job_gpus=args.job_gpus,
+        ),
+        experiments=("goodput",),
+        max_workers=args.workers,
     )
-    trace4 = convert_trace_8gpu_to_4gpu(trace8, seed=args.seed)
-    config = GoodputConfig(job_gpus=args.job_gpus, tp_size=args.tp)
-    reports = goodput_comparison(
-        default_architectures(4), trace4, config, n_nodes=args.nodes
-    )
+    results = ExperimentRunner(spec).run()
     lines = [f"{'architecture':20s} {'goodput':>8s} {'waiting':>8s} {'restarts':>9s}"]
-    for name, report in reports.items():
+    for result in results:
         lines.append(
-            f"{name:20s} {report.goodput:8.4f} {report.waiting_fraction:8.4f} "
-            f"{report.job_impacting_faults:9d}"
+            f"{result.architecture:20s} {result.metric('goodput'):8.4f} "
+            f"{result.metric('waiting_fraction'):8.4f} "
+            f"{result.metric('job_impacting_faults'):9d}"
         )
     return lines
+
+
+def cmd_run(args: argparse.Namespace) -> List[str]:
+    with open(args.spec) as handle:
+        spec = ExperimentSpec.from_dict(json.load(handle))
+    results = ExperimentRunner(spec, max_workers=args.workers).run()
+
+    lines = [
+        f"scenario={spec.scenario.name} experiments={','.join(spec.experiments)} "
+        f"tasks={len(results)} spec_sha256={spec.digest()[:12]}"
+    ]
+    for result in results:
+        scalars = " ".join(
+            f"{key}={_fmt_metric(value)}"
+            for key, value in result.metrics
+            if not isinstance(value, (list, tuple))
+        )
+        tp = f" tp={result.tp_size}" if result.tp_size else ""
+        lines.append(f"{result.experiment:>14s} {result.architecture:20s}{tp} {scalars}")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(results.to_json())
+        lines.append(f"wrote {args.output}")
+    return lines
+
+
+def cmd_architectures(args: argparse.Namespace) -> List[str]:
+    from repro.api.registry import REGISTRY
+
+    lines = [f"{'name':20s} {'aliases':28s} description"]
+    for entry in REGISTRY:
+        aliases = ", ".join(entry.aliases) if entry.aliases else "-"
+        lines.append(f"{entry.name:20s} {aliases:28s} {entry.description}")
+    return lines
+
+
+def _fmt_metric(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
 
 
 # --------------------------------------------------------------------------
@@ -174,6 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=348)
     p.add_argument("--nodes", type=int, default=720)
     p.add_argument("--tp", type=int, default=32)
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: one per CPU)")
     p.set_defaults(func=cmd_waste)
 
     p = sub.add_parser("orchestrate", help="cross-ToR traffic comparison")
@@ -204,7 +278,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=720)
     p.add_argument("--tp", type=int, default=32)
     p.add_argument("--job-gpus", type=int, default=2560)
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: one per CPU)")
     p.set_defaults(func=cmd_goodput)
+
+    p = sub.add_parser(
+        "run", help="run a declarative JSON experiment spec (repro.api)"
+    )
+    p.add_argument("--spec", type=str, required=True,
+                   help="path to an ExperimentSpec JSON file")
+    p.add_argument("--output", type=str, default=None,
+                   help="write the ResultSet JSON here")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: one per CPU)")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("architectures", help="list the architecture registry")
+    p.set_defaults(func=cmd_architectures)
 
     return parser
 

@@ -345,6 +345,7 @@ class ClusterManager:
             right_node = ring.node_ids[right_index]
             if not self.topology.has_link(left_node, right_node):
                 ring.state = RingState.BROKEN
+                ring.node_ids = remaining
                 self.events.append(
                     ControlEvent(
                         time_hours,

@@ -21,7 +21,12 @@ from repro.hbd.nvl import NVLHBD
 from repro.hbd.tpuv4 import TPUv4HBD
 from repro.hbd.sipring import SiPRingHBD
 from repro.hbd.infinitehbd import InfiniteHBDArchitecture
-from repro.hbd.registry import default_architectures, architecture_by_name
+from repro.hbd.registry import (
+    DEFAULT_LINEUP,
+    architecture_by_name,
+    default_architectures,
+    list_architectures,
+)
 
 __all__ = [
     "HBDArchitecture",
@@ -31,6 +36,8 @@ __all__ = [
     "TPUv4HBD",
     "SiPRingHBD",
     "InfiniteHBDArchitecture",
+    "DEFAULT_LINEUP",
     "default_architectures",
     "architecture_by_name",
+    "list_architectures",
 ]

@@ -9,7 +9,7 @@ set, and derives the section 6.2 metrics from the resulting time series.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -74,6 +74,68 @@ class SimulationSeries:
         return int(np.percentile(np.asarray(self.usable_gpus), quantile, method="lower"))
 
 
+@dataclass(frozen=True)
+class FaultTimeline:
+    """A trace sampled onto a regular grid of per-instant fault sets.
+
+    Sampling the trace is architecture-independent, so a timeline computed
+    once can be replayed against many architectures -- the experiment runner
+    exploits this to avoid re-scanning the trace for every line-up member.
+    """
+
+    times_hours: Tuple[float, ...]
+    fault_sets: Tuple[FrozenSet[int], ...]
+    n_nodes: int
+    gpus_per_node: int
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: FaultTrace,
+        n_nodes: Optional[int] = None,
+        sample_interval_hours: float = HOURS_PER_DAY,
+    ) -> "FaultTimeline":
+        nodes = n_nodes if n_nodes is not None else trace.n_nodes
+        if nodes > trace.n_nodes:
+            raise ValueError("simulated cluster larger than the fault trace")
+        restricted = trace if nodes == trace.n_nodes else trace.restrict_nodes(nodes)
+        times = restricted.sample_times(sample_interval_hours)
+        return cls(
+            times_hours=tuple(times),
+            fault_sets=tuple(
+                frozenset(restricted.faulty_nodes_at(t)) for t in times
+            ),
+            n_nodes=nodes,
+            gpus_per_node=trace.gpus_per_node,
+        )
+
+
+def replay_timeline(
+    architecture: HBDArchitecture, timeline: FaultTimeline, tp_size: int
+) -> SimulationSeries:
+    """Replay a pre-sampled fault timeline against one architecture."""
+    if timeline.gpus_per_node != architecture.gpus_per_node:
+        raise ValueError(
+            f"timeline GPUs/node ({timeline.gpus_per_node}) must match the "
+            f"architecture ({architecture.gpus_per_node})"
+        )
+    waste_ratios: List[float] = []
+    usable: List[int] = []
+    faulty_gpus: List[int] = []
+    for fault_set in timeline.fault_sets:
+        breakdown = architecture.breakdown(timeline.n_nodes, fault_set, tp_size)
+        waste_ratios.append(breakdown.waste_ratio)
+        usable.append(breakdown.usable_gpus)
+        faulty_gpus.append(breakdown.faulty_gpus)
+    return SimulationSeries(
+        times_days=[t / HOURS_PER_DAY for t in timeline.times_hours],
+        waste_ratios=waste_ratios,
+        usable_gpus=usable,
+        faulty_gpus=faulty_gpus,
+        total_gpus=architecture.total_gpus(timeline.n_nodes),
+    )
+
+
 class ClusterSimulator:
     """Replay a fault trace against one HBD architecture."""
 
@@ -98,27 +160,20 @@ class ClusterSimulator:
             trace if self.n_nodes == trace.n_nodes else trace.restrict_nodes(self.n_nodes)
         )
         self.sample_interval_hours = sample_interval_hours
+        self._timeline: Optional[FaultTimeline] = None
 
     # --------------------------------------------------------------- running
+    def timeline(self) -> FaultTimeline:
+        """The sampled fault timeline (computed once, shared across runs)."""
+        if self._timeline is None:
+            self._timeline = FaultTimeline.from_trace(
+                self.trace, sample_interval_hours=self.sample_interval_hours
+            )
+        return self._timeline
+
     def run(self, tp_size: int) -> SimulationSeries:
         """Replay the trace for TP groups of ``tp_size`` GPUs."""
-        times = self.trace.sample_times(self.sample_interval_hours)
-        waste_ratios: List[float] = []
-        usable: List[int] = []
-        faulty_gpus: List[int] = []
-        for t in times:
-            fault_set = self.trace.faulty_nodes_at(t)
-            breakdown = self.architecture.breakdown(self.n_nodes, fault_set, tp_size)
-            waste_ratios.append(breakdown.waste_ratio)
-            usable.append(breakdown.usable_gpus)
-            faulty_gpus.append(breakdown.faulty_gpus)
-        return SimulationSeries(
-            times_days=[t / HOURS_PER_DAY for t in times],
-            waste_ratios=waste_ratios,
-            usable_gpus=usable,
-            faulty_gpus=faulty_gpus,
-            total_gpus=self.architecture.total_gpus(self.n_nodes),
-        )
+        return replay_timeline(self.architecture, self.timeline(), tp_size)
 
     def breakdown_at(self, hour: float, tp_size: int) -> WasteBreakdown:
         """Single-instant GPU accounting (useful for spot checks)."""

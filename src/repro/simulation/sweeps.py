@@ -10,17 +10,24 @@ paper's fault-resilience figures:
   sweep).
 * :func:`max_job_scale_comparison` -- Figure 15.
 * :func:`fault_waiting_comparison` -- Figures 16 and 23.
+
+Since the Unified Experiment API landed these are thin shims over
+:mod:`repro.api.runner`: the trace is sampled into a shared
+:class:`~repro.simulation.cluster.FaultTimeline` once and replayed against
+every architecture, and every function takes ``max_workers`` to fan the
+line-up out over a process pool (default: serial, preserving the historical
+behaviour).  Prefer :class:`repro.api.ExperimentRunner` for new code -- it
+adds declarative specs, memoized traces and serializable results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.faults.model import IIDFaultModel
 from repro.faults.trace import FaultTrace
 from repro.hbd.base import HBDArchitecture
-from repro.simulation.cluster import ClusterSimulator, SimulationSeries
+from repro.simulation.cluster import SimulationSeries
 
 
 def architecture_comparison_over_trace(
@@ -28,13 +35,14 @@ def architecture_comparison_over_trace(
     trace: FaultTrace,
     tp_size: int,
     n_nodes: Optional[int] = None,
+    max_workers: Optional[int] = 1,
 ) -> Dict[str, SimulationSeries]:
     """Replay ``trace`` against every architecture for one TP size."""
-    results: Dict[str, SimulationSeries] = {}
-    for arch in architectures:
-        simulator = ClusterSimulator(arch, trace, n_nodes=n_nodes)
-        results[arch.name] = simulator.run(tp_size)
-    return results
+    from repro.api.runner import compare_architectures_over_trace
+
+    return compare_architectures_over_trace(
+        architectures, trace, tp_size, n_nodes=n_nodes, max_workers=max_workers
+    )
 
 
 def waste_ratio_vs_fault_ratio(
@@ -62,17 +70,18 @@ def max_job_scale_comparison(
     tp_sizes: Sequence[int],
     n_nodes: Optional[int] = None,
     availability: float = 1.0,
+    max_workers: Optional[int] = 1,
 ) -> Dict[str, Dict[int, int]]:
     """Maximum job scale (GPUs) supported through the trace (Figure 15)."""
-    results: Dict[str, Dict[int, int]] = {}
-    for arch in architectures:
-        simulator = ClusterSimulator(arch, trace, n_nodes=n_nodes)
-        per_tp: Dict[int, int] = {}
-        for tp in tp_sizes:
-            series = simulator.run(tp)
-            per_tp[tp] = series.supported_job_scale(availability)
-        results[arch.name] = per_tp
-    return results
+    from repro.api.runner import compare_architectures_over_tp_sizes
+
+    grid = compare_architectures_over_tp_sizes(
+        architectures, trace, tp_sizes, n_nodes=n_nodes, max_workers=max_workers
+    )
+    return {
+        name: {tp: series.supported_job_scale(availability) for tp, series in per_tp.items()}
+        for name, per_tp in grid.items()
+    }
 
 
 def fault_waiting_comparison(
@@ -81,13 +90,15 @@ def fault_waiting_comparison(
     tp_size: int,
     job_scales: Sequence[int],
     n_nodes: Optional[int] = None,
+    max_workers: Optional[int] = 1,
 ) -> Dict[str, Dict[int, float]]:
     """Job fault-waiting rate versus job scale (Figures 16 / 23)."""
-    results: Dict[str, Dict[int, float]] = {}
-    for arch in architectures:
-        simulator = ClusterSimulator(arch, trace, n_nodes=n_nodes)
-        series = simulator.run(tp_size)
-        results[arch.name] = {
-            scale: series.fault_waiting_rate(scale) for scale in job_scales
-        }
-    return results
+    from repro.api.runner import compare_architectures_over_trace
+
+    comparison = compare_architectures_over_trace(
+        architectures, trace, tp_size, n_nodes=n_nodes, max_workers=max_workers
+    )
+    return {
+        name: {scale: series.fault_waiting_rate(scale) for scale in job_scales}
+        for name, series in comparison.items()
+    }

@@ -1,0 +1,279 @@
+"""Tests for the Unified Experiment API (repro.api).
+
+Covers the satellite checklist: Scenario / ExperimentSpec JSON round-trip,
+registry registration / override / unknown-name errors, and runner
+determinism (same seed => identical ExperimentResult), plus the CLI ``run
+--spec`` path end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    REGISTRY,
+    ArchitectureRegistry,
+    ArchitectureSpec,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultSet,
+    Scenario,
+    TraceSpec,
+    default_architecture_specs,
+    run_experiment,
+)
+from repro.hbd import NVLHBD, architecture_by_name, list_architectures
+from repro.hbd.registry import DEFAULT_LINEUP
+
+
+def small_spec(experiments=("waste",), **scenario_overrides):
+    scenario_overrides.setdefault("trace", TraceSpec(days=20, seed=348))
+    scenario_overrides.setdefault(
+        "architectures",
+        (ArchitectureSpec(name="InfiniteHBD(K=3)"), ArchitectureSpec(name="NVL-72")),
+    )
+    scenario_overrides.setdefault("tp_sizes", (16, 32))
+    scenario_overrides.setdefault("n_nodes", 288)
+    scenario_overrides.setdefault("job_gpus", 1024)
+    return ExperimentSpec.of(
+        scenario=Scenario(name="small", **scenario_overrides),
+        experiments=experiments,
+    )
+
+
+class TestSpecRoundTrip:
+    def test_trace_spec_round_trip(self):
+        spec = TraceSpec(days=30, seed=7, gpus_per_node=8)
+        assert TraceSpec.from_dict(spec.to_dict()) == spec
+
+    def test_trace_spec_rejects_bad_gpus_per_node(self):
+        with pytest.raises(ValueError):
+            TraceSpec(gpus_per_node=6)
+
+    def test_trace_build_is_memoized(self):
+        spec = TraceSpec(days=15, seed=123)
+        assert spec.build() is spec.build()
+        assert spec.build().gpus_per_node == 4
+
+    def test_scenario_round_trip(self):
+        scenario = Scenario.default("rt", trace=TraceSpec(days=10), tp_sizes=(8, 32))
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_experiment_spec_json_round_trip(self):
+        spec = ExperimentSpec.of(
+            scenario=Scenario.default("json-rt", trace=TraceSpec(days=10)),
+            experiments=("waste", "goodput"),
+            options={"fault_waiting": {"job_scales": [1024, 2048]}},
+            max_workers=2,
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.digest() == spec.digest()
+
+    def test_architecture_spec_accepts_bare_string(self):
+        spec = ArchitectureSpec.from_dict("NVL-72")
+        assert spec.build().name == "NVL-72"
+
+    def test_architecture_spec_params_round_trip(self):
+        spec = ArchitectureSpec.of("infinitehbd", k=3)
+        restored = ArchitectureSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.build().name == "InfiniteHBD(K=3)"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            small_spec(experiments=("warp-drive",))
+
+    def test_options_for_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="options for unknown"):
+            ExperimentSpec.of(
+                scenario=Scenario.default("typo"),
+                experiments=("fault_waiting",),
+                options={"fault_wating": {"job_scales": [1024]}},
+            )
+
+    def test_unknown_spec_field_rejected(self):
+        scenario = Scenario.default("strict").to_dict()
+        scenario["typo_field"] = 1
+        with pytest.raises(ValueError, match="typo_field"):
+            Scenario.from_dict(scenario)
+
+
+class TestRegistry:
+    def test_default_lineup_registered(self):
+        names = list_architectures()
+        for name in DEFAULT_LINEUP:
+            assert name in names
+
+    def test_create_by_alias_and_case(self):
+        assert REGISTRY.create("NVL72").name == "NVL-72"
+        assert REGISTRY.create("bigswitch").name == "Big-Switch"
+
+    def test_register_and_create_custom(self):
+        registry = ArchitectureRegistry()
+
+        @registry.register("dual-rail", defaults={"hbd_size": 144})
+        def _dual_rail(gpus_per_node=4, hbd_size=144):
+            return NVLHBD(hbd_size, gpus_per_node=gpus_per_node)
+
+        arch = registry.create("dual-rail")
+        assert arch.name == "NVL-144"
+        assert registry.create("dual-rail", hbd_size=288).name == "NVL-288"
+        assert "dual-rail" in registry
+
+    def test_duplicate_registration_requires_override(self):
+        registry = ArchitectureRegistry()
+        registry.register_factory("x", lambda gpus_per_node=4: NVLHBD(72))
+        with pytest.raises(ValueError, match="override"):
+            registry.register_factory("x", lambda gpus_per_node=4: NVLHBD(36))
+        registry.register_factory(
+            "x", lambda gpus_per_node=4: NVLHBD(36, gpus_per_node=gpus_per_node),
+            override=True,
+        )
+        assert registry.create("x").name == "NVL-36"
+
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            REGISTRY.create("nvl-721")
+
+    def test_architecture_by_name_shim_suggests(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            architecture_by_name("infinitehdb")
+
+    def test_unregister(self):
+        registry = ArchitectureRegistry()
+        registry.register_factory(
+            "temp", lambda gpus_per_node=4: NVLHBD(72), aliases=("tmp",)
+        )
+        registry.unregister("tmp")
+        assert "temp" not in registry
+        assert "tmp" not in registry
+
+
+class TestRunner:
+    def test_waste_sweep_covers_grid(self):
+        results = run_experiment(small_spec(), max_workers=1)
+        assert len(results) == 4  # 2 architectures x 2 TP sizes
+        assert results.architectures() == ["InfiniteHBD(K=3)", "NVL-72"]
+        for r in results:
+            assert r.experiment == "waste"
+            assert 0.0 <= r.metric("mean_waste_ratio") <= 1.0
+            assert r.provenance is not None
+            assert r.provenance.seed == 348
+
+    def test_same_seed_identical_results(self):
+        spec = small_spec(experiments=("waste", "goodput", "max_job_scale"))
+        first = ExperimentRunner(spec, max_workers=1).run()
+        second = ExperimentRunner(spec, max_workers=1).run()
+        assert first == second
+
+    def test_parallel_matches_serial(self):
+        spec = small_spec(experiments=("waste", "fault_waiting"))
+        serial = ExperimentRunner(spec, max_workers=1).run()
+        parallel = ExperimentRunner(spec, max_workers=2).run()
+        assert serial == parallel
+
+    def test_custom_registered_architecture_runs_by_name(self):
+        name = "test-dual-rail"
+        REGISTRY.register_factory(
+            name,
+            lambda gpus_per_node=4, hbd_size=144: NVLHBD(
+                hbd_size, gpus_per_node=gpus_per_node
+            ),
+            defaults={"hbd_size": 144},
+            override=True,
+        )
+        try:
+            spec = small_spec(architectures=(ArchitectureSpec(name=name),))
+            results = run_experiment(spec, max_workers=1)
+            assert results.architectures() == ["NVL-144"]
+        finally:
+            REGISTRY.unregister(name)
+
+    def test_goodput_metrics(self):
+        results = run_experiment(small_spec(experiments=("goodput",)), max_workers=1)
+        for r in results:
+            assert 0.0 <= r.metric("goodput") <= 1.0
+            assert r.metric("job_gpus") == 1024
+
+    def test_fault_waiting_series(self):
+        spec = ExperimentSpec.of(
+            scenario=small_spec().scenario,
+            experiments=("fault_waiting",),
+            options={"fault_waiting": {"job_scales": [512, 1024]}},
+        )
+        results = run_experiment(spec, max_workers=1)
+        for r in results:
+            series = r.series_dict
+            assert list(series["job_scales"]) == [512, 1024]
+            assert len(series["waiting_rates"]) == 2
+
+    def test_missing_architectures_rejected(self):
+        spec = ExperimentSpec.of(
+            scenario=Scenario(name="empty", trace=TraceSpec(days=10)),
+            experiments=("waste",),
+        )
+        with pytest.raises(ValueError, match="architectures"):
+            ExperimentRunner(spec, max_workers=1).run()
+
+
+class TestResultSerialization:
+    def test_result_round_trip(self):
+        results = run_experiment(small_spec(), max_workers=1)
+        for r in results:
+            assert ExperimentResult.from_dict(r.to_dict()) == r
+
+    def test_result_set_json_round_trip(self):
+        results = run_experiment(small_spec(experiments=("waste", "goodput")),
+                                 max_workers=1)
+        assert ResultSet.from_json(results.to_json()) == results
+
+    def test_metric_table(self):
+        results = run_experiment(small_spec(), max_workers=1)
+        table = results.metric_table("waste", "mean_waste_ratio")
+        assert set(table) == {"InfiniteHBD(K=3)", "NVL-72"}
+        assert set(table["NVL-72"]) == {16, 32}
+
+    def test_unknown_metric_raises(self):
+        results = run_experiment(small_spec(), max_workers=1)
+        with pytest.raises(KeyError, match="available"):
+            results[0].metric("nonexistent")
+
+
+class TestCLIRun:
+    def test_run_spec_end_to_end(self, capsys, tmp_path):
+        from repro.cli import main
+
+        spec = ExperimentSpec.of(
+            scenario=Scenario(
+                name="cli-smoke",
+                trace=TraceSpec(days=15, seed=348),
+                architectures=default_architecture_specs()[:3],
+                tp_sizes=(32,),
+                n_nodes=288,
+                job_gpus=512,
+            ),
+            experiments=("waste", "goodput"),
+        )
+        spec_path = tmp_path / "spec.json"
+        out_path = tmp_path / "results.json"
+        spec_path.write_text(spec.to_json())
+
+        assert main(["run", "--spec", str(spec_path),
+                     "--output", str(out_path), "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=cli-smoke" in out
+        assert "InfiniteHBD(K=2)" in out
+
+        restored = ResultSet.from_json(out_path.read_text())
+        assert len(restored) == 6  # (waste + goodput) x 3 architectures
+        assert restored == run_experiment(spec, max_workers=1)
+
+    def test_architectures_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["architectures"]) == 0
+        out = capsys.readouterr().out
+        assert "InfiniteHBD(K=2)" in out
+        assert "infinitehbd" in out
