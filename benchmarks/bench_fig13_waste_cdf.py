@@ -1,11 +1,11 @@
 """Figures 13 and 21: CDF of the GPU waste ratio over the production-style trace.
 
 Replays the 348-day 4-GPU-node fault trace on a 2,880-GPU cluster for every
-HBD architecture and reports the mean / p50 / p99 waste ratio per TP size
-(the CDFs of Figures 13 and 21 summarised by their quantiles).
+HBD architecture (event-driven over the exact interval timeline) and reports
+the exact duration-weighted mean / p50 / p99 waste ratio per TP size (the
+CDFs of Figures 13 and 21 summarised by their quantiles).
 """
 
-import numpy as np
 from conftest import SIM_NODES_4GPU, TP_SIZES, emit_report, format_table
 
 from repro.hbd import default_architectures
@@ -32,13 +32,12 @@ def test_fig13_waste_cdf(benchmark, trace_4gpu):
     for tp, results in all_results.items():
         rows = []
         for name, series in results.items():
-            values = np.asarray(series.waste_ratios)
             rows.append(
                 [
                     name,
-                    float(values.mean()),
-                    float(np.percentile(values, 50)),
-                    float(np.percentile(values, 99)),
+                    series.mean_waste_ratio,
+                    series.waste_ratio_quantile(0.50),
+                    series.p99_waste_ratio,
                 ]
             )
         sections.append(

@@ -1,7 +1,9 @@
 """Figure 15: maximal job scale supported by a 2,880-GPU cluster over the trace.
 
 Runs through the Unified Experiment API: one declarative spec sweeps the
-full architecture × TP-size grid off a shared fault timeline.
+full architecture × TP-size grid off one shared exact interval timeline, so
+the supported job scale accounts for every fault configuration in the trace
+(not just the ones a sampling grid happens to observe).
 """
 
 from conftest import SIM_NODES_4GPU, TP_SIZES, emit_report, format_table

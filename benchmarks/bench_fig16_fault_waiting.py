@@ -1,7 +1,9 @@
 """Figures 16 and 23: job fault-waiting rate versus job scale over the trace.
 
 Runs through the Unified Experiment API: the ``fault_waiting`` experiment
-evaluates every job scale from one replay per (architecture, TP size).
+evaluates every job scale from one event-driven replay per (architecture,
+TP size); waiting rates are exact fractions of trace time rather than
+fractions of grid samples.
 """
 
 from conftest import SIM_NODES_4GPU, emit_report, format_table

@@ -6,17 +6,24 @@ architecture × TP size), executes them -- in parallel over a forked process
 pool when more than one CPU is available -- and assembles the uniform
 :class:`~repro.api.results.ResultSet`.
 
-Two things make the runner faster than the seed's serial sweep loops even on
-a single core:
+Three things make the runner faster than the seed's serial sweep loops even
+on a single core:
 
 * the fault trace is generated once per process and memoized
-  (:meth:`TraceSpec.build`), and
-* the trace is sampled into a :class:`~repro.simulation.cluster.FaultTimeline`
-  once per (trace, cluster size) and replayed against every architecture,
-  instead of re-scanning the trace per line-up member.
+  (:meth:`TraceSpec.build`),
+* the trace is swept into its exact
+  :class:`~repro.faults.timeline.IntervalTimeline` once per (trace, cluster
+  size) and that one interval set is replayed across the whole architecture x
+  TP sweep -- O(events log events) instead of O(samples x events) grid
+  scans, and
+* within each replay ``architecture.breakdown()`` is memoized per distinct
+  fault set.
 
-The module also exposes the timeline-sharing comparison helpers that
-:mod:`repro.simulation.sweeps` is now a thin shim over.
+Capacity metrics (mean / p99 waste, supported job scale, waiting fraction)
+are exact duration-weighted quantities over the intervals -- no
+``sample_interval_hours`` dependence.  The module also exposes the
+timeline-sharing comparison helpers that :mod:`repro.simulation.sweeps` is
+now a thin shim over.
 """
 
 from __future__ import annotations
@@ -28,13 +35,10 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.results import ExperimentResult, Provenance, ResultSet
 from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
-from repro.faults.trace import FaultTrace, HOURS_PER_DAY
+from repro.faults.timeline import IntervalTimeline
+from repro.faults.trace import FaultTrace
 from repro.hbd.base import HBDArchitecture
-from repro.simulation.cluster import (
-    FaultTimeline,
-    SimulationSeries,
-    replay_timeline,
-)
+from repro.simulation.cluster import IntervalSeries, replay_intervals
 from repro.simulation.goodput import GoodputConfig, GoodputSimulator
 
 
@@ -70,33 +74,29 @@ def _map_tasks(fn: Callable[[Any], Any], payloads: Sequence[Any], max_workers: O
 
 
 # ------------------------------------------------------- shared fault timelines
-_TIMELINE_CACHE: Dict[Tuple[TraceSpec, Optional[int], float], FaultTimeline] = {}
+_TIMELINE_CACHE: Dict[Tuple[TraceSpec, Optional[int]], IntervalTimeline] = {}
 _TIMELINE_LOCK = threading.Lock()
 
 
 def _timeline_for(
-    trace_spec: TraceSpec,
-    n_nodes: Optional[int],
-    sample_interval_hours: float = HOURS_PER_DAY,
-) -> FaultTimeline:
-    """Per-process memoized fault timeline for a declarative trace."""
-    key = (trace_spec, n_nodes, sample_interval_hours)
+    trace_spec: TraceSpec, n_nodes: Optional[int]
+) -> IntervalTimeline:
+    """Per-process memoized exact interval timeline for a declarative trace."""
+    key = (trace_spec, n_nodes)
     with _TIMELINE_LOCK:
         cached = _TIMELINE_CACHE.get(key)
     if cached is not None:
         return cached
-    timeline = FaultTimeline.from_trace(
-        trace_spec.build(), n_nodes=n_nodes, sample_interval_hours=sample_interval_hours
-    )
+    timeline = trace_spec.build().interval_timeline(n_nodes)
     with _TIMELINE_LOCK:
         _TIMELINE_CACHE.setdefault(key, timeline)
     return timeline
 
 
 # ------------------------------------------------ concrete-object sweep helpers
-def _sweep_one(args: Tuple[HBDArchitecture, FaultTimeline, int]) -> SimulationSeries:
+def _sweep_one(args: Tuple[HBDArchitecture, IntervalTimeline, int]) -> IntervalSeries:
     architecture, timeline, tp_size = args
-    return replay_timeline(architecture, timeline, tp_size)
+    return replay_intervals(architecture, timeline, tp_size)
 
 
 def compare_architectures_over_trace(
@@ -105,9 +105,9 @@ def compare_architectures_over_trace(
     tp_size: int,
     n_nodes: Optional[int] = None,
     max_workers: Optional[int] = 1,
-) -> Dict[str, SimulationSeries]:
-    """Replay one trace against many architectures over a shared timeline."""
-    timeline = FaultTimeline.from_trace(trace, n_nodes=n_nodes)
+) -> Dict[str, IntervalSeries]:
+    """Replay one trace against many architectures over a shared exact timeline."""
+    timeline = trace.interval_timeline(n_nodes)
     payloads = [(arch, timeline, tp_size) for arch in architectures]
     series = _map_tasks(_sweep_one, payloads, max_workers)
     return {arch.name: s for arch, s in zip(architectures, series)}
@@ -119,12 +119,12 @@ def compare_architectures_over_tp_sizes(
     tp_sizes: Sequence[int],
     n_nodes: Optional[int] = None,
     max_workers: Optional[int] = 1,
-) -> Dict[str, Dict[int, SimulationSeries]]:
-    """Full architecture × TP-size replay grid over a shared timeline."""
-    timeline = FaultTimeline.from_trace(trace, n_nodes=n_nodes)
+) -> Dict[str, Dict[int, IntervalSeries]]:
+    """Full architecture × TP-size replay grid over a shared exact timeline."""
+    timeline = trace.interval_timeline(n_nodes)
     payloads = [(arch, timeline, tp) for arch in architectures for tp in tp_sizes]
     series = _map_tasks(_sweep_one, payloads, max_workers)
-    grid: Dict[str, Dict[int, SimulationSeries]] = {}
+    grid: Dict[str, Dict[int, IntervalSeries]] = {}
     for (arch, _, tp), s in zip(payloads, series):
         grid.setdefault(arch.name, {})[tp] = s
     return grid
@@ -138,16 +138,18 @@ def _scenario_nodes(scenario: Scenario) -> int:
 
 
 def _run_capacity_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
-    """waste / max_job_scale / fault_waiting: timeline-replay experiments."""
+    """waste / max_job_scale / fault_waiting: exact interval-replay experiments."""
     scenario = spec.scenario
     experiment = payload["experiment"]
     arch_spec = ArchitectureSpec.from_dict(payload["arch"])
     tp_size = payload["tp_size"]
     architecture = arch_spec.build(gpus_per_node=scenario.trace.gpus_per_node)
     timeline = _timeline_for(scenario.trace, scenario.n_nodes)
-    series = replay_timeline(architecture, timeline, tp_size)
+    series = replay_intervals(architecture, timeline, tp_size)
 
     if experiment == "waste":
+        # Duration-weighted exact aggregates -- independent of any sampling
+        # grid; the emitted series is the piecewise-constant step function.
         metrics: Dict[str, Any] = {
             "mean_waste_ratio": series.mean_waste_ratio,
             "p99_waste_ratio": series.p99_waste_ratio,
@@ -156,6 +158,7 @@ def _run_capacity_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List
         }
         out_series = {
             "times_days": series.times_days,
+            "durations_hours": series.durations_hours,
             "waste_ratios": series.waste_ratios,
             "usable_gpus": series.usable_gpus,
         }

@@ -172,12 +172,14 @@ def cmd_goodput(args: argparse.Namespace) -> List[str]:
         max_workers=args.workers,
     )
     results = ExperimentRunner(spec).run()
+    # job_impacting_faults is an expected value (float) since the exact
+    # event-driven goodput accounting landed.
     lines = [f"{'architecture':20s} {'goodput':>8s} {'waiting':>8s} {'restarts':>9s}"]
     for result in results:
         lines.append(
             f"{result.architecture:20s} {result.metric('goodput'):8.4f} "
             f"{result.metric('waiting_fraction'):8.4f} "
-            f"{result.metric('job_impacting_faults'):9d}"
+            f"{result.metric('job_impacting_faults'):9.2f}"
         )
     return lines
 

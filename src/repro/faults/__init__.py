@@ -11,6 +11,7 @@ ratio for the sweep-style experiments (Figures 14, 17c, 17d, 22).
 """
 
 from repro.faults.trace import FaultEvent, FaultTrace, TraceStatistics
+from repro.faults.timeline import FaultInterval, IntervalTimeline, sweep_intervals
 from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
 from repro.faults.convert import convert_trace_8gpu_to_4gpu, node_fault_probability
 from repro.faults.model import IIDFaultModel, sample_fault_set
@@ -19,6 +20,9 @@ __all__ = [
     "FaultEvent",
     "FaultTrace",
     "TraceStatistics",
+    "FaultInterval",
+    "IntervalTimeline",
+    "sweep_intervals",
     "SyntheticTraceConfig",
     "generate_synthetic_trace",
     "convert_trace_8gpu_to_4gpu",

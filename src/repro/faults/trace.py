@@ -13,6 +13,13 @@ fault end time, and the ID of the faulty node").
 * summary statistics (mean, p50, p99) and the mean repair duration,
 * (de)serialisation to a simple CSV format so generated traces can be saved
   alongside benchmark outputs.
+
+Point queries, series and statistics are backed by the event-driven interval
+engine (:mod:`repro.faults.timeline`): the trace is swept once into its exact
+piecewise-constant fault-set sequence, statistics default to exact
+duration-weighted quantities, and grid sampling is a thin resampling layer
+kept for compatibility (pass ``interval_hours`` to get the legacy
+equal-weight-per-sample behaviour).
 """
 
 from __future__ import annotations
@@ -88,6 +95,9 @@ class FaultTrace:
                 raise ValueError(
                     f"event node {event.node_id} outside cluster of {n_nodes} nodes"
                 )
+        # Lazily swept exact timelines, keyed by simulated cluster size so
+        # every consumer of the same (trace, n_nodes) shares one sweep.
+        self._interval_timelines: Dict[int, object] = {}
 
     # ------------------------------------------------------------------ query
     @property
@@ -98,8 +108,27 @@ class FaultTrace:
     def total_gpus(self) -> int:
         return self.n_nodes * self.gpus_per_node
 
+    def interval_timeline(self, n_nodes: Optional[int] = None):
+        """The exact piecewise-constant fault timeline (swept once, cached).
+
+        ``n_nodes`` restricts the timeline to the first ``n_nodes`` nodes
+        (the simulated-cluster projection) without the caller having to hold
+        a restricted trace copy -- each distinct size is swept once and
+        shared across every simulator replaying this trace.
+        """
+        nodes = n_nodes if n_nodes is not None else self.n_nodes
+        timeline = self._interval_timelines.get(nodes)
+        if timeline is None:
+            from repro.faults.timeline import IntervalTimeline
+
+            timeline = IntervalTimeline.from_trace(self, n_nodes=nodes)
+            self._interval_timelines[nodes] = timeline
+        return timeline
+
     def faulty_nodes_at(self, hour: float) -> Set[int]:
         """Set of node ids faulty at time ``hour``."""
+        if 0.0 <= hour < self.duration_hours:
+            return set(self.interval_timeline().fault_set_at(hour))
         return {e.node_id for e in self.events if e.active_at(hour)}
 
     def fault_ratio_at(self, hour: float) -> float:
@@ -107,45 +136,84 @@ class FaultTrace:
         return len(self.faulty_nodes_at(hour)) / self.n_nodes
 
     def sample_times(self, interval_hours: float = 24.0) -> List[float]:
-        """Sampling grid covering the trace at ``interval_hours`` spacing."""
+        """Sampling grid covering the trace at ``interval_hours`` spacing.
+
+        The grid is generated by integer multiplication (``i * interval``)
+        rather than repeated addition, so no float drift accumulates and the
+        final sample is never added or dropped spuriously when the interval
+        does not divide the duration.
+        """
         if interval_hours <= 0:
             raise ValueError("interval_hours must be positive")
-        times: List[float] = []
-        t = 0.0
-        while t < self.duration_hours:
-            times.append(t)
-            t += interval_hours
-        return times
+        # Largest n with (n - 1) * interval < duration, robust to fp rounding
+        # of the division (each correction can only be needed once).
+        n = int(self.duration_hours // interval_hours) + 1
+        if n > 1 and (n - 1) * interval_hours >= self.duration_hours:
+            n -= 1
+        elif n * interval_hours < self.duration_hours:
+            n += 1
+        return [i * interval_hours for i in range(n)]
 
     def fault_ratio_series(
         self, interval_hours: float = 24.0
     ) -> Tuple[List[float], List[float]]:
-        """(times_in_days, faulty-node ratio) time series (Figure 18a)."""
+        """(times_in_days, faulty-node ratio) time series (Figure 18a).
+
+        Grid compatibility layer: the exact interval timeline is resampled at
+        ``interval_hours`` spacing, which is bit-for-bit what per-instant
+        trace scans produce but costs O(samples + events) instead of
+        O(samples x events).
+        """
         times = self.sample_times(interval_hours)
-        ratios = [self.fault_ratio_at(t) for t in times]
+        sets = self.interval_timeline().resample(times)
+        ratios = [len(s) / self.n_nodes for s in sets]
         return [t / HOURS_PER_DAY for t in times], ratios
 
     def fault_ratio_cdf(
-        self, interval_hours: float = 24.0
+        self, interval_hours: Optional[float] = None
     ) -> Tuple[List[float], List[float]]:
-        """CDF of the faulty-node ratio (Figure 18b): (ratios, cumulative)."""
-        _, ratios = self.fault_ratio_series(interval_hours)
-        sorted_ratios = sorted(ratios)
-        n = len(sorted_ratios)
-        cdf = [(i + 1) / n for i in range(n)]
-        return sorted_ratios, cdf
+        """CDF of the faulty-node ratio (Figure 18b): (ratios, cumulative).
 
-    def statistics(self, interval_hours: float = 24.0) -> TraceStatistics:
-        """Summary statistics of the trace (Appendix A numbers)."""
-        _, ratios = self.fault_ratio_series(interval_hours)
-        arr = np.asarray(ratios, dtype=float)
+        By default this is the exact duration-weighted CDF over the interval
+        timeline; pass ``interval_hours`` for the legacy grid-sampled
+        equal-weight CDF.
+        """
+        from repro.analysis.cdf import empirical_cdf
+
+        if interval_hours is not None:
+            _, ratios = self.fault_ratio_series(interval_hours)
+            return empirical_cdf(ratios)
+        timeline = self.interval_timeline()
+        return empirical_cdf(timeline.fault_ratios, timeline.durations_hours)
+
+    def statistics(self, interval_hours: Optional[float] = None) -> TraceStatistics:
+        """Summary statistics of the trace (Appendix A numbers).
+
+        By default every ratio statistic is exact: duration-weighted over the
+        interval timeline, independent of any sampling grid.  Pass
+        ``interval_hours`` to reproduce the legacy equal-weight-per-sample
+        statistics on that grid.
+        """
         repairs = [e.duration_hours for e in self.events]
+        mean_repair = float(np.mean(repairs)) if repairs else 0.0
+        if interval_hours is not None:
+            _, ratios = self.fault_ratio_series(interval_hours)
+            arr = np.asarray(ratios, dtype=float)
+            return TraceStatistics(
+                mean_fault_ratio=float(arr.mean()) if arr.size else 0.0,
+                p50_fault_ratio=float(np.percentile(arr, 50)) if arr.size else 0.0,
+                p99_fault_ratio=float(np.percentile(arr, 99)) if arr.size else 0.0,
+                max_fault_ratio=float(arr.max()) if arr.size else 0.0,
+                mean_repair_hours=mean_repair,
+                n_events=len(self.events),
+            )
+        timeline = self.interval_timeline()
         return TraceStatistics(
-            mean_fault_ratio=float(arr.mean()) if arr.size else 0.0,
-            p50_fault_ratio=float(np.percentile(arr, 50)) if arr.size else 0.0,
-            p99_fault_ratio=float(np.percentile(arr, 99)) if arr.size else 0.0,
-            max_fault_ratio=float(arr.max()) if arr.size else 0.0,
-            mean_repair_hours=float(np.mean(repairs)) if repairs else 0.0,
+            mean_fault_ratio=timeline.mean_fault_ratio(),
+            p50_fault_ratio=timeline.fault_ratio_quantile(0.50),
+            p99_fault_ratio=timeline.fault_ratio_quantile(0.99),
+            max_fault_ratio=timeline.max_fault_ratio(),
+            mean_repair_hours=mean_repair,
             n_events=len(self.events),
         )
 

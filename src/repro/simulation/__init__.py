@@ -3,12 +3,22 @@
 :class:`repro.simulation.cluster.ClusterSimulator` replays a node-fault trace
 against an HBD architecture model and produces the fault-resilience metrics
 of the paper: GPU waste ratio over time and as a CDF, the maximum supported
-job scale, and the job fault-waiting rate.  :mod:`repro.simulation.sweeps`
-provides the fault-ratio sweep counterparts (Figures 14 and 22) and the
-architecture comparison helpers used by the benchmark harness.
+job scale, and the job fault-waiting rate.  Replays are event-driven over the
+exact interval timeline (:func:`repro.simulation.cluster.replay_intervals`);
+the grid-sampled path is kept as a compatibility layer.
+:mod:`repro.simulation.sweeps` provides the fault-ratio sweep counterparts
+(Figures 14 and 22) and the architecture comparison helpers used by the
+benchmark harness.
 """
 
-from repro.simulation.cluster import ClusterSimulator, SimulationSeries
+from repro.simulation.cluster import (
+    ClusterSimulator,
+    FaultTimeline,
+    IntervalSeries,
+    SimulationSeries,
+    replay_intervals,
+    replay_timeline,
+)
 from repro.simulation.goodput import (
     GoodputConfig,
     GoodputReport,
@@ -32,7 +42,11 @@ from repro.simulation.sweeps import (
 
 __all__ = [
     "ClusterSimulator",
+    "FaultTimeline",
+    "IntervalSeries",
     "SimulationSeries",
+    "replay_intervals",
+    "replay_timeline",
     "GoodputConfig",
     "GoodputReport",
     "GoodputSimulator",

@@ -1,9 +1,19 @@
 """Trace replay against an HBD architecture model.
 
-The simulator samples the fault trace on a regular grid (daily by default,
-matching Figure 18/20's per-day resolution), asks the architecture model how
-many GPUs remain usable for the requested TP size under each sampled fault
-set, and derives the section 6.2 metrics from the resulting time series.
+The replay is event-driven: the fault trace is swept once into its exact
+piecewise-constant interval timeline (:class:`repro.faults.timeline.
+IntervalTimeline`), the architecture model is asked for a
+:class:`~repro.hbd.base.WasteBreakdown` once per *distinct* fault set
+(memoized -- fault sets repeat whenever a node fails and recovers back to a
+previous configuration), and every section 6.2 metric is computed as an exact
+duration-weighted quantity over the intervals (:class:`IntervalSeries`).
+
+The original grid-sampled path (:class:`FaultTimeline`,
+:func:`replay_timeline`, :class:`SimulationSeries`, daily by default to match
+Figure 18/20's per-day resolution) is kept as a thin compatibility layer:
+grid mode is now "resample the exact intervals", which reproduces the old
+per-sample scans bit-for-bit at O(samples + events) instead of
+O(samples x events).
 """
 
 from __future__ import annotations
@@ -13,13 +23,20 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.analysis.cdf import empirical_cdf, weighted_quantile
+from repro.faults.timeline import IntervalTimeline
 from repro.faults.trace import FaultTrace, HOURS_PER_DAY
 from repro.hbd.base import HBDArchitecture, WasteBreakdown
 
 
 @dataclass
 class SimulationSeries:
-    """Time series produced by one trace replay."""
+    """Grid-sampled time series produced by one trace replay (legacy API).
+
+    Every aggregate weights each sample equally; prefer
+    :class:`IntervalSeries` (exact, duration-weighted, grid-independent) for
+    new code.
+    """
 
     times_days: List[float]
     waste_ratios: List[float]
@@ -47,11 +64,7 @@ class SimulationSeries:
 
     def waste_ratio_cdf(self) -> Tuple[List[float], List[float]]:
         """(sorted waste ratios, cumulative probability) -- Figures 13/21."""
-        values = sorted(self.waste_ratios)
-        n = len(values)
-        if n == 0:
-            return [], []
-        return values, [(i + 1) / n for i in range(n)]
+        return empirical_cdf(self.waste_ratios)
 
     def fault_waiting_rate(self, job_gpus: int) -> float:
         """Fraction of sampled time the job of ``job_gpus`` GPUs cannot run."""
@@ -74,13 +87,156 @@ class SimulationSeries:
         return int(np.percentile(np.asarray(self.usable_gpus), quantile, method="lower"))
 
 
+@dataclass
+class IntervalSeries:
+    """Exact piecewise-constant replay result over the interval timeline.
+
+    One entry per maximal constant-fault-set interval; every aggregate is
+    duration-weighted, so the numbers are exact properties of the trace and
+    architecture, independent of any sampling grid.
+    """
+
+    starts_hours: List[float]
+    ends_hours: List[float]
+    waste_ratios: List[float]
+    usable_gpus: List[int]
+    faulty_gpus: List[int]
+    total_gpus: int
+
+    def __len__(self) -> int:
+        return len(self.starts_hours)
+
+    @property
+    def times_days(self) -> List[float]:
+        """Interval start times in days (for plotting step series)."""
+        return [t / HOURS_PER_DAY for t in self.starts_hours]
+
+    @property
+    def durations_hours(self) -> List[float]:
+        return [e - s for s, e in zip(self.starts_hours, self.ends_hours)]
+
+    @property
+    def total_hours(self) -> float:
+        return self.ends_hours[-1] - self.starts_hours[0] if self.starts_hours else 0.0
+
+    @property
+    def mean_waste_ratio(self) -> float:
+        """Exact time-averaged waste ratio."""
+        total = self.total_hours
+        if total == 0:
+            return 0.0
+        return sum(
+            w * d for w, d in zip(self.waste_ratios, self.durations_hours)
+        ) / total
+
+    @property
+    def p99_waste_ratio(self) -> float:
+        return self.waste_ratio_quantile(0.99)
+
+    @property
+    def max_waste_ratio(self) -> float:
+        return max(self.waste_ratios) if self.waste_ratios else 0.0
+
+    @property
+    def min_usable_gpus(self) -> int:
+        if not self.usable_gpus:
+            return 0
+        return int(min(self.usable_gpus))
+
+    def waste_ratio_quantile(self, q: float) -> float:
+        """Exact duration-weighted quantile (``q`` in [0, 1]) of the waste ratio."""
+        return weighted_quantile(self.waste_ratios, self.durations_hours, q)
+
+    def waste_ratio_cdf(self) -> Tuple[List[float], List[float]]:
+        """Exact duration-weighted waste-ratio CDF -- Figures 13/21."""
+        if not self.waste_ratios:
+            return [], []
+        return empirical_cdf(self.waste_ratios, self.durations_hours)
+
+    def fault_waiting_rate(self, job_gpus: int) -> float:
+        """Exact fraction of time a job of ``job_gpus`` GPUs cannot run."""
+        total = self.total_hours
+        if total == 0:
+            return 0.0
+        waiting = sum(
+            d
+            for usable, d in zip(self.usable_gpus, self.durations_hours)
+            if usable < job_gpus
+        )
+        return waiting / total
+
+    def supported_job_scale(self, availability: float = 1.0) -> int:
+        """Largest job scale available at least ``availability`` of the time.
+
+        Exact: the largest usable-GPU level whose cumulative downtime (time
+        with fewer usable GPUs) does not exceed ``1 - availability`` of the
+        trace.  ``availability=1.0`` (Figure 15) is the minimum over all
+        intervals -- short dips a sampling grid would miss count here.
+        """
+        if not self.usable_gpus:
+            return 0
+        if not 0.0 < availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+        if availability == 1.0:
+            return self.min_usable_gpus
+        # Smallest usable level u with P(usable <= u) > 1 - availability: the
+        # job can be any scale up to u and still wait at most 1 - availability.
+        pairs = sorted(zip(self.usable_gpus, self.durations_hours))
+        total = self.total_hours
+        budget = (1.0 - availability) * total
+        cumulative = 0.0
+        for usable, duration in pairs:
+            cumulative += duration
+            if cumulative > budget * (1.0 + 1e-12):
+                return int(usable)
+        return int(pairs[-1][0])
+
+    def mean_waste_in_window(self, start_day: float, end_day: float) -> float:
+        """Duration-weighted mean waste ratio over ``[start_day, end_day)``."""
+        start_h, end_h = start_day * HOURS_PER_DAY, end_day * HOURS_PER_DAY
+        weighted = covered = 0.0
+        for s, e, w in zip(self.starts_hours, self.ends_hours, self.waste_ratios):
+            overlap = min(e, end_h) - max(s, start_h)
+            if overlap > 0:
+                weighted += w * overlap
+                covered += overlap
+        return weighted / covered if covered else 0.0
+
+
+class _BreakdownMemo:
+    """Memoize ``architecture.breakdown`` per distinct fault set.
+
+    Fault sets recur -- on a grid because faults persist across samples, on
+    the interval timeline because clusters return to previous configurations
+    (most often the empty set) -- so replays share one breakdown per distinct
+    set instead of recomputing per instant.
+    """
+
+    def __init__(self, architecture: HBDArchitecture, n_nodes: int, tp_size: int) -> None:
+        self.architecture = architecture
+        self.n_nodes = n_nodes
+        self.tp_size = tp_size
+        self._cache: Dict[FrozenSet[int], WasteBreakdown] = {}
+
+    def __call__(self, fault_set: FrozenSet[int]) -> WasteBreakdown:
+        breakdown = self._cache.get(fault_set)
+        if breakdown is None:
+            breakdown = self.architecture.breakdown(
+                self.n_nodes, fault_set, self.tp_size
+            )
+            self._cache[fault_set] = breakdown
+        return breakdown
+
+
 @dataclass(frozen=True)
 class FaultTimeline:
     """A trace sampled onto a regular grid of per-instant fault sets.
 
-    Sampling the trace is architecture-independent, so a timeline computed
-    once can be replayed against many architectures -- the experiment runner
-    exploits this to avoid re-scanning the trace for every line-up member.
+    Compatibility layer over the exact interval timeline: the grid is now
+    produced by *resampling* the swept intervals (O(samples + events)) rather
+    than scanning every event per sample, but the sampled fault sets -- and
+    hence everything downstream -- are bit-for-bit identical to the old
+    per-sample scans.
     """
 
     times_hours: Tuple[float, ...]
@@ -98,13 +254,11 @@ class FaultTimeline:
         nodes = n_nodes if n_nodes is not None else trace.n_nodes
         if nodes > trace.n_nodes:
             raise ValueError("simulated cluster larger than the fault trace")
-        restricted = trace if nodes == trace.n_nodes else trace.restrict_nodes(nodes)
-        times = restricted.sample_times(sample_interval_hours)
+        times = trace.sample_times(sample_interval_hours)
+        timeline = trace.interval_timeline(nodes)
         return cls(
             times_hours=tuple(times),
-            fault_sets=tuple(
-                frozenset(restricted.faulty_nodes_at(t)) for t in times
-            ),
+            fault_sets=tuple(timeline.resample(times)),
             n_nodes=nodes,
             gpus_per_node=trace.gpus_per_node,
         )
@@ -113,17 +267,14 @@ class FaultTimeline:
 def replay_timeline(
     architecture: HBDArchitecture, timeline: FaultTimeline, tp_size: int
 ) -> SimulationSeries:
-    """Replay a pre-sampled fault timeline against one architecture."""
-    if timeline.gpus_per_node != architecture.gpus_per_node:
-        raise ValueError(
-            f"timeline GPUs/node ({timeline.gpus_per_node}) must match the "
-            f"architecture ({architecture.gpus_per_node})"
-        )
+    """Replay a pre-sampled (grid) fault timeline against one architecture."""
+    _check_gpus_per_node(architecture, timeline.gpus_per_node)
+    breakdown_for = _BreakdownMemo(architecture, timeline.n_nodes, tp_size)
     waste_ratios: List[float] = []
     usable: List[int] = []
     faulty_gpus: List[int] = []
     for fault_set in timeline.fault_sets:
-        breakdown = architecture.breakdown(timeline.n_nodes, fault_set, tp_size)
+        breakdown = breakdown_for(fault_set)
         waste_ratios.append(breakdown.waste_ratio)
         usable.append(breakdown.usable_gpus)
         faulty_gpus.append(breakdown.faulty_gpus)
@@ -134,6 +285,46 @@ def replay_timeline(
         faulty_gpus=faulty_gpus,
         total_gpus=architecture.total_gpus(timeline.n_nodes),
     )
+
+
+def replay_intervals(
+    architecture: HBDArchitecture, timeline: IntervalTimeline, tp_size: int
+) -> IntervalSeries:
+    """Exact event-driven replay of the interval timeline against one architecture.
+
+    O(intervals) breakdown evaluations (memoized per distinct fault set),
+    independent of the trace duration or any sampling resolution.
+    """
+    _check_gpus_per_node(architecture, timeline.gpus_per_node)
+    breakdown_for = _BreakdownMemo(architecture, timeline.n_nodes, tp_size)
+    starts: List[float] = []
+    ends: List[float] = []
+    waste_ratios: List[float] = []
+    usable: List[int] = []
+    faulty_gpus: List[int] = []
+    for interval in timeline.intervals:
+        breakdown = breakdown_for(interval.nodes)
+        starts.append(interval.start_hour)
+        ends.append(interval.end_hour)
+        waste_ratios.append(breakdown.waste_ratio)
+        usable.append(breakdown.usable_gpus)
+        faulty_gpus.append(breakdown.faulty_gpus)
+    return IntervalSeries(
+        starts_hours=starts,
+        ends_hours=ends,
+        waste_ratios=waste_ratios,
+        usable_gpus=usable,
+        faulty_gpus=faulty_gpus,
+        total_gpus=architecture.total_gpus(timeline.n_nodes),
+    )
+
+
+def _check_gpus_per_node(architecture: HBDArchitecture, gpus_per_node: int) -> None:
+    if gpus_per_node != architecture.gpus_per_node:
+        raise ValueError(
+            f"timeline GPUs/node ({gpus_per_node}) must match the "
+            f"architecture ({architecture.gpus_per_node})"
+        )
 
 
 class ClusterSimulator:
@@ -156,6 +347,9 @@ class ClusterSimulator:
         self.n_nodes = n_nodes if n_nodes is not None else trace.n_nodes
         if self.n_nodes > trace.n_nodes:
             raise ValueError("simulated cluster larger than the fault trace")
+        # Keep the source trace: its per-size timeline cache is shared, so a
+        # whole architecture line-up replays one swept timeline.
+        self._source_trace = trace
         self.trace = (
             trace if self.n_nodes == trace.n_nodes else trace.restrict_nodes(self.n_nodes)
         )
@@ -164,16 +358,24 @@ class ClusterSimulator:
 
     # --------------------------------------------------------------- running
     def timeline(self) -> FaultTimeline:
-        """The sampled fault timeline (computed once, shared across runs)."""
+        """The sampled (grid) fault timeline (computed once, shared across runs)."""
         if self._timeline is None:
             self._timeline = FaultTimeline.from_trace(
                 self.trace, sample_interval_hours=self.sample_interval_hours
             )
         return self._timeline
 
+    def interval_timeline(self) -> IntervalTimeline:
+        """The exact interval timeline (swept once, cached on the source trace)."""
+        return self._source_trace.interval_timeline(self.n_nodes)
+
     def run(self, tp_size: int) -> SimulationSeries:
-        """Replay the trace for TP groups of ``tp_size`` GPUs."""
+        """Grid-sampled replay for TP groups of ``tp_size`` GPUs (legacy)."""
         return replay_timeline(self.architecture, self.timeline(), tp_size)
+
+    def run_exact(self, tp_size: int) -> IntervalSeries:
+        """Exact event-driven replay for TP groups of ``tp_size`` GPUs."""
+        return replay_intervals(self.architecture, self.interval_timeline(), tp_size)
 
     def breakdown_at(self, hour: float, tp_size: int) -> WasteBreakdown:
         """Single-instant GPU accounting (useful for spot checks)."""

@@ -14,20 +14,38 @@ trace accumulates
 Goodput is productive time net of restart losses over the wall-clock
 duration.  Architectures only differ through their usable-capacity function,
 so the comparison isolates the effect of fault isolation and fragmentation.
+
+The replay is event-driven: it walks the exact interval timeline
+(:class:`repro.faults.timeline.IntervalTimeline`), so productive / waiting
+hours are exact interval durations and a fault arrival is observed exactly
+once, at the interval boundary where it starts.  Two accounting fixes came
+with the rewrite:
+
+* faults already active at t=0 are *not* charged as job-impacting restarts
+  (the job never experienced their arrival) -- the initial fault set seeds
+  the previous-state tracker;
+* the expected number of job-impacting faults is accumulated as a float
+  (``len(new_faults) * job_share`` per arrival) instead of being rounded
+  per-step with inconsistent thresholds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, FrozenSet, Optional, Sequence
 
+from repro.faults.timeline import IntervalTimeline
 from repro.faults.trace import FaultTrace, HOURS_PER_DAY
 from repro.hbd.base import HBDArchitecture
 
 
 @dataclass(frozen=True)
 class GoodputConfig:
-    """Parameters of the replayed training job."""
+    """Parameters of the replayed training job.
+
+    ``sample_interval_hours`` is retained for spec compatibility: the replay
+    is event-driven and exact, so the value no longer influences results.
+    """
 
     job_gpus: int
     tp_size: int
@@ -48,13 +66,18 @@ class GoodputConfig:
 
 @dataclass
 class GoodputReport:
-    """Outcome of one goodput replay."""
+    """Outcome of one goodput replay.
+
+    ``job_impacting_faults`` is the *expected* number of faults landing in
+    the job's allocation (a float: each arrival contributes the job's share
+    of the cluster).
+    """
 
     total_hours: float
     productive_hours: float
     waiting_hours: float
     restart_hours: float
-    job_impacting_faults: int
+    job_impacting_faults: float
 
     @property
     def goodput(self) -> float:
@@ -87,6 +110,9 @@ class GoodputSimulator:
         self.n_nodes = n_nodes if n_nodes is not None else trace.n_nodes
         if self.n_nodes > trace.n_nodes:
             raise ValueError("simulated cluster larger than the fault trace")
+        # Keep the source trace: its per-size timeline cache is shared, so a
+        # whole architecture line-up replays one swept timeline.
+        self._source_trace = trace
         self.trace = (
             trace if self.n_nodes == trace.n_nodes else trace.restrict_nodes(self.n_nodes)
         )
@@ -95,42 +121,52 @@ class GoodputSimulator:
 
     def run(self) -> GoodputReport:
         cfg = self.config
-        step = cfg.sample_interval_hours
-        times = self.trace.sample_times(step)
+        timeline = self._source_trace.interval_timeline(self.n_nodes)
+        job_nodes_fraction = cfg.job_gpus / (
+            self.n_nodes * self.architecture.gpus_per_node
+        )
+        restart_cost_per_hit = (
+            cfg.checkpoint_interval_hours / 2.0 + cfg.restart_overhead_hours
+        )
 
         productive = waiting = restart = 0.0
-        impacting_faults = 0
-        previous_faults: set = set()
-        job_nodes_fraction = cfg.job_gpus / (self.n_nodes * self.architecture.gpus_per_node)
+        impacting_faults = 0.0
+        usable_cache: Dict[FrozenSet[int], int] = {}
+        # Seed from the state at the first instant: faults already active at
+        # t=0 are pre-existing capacity loss, not arrivals the job survives.
+        previous_faults: FrozenSet[int] = (
+            timeline.intervals[0].nodes if timeline.intervals else frozenset()
+        )
 
-        for t in times:
-            faults = self.trace.faulty_nodes_at(t)
-            usable = self.architecture.usable_gpus(self.n_nodes, faults, cfg.tp_size)
+        for interval in timeline.intervals:
+            faults = interval.nodes
+            usable = usable_cache.get(faults)
+            if usable is None:
+                usable = self.architecture.usable_gpus(
+                    self.n_nodes, faults, cfg.tp_size
+                )
+                usable_cache[faults] = usable
             running = usable >= cfg.job_gpus
 
             new_faults = faults - previous_faults
             if running and new_faults:
                 # A new fault lands inside the job's allocation with
                 # probability proportional to the job's share of the cluster;
-                # count the expected number of impacting faults and charge
-                # each the lost work since the last checkpoint plus the
-                # restart overhead.
+                # accumulate the expected number of impacting faults and
+                # charge each the lost work since the last checkpoint plus
+                # the restart overhead.
                 expected_hits = len(new_faults) * job_nodes_fraction
-                impacting_faults += round(expected_hits) if expected_hits >= 1 else (
-                    1 if expected_hits > 0.5 else 0
-                )
-                restart += expected_hits * (
-                    cfg.checkpoint_interval_hours / 2.0 + cfg.restart_overhead_hours
-                )
+                impacting_faults += expected_hits
+                restart += expected_hits * restart_cost_per_hit
 
             if running:
-                productive += step
+                productive += interval.duration_hours
             else:
-                waiting += step
+                waiting += interval.duration_hours
             previous_faults = faults
 
         return GoodputReport(
-            total_hours=len(times) * step,
+            total_hours=timeline.duration_hours,
             productive_hours=productive,
             waiting_hours=waiting,
             restart_hours=min(restart, productive),

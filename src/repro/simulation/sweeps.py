@@ -12,12 +12,14 @@ paper's fault-resilience figures:
 * :func:`fault_waiting_comparison` -- Figures 16 and 23.
 
 Since the Unified Experiment API landed these are thin shims over
-:mod:`repro.api.runner`: the trace is sampled into a shared
-:class:`~repro.simulation.cluster.FaultTimeline` once and replayed against
-every architecture, and every function takes ``max_workers`` to fan the
-line-up out over a process pool (default: serial, preserving the historical
-behaviour).  Prefer :class:`repro.api.ExperimentRunner` for new code -- it
-adds declarative specs, memoized traces and serializable results.
+:mod:`repro.api.runner`: the trace is swept once into a shared exact
+:class:`~repro.faults.timeline.IntervalTimeline` and replayed event-driven
+against every architecture (each replay returns an exact, duration-weighted
+:class:`~repro.simulation.cluster.IntervalSeries`), and every function takes
+``max_workers`` to fan the line-up out over a process pool (default: serial,
+preserving the historical behaviour).  Prefer
+:class:`repro.api.ExperimentRunner` for new code -- it adds declarative
+specs, memoized traces and serializable results.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.faults.model import IIDFaultModel
 from repro.faults.trace import FaultTrace
 from repro.hbd.base import HBDArchitecture
-from repro.simulation.cluster import SimulationSeries
+from repro.simulation.cluster import IntervalSeries
 
 
 def architecture_comparison_over_trace(
@@ -36,8 +38,8 @@ def architecture_comparison_over_trace(
     tp_size: int,
     n_nodes: Optional[int] = None,
     max_workers: Optional[int] = 1,
-) -> Dict[str, SimulationSeries]:
-    """Replay ``trace`` against every architecture for one TP size."""
+) -> Dict[str, IntervalSeries]:
+    """Replay ``trace`` against every architecture for one TP size (exact)."""
     from repro.api.runner import compare_architectures_over_trace
 
     return compare_architectures_over_trace(

@@ -77,8 +77,50 @@ class TestGoodputSimulator:
         config = GoodputConfig(job_gpus=8, tp_size=4)
         report = GoodputSimulator(BigSwitchHBD(4), trace, config).run()
         assert report.waiting_hours == 0.0
-        assert report.restart_hours >= 0.0
-        assert report.goodput <= 1.0
+        # Expected-value accounting: one arrival, job share 8/40.
+        assert report.job_impacting_faults == pytest.approx(0.2)
+        assert report.restart_hours == pytest.approx(0.2 * (0.5 + 0.25))
+        assert report.goodput < 1.0
+
+    def test_fault_active_at_start_not_charged_as_new(self):
+        # Regression: a fault spanning t=0 used to trigger a restart charge
+        # the job never experienced (previous_faults started empty).
+        events = [FaultEvent(node_id=0, start_hour=0.0, end_hour=48.0)]
+        trace = FaultTrace(n_nodes=10, duration_days=10, events=events, gpus_per_node=4)
+        config = GoodputConfig(job_gpus=8, tp_size=4)
+        report = GoodputSimulator(BigSwitchHBD(4), trace, config).run()
+        assert report.job_impacting_faults == 0.0
+        assert report.restart_hours == 0.0
+        assert report.goodput == pytest.approx(1.0)
+
+    def test_expected_impacts_accumulate_as_float(self):
+        # Regression: per-step rounding counted expected_hits=0.5 as 0 hits
+        # but 1.5 as 2.  Three separate arrivals at half the cluster each
+        # must accumulate to exactly 1.5 expected impacting faults.
+        events = [
+            FaultEvent(node_id=0, start_hour=24.0, end_hour=36.0),
+            FaultEvent(node_id=1, start_hour=72.0, end_hour=84.0),
+            FaultEvent(node_id=2, start_hour=120.0, end_hour=132.0),
+        ]
+        trace = FaultTrace(n_nodes=10, duration_days=10, events=events, gpus_per_node=4)
+        # Job takes half the cluster: each arrival contributes 0.5 hits.
+        config = GoodputConfig(job_gpus=20, tp_size=4)
+        report = GoodputSimulator(BigSwitchHBD(4), trace, config).run()
+        assert report.job_impacting_faults == pytest.approx(1.5)
+        assert report.restart_hours == pytest.approx(1.5 * (0.5 + 0.25))
+
+    def test_waiting_hours_are_exact_interval_durations(self):
+        # A 90-minute full outage between hourly grid points is accounted
+        # exactly by the event-driven replay.
+        events = [
+            FaultEvent(node_id=n, start_hour=10.25, end_hour=11.75)
+            for n in range(10)
+        ]
+        trace = FaultTrace(n_nodes=10, duration_days=10, events=events, gpus_per_node=4)
+        config = GoodputConfig(job_gpus=40, tp_size=4)
+        report = GoodputSimulator(BigSwitchHBD(4), trace, config).run()
+        assert report.waiting_hours == pytest.approx(1.5)
+        assert report.total_hours == pytest.approx(240.0)
 
     def test_validation(self, trace4):
         with pytest.raises(ValueError):
