@@ -21,7 +21,6 @@ def _run(trace_4gpu):
         tp_size=TP_SIZE,
         checkpoint_interval_hours=1.0,
         restart_overhead_hours=0.25,
-        sample_interval_hours=6.0,
     )
     return goodput_comparison(
         default_architectures(4), trace_4gpu, config, n_nodes=SIM_NODES_4GPU

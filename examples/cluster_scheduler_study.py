@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Cluster scheduler study: policies x architectures on one job queue.
+
+The capacity metrics of section 6.2 say how many GPUs an architecture keeps
+usable under faults; this study asks what that capacity is *worth* to a
+queue of competing jobs.  One synthetic workload (Poisson arrivals,
+heavy-tailed sizes and durations) is replayed:
+
+1. across the scheduling policy zoo (FIFO, smallest-job-first,
+   shortest-remaining-work, each with and without preemption) on a single
+   architecture, showing the classic JCT/makespan trade-offs; then
+2. across HBD architectures under one policy, via the declarative
+   ``schedule`` experiment of :mod:`repro.api` -- fragmentation-prone
+   architectures lose cluster goodput and stretch the queue.
+
+Run with:  python examples/cluster_scheduler_study.py [--days 45] [--jobs 120]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.api import (
+    ExperimentRunner,
+    ExperimentSpec,
+    Scenario,
+    SchedulerSpec,
+    TraceSpec,
+    WorkloadSpec,
+    default_architecture_specs,
+)
+from repro.hbd import InfiniteHBDArchitecture
+from repro.scheduler import ClusterScheduler, WorkloadConfig, generate_workload, policy_by_name
+
+
+def policy_zoo(trace_spec: TraceSpec, n_nodes: int, jobs, tp_size: int) -> None:
+    print("=" * 72)
+    print(f"1. Scheduling policies on InfiniteHBD(K=3), {len(jobs)} jobs")
+    print("=" * 72)
+    timeline = trace_spec.build().interval_timeline(n_nodes)
+    architecture = InfiniteHBDArchitecture(k=3, gpus_per_node=4)
+    header = f"{'policy':24s} {'makespan':>9s} {'mean JCT':>9s} {'p99 JCT':>9s} {'queue':>7s} {'preempt':>8s}"
+    print(header)
+    for name in ("fifo", "smallest-first", "shortest-remaining"):
+        for preemptive in (False, True):
+            report = ClusterScheduler(
+                architecture,
+                timeline,
+                jobs,
+                policy=policy_by_name(name, preemptive),
+            ).run()
+            label = f"{name}{' (preempt)' if preemptive else ''}"
+            preemptions = sum(job.preemptions for job in report.jobs)
+            print(
+                f"{label:24s} {report.makespan_hours:9.1f} "
+                f"{report.mean_jct_hours:9.2f} {report.p99_jct_hours:9.2f} "
+                f"{report.mean_queueing_delay_hours:7.2f} {preemptions:8d}"
+            )
+
+
+def architecture_sweep(args: argparse.Namespace) -> None:
+    print()
+    print("=" * 72)
+    print("2. Architectures under preemptive smallest-first (repro.api)")
+    print("=" * 72)
+    spec = ExperimentSpec.of(
+        scenario=Scenario(
+            name="scheduler-study",
+            trace=TraceSpec(days=args.days, seed=args.seed, gpus_per_node=4),
+            architectures=default_architecture_specs(),
+            tp_sizes=(args.tp,),
+            n_nodes=args.nodes,
+            seed=args.seed,
+            workload=WorkloadSpec(
+                n_jobs=args.jobs,
+                seed=args.seed,
+                mean_interarrival_hours=args.mean_interarrival,
+                median_work_hours=8.0,
+            ),
+            scheduler=SchedulerSpec(policy="smallest-first", preemptive=True),
+        ),
+        experiments=("schedule",),
+        max_workers=args.workers,
+    )
+    results = ExperimentRunner(spec).run()
+    print(f"{'architecture':20s} {'makespan':>9s} {'mean JCT':>9s} {'queue':>7s} {'goodput':>8s}")
+    for result in results:
+        print(
+            f"{result.architecture:20s} {result.metric('makespan_hours'):9.1f} "
+            f"{result.metric('mean_jct_hours'):9.2f} "
+            f"{result.metric('mean_queueing_delay_hours'):7.2f} "
+            f"{result.metric('cluster_goodput'):8.4f}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=45, help="trace duration in days")
+    parser.add_argument("--jobs", type=int, default=120, help="jobs in the queue")
+    parser.add_argument("--nodes", type=int, default=288)
+    parser.add_argument("--tp", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=348)
+    parser.add_argument("--mean-interarrival", type=float, default=2.0)
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args()
+
+    trace_spec = TraceSpec(days=args.days, seed=args.seed, gpus_per_node=4)
+    jobs = generate_workload(
+        WorkloadConfig(
+            n_jobs=args.jobs,
+            seed=args.seed,
+            tp_size=args.tp,
+            max_gpus=args.nodes * 4 // 2 // args.tp * args.tp,
+            mean_interarrival_hours=args.mean_interarrival,
+            median_work_hours=8.0,
+        )
+    )
+    policy_zoo(trace_spec, args.nodes, jobs, args.tp)
+    architecture_sweep(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,9 @@ baseline its evaluation depends on:
   NVL-36/72/576, TPUv4, SiP-Ring (section 6.2).
 * ``repro.faults``      -- fault trace substrate (Appendix A).
 * ``repro.simulation``  -- trace-driven cluster simulation (section 6.2).
+* ``repro.scheduler``   -- multi-job cluster scheduling over the exact
+  fault timeline (FIFO / smallest-first / shortest-remaining policies,
+  Poisson + heavy-tailed workload generation, per-job + cluster metrics).
 * ``repro.dcn``         -- Fat-Tree DCN and cross-ToR traffic model (6.4).
 * ``repro.training``    -- LLM training MFU simulator (sections 2.3, 6.3).
 * ``repro.collectives`` -- ring AllReduce and AllToAll algorithms (5.2, App G).

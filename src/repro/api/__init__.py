@@ -39,8 +39,11 @@ from repro.api.spec import (
     KNOWN_EXPERIMENTS,
     ArchitectureSpec,
     ExperimentSpec,
+    JobSpec,
     Scenario,
+    SchedulerSpec,
     TraceSpec,
+    WorkloadSpec,
     default_architecture_specs,
 )
 from repro.api.results import ExperimentResult, Provenance, ResultSet
@@ -59,8 +62,11 @@ __all__ = [
     "KNOWN_EXPERIMENTS",
     "ArchitectureSpec",
     "ExperimentSpec",
+    "JobSpec",
     "Scenario",
+    "SchedulerSpec",
     "TraceSpec",
+    "WorkloadSpec",
     "default_architecture_specs",
     "ExperimentResult",
     "Provenance",

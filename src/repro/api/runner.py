@@ -192,12 +192,17 @@ def _run_goodput_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[
     tp_size = payload["tp_size"]
     architecture = arch_spec.build(gpus_per_node=scenario.trace.gpus_per_node)
     options = spec.options_for("goodput")
+    config_kwargs: Dict[str, Any] = {}
+    if "sample_interval_hours" in options:
+        # Deprecated and ignored by the event-driven replay; passing it
+        # through lets GoodputConfig emit the DeprecationWarning.
+        config_kwargs["sample_interval_hours"] = float(options["sample_interval_hours"])
     config = GoodputConfig(
         job_gpus=int(options.get("job_gpus", scenario.job_gpus)),
         tp_size=tp_size,
         checkpoint_interval_hours=float(options.get("checkpoint_interval_hours", 1.0)),
         restart_overhead_hours=float(options.get("restart_overhead_hours", 0.25)),
-        sample_interval_hours=float(options.get("sample_interval_hours", 1.0)),
+        **config_kwargs,
     )
     report = GoodputSimulator(
         architecture, scenario.trace.build(), config, n_nodes=scenario.n_nodes
@@ -215,6 +220,60 @@ def _run_goodput_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[
     return [
         ExperimentResult.of(
             "goodput", scenario.name, architecture.name, tp_size, metrics
+        ).to_dict()
+    ]
+
+
+def _run_schedule_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Multi-job cluster scheduling over the exact fault timeline."""
+    from repro.scheduler.engine import ClusterScheduler
+
+    scenario = spec.scenario
+    if scenario.workload is None:
+        raise ValueError("experiment 'schedule' needs scenario.workload")
+    arch_spec = ArchitectureSpec.from_dict(payload["arch"])
+    tp_size = payload["tp_size"]
+    architecture = arch_spec.build(gpus_per_node=scenario.trace.gpus_per_node)
+    timeline = _timeline_for(scenario.trace, scenario.n_nodes)
+
+    # Size cap for generated jobs: half the simulated cluster, rounded to a
+    # TP multiple, so the same workload spec stays schedulable across the
+    # whole architecture line-up (fragmentation differs per architecture).
+    total_gpus = architecture.total_gpus(timeline.n_nodes)
+    default_max = max(tp_size, total_gpus // 2 // tp_size * tp_size)
+    jobs = scenario.workload.build(tp_size=tp_size, max_gpus=default_max)
+
+    report = ClusterScheduler(
+        architecture,
+        timeline,
+        jobs,
+        policy=scenario.scheduler.build(),
+        horizon_hours=scenario.scheduler.horizon_hours,
+    ).run()
+    metrics = {
+        "policy": report.policy,
+        "preemptive": report.preemptive,
+        "n_jobs": report.n_jobs,
+        "finished_jobs": report.finished_jobs,
+        "makespan_hours": report.makespan_hours,
+        "mean_jct_hours": report.mean_jct_hours,
+        "p50_jct_hours": report.p50_jct_hours,
+        "p99_jct_hours": report.p99_jct_hours,
+        "mean_queueing_delay_hours": report.mean_queueing_delay_hours,
+        "p99_queueing_delay_hours": report.p99_queueing_delay_hours,
+        "cluster_goodput": report.cluster_goodput,
+        "cluster_utilization": report.cluster_utilization,
+        "total_gpus": report.total_gpus,
+    }
+    series = {
+        "jct_hours": report.jct_hours(),
+        "queueing_delays_hours": report.queueing_delays_hours(),
+        "submit_hours": [job.submit_hour for job in report.jobs],
+        "productive_hours": [job.productive_hours for job in report.jobs],
+    }
+    return [
+        ExperimentResult.of(
+            "schedule", scenario.name, architecture.name, tp_size, metrics, series
         ).to_dict()
     ]
 
@@ -341,13 +400,14 @@ _HANDLERS: Dict[str, Callable[[ExperimentSpec, Mapping[str, Any]], List[Dict[str
     "max_job_scale": _run_capacity_task,
     "fault_waiting": _run_capacity_task,
     "goodput": _run_goodput_task,
+    "schedule": _run_schedule_task,
     "cross_tor": _run_cross_tor_task,
     "mfu": _run_mfu_task,
     "cost": _run_cost_task,
 }
 
 #: Experiments swept over the architecture × TP-size grid.
-_ARCH_SWEEP_EXPERIMENTS = ("waste", "max_job_scale", "fault_waiting", "goodput")
+_ARCH_SWEEP_EXPERIMENTS = ("waste", "max_job_scale", "fault_waiting", "goodput", "schedule")
 
 
 def _execute_payload(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -434,7 +494,7 @@ class ExperimentRunner:
         if needs_trace:
             scenario.trace.build()
         if any(
-            e in ("waste", "max_job_scale", "fault_waiting")
+            e in ("waste", "max_job_scale", "fault_waiting", "schedule")
             for e in self.spec.experiments
         ):
             _timeline_for(scenario.trace, scenario.n_nodes)

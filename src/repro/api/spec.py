@@ -27,9 +27,11 @@ import hashlib
 import json
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.faults.trace import FaultTrace
+from repro.scheduler.jobs import JobSpec, check_known_fields
+from repro.scheduler.policies import POLICY_NAMES, SchedulingPolicy, policy_by_name
 
 #: Experiments the runner knows how to execute.
 KNOWN_EXPERIMENTS = (
@@ -37,19 +39,15 @@ KNOWN_EXPERIMENTS = (
     "max_job_scale",
     "fault_waiting",
     "goodput",
+    "schedule",
     "cross_tor",
     "mfu",
     "cost",
 )
 
-T = TypeVar("T")
-
-
-def _check_fields(cls: Type[T], data: Mapping[str, Any]) -> None:
-    known = {f.name for f in dataclasses.fields(cls)}
-    unknown = sorted(set(data) - known)
-    if unknown:
-        raise ValueError(f"{cls.__name__}: unknown field(s) {unknown}; known: {sorted(known)}")
+#: Shared unknown-field validation (lives scheduler-side because this module
+#: imports repro.scheduler, not the other way around).
+_check_fields = check_known_fields
 
 
 # --------------------------------------------------------------------- traces
@@ -162,6 +160,113 @@ def default_architecture_specs() -> Tuple[ArchitectureSpec, ...]:
     return tuple(ArchitectureSpec(name=name) for name in DEFAULT_LINEUP)
 
 
+# ------------------------------------------------------------------ workloads
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative job queue for the ``schedule`` experiment.
+
+    ``kind="synthetic"`` samples a Poisson-arrival, heavy-tailed queue via
+    :func:`repro.scheduler.workload.generate_workload`; ``kind="explicit"``
+    carries the jobs verbatim.  ``tp_size=None`` / ``max_gpus=None`` defer to
+    the sweep's TP size and half the simulated cluster respectively, so one
+    workload spec scales across the architecture x TP grid.
+    """
+
+    kind: str = "synthetic"
+    jobs: Tuple[JobSpec, ...] = ()
+    n_jobs: int = 100
+    seed: int = 0
+    tp_size: Optional[int] = None
+    max_gpus: Optional[int] = None
+    mean_interarrival_hours: float = 1.0
+    median_tp_groups: float = 4.0
+    sigma_tp_groups: float = 1.2
+    median_work_hours: float = 8.0
+    sigma_work_hours: float = 1.0
+    checkpoint_interval_hours: float = 1.0
+    restart_overhead_hours: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("synthetic", "explicit"):
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; known: ['synthetic', 'explicit']"
+            )
+        if self.kind == "explicit" and not self.jobs:
+            raise ValueError("explicit workloads need at least one job")
+        if self.kind == "synthetic" and self.jobs:
+            raise ValueError("synthetic workloads must not carry explicit jobs")
+
+    def build(self, tp_size: int, max_gpus: int) -> Tuple[JobSpec, ...]:
+        """The concrete job queue (``tp_size`` / ``max_gpus`` fill the defaults)."""
+        if self.kind == "explicit":
+            return self.jobs
+        from repro.scheduler.workload import WorkloadConfig, generate_workload
+
+        return generate_workload(
+            WorkloadConfig(
+                n_jobs=self.n_jobs,
+                seed=self.seed,
+                tp_size=self.tp_size if self.tp_size is not None else tp_size,
+                max_gpus=self.max_gpus if self.max_gpus is not None else max_gpus,
+                mean_interarrival_hours=self.mean_interarrival_hours,
+                median_tp_groups=self.median_tp_groups,
+                sigma_tp_groups=self.sigma_tp_groups,
+                median_work_hours=self.median_work_hours,
+                sigma_work_hours=self.sigma_work_hours,
+                checkpoint_interval_hours=self.checkpoint_interval_hours,
+                restart_overhead_hours=self.restart_overhead_hours,
+            )
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["jobs"] = [job.to_dict() for job in self.jobs]
+        if not data["jobs"]:
+            del data["jobs"]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        _check_fields(cls, data)
+        fields = dict(data)
+        if "jobs" in fields:
+            fields["jobs"] = tuple(JobSpec.from_dict(j) for j in fields["jobs"])
+        return cls(**fields)
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Declarative scheduler configuration for the ``schedule`` experiment.
+
+    ``horizon_hours=None`` runs the workload to completion (past the trace
+    end the cluster is fault-free); a finite horizon hard-stops the replay
+    and reports unfinished jobs.
+    """
+
+    policy: str = "fifo"
+    preemptive: bool = False
+    horizon_hours: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown scheduling policy {self.policy!r}; known: {list(POLICY_NAMES)}"
+            )
+        if self.horizon_hours is not None and self.horizon_hours <= 0:
+            raise ValueError("horizon_hours must be positive")
+
+    def build(self) -> SchedulingPolicy:
+        return policy_by_name(self.policy, preemptive=self.preemptive)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SchedulerSpec":
+        _check_fields(cls, data)
+        return cls(**data)
+
+
 # ------------------------------------------------------------------ scenarios
 @dataclass(frozen=True)
 class Scenario:
@@ -175,6 +280,8 @@ class Scenario:
     seed: int = 348
     job_gpus: int = 2560
     availability: float = 1.0
+    workload: Optional[WorkloadSpec] = None
+    scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -191,7 +298,7 @@ class Scenario:
         return cls(name=name, **overrides)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "trace": self.trace.to_dict(),
             "architectures": [a.to_dict() for a in self.architectures],
@@ -201,6 +308,13 @@ class Scenario:
             "job_gpus": self.job_gpus,
             "availability": self.availability,
         }
+        # Scheduler axes are emitted only when set, so pre-scheduler spec
+        # files (and their digests) are unchanged.
+        if self.workload is not None:
+            data["workload"] = self.workload.to_dict()
+        if self.scheduler != SchedulerSpec():
+            data["scheduler"] = self.scheduler.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
@@ -214,6 +328,10 @@ class Scenario:
             )
         if "tp_sizes" in fields:
             fields["tp_sizes"] = tuple(fields["tp_sizes"])
+        if fields.get("workload") is not None:
+            fields["workload"] = WorkloadSpec.from_dict(fields["workload"])
+        if "scheduler" in fields:
+            fields["scheduler"] = SchedulerSpec.from_dict(fields["scheduler"])
         return cls(**fields)
 
 

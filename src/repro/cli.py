@@ -10,6 +10,8 @@ regenerated without writing Python:
 * ``mfu``           -- MFU-optimal parallelism search for Llama / GPT-MoE.
 * ``cost``          -- interconnect cost and power table (Table 6).
 * ``goodput``       -- job goodput over the fault trace.
+* ``schedule``      -- multi-job cluster scheduling (FIFO / smallest-first /
+  shortest-remaining, optionally preemptive) over the fault trace.
 * ``run``           -- execute a declarative JSON experiment spec through the
   Unified Experiment API (:mod:`repro.api`) and emit serializable results.
 * ``architectures`` -- list every architecture in the plugin registry.
@@ -34,9 +36,12 @@ from repro.api.runner import ExperimentRunner
 from repro.api.spec import (
     ExperimentSpec,
     Scenario,
+    SchedulerSpec,
     TraceSpec,
+    WorkloadSpec,
     default_architecture_specs,
 )
+from repro.scheduler.policies import POLICY_NAMES
 
 
 # --------------------------------------------------------------------------
@@ -184,6 +189,45 @@ def cmd_goodput(args: argparse.Namespace) -> List[str]:
     return lines
 
 
+def cmd_schedule(args: argparse.Namespace) -> List[str]:
+    spec = ExperimentSpec.of(
+        scenario=Scenario(
+            name="cli-schedule",
+            trace=TraceSpec(days=args.days, seed=args.seed, gpus_per_node=4),
+            architectures=default_architecture_specs(),
+            tp_sizes=(args.tp,),
+            n_nodes=args.nodes,
+            seed=args.seed,
+            workload=WorkloadSpec(
+                n_jobs=args.jobs,
+                seed=args.seed,
+                mean_interarrival_hours=args.mean_interarrival,
+                median_work_hours=args.median_work,
+            ),
+            scheduler=SchedulerSpec(policy=args.policy, preemptive=args.preemptive),
+        ),
+        experiments=("schedule",),
+        max_workers=args.workers,
+    )
+    results = ExperimentRunner(spec).run()
+    lines = [
+        f"policy={args.policy} preemptive={args.preemptive} jobs={args.jobs}",
+        f"{'architecture':20s} {'done':>9s} {'makespan':>9s} {'mean JCT':>9s} "
+        f"{'p99 JCT':>9s} {'queue':>7s} {'goodput':>8s}",
+    ]
+    for result in results:
+        lines.append(
+            f"{result.architecture:20s} "
+            f"{result.metric('finished_jobs'):4d}/{result.metric('n_jobs'):<4d} "
+            f"{result.metric('makespan_hours'):9.1f} "
+            f"{result.metric('mean_jct_hours'):9.2f} "
+            f"{result.metric('p99_jct_hours'):9.2f} "
+            f"{result.metric('mean_queueing_delay_hours'):7.2f} "
+            f"{result.metric('cluster_goodput'):8.4f}"
+        )
+    return lines
+
+
 def cmd_run(args: argparse.Namespace) -> List[str]:
     with open(args.spec) as handle:
         spec = ExperimentSpec.from_dict(json.load(handle))
@@ -283,6 +327,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool size (default: one per CPU)")
     p.set_defaults(func=cmd_goodput)
+
+    p = sub.add_parser(
+        "schedule", help="multi-job cluster scheduling over the fault trace"
+    )
+    p.add_argument("--days", type=int, default=120)
+    p.add_argument("--seed", type=int, default=348)
+    p.add_argument("--nodes", type=int, default=720)
+    p.add_argument("--tp", type=int, default=32)
+    p.add_argument("--jobs", type=int, default=200,
+                   help="number of synthetic jobs in the queue")
+    p.add_argument("--policy", choices=POLICY_NAMES, default="fifo")
+    p.add_argument("--preemptive", action="store_true")
+    p.add_argument("--mean-interarrival", type=float, default=1.0,
+                   help="mean Poisson inter-arrival time (hours)")
+    p.add_argument("--median-work", type=float, default=8.0,
+                   help="median productive work per job (hours)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: one per CPU)")
+    p.set_defaults(func=cmd_schedule)
 
     p = sub.add_parser(
         "run", help="run a declarative JSON experiment spec (repro.api)"

@@ -10,7 +10,12 @@ and :mod:`repro.faults.model` draws i.i.d. fault sets at a target node-fault
 ratio for the sweep-style experiments (Figures 14, 17c, 17d, 22).
 """
 
-from repro.faults.trace import FaultEvent, FaultTrace, TraceStatistics
+from repro.faults.trace import (
+    FaultEvent,
+    FaultTrace,
+    TraceStatistics,
+    merge_overlapping_events,
+)
 from repro.faults.timeline import FaultInterval, IntervalTimeline, sweep_intervals
 from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
 from repro.faults.convert import convert_trace_8gpu_to_4gpu, node_fault_probability
@@ -20,6 +25,7 @@ __all__ = [
     "FaultEvent",
     "FaultTrace",
     "TraceStatistics",
+    "merge_overlapping_events",
     "FaultInterval",
     "IntervalTimeline",
     "sweep_intervals",

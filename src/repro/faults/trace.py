@@ -58,6 +58,41 @@ class FaultEvent:
         return self.start_hour <= hour < self.end_hour
 
 
+def merge_overlapping_events(events: Iterable[FaultEvent]) -> List[FaultEvent]:
+    """Merge overlapping or touching events on the same node.
+
+    The sweep-line timeline already handles overlaps exactly (per-node open
+    counters), but *event-level* statistics -- ``mean_repair_hours``,
+    ``n_events`` -- would silently double-count a node whose single outage
+    was logged as several overlapping rows.  Merging turns each node's event
+    list into its maximal disjoint downtime windows; disjoint events are
+    returned unchanged.
+    """
+    per_node: Dict[int, List[FaultEvent]] = {}
+    for event in events:
+        per_node.setdefault(event.node_id, []).append(event)
+    merged: List[FaultEvent] = []
+    for node_id, node_events in per_node.items():
+        node_events.sort(key=lambda e: (e.start_hour, e.end_hour))
+        current_start = current_end = None
+        for event in node_events:
+            if current_start is None:
+                current_start, current_end = event.start_hour, event.end_hour
+            elif event.start_hour <= current_end:
+                current_end = max(current_end, event.end_hour)
+            else:
+                merged.append(
+                    FaultEvent(node_id=node_id, start_hour=current_start, end_hour=current_end)
+                )
+                current_start, current_end = event.start_hour, event.end_hour
+        if current_start is not None:
+            merged.append(
+                FaultEvent(node_id=node_id, start_hour=current_start, end_hour=current_end)
+            )
+    merged.sort(key=lambda e: (e.start_hour, e.node_id))
+    return merged
+
+
 @dataclass(frozen=True)
 class TraceStatistics:
     """Summary statistics of the faulty-node-ratio process."""
@@ -251,17 +286,61 @@ class FaultTrace:
         n_nodes: int,
         duration_days: float,
         gpus_per_node: int = 8,
+        merge_overlaps: bool = True,
     ) -> "FaultTrace":
-        """Parse a trace previously produced by :meth:`to_csv`."""
+        """Parse a trace from the CSV schema of :meth:`to_csv`.
+
+        Built for real-trace ingestion, so malformed rows fail with the row
+        number and the offending value rather than a bare ``ValueError``:
+        missing columns, non-numeric fields, negative durations
+        (``end_hour < start_hour``), negative start times and node ids
+        outside ``[0, n_nodes)`` are all rejected.  Overlapping (or touching)
+        events on the same node -- common in operational logs where one
+        incident is recorded by several monitors -- are merged into one
+        downtime window by default so repair-time statistics do not
+        double-count them; pass ``merge_overlaps=False`` to keep the rows
+        verbatim.
+        """
         reader = csv.DictReader(io.StringIO(text))
-        events = [
-            FaultEvent(
-                node_id=int(row["node_id"]),
-                start_hour=float(row["start_hour"]),
-                end_hour=float(row["end_hour"]),
+        required = {"node_id", "start_hour", "end_hour"}
+        header = set(reader.fieldnames or ())
+        missing = sorted(required - header)
+        if missing:
+            raise ValueError(
+                f"trace CSV is missing column(s) {missing}; "
+                f"expected header: node_id,start_hour,end_hour"
             )
-            for row in reader
-        ]
+        events: List[FaultEvent] = []
+        for line, row in enumerate(reader, start=2):  # line 1 is the header
+            try:
+                node_id = int(row["node_id"])
+                start_hour = float(row["start_hour"])
+                end_hour = float(row["end_hour"])
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"trace CSV row {line}: malformed values "
+                    f"(node_id={row['node_id']!r}, start_hour={row['start_hour']!r}, "
+                    f"end_hour={row['end_hour']!r})"
+                ) from None
+            if not 0 <= node_id < n_nodes:
+                raise ValueError(
+                    f"trace CSV row {line}: node_id {node_id} outside the "
+                    f"cluster [0, {n_nodes})"
+                )
+            if start_hour < 0:
+                raise ValueError(
+                    f"trace CSV row {line}: negative start_hour ({start_hour})"
+                )
+            if end_hour < start_hour:
+                raise ValueError(
+                    f"trace CSV row {line}: negative duration "
+                    f"(start_hour={start_hour}, end_hour={end_hour})"
+                )
+            events.append(
+                FaultEvent(node_id=node_id, start_hour=start_hour, end_hour=end_hour)
+            )
+        if merge_overlaps:
+            events = merge_overlapping_events(events)
         return cls(
             n_nodes=n_nodes,
             duration_days=duration_days,

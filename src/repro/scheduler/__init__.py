@@ -1,0 +1,51 @@
+"""Multi-job cluster scheduling over the exact fault timeline.
+
+This package turns the per-architecture metric replays into a cluster
+workload simulator: a queue of jobs (Poisson arrivals, heavy-tailed sizes
+and durations) competes for the piecewise-constant usable capacity that an
+HBD architecture preserves under faults.
+
+* :mod:`repro.scheduler.jobs` -- :class:`JobSpec` (frozen job description)
+  and :class:`JobReport` (per-job outcome; productive + waiting + restart
+  hours partition the job's wall-clock time).
+* :mod:`repro.scheduler.policies` -- pluggable policies: FIFO,
+  smallest-job-first, shortest-remaining-work, each with or without
+  preemption.
+* :mod:`repro.scheduler.engine` -- :class:`ClusterScheduler`, the
+  event-driven sweep merging fault-interval boundaries with job events.
+* :mod:`repro.scheduler.workload` -- the synthetic workload generator.
+* :mod:`repro.scheduler.report` -- :class:`ClusterReport` (makespan, JCT
+  distribution, queueing delay, cluster goodput).
+
+The single-job goodput replay (:class:`repro.simulation.goodput.
+GoodputSimulator`) is a thin wrapper over this engine.
+"""
+
+from repro.scheduler.engine import ClusterScheduler, schedule_comparison
+from repro.scheduler.jobs import JobReport, JobSpec
+from repro.scheduler.policies import (
+    FifoPolicy,
+    POLICY_NAMES,
+    SchedulingPolicy,
+    ShortestRemainingPolicy,
+    SmallestFirstPolicy,
+    policy_by_name,
+)
+from repro.scheduler.report import ClusterReport
+from repro.scheduler.workload import WorkloadConfig, generate_workload
+
+__all__ = [
+    "ClusterReport",
+    "ClusterScheduler",
+    "FifoPolicy",
+    "JobReport",
+    "JobSpec",
+    "POLICY_NAMES",
+    "SchedulingPolicy",
+    "ShortestRemainingPolicy",
+    "SmallestFirstPolicy",
+    "WorkloadConfig",
+    "generate_workload",
+    "policy_by_name",
+    "schedule_comparison",
+]

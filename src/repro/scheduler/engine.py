@@ -1,0 +1,423 @@
+"""Event-driven multi-job cluster scheduler over the exact fault timeline.
+
+The single-job goodput replay asks "how does *one* job fare on this
+architecture"; the cluster scheduler asks the question the paper's capacity
+metrics ultimately serve: how much of a *queue* of jobs does an architecture
+push through when faults keep reshaping the usable capacity?
+
+:class:`ClusterScheduler` merges two event streams into one sweep:
+
+* the fault-interval boundaries of the exact
+  :class:`~repro.faults.timeline.IntervalTimeline` (the piecewise-constant
+  capacity process), and
+* job events -- arrivals, completions, restart-debt pay-off instants --
+  which it derives on the fly.
+
+Between consecutive events nothing changes, so every job's time is accounted
+exactly: each in-system job is in exactly one of three states (waiting for
+capacity, productively running, or restarting), and the engine's core
+invariant is that the three buckets partition the job's wall-clock time.
+
+Capacity comes from ``architecture.usable_gpus(n_nodes, faults, tp_size)``,
+memoized per distinct ``(fault set, TP size)`` -- fault sets recur (most
+often the empty set), so long traces cost O(distinct sets) breakdowns, not
+O(events).  A set of running jobs is feasible when, for every job, the total
+allocated GPU count fits within the usable capacity at that job's own TP
+granularity; this is exact for single-TP workloads (the common case and the
+goodput-compatibility case) and a documented approximation for mixed-TP
+queues.
+
+Fault handling matches the single-job goodput accounting so that
+:class:`~repro.simulation.goodput.GoodputSimulator` is a thin wrapper over
+this engine:
+
+* faults already active at t=0 are pre-existing capacity loss, never charged
+  as arrivals;
+* a fault arrival charges every job allocated in the interval that starts at
+  the boundary its *expected* share of the damage (``new_faults x job_gpus /
+  cluster_gpus`` hits, each costing half a checkpoint interval plus the
+  restart overhead) as restart *debt*, paid as wall-clock restart time
+  before the job makes further progress;
+* a job descheduled because the usable capacity can no longer host it at
+  all simply waits (no extra charge -- the expected-damage charge above
+  already accounts for the fault);
+* a job that still fits but lost its slot to higher-priority work --
+  policy preemption, or a capacity squeeze that displaced the
+  lowest-priority job -- checkpoints on the way out and pays only the
+  restart overhead when it resumes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.faults.timeline import IntervalTimeline
+from repro.hbd.base import HBDArchitecture
+from repro.scheduler.jobs import JobReport, JobSpec
+from repro.scheduler.policies import FifoPolicy, SchedulingPolicy
+from repro.scheduler.report import ClusterReport
+
+#: Tolerance for "this phase is over" comparisons on accumulated floats.
+_EPS = 1e-9
+
+
+class _JobRuntime:
+    """Mutable per-job state while the sweep runs."""
+
+    __slots__ = (
+        "spec",
+        "sequence",
+        "remaining_work",
+        "restart_debt",
+        "productive",
+        "waiting",
+        "restart_time",
+        "restart_charged",
+        "impacting_faults",
+        "preemptions",
+        "first_start",
+        "completion",
+        "end",
+        "in_system",
+        "allocated",
+    )
+
+    def __init__(self, spec: JobSpec, sequence: int) -> None:
+        self.spec = spec
+        self.sequence = sequence
+        self.remaining_work = math.inf if spec.work_hours is None else spec.work_hours
+        self.restart_debt = 0.0
+        self.productive = 0.0
+        self.waiting = 0.0
+        self.restart_time = 0.0
+        self.restart_charged = 0.0
+        self.impacting_faults = 0.0
+        self.preemptions = 0
+        self.first_start: Optional[float] = None
+        self.completion: Optional[float] = None
+        self.end: Optional[float] = None
+        self.in_system = False
+        self.allocated = False
+
+    @property
+    def done(self) -> bool:
+        return self.completion is not None
+
+    def report(self) -> JobReport:
+        spec = self.spec
+        end = self.end if self.end is not None else spec.submit_hour
+        return JobReport(
+            name=spec.name,
+            gpus=spec.gpus,
+            tp_size=spec.tp_size,
+            submit_hour=spec.submit_hour,
+            work_hours=spec.work_hours,
+            first_start_hour=self.first_start,
+            completion_hour=self.completion,
+            end_hour=end,
+            productive_hours=self.productive,
+            waiting_hours=self.waiting,
+            restart_hours=self.restart_time,
+            restart_charged_hours=self.restart_charged,
+            impacting_faults=self.impacting_faults,
+            preemptions=self.preemptions,
+        )
+
+
+class ClusterScheduler:
+    """Replay a queue of jobs against one architecture over the fault timeline.
+
+    Parameters
+    ----------
+    architecture:
+        The HBD architecture supplying ``usable_gpus``.
+    timeline:
+        The exact fault timeline of the trace (``trace.interval_timeline()``).
+        Beyond the traced window the cluster is assumed fault-free.
+    jobs:
+        The workload.  Submission order is irrelevant; ties are broken by
+        position in this sequence.
+    policy:
+        A :class:`~repro.scheduler.policies.SchedulingPolicy` (default:
+        non-preemptive FIFO).
+    horizon_hours:
+        Hard stop of the simulation.  ``None`` (default) runs until every
+        job completes -- which requires every job to fit the fault-free
+        cluster and to have finite work.
+    """
+
+    def __init__(
+        self,
+        architecture: HBDArchitecture,
+        timeline: IntervalTimeline,
+        jobs: Sequence[JobSpec],
+        policy: Optional[SchedulingPolicy] = None,
+        horizon_hours: Optional[float] = None,
+    ) -> None:
+        if timeline.gpus_per_node != architecture.gpus_per_node:
+            raise ValueError(
+                f"timeline GPUs/node ({timeline.gpus_per_node}) must match the "
+                f"architecture ({architecture.gpus_per_node})"
+            )
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique within a workload")
+        self.architecture = architecture
+        self.timeline = timeline
+        self.policy = policy if policy is not None else FifoPolicy()
+        self.horizon_hours = horizon_hours
+        self.n_nodes = timeline.n_nodes
+        self.total_gpus = architecture.total_gpus(timeline.n_nodes)
+        self.jobs: Tuple[JobSpec, ...] = tuple(jobs)
+        for job in self.jobs:
+            if job.gpus > self.total_gpus:
+                raise ValueError(
+                    f"job {job.name!r} ({job.gpus} GPUs) larger than the "
+                    f"cluster ({self.total_gpus} GPUs)"
+                )
+        self._usable: Dict[Tuple[FrozenSet[int], int], int] = {}
+
+    # ------------------------------------------------------------- capacity
+    def _capacity(self, faults: FrozenSet[int], tp_size: int) -> int:
+        key = (faults, tp_size)
+        usable = self._usable.get(key)
+        if usable is None:
+            usable = self.architecture.usable_gpus(self.n_nodes, faults, tp_size)
+            self._usable[key] = usable
+        return usable
+
+    def _validate_runs_to_completion(self) -> None:
+        empty: FrozenSet[int] = frozenset()
+        for job in self.jobs:
+            if job.work_hours is None:
+                raise ValueError(
+                    f"job {job.name!r} has unbounded work; set horizon_hours"
+                )
+            if job.gpus > self._capacity(empty, job.tp_size):
+                raise ValueError(
+                    f"job {job.name!r} ({job.gpus} GPUs at TP-{job.tp_size}) "
+                    f"cannot run even on the fault-free cluster; set "
+                    f"horizon_hours to simulate it waiting forever"
+                )
+
+    # ----------------------------------------------------------- allocation
+    def _select(
+        self, in_system: List[_JobRuntime], faults: FrozenSet[int]
+    ) -> Set[int]:
+        """Greedy policy-ordered allocation; returns the selected sequences."""
+        policy = self.policy
+
+        def key(rt: _JobRuntime):
+            return policy.priority_key(rt.spec, rt.remaining_work, rt.sequence)
+
+        selected: Set[int] = set()
+        used = 0
+        if policy.preemptive:
+            admission = sorted(in_system, key=key)
+        else:
+            # Running jobs outrank every queued job: only a capacity drop
+            # (or completion) releases their allocation.  A running job the
+            # capacity can no longer host falls back into the admission
+            # queue at its priority position, so under a strict-order policy
+            # it still blocks every younger job (no backfill past the
+            # descheduled queue head).
+            displaced: List[_JobRuntime] = []
+            for rt in sorted((rt for rt in in_system if rt.allocated), key=key):
+                if used + rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size):
+                    selected.add(rt.sequence)
+                    used += rt.spec.gpus
+                else:
+                    displaced.append(rt)
+            admission = sorted(
+                [rt for rt in in_system if not rt.allocated] + displaced, key=key
+            )
+        for rt in admission:
+            if used + rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size):
+                selected.add(rt.sequence)
+                used += rt.spec.gpus
+            elif policy.strict_order:
+                break
+        return selected
+
+    # ------------------------------------------------------------ the sweep
+    def run(self) -> ClusterReport:
+        horizon = self.horizon_hours
+        if horizon is None:
+            self._validate_runs_to_completion()
+        elif horizon <= 0:
+            raise ValueError("horizon_hours must be positive")
+
+        runtimes = [_JobRuntime(spec, i) for i, spec in enumerate(self.jobs)]
+        pending = sorted(runtimes, key=lambda rt: (rt.spec.submit_hour, rt.sequence))
+        pending_index = 0
+        in_system: List[_JobRuntime] = []
+        unfinished = len(runtimes)
+
+        intervals = self.timeline.intervals
+        interval_index = 0
+        empty: FrozenSet[int] = frozenset()
+        faults: FrozenSet[int] = intervals[0].nodes if intervals else empty
+
+        def settle_completions(now: float) -> None:
+            """Mark allocated jobs whose work and restart debt are both done."""
+            nonlocal unfinished, in_system
+            for rt in in_system:
+                if rt.allocated and rt.restart_debt <= _EPS and rt.remaining_work <= _EPS:
+                    rt.restart_debt = 0.0
+                    rt.remaining_work = 0.0
+                    rt.completion = now
+                    rt.end = now
+                    rt.allocated = False
+                    rt.in_system = False
+                    unfinished -= 1
+            in_system = [rt for rt in in_system if rt.in_system]
+
+        t = 0.0
+        while unfinished:
+            if horizon is not None and t >= horizon:
+                break
+
+            # ---------------------------------------------- next event time
+            t_next = math.inf
+            if interval_index < len(intervals):
+                t_next = intervals[interval_index].end_hour
+            if pending_index < len(pending):
+                t_next = min(t_next, pending[pending_index].spec.submit_hour)
+            for rt in in_system:
+                if not rt.allocated:
+                    continue
+                if rt.restart_debt > _EPS:
+                    t_next = min(t_next, t + rt.restart_debt)
+                elif rt.remaining_work < math.inf:
+                    t_next = min(t_next, t + rt.remaining_work)
+            if horizon is not None:
+                t_next = min(t_next, horizon)
+            if not math.isfinite(t_next):
+                stuck = [rt.spec.name for rt in runtimes if not rt.done]
+                raise RuntimeError(
+                    f"scheduler stalled with unfinished jobs {stuck}; no "
+                    f"event can ever unblock them"
+                )
+
+            # --------------------------------------------------- accrue time
+            dt = t_next - t
+            if dt > 0:
+                for rt in in_system:
+                    if not rt.allocated:
+                        rt.waiting += dt
+                    elif rt.restart_debt > _EPS:
+                        rt.restart_debt = max(0.0, rt.restart_debt - dt)
+                        rt.restart_time += dt
+                    else:
+                        rt.productive += dt
+                        rt.remaining_work -= dt
+            t = t_next
+            if horizon is not None and t >= horizon:
+                # Work finishing exactly at the horizon still counts as a
+                # completion before the replay is cut off.
+                settle_completions(t)
+                break
+
+            # ----------------------------------------- fault-set transition
+            new_faults: FrozenSet[int] = empty
+            while (
+                interval_index < len(intervals)
+                and intervals[interval_index].end_hour <= t
+            ):
+                previous = faults
+                interval_index += 1
+                faults = (
+                    intervals[interval_index].nodes
+                    if interval_index < len(intervals)
+                    else empty
+                )
+                new_faults = faults - previous
+
+            # ------------------------------------------------------ arrivals
+            while (
+                pending_index < len(pending)
+                and pending[pending_index].spec.submit_hour <= t
+            ):
+                rt = pending[pending_index]
+                rt.in_system = True
+                in_system.append(rt)
+                pending_index += 1
+
+            # --------------------------------------------------- completions
+            settle_completions(t)
+
+            # -------------------------------------------------- reallocation
+            selected = self._select(in_system, faults)
+            for rt in in_system:
+                now_allocated = rt.sequence in selected
+                if rt.allocated and not now_allocated:
+                    # Classify the eviction per job, independent of whether a
+                    # fault boundary shares the timestamp: a job the current
+                    # capacity could not host at all just waits (matching the
+                    # single-job goodput accounting), while a job that still
+                    # fits but lost its slot to higher-priority work was
+                    # preempted -- it checkpoints on the way out and pays the
+                    # restart overhead when it resumes.
+                    if rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size):
+                        rt.preemptions += 1
+                        rt.restart_debt += rt.spec.restart_overhead_hours
+                        rt.restart_charged += rt.spec.restart_overhead_hours
+                if now_allocated and rt.first_start is None:
+                    rt.first_start = t
+                rt.allocated = now_allocated
+
+            # ------------------------------------------- fault restart debt
+            if new_faults:
+                arrivals = len(new_faults)
+                for rt in in_system:
+                    if not rt.allocated:
+                        continue
+                    spec = rt.spec
+                    expected_hits = arrivals * spec.gpus / self.total_gpus
+                    debt = expected_hits * (
+                        spec.checkpoint_interval_hours / 2.0
+                        + spec.restart_overhead_hours
+                    )
+                    rt.impacting_faults += expected_hits
+                    rt.restart_debt += debt
+                    rt.restart_charged += debt
+
+        # ------------------------------------------------------- wind down
+        end_hour = t if horizon is None else horizon
+        for rt in runtimes:
+            if rt.done:
+                continue
+            if rt.in_system:
+                rt.end = end_hour
+            else:
+                # Never entered the system (submitted after the horizon).
+                rt.end = rt.spec.submit_hour
+
+        return ClusterReport(
+            jobs=tuple(rt.report() for rt in runtimes),
+            n_nodes=self.n_nodes,
+            total_gpus=self.total_gpus,
+            policy=self.policy.name,
+            preemptive=self.policy.preemptive,
+            horizon_hours=end_hour if horizon is None else horizon,
+        )
+
+
+def schedule_comparison(
+    architectures: Sequence[HBDArchitecture],
+    timeline: IntervalTimeline,
+    jobs: Sequence[JobSpec],
+    policy: Optional[SchedulingPolicy] = None,
+    horizon_hours: Optional[float] = None,
+) -> Dict[str, ClusterReport]:
+    """Replay the same workload across several architectures."""
+    return {
+        arch.name: ClusterScheduler(
+            arch, timeline, jobs, policy=policy, horizon_hours=horizon_hours
+        ).run()
+        for arch in architectures
+    }
+
+
+__all__ = ["ClusterScheduler", "schedule_comparison"]

@@ -1,0 +1,160 @@
+"""Job descriptions and per-job accounting for the cluster scheduler.
+
+A :class:`JobSpec` is the frozen, JSON-round-trippable description of one
+training job in a workload: how many GPUs it needs (a multiple of its TP
+size), how much productive work it has to accumulate, when it is submitted,
+and its checkpoint / restart parameters.  ``work_hours=None`` denotes a job
+that runs for the whole simulation horizon -- the single-job goodput replay
+(:class:`repro.simulation.goodput.GoodputSimulator`) is exactly that special
+case.
+
+:class:`JobReport` is the per-job outcome of one scheduler run.  Its three
+time buckets partition the job's wall-clock time in the system::
+
+    productive_hours + waiting_hours + restart_hours
+        == (completion_hour or horizon) - submit_hour
+
+which is the conservation invariant the scheduler tests enforce across
+random workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Type
+
+
+def check_known_fields(cls: Type, data: Mapping[str, Any]) -> None:
+    """Reject mappings with keys that are not fields of ``cls``.
+
+    Shared by every ``from_dict`` in the spec layer (including
+    :mod:`repro.api.spec`) so typos in spec files fail loudly with the same
+    message everywhere.
+    """
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__}: unknown field(s) {unknown}; known: {sorted(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One training job in a scheduled workload.
+
+    ``work_hours`` is the productive time the job must accumulate to
+    complete; ``None`` means the job never completes on its own (it runs
+    until the simulation horizon -- the single-job goodput replay).
+    """
+
+    name: str
+    gpus: int
+    tp_size: int
+    work_hours: Optional[float] = None
+    submit_hour: float = 0.0
+    checkpoint_interval_hours: float = 1.0
+    restart_overhead_hours: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if self.gpus < 1 or self.tp_size < 1:
+            raise ValueError("gpus and tp_size must be positive")
+        if self.gpus % self.tp_size:
+            raise ValueError(
+                f"job {self.name!r}: gpus ({self.gpus}) must be a multiple of "
+                f"tp_size ({self.tp_size})"
+            )
+        if self.work_hours is not None and self.work_hours <= 0:
+            raise ValueError(f"job {self.name!r}: work_hours must be positive")
+        if self.submit_hour < 0:
+            raise ValueError(f"job {self.name!r}: submit_hour must be non-negative")
+        if self.checkpoint_interval_hours <= 0:
+            raise ValueError(
+                f"job {self.name!r}: checkpoint_interval_hours must be positive"
+            )
+        if self.restart_overhead_hours < 0:
+            raise ValueError(
+                f"job {self.name!r}: restart_overhead_hours must be non-negative"
+            )
+
+    # ------------------------------------------------------------- serialise
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        check_known_fields(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class JobReport:
+    """Outcome of one job in a scheduler run.
+
+    ``restart_hours`` is wall-clock time spent re-doing lost work / paying
+    restart overhead (the job holds its allocation but makes no progress);
+    ``restart_charged_hours`` is the total restart debt ever charged, which
+    can exceed ``restart_hours`` when the simulation horizon cuts a restart
+    short.  ``impacting_faults`` is the *expected* number of faults landing
+    in the job's allocation (each arrival contributes the job's share of the
+    cluster), matching the single-job goodput accounting.
+    """
+
+    name: str
+    gpus: int
+    tp_size: int
+    submit_hour: float
+    work_hours: Optional[float]
+    first_start_hour: Optional[float]
+    completion_hour: Optional[float]
+    end_hour: float
+    productive_hours: float
+    waiting_hours: float
+    restart_hours: float
+    restart_charged_hours: float
+    impacting_faults: float
+    preemptions: int
+
+    @property
+    def finished(self) -> bool:
+        return self.completion_hour is not None
+
+    @property
+    def wall_clock_hours(self) -> float:
+        """Time the job spent in the system (to completion or the horizon)."""
+        return self.end_hour - self.submit_hour
+
+    @property
+    def jct_hours(self) -> Optional[float]:
+        """Job completion time (None when the job did not finish)."""
+        if self.completion_hour is None:
+            return None
+        return self.completion_hour - self.submit_hour
+
+    @property
+    def queueing_delay_hours(self) -> Optional[float]:
+        """Submit-to-first-allocation delay (None when never scheduled)."""
+        if self.first_start_hour is None:
+            return None
+        return self.first_start_hour - self.submit_hour
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of in-system wall-clock time spent making progress."""
+        wall = self.wall_clock_hours
+        if wall <= 0:
+            return 0.0
+        return self.productive_hours / wall
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["finished"] = self.finished
+        data["jct_hours"] = self.jct_hours
+        data["queueing_delay_hours"] = self.queueing_delay_hours
+        return data
+
+
+__all__ = ["JobReport", "JobSpec", "check_known_fields"]

@@ -1,0 +1,131 @@
+"""Pluggable scheduling policies for the cluster scheduler.
+
+A policy decides, at every event boundary, which of the jobs in the system
+hold an allocation.  It does so through two knobs the engine consumes:
+
+* :meth:`SchedulingPolicy.priority_key` -- a sort key over jobs (smaller
+  runs first);
+* ``preemptive`` -- whether a newly arrived higher-priority job may take the
+  place of a running lower-priority one.  Non-preemptive policies only
+  deschedule a running job when a fault pushes the usable capacity below the
+  running set's demand.
+* ``strict_order`` -- whether a job that does not fit blocks every job behind
+  it (classic head-of-line FIFO) or the scheduler may skip over it and
+  backfill smaller jobs.
+
+Three policies cover the Tiresias-style comparison space: arrival-order
+FIFO, smallest-job-first (by GPU demand) and shortest-remaining-work first.
+``policy_by_name`` resolves the spec/CLI names, with difflib suggestions on
+typos to match the architecture registry's ergonomics.
+"""
+
+from __future__ import annotations
+
+import abc
+import difflib
+from typing import Dict, Tuple, Type
+
+from repro.scheduler.jobs import JobSpec
+
+
+class SchedulingPolicy(abc.ABC):
+    """Priority order plus preemption behaviour for the engine."""
+
+    #: Spec / CLI name of the policy.
+    name: str = "abstract"
+    #: Whether higher-priority jobs may displace allocated lower-priority ones.
+    preemptive: bool = False
+    #: Whether a non-fitting job blocks all lower-priority jobs (no backfill).
+    strict_order: bool = False
+
+    @abc.abstractmethod
+    def priority_key(
+        self, job: JobSpec, remaining_work_hours: float, sequence: int
+    ) -> Tuple:
+        """Sort key; the engine runs jobs in ascending key order.
+
+        ``remaining_work_hours`` is the job's outstanding productive work
+        (``inf`` for horizon-bound jobs); ``sequence`` is the submission
+        sequence number, the deterministic tie-breaker every key must end
+        with.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        mode = "preemptive" if self.preemptive else "non-preemptive"
+        return f"{type(self).__name__}({self.name}, {mode})"
+
+
+class FifoPolicy(SchedulingPolicy):
+    """First-in-first-out with head-of-line blocking (no backfill)."""
+
+    name = "fifo"
+    strict_order = True
+
+    def __init__(self, preemptive: bool = False) -> None:
+        self.preemptive = preemptive
+
+    def priority_key(
+        self, job: JobSpec, remaining_work_hours: float, sequence: int
+    ) -> Tuple:
+        return (job.submit_hour, sequence)
+
+
+class SmallestFirstPolicy(SchedulingPolicy):
+    """Smallest GPU demand first; backfills around jobs that do not fit."""
+
+    name = "smallest-first"
+
+    def __init__(self, preemptive: bool = False) -> None:
+        self.preemptive = preemptive
+
+    def priority_key(
+        self, job: JobSpec, remaining_work_hours: float, sequence: int
+    ) -> Tuple:
+        return (job.gpus, job.submit_hour, sequence)
+
+
+class ShortestRemainingPolicy(SchedulingPolicy):
+    """Shortest remaining productive work first (SRTF when preemptive)."""
+
+    name = "shortest-remaining"
+
+    def __init__(self, preemptive: bool = False) -> None:
+        self.preemptive = preemptive
+
+    def priority_key(
+        self, job: JobSpec, remaining_work_hours: float, sequence: int
+    ) -> Tuple:
+        return (remaining_work_hours, job.submit_hour, sequence)
+
+
+_POLICIES: Dict[str, Type[SchedulingPolicy]] = {
+    FifoPolicy.name: FifoPolicy,
+    SmallestFirstPolicy.name: SmallestFirstPolicy,
+    ShortestRemainingPolicy.name: ShortestRemainingPolicy,
+}
+
+#: Spec / CLI names of the built-in policies, in presentation order.
+POLICY_NAMES: Tuple[str, ...] = tuple(_POLICIES)
+
+
+def policy_by_name(name: str, preemptive: bool = False) -> SchedulingPolicy:
+    """Instantiate a policy by its spec name (``fifo``, ``smallest-first``, ...)."""
+    key = name.strip().lower()
+    cls = _POLICIES.get(key)
+    if cls is None:
+        close = difflib.get_close_matches(key, _POLICIES, n=2)
+        hint = f"; did you mean {close}?" if close else ""
+        raise KeyError(
+            f"unknown scheduling policy {name!r}; known: {list(_POLICIES)}{hint}"
+        )
+    return cls(preemptive=preemptive)
+
+
+__all__ = [
+    "FifoPolicy",
+    "POLICY_NAMES",
+    "SchedulingPolicy",
+    "ShortestRemainingPolicy",
+    "SmallestFirstPolicy",
+    "policy_by_name",
+]

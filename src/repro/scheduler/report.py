@@ -1,0 +1,152 @@
+"""Cluster-level outcome of one scheduler run.
+
+:class:`ClusterReport` aggregates the per-job :class:`~repro.scheduler.jobs.
+JobReport` records into the workload-level metrics the multi-job evaluation
+is about: makespan, the JCT distribution, queueing delay, and cluster
+goodput (productive GPU-hours over the GPU-hours the cluster offered while
+the workload was in flight).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.scheduler.jobs import JobReport
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Aggregate outcome of replaying one workload on one architecture."""
+
+    jobs: Tuple[JobReport, ...]
+    n_nodes: int
+    total_gpus: int
+    policy: str
+    preemptive: bool
+    horizon_hours: float
+
+    # ------------------------------------------------------------ population
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def finished_jobs(self) -> int:
+        return sum(1 for job in self.jobs if job.finished)
+
+    @property
+    def all_finished(self) -> bool:
+        return self.finished_jobs == self.n_jobs
+
+    # -------------------------------------------------------------- makespan
+    @property
+    def makespan_hours(self) -> float:
+        """First submission to the last completion (or the horizon).
+
+        Only jobs that actually entered the system count: a job submitted
+        after the horizon never existed as far as the replay is concerned,
+        so it must not stretch the makespan (or dilute the goodput
+        denominator).
+        """
+        entered = [
+            job for job in self.jobs
+            if job.finished or job.end_hour > job.submit_hour
+        ]
+        if not entered:
+            return 0.0
+        start = min(job.submit_hour for job in entered)
+        end = max(job.end_hour for job in entered)
+        return end - start
+
+    # ------------------------------------------------------------------- JCT
+    def jct_hours(self) -> List[float]:
+        """Completion times of the finished jobs, in submission order."""
+        return [job.jct_hours for job in self.jobs if job.jct_hours is not None]
+
+    @property
+    def mean_jct_hours(self) -> float:
+        jcts = self.jct_hours()
+        return float(np.mean(jcts)) if jcts else 0.0
+
+    @property
+    def p50_jct_hours(self) -> float:
+        jcts = self.jct_hours()
+        return float(np.percentile(jcts, 50)) if jcts else 0.0
+
+    @property
+    def p99_jct_hours(self) -> float:
+        jcts = self.jct_hours()
+        return float(np.percentile(jcts, 99)) if jcts else 0.0
+
+    # -------------------------------------------------------------- queueing
+    def queueing_delays_hours(self) -> List[float]:
+        """Submit-to-first-start delays of the jobs that ever ran."""
+        return [
+            job.queueing_delay_hours
+            for job in self.jobs
+            if job.queueing_delay_hours is not None
+        ]
+
+    @property
+    def mean_queueing_delay_hours(self) -> float:
+        delays = self.queueing_delays_hours()
+        return float(np.mean(delays)) if delays else 0.0
+
+    @property
+    def p99_queueing_delay_hours(self) -> float:
+        delays = self.queueing_delays_hours()
+        return float(np.percentile(delays, 99)) if delays else 0.0
+
+    # --------------------------------------------------------------- goodput
+    @property
+    def productive_gpu_hours(self) -> float:
+        return sum(job.productive_hours * job.gpus for job in self.jobs)
+
+    @property
+    def restart_gpu_hours(self) -> float:
+        return sum(job.restart_hours * job.gpus for job in self.jobs)
+
+    @property
+    def cluster_goodput(self) -> float:
+        """Productive GPU-hours over the cluster GPU-hours of the makespan."""
+        span = self.makespan_hours
+        if span <= 0 or self.total_gpus == 0:
+            return 0.0
+        return self.productive_gpu_hours / (self.total_gpus * span)
+
+    @property
+    def cluster_utilization(self) -> float:
+        """Allocated (productive + restarting) share of the cluster GPU-hours."""
+        span = self.makespan_hours
+        if span <= 0 or self.total_gpus == 0:
+            return 0.0
+        busy = self.productive_gpu_hours + self.restart_gpu_hours
+        return busy / (self.total_gpus * span)
+
+    # ------------------------------------------------------------- serialise
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "preemptive": self.preemptive,
+            "n_nodes": self.n_nodes,
+            "total_gpus": self.total_gpus,
+            "horizon_hours": self.horizon_hours,
+            "makespan_hours": self.makespan_hours,
+            "n_jobs": self.n_jobs,
+            "finished_jobs": self.finished_jobs,
+            "mean_jct_hours": self.mean_jct_hours,
+            "p50_jct_hours": self.p50_jct_hours,
+            "p99_jct_hours": self.p99_jct_hours,
+            "mean_queueing_delay_hours": self.mean_queueing_delay_hours,
+            "p99_queueing_delay_hours": self.p99_queueing_delay_hours,
+            "cluster_goodput": self.cluster_goodput,
+            "cluster_utilization": self.cluster_utilization,
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+
+__all__ = ["ClusterReport"]

@@ -15,27 +15,25 @@ Goodput is productive time net of restart losses over the wall-clock
 duration.  Architectures only differ through their usable-capacity function,
 so the comparison isolates the effect of fault isolation and fragmentation.
 
-The replay is event-driven: it walks the exact interval timeline
+:class:`GoodputSimulator` is a thin wrapper over the multi-job cluster
+scheduler (:class:`repro.scheduler.ClusterScheduler`): the single job is the
+special case of a one-element workload with unbounded work and the trace
+window as the horizon.  The engine walks the exact interval timeline
 (:class:`repro.faults.timeline.IntervalTimeline`), so productive / waiting
-hours are exact interval durations and a fault arrival is observed exactly
-once, at the interval boundary where it starts.  Two accounting fixes came
-with the rewrite:
-
-* faults already active at t=0 are *not* charged as job-impacting restarts
-  (the job never experienced their arrival) -- the initial fault set seeds
-  the previous-state tracker;
-* the expected number of job-impacting faults is accumulated as a float
-  (``len(new_faults) * job_share`` per arrival) instead of being rounded
-  per-step with inconsistent thresholds.
+hours are exact interval durations, a fault arrival is observed exactly once
+(at the interval boundary where it starts), faults already active at t=0 are
+never charged as job-impacting restarts, and the expected number of
+job-impacting faults accumulates as a float (``len(new_faults) * job_share``
+per arrival).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.faults.timeline import IntervalTimeline
-from repro.faults.trace import FaultTrace, HOURS_PER_DAY
+from repro.faults.trace import FaultTrace
 from repro.hbd.base import HBDArchitecture
 
 
@@ -43,8 +41,9 @@ from repro.hbd.base import HBDArchitecture
 class GoodputConfig:
     """Parameters of the replayed training job.
 
-    ``sample_interval_hours`` is retained for spec compatibility: the replay
-    is event-driven and exact, so the value no longer influences results.
+    ``sample_interval_hours`` is deprecated: the replay is event-driven and
+    exact, so the value has no effect.  Setting it to anything but the
+    default emits a :class:`DeprecationWarning`.
     """
 
     job_gpus: int
@@ -58,10 +57,17 @@ class GoodputConfig:
             raise ValueError("job_gpus and tp_size must be positive")
         if self.job_gpus % self.tp_size:
             raise ValueError("job_gpus must be a multiple of tp_size")
-        if self.checkpoint_interval_hours <= 0 or self.sample_interval_hours <= 0:
+        if self.checkpoint_interval_hours <= 0:
             raise ValueError("intervals must be positive")
         if self.restart_overhead_hours < 0:
             raise ValueError("restart_overhead_hours must be non-negative")
+        if self.sample_interval_hours != 1.0:
+            warnings.warn(
+                "GoodputConfig.sample_interval_hours is deprecated and has no "
+                "effect: the goodput replay is event-driven and exact",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
 
 @dataclass
@@ -120,57 +126,39 @@ class GoodputSimulator:
             raise ValueError("job larger than the cluster")
 
     def run(self) -> GoodputReport:
+        from repro.scheduler.engine import ClusterScheduler
+        from repro.scheduler.jobs import JobSpec
+
         cfg = self.config
         timeline = self._source_trace.interval_timeline(self.n_nodes)
-        job_nodes_fraction = cfg.job_gpus / (
-            self.n_nodes * self.architecture.gpus_per_node
+        job = JobSpec(
+            name="goodput-job",
+            gpus=cfg.job_gpus,
+            tp_size=cfg.tp_size,
+            work_hours=None,  # the job spans the whole trace window
+            submit_hour=0.0,
+            checkpoint_interval_hours=cfg.checkpoint_interval_hours,
+            restart_overhead_hours=cfg.restart_overhead_hours,
         )
-        restart_cost_per_hit = (
-            cfg.checkpoint_interval_hours / 2.0 + cfg.restart_overhead_hours
-        )
+        report = ClusterScheduler(
+            self.architecture,
+            timeline,
+            [job],
+            horizon_hours=timeline.duration_hours,
+        ).run()
+        outcome = report.jobs[0]
 
-        productive = waiting = restart = 0.0
-        impacting_faults = 0.0
-        usable_cache: Dict[FrozenSet[int], int] = {}
-        # Seed from the state at the first instant: faults already active at
-        # t=0 are pre-existing capacity loss, not arrivals the job survives.
-        previous_faults: FrozenSet[int] = (
-            timeline.intervals[0].nodes if timeline.intervals else frozenset()
-        )
-
-        for interval in timeline.intervals:
-            faults = interval.nodes
-            usable = usable_cache.get(faults)
-            if usable is None:
-                usable = self.architecture.usable_gpus(
-                    self.n_nodes, faults, cfg.tp_size
-                )
-                usable_cache[faults] = usable
-            running = usable >= cfg.job_gpus
-
-            new_faults = faults - previous_faults
-            if running and new_faults:
-                # A new fault lands inside the job's allocation with
-                # probability proportional to the job's share of the cluster;
-                # accumulate the expected number of impacting faults and
-                # charge each the lost work since the last checkpoint plus
-                # the restart overhead.
-                expected_hits = len(new_faults) * job_nodes_fraction
-                impacting_faults += expected_hits
-                restart += expected_hits * restart_cost_per_hit
-
-            if running:
-                productive += interval.duration_hours
-            else:
-                waiting += interval.duration_hours
-            previous_faults = faults
-
+        # The engine splits allocated time into productive vs restarting;
+        # the classic goodput accounting reports the whole allocated span as
+        # productive and subtracts the *charged* restart debt (capped by the
+        # time the job actually held an allocation) inside ``goodput``.
+        productive = outcome.productive_hours + outcome.restart_hours
         return GoodputReport(
             total_hours=timeline.duration_hours,
             productive_hours=productive,
-            waiting_hours=waiting,
-            restart_hours=min(restart, productive),
-            job_impacting_faults=impacting_faults,
+            waiting_hours=outcome.waiting_hours,
+            restart_hours=min(outcome.restart_charged_hours, productive),
+            job_impacting_faults=outcome.impacting_faults,
         )
 
 

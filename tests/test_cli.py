@@ -13,7 +13,9 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("trace", "waste", "orchestrate", "mfu", "cost", "goodput"):
+        for command in (
+            "trace", "waste", "orchestrate", "mfu", "cost", "goodput", "schedule",
+        ):
             args = parser.parse_args([command])
             assert args.command == command
             assert callable(args.func)
@@ -74,3 +76,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "goodput" in out
         assert "InfiniteHBD(K=2)" in out
+
+    def test_schedule_command_small(self, capsys):
+        assert main([
+            "schedule", "--days", "20", "--nodes", "288", "--jobs", "30",
+            "--policy", "smallest-first", "--preemptive", "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "policy=smallest-first preemptive=True" in out
+        assert "InfiniteHBD(K=3)" in out
+        assert "NVL-72" in out

@@ -17,9 +17,12 @@ from repro.api import (
     ExperimentResult,
     ExperimentRunner,
     ExperimentSpec,
+    JobSpec,
     ResultSet,
     Scenario,
+    SchedulerSpec,
     TraceSpec,
+    WorkloadSpec,
     default_architecture_specs,
     run_experiment,
 )
@@ -215,6 +218,78 @@ class TestRunner:
             experiments=("waste",),
         )
         with pytest.raises(ValueError, match="architectures"):
+            ExperimentRunner(spec, max_workers=1).run()
+
+
+class TestScheduleExperiment:
+    def schedule_spec(self, **scheduler_overrides):
+        return small_spec(
+            experiments=("schedule",),
+            tp_sizes=(32,),
+            workload=WorkloadSpec(
+                n_jobs=25, seed=5, mean_interarrival_hours=2.0, median_work_hours=4.0
+            ),
+            scheduler=SchedulerSpec(**scheduler_overrides),
+        )
+
+    def test_workload_spec_round_trip(self):
+        spec = WorkloadSpec(n_jobs=10, seed=3, median_work_hours=12.0)
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+    def test_explicit_workload_round_trip(self):
+        spec = WorkloadSpec(
+            kind="explicit",
+            jobs=(JobSpec(name="a", gpus=64, tp_size=32, work_hours=5.0),),
+        )
+        restored = WorkloadSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.build(tp_size=32, max_gpus=1024) == spec.jobs
+
+    def test_workload_spec_validation(self):
+        with pytest.raises(ValueError, match="explicit"):
+            WorkloadSpec(kind="explicit")
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            WorkloadSpec(kind="poisson")
+
+    def test_scheduler_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            SchedulerSpec(policy="lifo")
+        with pytest.raises(ValueError, match="horizon"):
+            SchedulerSpec(horizon_hours=0.0)
+
+    def test_scenario_with_scheduler_round_trips(self):
+        spec = self.schedule_spec(policy="smallest-first", preemptive=True)
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.scenario.workload.n_jobs == 25
+        assert restored.scenario.scheduler.preemptive
+
+    def test_scenario_without_scheduler_keeps_legacy_dict_shape(self):
+        # Pre-scheduler spec files (and their digests) must be unaffected.
+        data = small_spec().scenario.to_dict()
+        assert "workload" not in data
+        assert "scheduler" not in data
+
+    def test_schedule_run_produces_cluster_metrics(self):
+        results = run_experiment(self.schedule_spec(), max_workers=1)
+        assert len(results) == 2  # 2 architectures x 1 TP size
+        for r in results:
+            assert r.experiment == "schedule"
+            assert r.metric("n_jobs") == 25
+            assert r.metric("finished_jobs") == 25
+            assert r.metric("makespan_hours") > 0
+            assert 0.0 <= r.metric("cluster_goodput") <= 1.0
+            assert len(r.series_dict["jct_hours"]) == 25
+
+    def test_schedule_parallel_matches_serial(self):
+        spec = self.schedule_spec(policy="shortest-remaining", preemptive=True)
+        serial = ExperimentRunner(spec, max_workers=1).run()
+        parallel = ExperimentRunner(spec, max_workers=2).run()
+        assert serial == parallel
+
+    def test_schedule_without_workload_rejected(self):
+        spec = small_spec(experiments=("schedule",))
+        with pytest.raises(ValueError, match="workload"):
             ExperimentRunner(spec, max_workers=1).run()
 
 
