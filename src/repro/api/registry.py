@@ -38,7 +38,15 @@ ArchitectureFactory = Callable[..., "HBDArchitecture"]
 
 @dataclass(frozen=True)
 class ArchitectureEntry:
-    """One registered architecture factory plus its default parameters."""
+    """One registered architecture factory plus its default parameters.
+
+    >>> from repro.api.registry import REGISTRY
+    >>> entry = REGISTRY.get("nvl-72")   # aliases are case-insensitive
+    >>> entry.name
+    'NVL-72'
+    >>> entry.build(gpus_per_node=4).hbd_size
+    72
+    """
 
     name: str
     factory: ArchitectureFactory
@@ -54,7 +62,18 @@ class ArchitectureEntry:
 
 
 class ArchitectureRegistry:
-    """Mutable mapping from names (and aliases) to architecture factories."""
+    """Mutable mapping from names (and aliases) to architecture factories.
+
+    >>> reg = ArchitectureRegistry()   # fresh; the global one is REGISTRY
+    >>> @reg.register("toy", defaults={"hbd_size": 8}, description="tiny NVL")
+    ... def _toy(gpus_per_node=4, hbd_size=8):
+    ...     from repro.hbd import NVLHBD
+    ...     return NVLHBD(hbd_size, gpus_per_node=gpus_per_node)
+    >>> reg.create("toy", gpus_per_node=4, hbd_size=16).name
+    'NVL-16'
+    >>> "toy" in reg
+    True
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[str, ArchitectureEntry] = {}
@@ -206,5 +225,9 @@ REGISTRY = ArchitectureRegistry()
 
 
 def get_registry() -> ArchitectureRegistry:
-    """The global :class:`ArchitectureRegistry` (built-ins auto-loaded)."""
+    """The global :class:`ArchitectureRegistry` (built-ins auto-loaded).
+
+    >>> "InfiniteHBD(K=3)" in get_registry().names()
+    True
+    """
     return REGISTRY

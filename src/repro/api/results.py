@@ -18,7 +18,12 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 @dataclass(frozen=True)
 class Provenance:
-    """Where a result came from: enough to reproduce it bit-for-bit."""
+    """Where a result came from: enough to reproduce it bit-for-bit.
+
+    >>> stamp = Provenance(seed=348, version="0", spec_sha256="ab" * 32)
+    >>> Provenance.from_dict(stamp.to_dict()) == stamp
+    True
+    """
 
     seed: int
     version: str
@@ -43,6 +48,18 @@ class ExperimentResult:
     ``architecture`` is the legend name (or a pseudo-name such as
     ``orchestrator:greedy`` / a model name for non-architecture experiments);
     ``tp_size`` is 0 when the experiment has no TP axis.
+
+    >>> result = ExperimentResult.of(
+    ...     "waste", "demo", "NVL-72", 32,
+    ...     metrics={"mean_waste_ratio": 0.05},
+    ...     series={"waste_ratios": [0.0, 0.1]},
+    ... )
+    >>> result.metric("mean_waste_ratio")
+    0.05
+    >>> result.series_dict["waste_ratios"]
+    (0.0, 0.1)
+    >>> ExperimentResult.from_dict(result.to_dict()) == result
+    True
     """
 
     experiment: str
@@ -126,7 +143,18 @@ class ExperimentResult:
 
 @dataclass
 class ResultSet:
-    """Ordered collection of :class:`ExperimentResult` with JSON round-trip."""
+    """Ordered collection of :class:`ExperimentResult` with JSON round-trip.
+
+    >>> cell = lambda arch, tp, value: ExperimentResult.of(
+    ...     "waste", "demo", arch, tp, {"mean_waste_ratio": value})
+    >>> results = ResultSet([cell("NVL-72", 32, 0.05), cell("Big-Switch", 32, 0.01)])
+    >>> len(results.filter(architecture="NVL-72"))
+    1
+    >>> results.metric_table("waste", "mean_waste_ratio")
+    {'NVL-72': {32: 0.05}, 'Big-Switch': {32: 0.01}}
+    >>> ResultSet.from_json(results.to_json()) == results
+    True
+    """
 
     results: List[ExperimentResult] = field(default_factory=list)
 

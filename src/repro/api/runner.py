@@ -106,7 +106,18 @@ def compare_architectures_over_trace(
     n_nodes: Optional[int] = None,
     max_workers: Optional[int] = 1,
 ) -> Dict[str, IntervalSeries]:
-    """Replay one trace against many architectures over a shared exact timeline."""
+    """Replay one trace against many architectures over a shared exact timeline.
+
+    >>> from repro.api.spec import TraceSpec
+    >>> from repro.hbd import BigSwitchHBD, NVLHBD
+    >>> trace = TraceSpec(days=5, seed=1).build()
+    >>> series = compare_architectures_over_trace(
+    ...     [BigSwitchHBD(4), NVLHBD(72, 4)], trace, tp_size=32, n_nodes=288)
+    >>> sorted(series)
+    ['Big-Switch', 'NVL-72']
+    >>> series["Big-Switch"].mean_waste_ratio <= series["NVL-72"].mean_waste_ratio
+    True
+    """
     timeline = trace.interval_timeline(n_nodes)
     payloads = [(arch, timeline, tp_size) for arch in architectures]
     series = _map_tasks(_sweep_one, payloads, max_workers)
@@ -120,7 +131,16 @@ def compare_architectures_over_tp_sizes(
     n_nodes: Optional[int] = None,
     max_workers: Optional[int] = 1,
 ) -> Dict[str, Dict[int, IntervalSeries]]:
-    """Full architecture × TP-size replay grid over a shared exact timeline."""
+    """Full architecture × TP-size replay grid over a shared exact timeline.
+
+    >>> from repro.api.spec import TraceSpec
+    >>> from repro.hbd import NVLHBD
+    >>> grid = compare_architectures_over_tp_sizes(
+    ...     [NVLHBD(72, 4)], TraceSpec(days=5, seed=1).build(),
+    ...     tp_sizes=(8, 32), n_nodes=288)
+    >>> sorted(grid["NVL-72"])
+    [8, 32]
+    """
     timeline = trace.interval_timeline(n_nodes)
     payloads = [(arch, timeline, tp) for arch in architectures for tp in tp_sizes]
     series = _map_tasks(_sweep_one, payloads, max_workers)
@@ -145,7 +165,13 @@ def _run_capacity_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List
     tp_size = payload["tp_size"]
     architecture = arch_spec.build(gpus_per_node=scenario.trace.gpus_per_node)
     timeline = _timeline_for(scenario.trace, scenario.n_nodes)
-    series = replay_intervals(architecture, timeline, tp_size)
+    # Aggregate-only experiments replay in streaming mode: the sweep walks
+    # the intervals once (O(delta) per step when the architecture supports
+    # it) and never materialises the interval list.  "waste" emits the
+    # piecewise-constant step series, so it keeps the materialised replay.
+    series = replay_intervals(
+        architecture, timeline, tp_size, streaming=experiment != "waste"
+    )
 
     if experiment == "waste":
         # Duration-weighted exact aggregates -- independent of any sampling
@@ -192,17 +218,14 @@ def _run_goodput_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[
     tp_size = payload["tp_size"]
     architecture = arch_spec.build(gpus_per_node=scenario.trace.gpus_per_node)
     options = spec.options_for("goodput")
-    config_kwargs: Dict[str, Any] = {}
-    if "sample_interval_hours" in options:
-        # Deprecated and ignored by the event-driven replay; passing it
-        # through lets GoodputConfig emit the DeprecationWarning.
-        config_kwargs["sample_interval_hours"] = float(options["sample_interval_hours"])
+    # The deprecated "sample_interval_hours" option never reaches this point:
+    # ExperimentSpec warns about it at construction time and scrubs it from
+    # the serialized form the task payload carries.
     config = GoodputConfig(
         job_gpus=int(options.get("job_gpus", scenario.job_gpus)),
         tp_size=tp_size,
         checkpoint_interval_hours=float(options.get("checkpoint_interval_hours", 1.0)),
         restart_overhead_hours=float(options.get("restart_overhead_hours", 0.25)),
-        **config_kwargs,
     )
     report = GoodputSimulator(
         architecture, scenario.trace.build(), config, n_nodes=scenario.n_nodes
@@ -418,7 +441,30 @@ def _execute_payload(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
 
 # ---------------------------------------------------------------- the runner
 class ExperimentRunner:
-    """Execute an :class:`ExperimentSpec` and collect a :class:`ResultSet`."""
+    """Execute an :class:`ExperimentSpec` and collect a :class:`ResultSet`.
+
+    >>> from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
+    >>> spec = ExperimentSpec.of(
+    ...     scenario=Scenario(
+    ...         name="doc",
+    ...         trace=TraceSpec(days=5, seed=1),
+    ...         architectures=(ArchitectureSpec(name="Big-Switch"),
+    ...                        ArchitectureSpec(name="NVL-72")),
+    ...         tp_sizes=(32,),
+    ...         n_nodes=288,
+    ...     ),
+    ...     experiments=("waste", "max_job_scale"),
+    ...     max_workers=1,
+    ... )
+    >>> runner = ExperimentRunner(spec)
+    >>> len(runner.tasks())   # experiment x architecture x TP size
+    4
+    >>> results = runner.run()
+    >>> sorted(set(r.experiment for r in results))
+    ['max_job_scale', 'waste']
+    >>> results.filter(architecture="Big-Switch")[0].provenance.spec_sha256 == spec.digest()
+    True
+    """
 
     def __init__(
         self,
@@ -503,7 +549,24 @@ class ExperimentRunner:
 def run_experiment(
     spec: ExperimentSpec, max_workers: Optional[int] = None
 ) -> ResultSet:
-    """One-call convenience wrapper around :class:`ExperimentRunner`."""
+    """One-call convenience wrapper around :class:`ExperimentRunner`.
+
+    >>> from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
+    >>> results = run_experiment(ExperimentSpec.of(
+    ...     scenario=Scenario(
+    ...         name="doc",
+    ...         trace=TraceSpec(days=5, seed=1),
+    ...         architectures=(ArchitectureSpec(name="Big-Switch"),),
+    ...         tp_sizes=(32,),
+    ...         n_nodes=288,
+    ...     ),
+    ...     experiments=("waste",),
+    ... ), max_workers=1)
+    >>> (len(results), results[0].architecture)
+    (1, 'Big-Switch')
+    >>> 0.0 <= results[0].metric("mean_waste_ratio") < 1.0
+    True
+    """
     return ExperimentRunner(spec, max_workers=max_workers).run()
 
 

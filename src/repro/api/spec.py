@@ -26,6 +26,7 @@ import dataclasses
 import hashlib
 import json
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
@@ -62,6 +63,13 @@ class TraceSpec:
     ``kind="synthetic"`` generates the Appendix-A-calibrated 8-GPU-node trace
     and, when ``gpus_per_node == 4``, applies the Bayes 8-to-4 conversion --
     the two node granularities the paper evaluates.
+
+    >>> spec = TraceSpec(days=5, seed=1)
+    >>> TraceSpec.from_dict(spec.to_dict()) == spec
+    True
+    >>> trace = spec.build()   # memoized: built once per process
+    >>> (trace.n_nodes, trace.gpus_per_node, trace.duration_days)
+    (800, 4, 5)
     """
 
     kind: str = "synthetic"
@@ -124,7 +132,16 @@ class TraceSpec:
 # -------------------------------------------------------------- architectures
 @dataclass(frozen=True)
 class ArchitectureSpec:
-    """A registry name plus constructor parameter overrides."""
+    """A registry name plus constructor parameter overrides.
+
+    >>> ArchitectureSpec.from_dict("NVL-72").build(gpus_per_node=4).name
+    'NVL-72'
+    >>> spec = ArchitectureSpec.of("infinitehbd", k=3)
+    >>> spec.to_dict()
+    {'name': 'infinitehbd', 'params': {'k': 3}}
+    >>> spec.build().name
+    'InfiniteHBD(K=3)'
+    """
 
     name: str
     params: Tuple[Tuple[str, Any], ...] = ()
@@ -154,7 +171,13 @@ class ArchitectureSpec:
 
 
 def default_architecture_specs() -> Tuple[ArchitectureSpec, ...]:
-    """The paper's eight-architecture line-up as registry specs."""
+    """The paper's eight-architecture line-up as registry specs.
+
+    >>> [spec.name for spec in default_architecture_specs()][:3]
+    ['InfiniteHBD(K=2)', 'InfiniteHBD(K=3)', 'Big-Switch']
+    >>> len(default_architecture_specs())
+    8
+    """
     from repro.hbd.registry import DEFAULT_LINEUP
 
     return tuple(ArchitectureSpec(name=name) for name in DEFAULT_LINEUP)
@@ -170,6 +193,15 @@ class WorkloadSpec:
     carries the jobs verbatim.  ``tp_size=None`` / ``max_gpus=None`` defer to
     the sweep's TP size and half the simulated cluster respectively, so one
     workload spec scales across the architecture x TP grid.
+
+    >>> spec = WorkloadSpec(n_jobs=3, seed=1)
+    >>> jobs = spec.build(tp_size=8, max_gpus=64)
+    >>> [job.name for job in jobs]
+    ['job-0', 'job-1', 'job-2']
+    >>> all(job.gpus % 8 == 0 and job.gpus <= 64 for job in jobs)
+    True
+    >>> WorkloadSpec.from_dict(spec.to_dict()) == spec
+    True
     """
 
     kind: str = "synthetic"
@@ -241,6 +273,13 @@ class SchedulerSpec:
     ``horizon_hours=None`` runs the workload to completion (past the trace
     end the cluster is fault-free); a finite horizon hard-stops the replay
     and reports unfinished jobs.
+
+    >>> SchedulerSpec(policy="smallest-first", preemptive=True).build()
+    SmallestFirstPolicy(smallest-first, preemptive)
+    >>> SchedulerSpec(policy="lifo")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown scheduling policy 'lifo'; known: ['fifo', 'smallest-first', 'shortest-remaining']
     """
 
     policy: str = "fifo"
@@ -270,7 +309,14 @@ class SchedulerSpec:
 # ------------------------------------------------------------------ scenarios
 @dataclass(frozen=True)
 class Scenario:
-    """One evaluation scenario: a trace, a line-up, and the sweep axes."""
+    """One evaluation scenario: a trace, a line-up, and the sweep axes.
+
+    >>> scenario = Scenario.default("demo", tp_sizes=(8, 32), n_nodes=288)
+    >>> (scenario.name, scenario.tp_sizes, len(scenario.architectures))
+    ('demo', (8, 32), 8)
+    >>> Scenario.from_dict(scenario.to_dict()) == scenario
+    True
+    """
 
     name: str
     trace: TraceSpec = field(default_factory=TraceSpec)
@@ -344,6 +390,18 @@ class ExperimentSpec:
     name (e.g. ``{"fault_waiting": {"job_scales": [2304, 2560]}}``).
     ``max_workers`` bounds the runner's process pool (``None`` = auto,
     ``0``/``1`` = serial).
+
+    >>> spec = ExperimentSpec.of(
+    ...     scenario=Scenario.default("demo", trace=TraceSpec(days=5, seed=1)),
+    ...     experiments=("waste", "goodput"),
+    ...     options={"goodput": {"job_gpus": 512}},
+    ... )
+    >>> ExperimentSpec.from_json(spec.to_json()) == spec
+    True
+    >>> spec.options_for("goodput")
+    {'job_gpus': 512}
+    >>> len(spec.digest())   # sha256 of the canonical JSON form
+    64
     """
 
     scenario: Scenario
@@ -366,6 +424,15 @@ class ExperimentSpec:
             raise ValueError(
                 f"options for unknown experiment(s) {bad_options}; "
                 f"known: {list(KNOWN_EXPERIMENTS)}"
+            )
+        if "sample_interval_hours" in self.options_for("goodput"):
+            # Still accepted (old spec files keep loading) but ignored by the
+            # event-driven replay and scrubbed from dumps/digests.
+            warnings.warn(
+                "goodput option 'sample_interval_hours' is deprecated and has "
+                "no effect: the goodput replay is event-driven and exact",
+                DeprecationWarning,
+                stacklevel=2,
             )
 
     @classmethod
@@ -395,10 +462,19 @@ class ExperimentSpec:
         return {}
 
     def to_dict(self) -> Dict[str, Any]:
+        options: Dict[str, Dict[str, Any]] = {}
+        for name, opts in self.options:
+            cleaned = dict(opts)
+            # Deprecated, ignored by the event-driven replay: accepted as
+            # input (so the DeprecationWarning fires) but scrubbed from
+            # serialized dumps and digests.
+            if name == "goodput":
+                cleaned.pop("sample_interval_hours", None)
+            options[name] = cleaned
         return {
             "scenario": self.scenario.to_dict(),
             "experiments": list(self.experiments),
-            "options": {name: dict(opts) for name, opts in self.options},
+            "options": options,
             "max_workers": self.max_workers,
         }
 

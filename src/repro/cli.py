@@ -15,6 +15,7 @@ regenerated without writing Python:
 * ``run``           -- execute a declarative JSON experiment spec through the
   Unified Experiment API (:mod:`repro.api`) and emit serializable results.
 * ``architectures`` -- list every architecture in the plugin registry.
+* ``docs``          -- emit the generated CLI reference (docs/cli.md).
 
 The trace-driven subcommands are all built on :class:`repro.api.
 ExperimentRunner`, so they share memoized trace generation and can fan the
@@ -262,6 +263,10 @@ def cmd_architectures(args: argparse.Namespace) -> List[str]:
     return lines
 
 
+def cmd_docs(args: argparse.Namespace) -> List[str]:
+    return render_cli_reference().splitlines()
+
+
 def _fmt_metric(value) -> str:
     if isinstance(value, bool):
         return str(value)
@@ -273,21 +278,41 @@ def _fmt_metric(value) -> str:
 # --------------------------------------------------------------------------
 # argument parsing
 # --------------------------------------------------------------------------
+class _DocHelpFormatter(argparse.HelpFormatter):
+    """Fixed-width help formatter so the generated reference is stable.
+
+    The default formatter wraps at the current terminal width, which would
+    make ``docs/cli.md`` depend on whoever regenerated it last; pinning the
+    width makes the docs reproducible and lets a test diff them against the
+    live argparse output.
+    """
+
+    WIDTH = 78
+
+    def __init__(self, prog: str) -> None:
+        super().__init__(prog, width=self.WIDTH)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="infinitehbd-repro",
         description="InfiniteHBD (SIGCOMM 2025) reproduction experiments",
+        formatter_class=_DocHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("trace", help="generate a synthetic fault trace")
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        kwargs.setdefault("formatter_class", _DocHelpFormatter)
+        return sub.add_parser(name, **kwargs)
+
+    p = add_parser("trace", help="generate a synthetic fault trace")
     p.add_argument("--days", type=int, default=348)
     p.add_argument("--seed", type=int, default=348)
     p.add_argument("--gpus-per-node", type=int, choices=(4, 8), default=8)
     p.add_argument("--output", type=str, default=None)
     p.set_defaults(func=cmd_trace)
 
-    p = sub.add_parser("waste", help="GPU waste comparison over the trace")
+    p = add_parser("waste", help="GPU waste comparison over the trace")
     p.add_argument("--days", type=int, default=120)
     p.add_argument("--seed", type=int, default=348)
     p.add_argument("--nodes", type=int, default=720)
@@ -296,7 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool size (default: one per CPU)")
     p.set_defaults(func=cmd_waste)
 
-    p = sub.add_parser("orchestrate", help="cross-ToR traffic comparison")
+    p = add_parser("orchestrate", help="cross-ToR traffic comparison")
     p.add_argument("--gpus", type=int, default=8192)
     p.add_argument("--tp", type=int, default=32)
     p.add_argument("--k", type=int, default=2)
@@ -306,7 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_orchestrate)
 
-    p = sub.add_parser("mfu", help="optimal parallelism search")
+    p = add_parser("mfu", help="optimal parallelism search")
     p.add_argument("--model", choices=("llama", "moe"), default="llama")
     p.add_argument("--gpus", type=int, default=8192)
     p.add_argument("--global-batch", type=int, default=None)
@@ -314,11 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-tp", type=int, default=None)
     p.set_defaults(func=cmd_mfu)
 
-    p = sub.add_parser("cost", help="interconnect cost / power table")
+    p = add_parser("cost", help="interconnect cost / power table")
     p.add_argument("--include-hpn", action="store_true")
     p.set_defaults(func=cmd_cost)
 
-    p = sub.add_parser("goodput", help="job goodput over the fault trace")
+    p = add_parser("goodput", help="job goodput over the fault trace")
     p.add_argument("--days", type=int, default=120)
     p.add_argument("--seed", type=int, default=348)
     p.add_argument("--nodes", type=int, default=720)
@@ -328,7 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool size (default: one per CPU)")
     p.set_defaults(func=cmd_goodput)
 
-    p = sub.add_parser(
+    p = add_parser(
         "schedule", help="multi-job cluster scheduling over the fault trace"
     )
     p.add_argument("--days", type=int, default=120)
@@ -347,7 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool size (default: one per CPU)")
     p.set_defaults(func=cmd_schedule)
 
-    p = sub.add_parser(
+    p = add_parser(
         "run", help="run a declarative JSON experiment spec (repro.api)"
     )
     p.add_argument("--spec", type=str, required=True,
@@ -358,10 +383,80 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool size (default: one per CPU)")
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("architectures", help="list the architecture registry")
+    p = add_parser("architectures", help="list the architecture registry")
     p.set_defaults(func=cmd_architectures)
 
+    p = add_parser("docs", help="print the generated CLI reference (markdown)")
+    p.set_defaults(func=cmd_docs)
+
     return parser
+
+
+# --------------------------------------------------------------------------
+# generated CLI reference (docs/cli.md)
+# --------------------------------------------------------------------------
+#: One runnable invocation per subcommand, shown in the generated reference.
+_DOC_EXAMPLES = {
+    "trace": "python -m repro.cli trace --days 60 --output trace.csv",
+    "waste": "python -m repro.cli waste --days 60 --nodes 720 --tp 32",
+    "orchestrate": "python -m repro.cli orchestrate --gpus 8192 --tp 32 --fault-ratio 0.05",
+    "mfu": "python -m repro.cli mfu --model moe --gpus 8192",
+    "cost": "python -m repro.cli cost --include-hpn",
+    "goodput": "python -m repro.cli goodput --days 60 --job-gpus 2560",
+    "schedule": "python -m repro.cli schedule --jobs 200 --policy smallest-first --preemptive",
+    "run": "python -m repro.cli run --spec demo.json --output results.json",
+    "architectures": "python -m repro.cli architectures",
+    "docs": "python -m repro.cli docs > docs/cli.md",
+}
+
+
+def iter_subcommands(parser: Optional[argparse.ArgumentParser] = None):
+    """``(name, subparser)`` pairs of the CLI, in registration order."""
+    parser = parser if parser is not None else build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            # choices preserves registration order and skips alias duplicates
+            for name, subparser in action.choices.items():
+                yield name, subparser
+
+
+def render_cli_reference() -> str:
+    """The markdown CLI reference, generated from the live argparse tree.
+
+    ``docs/cli.md`` is this function's verbatim output (regenerate with
+    ``python -m repro.cli docs > docs/cli.md``); a test diffs the file
+    against a fresh render so documented help text can never drift from
+    ``--help``.
+    """
+    parser = build_parser()
+    lines = [
+        "# CLI reference",
+        "",
+        "Every experiment pipeline is exposed as a subcommand of "
+        "`python -m repro.cli` (installed as `infinitehbd-repro`).",
+        "",
+        "**Generated file -- do not edit by hand.**  Regenerate with "
+        "`python -m repro.cli docs > docs/cli.md`; CI fails when this file "
+        "and the argparse `--help` output disagree.",
+        "",
+        "```text",
+        parser.format_help().rstrip(),
+        "```",
+    ]
+    for name, subparser in iter_subcommands(parser):
+        lines += [
+            "",
+            f"## `{name}`",
+            "",
+            "```bash",
+            _DOC_EXAMPLES[name],
+            "```",
+            "",
+            "```text",
+            subparser.format_help().rstrip(),
+            "```",
+        ]
+    return "\n".join(lines) + "\n"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

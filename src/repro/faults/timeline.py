@@ -93,6 +93,23 @@ def _append_merged(
         intervals.append(FaultInterval(start, end, nodes))
 
 
+@dataclass
+class IntervalStream:
+    """A lazily produced interval timeline for streaming replay.
+
+    Quacks like :class:`IntervalTimeline` as far as the replay layer needs
+    (``intervals`` / ``n_nodes`` / ``gpus_per_node``), but ``intervals`` may
+    be any iterable -- typically a generator -- so traces far too long to
+    materialise can still be replayed with ``streaming=True`` (see
+    :func:`repro.simulation.cluster.replay_intervals`).  Single-shot when
+    backed by a generator: each replay consumes it.
+    """
+
+    intervals: Iterable[FaultInterval]
+    n_nodes: int
+    gpus_per_node: int
+
+
 @dataclass(frozen=True)
 class IntervalTimeline:
     """The exact fault timeline of a trace over a (possibly restricted) cluster.
@@ -196,6 +213,7 @@ class IntervalTimeline:
 
 __all__ = [
     "FaultInterval",
+    "IntervalStream",
     "IntervalTimeline",
     "sweep_intervals",
 ]

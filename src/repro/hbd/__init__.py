@@ -15,7 +15,7 @@ Architectures:
 * :class:`~repro.hbd.infinitehbd.InfiniteHBDArchitecture` -- the paper's design.
 """
 
-from repro.hbd.base import HBDArchitecture, WasteBreakdown
+from repro.hbd.base import DeltaReplayState, HBDArchitecture, WasteBreakdown
 from repro.hbd.bigswitch import BigSwitchHBD
 from repro.hbd.nvl import NVLHBD
 from repro.hbd.tpuv4 import TPUv4HBD
@@ -29,6 +29,7 @@ from repro.hbd.registry import (
 )
 
 __all__ = [
+    "DeltaReplayState",
     "HBDArchitecture",
     "WasteBreakdown",
     "BigSwitchHBD",

@@ -145,6 +145,25 @@ class ClusterScheduler:
         Hard stop of the simulation.  ``None`` (default) runs until every
         job completes -- which requires every job to fit the fault-free
         cluster and to have finite work.
+
+    A 32-GPU cluster, one 10-hour fault on node 0, two jobs back to back:
+
+    >>> from repro.faults.trace import FaultEvent, FaultTrace
+    >>> from repro.hbd import BigSwitchHBD
+    >>> from repro.scheduler.jobs import JobSpec
+    >>> trace = FaultTrace(n_nodes=8, duration_days=2,
+    ...                    events=[FaultEvent(0, 10.0, 20.0)], gpus_per_node=4)
+    >>> jobs = [JobSpec(name="big", gpus=32, tp_size=4, work_hours=4.0),
+    ...         JobSpec(name="small", gpus=8, tp_size=4, work_hours=2.0,
+    ...                 submit_hour=1.0)]
+    >>> report = ClusterScheduler(
+    ...     BigSwitchHBD(4), trace.interval_timeline(), jobs).run()
+    >>> [(job.name, job.finished) for job in report.jobs]
+    [('big', True), ('small', True)]
+    >>> report.jobs[1].waiting_hours   # queued behind "big" from t=1 to t=4
+    3.0
+    >>> report.makespan_hours
+    6.0
     """
 
     def __init__(
@@ -177,13 +196,35 @@ class ClusterScheduler:
                     f"cluster ({self.total_gpus} GPUs)"
                 )
         self._usable: Dict[Tuple[FrozenSet[int], int], int] = {}
+        # Per-TP incremental replay states (architectures with an O(delta)
+        # update): capacity queries arrive in sweep order, so each memo miss
+        # advances the state by the few node events since the last query
+        # instead of recomputing over the whole node set.
+        self._delta_states: Dict[int, "object"] = {}
 
     # ------------------------------------------------------------- capacity
     def _capacity(self, faults: FrozenSet[int], tp_size: int) -> int:
         key = (faults, tp_size)
         usable = self._usable.get(key)
         if usable is None:
-            usable = self.architecture.usable_gpus(self.n_nodes, faults, tp_size)
+            if self.architecture.supports_delta:
+                state = self._delta_states.get(tp_size)
+                if state is None:
+                    state = self.architecture.delta_state(
+                        self.n_nodes, faults, tp_size
+                    )
+                elif state.faults != faults:
+                    _, state = self.architecture.breakdown_delta(
+                        state,
+                        added_faults=faults - state.faults,
+                        removed_faults=state.faults - faults,
+                    )
+                self._delta_states[tp_size] = state
+                usable = state.usable
+            else:
+                usable = self.architecture.usable_gpus(
+                    self.n_nodes, faults, tp_size
+                )
             self._usable[key] = usable
         return usable
 
@@ -411,7 +452,18 @@ def schedule_comparison(
     policy: Optional[SchedulingPolicy] = None,
     horizon_hours: Optional[float] = None,
 ) -> Dict[str, ClusterReport]:
-    """Replay the same workload across several architectures."""
+    """Replay the same workload across several architectures.
+
+    >>> from repro.faults.trace import FaultTrace
+    >>> from repro.hbd import BigSwitchHBD, NVLHBD
+    >>> from repro.scheduler.jobs import JobSpec
+    >>> trace = FaultTrace(n_nodes=18, duration_days=1, events=[], gpus_per_node=4)
+    >>> reports = schedule_comparison(
+    ...     [BigSwitchHBD(4), NVLHBD(36, 4)], trace.interval_timeline(),
+    ...     [JobSpec(name="j", gpus=64, tp_size=32, work_hours=3.0)])
+    >>> sorted((name, report.finished_jobs) for name, report in reports.items())
+    [('Big-Switch', 1), ('NVL-36', 1)]
+    """
     return {
         arch.name: ClusterScheduler(
             arch, timeline, jobs, policy=policy, horizon_hours=horizon_hours

@@ -31,6 +31,13 @@ def check_known_fields(cls: Type, data: Mapping[str, Any]) -> None:
     Shared by every ``from_dict`` in the spec layer (including
     :mod:`repro.api.spec`) so typos in spec files fail loudly with the same
     message everywhere.
+
+    >>> check_known_fields(JobSpec, {"name": "j", "gpus": 64})   # fine
+    >>> try:
+    ...     check_known_fields(JobSpec, {"name": "j", "gpuz": 64})
+    ... except ValueError as error:
+    ...     "unknown field(s) ['gpuz']" in str(error)
+    True
     """
     known = {f.name for f in dataclasses.fields(cls)}
     unknown = sorted(set(data) - known)
@@ -47,6 +54,15 @@ class JobSpec:
     ``work_hours`` is the productive time the job must accumulate to
     complete; ``None`` means the job never completes on its own (it runs
     until the simulation horizon -- the single-job goodput replay).
+
+    >>> job = JobSpec(name="llama-pretrain", gpus=2560, tp_size=32,
+    ...               work_hours=72.0, submit_hour=6.0)
+    >>> JobSpec.from_dict(job.to_dict()) == job
+    True
+    >>> JobSpec(name="odd", gpus=48, tp_size=32)
+    Traceback (most recent call last):
+        ...
+    ValueError: job 'odd': gpus (48) must be a multiple of tp_size (32)
     """
 
     name: str
@@ -101,6 +117,22 @@ class JobReport:
     short.  ``impacting_faults`` is the *expected* number of faults landing
     in the job's allocation (each arrival contributes the job's share of the
     cluster), matching the single-job goodput accounting.
+
+    The three time buckets partition the job's wall-clock time:
+
+    >>> from repro.faults.trace import FaultTrace
+    >>> from repro.hbd import BigSwitchHBD
+    >>> from repro.scheduler.engine import ClusterScheduler
+    >>> trace = FaultTrace(n_nodes=8, duration_days=1, events=[], gpus_per_node=4)
+    >>> job = JobSpec(name="j", gpus=16, tp_size=4, work_hours=2.5, submit_hour=1.0)
+    >>> outcome = ClusterScheduler(
+    ...     BigSwitchHBD(4), trace.interval_timeline(), [job]).run().jobs[0]
+    >>> (outcome.jct_hours, outcome.queueing_delay_hours, outcome.goodput)
+    (2.5, 0.0, 1.0)
+    >>> buckets = (outcome.productive_hours + outcome.waiting_hours
+    ...            + outcome.restart_hours)
+    >>> buckets == outcome.wall_clock_hours
+    True
     """
 
     name: str

@@ -29,7 +29,16 @@ from repro.scheduler.jobs import JobSpec
 
 
 class SchedulingPolicy(abc.ABC):
-    """Priority order plus preemption behaviour for the engine."""
+    """Priority order plus preemption behaviour for the engine.
+
+    Subclasses only supply a sort key; the engine does the rest:
+
+    >>> job = JobSpec(name="j", gpus=64, tp_size=32, submit_hour=3.0)
+    >>> FifoPolicy().priority_key(job, remaining_work_hours=5.0, sequence=7)
+    (3.0, 7)
+    >>> SmallestFirstPolicy().priority_key(job, 5.0, 7)
+    (64, 3.0, 7)
+    """
 
     #: Spec / CLI name of the policy.
     name: str = "abstract"
@@ -56,7 +65,13 @@ class SchedulingPolicy(abc.ABC):
 
 
 class FifoPolicy(SchedulingPolicy):
-    """First-in-first-out with head-of-line blocking (no backfill)."""
+    """First-in-first-out with head-of-line blocking (no backfill).
+
+    >>> FifoPolicy().strict_order
+    True
+    >>> FifoPolicy(preemptive=True)
+    FifoPolicy(fifo, preemptive)
+    """
 
     name = "fifo"
     strict_order = True
@@ -71,7 +86,14 @@ class FifoPolicy(SchedulingPolicy):
 
 
 class SmallestFirstPolicy(SchedulingPolicy):
-    """Smallest GPU demand first; backfills around jobs that do not fit."""
+    """Smallest GPU demand first; backfills around jobs that do not fit.
+
+    >>> small = JobSpec(name="s", gpus=32, tp_size=32)
+    >>> large = JobSpec(name="l", gpus=512, tp_size=32)
+    >>> policy = SmallestFirstPolicy()
+    >>> policy.priority_key(small, 1.0, 1) < policy.priority_key(large, 1.0, 0)
+    True
+    """
 
     name = "smallest-first"
 
@@ -85,7 +107,13 @@ class SmallestFirstPolicy(SchedulingPolicy):
 
 
 class ShortestRemainingPolicy(SchedulingPolicy):
-    """Shortest remaining productive work first (SRTF when preemptive)."""
+    """Shortest remaining productive work first (SRTF when preemptive).
+
+    >>> job = JobSpec(name="j", gpus=32, tp_size=32)
+    >>> ShortestRemainingPolicy().priority_key(job, remaining_work_hours=0.5,
+    ...                                        sequence=4)
+    (0.5, 0.0, 4)
+    """
 
     name = "shortest-remaining"
 
@@ -109,7 +137,13 @@ POLICY_NAMES: Tuple[str, ...] = tuple(_POLICIES)
 
 
 def policy_by_name(name: str, preemptive: bool = False) -> SchedulingPolicy:
-    """Instantiate a policy by its spec name (``fifo``, ``smallest-first``, ...)."""
+    """Instantiate a policy by its spec name (``fifo``, ``smallest-first``, ...).
+
+    >>> policy_by_name("smallest-first", preemptive=True)
+    SmallestFirstPolicy(smallest-first, preemptive)
+    >>> policy_by_name("FIFO").name   # case-insensitive
+    'fifo'
+    """
     key = name.strip().lower()
     cls = _POLICIES.get(key)
     if cls is None:

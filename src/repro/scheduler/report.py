@@ -20,7 +20,26 @@ from repro.scheduler.jobs import JobReport
 
 @dataclass(frozen=True)
 class ClusterReport:
-    """Aggregate outcome of replaying one workload on one architecture."""
+    """Aggregate outcome of replaying one workload on one architecture.
+
+    >>> from repro.faults.trace import FaultTrace
+    >>> from repro.hbd import BigSwitchHBD
+    >>> from repro.scheduler.engine import ClusterScheduler
+    >>> from repro.scheduler.jobs import JobSpec
+    >>> trace = FaultTrace(n_nodes=8, duration_days=1, events=[], gpus_per_node=4)
+    >>> jobs = [JobSpec(name=f"j{i}", gpus=16, tp_size=4, work_hours=2.0,
+    ...                 submit_hour=float(i)) for i in range(3)]
+    >>> report = ClusterScheduler(
+    ...     BigSwitchHBD(4), trace.interval_timeline(), jobs).run()
+    >>> (report.n_jobs, report.finished_jobs, report.all_finished)
+    (3, 3, True)
+    >>> report.makespan_hours   # two jobs always run side by side
+    4.0
+    >>> report.mean_jct_hours
+    2.0
+    >>> report.cluster_goodput  # 3 jobs x 2h x 16 GPUs / (32 GPUs x 4h)
+    0.75
+    """
 
     jobs: Tuple[JobReport, ...]
     n_nodes: int

@@ -35,6 +35,14 @@ class WorkloadConfig:
     ``sigma_work_hours`` shape the log-normal duration distribution.  The
     defaults give a heavy-tailed mix of mostly-small, mostly-short jobs with
     a fat tail of near-cluster-scale multi-day jobs.
+
+    >>> config = WorkloadConfig(n_jobs=50, seed=7, tp_size=32, max_gpus=1024)
+    >>> WorkloadConfig.from_dict(config.to_dict()) == config
+    True
+    >>> WorkloadConfig(n_jobs=1, tp_size=64, max_gpus=32)
+    Traceback (most recent call last):
+        ...
+    ValueError: max_gpus must be at least one TP group
     """
 
     n_jobs: int = 100
@@ -73,7 +81,20 @@ class WorkloadConfig:
 
 
 def generate_workload(config: WorkloadConfig) -> Tuple[JobSpec, ...]:
-    """Deterministically sample a job queue from a :class:`WorkloadConfig`."""
+    """Deterministically sample a job queue from a :class:`WorkloadConfig`.
+
+    >>> jobs = generate_workload(WorkloadConfig(n_jobs=3, seed=1, tp_size=8,
+    ...                                         max_gpus=64))
+    >>> [job.name for job in jobs]
+    ['job-0', 'job-1', 'job-2']
+    >>> jobs[0].submit_hour   # the first job always arrives at t=0
+    0.0
+    >>> all(job.gpus % 8 == 0 and 8 <= job.gpus <= 64 for job in jobs)
+    True
+    >>> generate_workload(WorkloadConfig(n_jobs=3, seed=1, tp_size=8,
+    ...                                  max_gpus=64)) == jobs
+    True
+    """
     rng = np.random.default_rng(config.seed)
     n = config.n_jobs
     max_groups = config.max_gpus // config.tp_size

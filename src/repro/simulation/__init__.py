@@ -16,6 +16,7 @@ from repro.simulation.cluster import (
     FaultTimeline,
     IntervalSeries,
     SimulationSeries,
+    StreamingIntervalSeries,
     replay_intervals,
     replay_timeline,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "FaultTimeline",
     "IntervalSeries",
     "SimulationSeries",
+    "StreamingIntervalSeries",
     "replay_intervals",
     "replay_timeline",
     "GoodputConfig",

@@ -8,6 +8,24 @@ IntervalTimeline`), the architecture model is asked for a
 previous configuration), and every section 6.2 metric is computed as an exact
 duration-weighted quantity over the intervals (:class:`IntervalSeries`).
 
+Two orthogonal scaling switches extend :func:`replay_intervals` for sub-day
+granularity production traces where even O(intervals x n_nodes) is too much:
+
+* **incremental replay** -- consecutive intervals differ by a handful of
+  node events, so architectures with an O(delta) update
+  (``architecture.supports_delta``; see :meth:`repro.hbd.base.
+  HBDArchitecture.breakdown_delta`) walk the sweep line event by event in
+  O(intervals x delta).  The default (``incremental=None``) picks the delta
+  walk exactly when the architecture supports it; both paths are bit-for-bit
+  identical (hypothesis-tested).
+* **streaming aggregation** -- ``streaming=True`` folds duration-weighted
+  mean / quantile / CDF accumulation (:class:`repro.analysis.cdf.
+  StreamingDistribution`) into the same walk and returns a
+  :class:`StreamingIntervalSeries` of aggregates only, never materialising
+  the interval list -- so a generator-backed timeline
+  (:class:`repro.faults.timeline.IntervalStream`) of arbitrary length
+  replays in O(distinct capacity levels) memory.
+
 The original grid-sampled path (:class:`FaultTimeline`,
 :func:`replay_timeline`, :class:`SimulationSeries`, daily by default to match
 Figure 18/20's per-day resolution) is kept as a thin compatibility layer:
@@ -18,13 +36,13 @@ O(samples x events).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
-from repro.analysis.cdf import empirical_cdf, weighted_quantile
-from repro.faults.timeline import IntervalTimeline
+from repro.analysis.cdf import StreamingDistribution, empirical_cdf, weighted_quantile
+from repro.faults.timeline import IntervalStream, IntervalTimeline
 from repro.faults.trace import FaultTrace, HOURS_PER_DAY
 from repro.hbd.base import HBDArchitecture, WasteBreakdown
 
@@ -203,6 +221,96 @@ class IntervalSeries:
         return weighted / covered if covered else 0.0
 
 
+@dataclass
+class StreamingIntervalSeries:
+    """Aggregates-only replay result: the streaming twin of :class:`IntervalSeries`.
+
+    Produced by ``replay_intervals(..., streaming=True)``.  Holds
+    duration-weighted accumulators instead of per-interval lists, so memory
+    is bounded by the number of distinct capacity levels the replay visits
+    -- independent of the interval count.  Every aggregate shares its name
+    and semantics with the materialised series; per-interval accessors
+    (``times_days``, ``waste_ratios``, ``mean_waste_in_window``...) do not
+    exist here, by construction.
+    """
+
+    total_gpus: int
+    n_intervals: int = 0
+    start_hour: float = 0.0
+    end_hour: float = 0.0
+    waste: StreamingDistribution = field(default_factory=StreamingDistribution)
+    usable: StreamingDistribution = field(default_factory=StreamingDistribution)
+
+    def _fold(self, interval, breakdown: WasteBreakdown) -> None:
+        if self.n_intervals == 0:
+            self.start_hour = interval.start_hour
+        self.end_hour = interval.end_hour
+        self.n_intervals += 1
+        duration = interval.duration_hours
+        self.waste.add(breakdown.waste_ratio, duration)
+        self.usable.add(breakdown.usable_gpus, duration)
+
+    def __len__(self) -> int:
+        return self.n_intervals
+
+    @property
+    def total_hours(self) -> float:
+        return self.end_hour - self.start_hour if self.n_intervals else 0.0
+
+    @property
+    def mean_waste_ratio(self) -> float:
+        """Exact time-averaged waste ratio."""
+        return self.waste.mean()
+
+    @property
+    def p99_waste_ratio(self) -> float:
+        return self.waste_ratio_quantile(0.99)
+
+    @property
+    def max_waste_ratio(self) -> float:
+        return self.waste.max()
+
+    @property
+    def min_usable_gpus(self) -> int:
+        return int(self.usable.min())
+
+    def waste_ratio_quantile(self, q: float) -> float:
+        """Exact duration-weighted quantile (``q`` in [0, 1]) of the waste ratio."""
+        return self.waste.quantile(q)
+
+    def waste_ratio_cdf(self) -> Tuple[List[float], List[float]]:
+        """Exact duration-weighted waste-ratio CDF (distinct values only)."""
+        return self.waste.cdf()
+
+    def fault_waiting_rate(self, job_gpus: int) -> float:
+        """Exact fraction of time a job of ``job_gpus`` GPUs cannot run."""
+        total = self.usable.total_weight
+        if total <= 0:
+            return 0.0
+        return self.usable.weight_below(job_gpus) / total
+
+    def supported_job_scale(self, availability: float = 1.0) -> int:
+        """Largest job scale available at least ``availability`` of the time.
+
+        Same algorithm as the materialised series, run over the grouped
+        ``(usable level, total duration)`` pairs.
+        """
+        if self.n_intervals == 0:
+            return 0
+        if not 0.0 < availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+        if availability == 1.0:
+            return self.min_usable_gpus
+        pairs = self.usable.items()
+        budget = (1.0 - availability) * self.usable.total_weight
+        cumulative = 0.0
+        for usable, duration in pairs:
+            cumulative += duration
+            if cumulative > budget * (1.0 + 1e-12):
+                return int(usable)
+        return int(pairs[-1][0])
+
+
 class _BreakdownMemo:
     """Memoize ``architecture.breakdown`` per distinct fault set.
 
@@ -288,34 +396,81 @@ def replay_timeline(
 
 
 def replay_intervals(
-    architecture: HBDArchitecture, timeline: IntervalTimeline, tp_size: int
-) -> IntervalSeries:
+    architecture: HBDArchitecture,
+    timeline: Union[IntervalTimeline, IntervalStream],
+    tp_size: int,
+    *,
+    incremental: Optional[bool] = None,
+    streaming: bool = False,
+) -> Union[IntervalSeries, StreamingIntervalSeries]:
     """Exact event-driven replay of the interval timeline against one architecture.
 
-    O(intervals) breakdown evaluations (memoized per distinct fault set),
-    independent of the trace duration or any sampling resolution.
+    Parameters
+    ----------
+    incremental:
+        ``None`` (default) walks the sweep line with the O(delta)
+        :meth:`~repro.hbd.base.HBDArchitecture.breakdown_delta` path exactly
+        when the architecture supports it, and otherwise evaluates one full
+        breakdown per *distinct* fault set (memoized).  ``True`` forces the
+        delta walk (architectures without an O(delta) update recompute per
+        interval -- total, just not faster), ``False`` forces the memoized
+        full path.  Both paths are bit-for-bit identical.
+    streaming:
+        Fold duration-weighted aggregation into the walk and return a
+        :class:`StreamingIntervalSeries` instead of materialising the
+        per-interval lists.  With a generator-backed
+        :class:`~repro.faults.timeline.IntervalStream` this replays traces
+        of arbitrary length in O(distinct capacity levels) memory.
     """
     _check_gpus_per_node(architecture, timeline.gpus_per_node)
-    breakdown_for = _BreakdownMemo(architecture, timeline.n_nodes, tp_size)
-    starts: List[float] = []
-    ends: List[float] = []
-    waste_ratios: List[float] = []
-    usable: List[int] = []
-    faulty_gpus: List[int] = []
-    for interval in timeline.intervals:
-        breakdown = breakdown_for(interval.nodes)
-        starts.append(interval.start_hour)
-        ends.append(interval.end_hour)
-        waste_ratios.append(breakdown.waste_ratio)
-        usable.append(breakdown.usable_gpus)
-        faulty_gpus.append(breakdown.faulty_gpus)
+    n_nodes = timeline.n_nodes
+    total_gpus = architecture.total_gpus(n_nodes)
+    use_delta = architecture.supports_delta if incremental is None else bool(incremental)
+
+    if streaming:
+        series = StreamingIntervalSeries(total_gpus=total_gpus)
+        fold = series._fold
+    else:
+        starts: List[float] = []
+        ends: List[float] = []
+        waste_ratios: List[float] = []
+        usable: List[int] = []
+        faulty_gpus: List[int] = []
+
+        def fold(interval, breakdown: WasteBreakdown) -> None:
+            starts.append(interval.start_hour)
+            ends.append(interval.end_hour)
+            waste_ratios.append(breakdown.waste_ratio)
+            usable.append(breakdown.usable_gpus)
+            faulty_gpus.append(breakdown.faulty_gpus)
+
+    if use_delta:
+        state = None
+        for interval in timeline.intervals:
+            if state is None:
+                state = architecture.delta_state(n_nodes, interval.nodes, tp_size)
+                breakdown, state = architecture.breakdown_delta(state)
+            else:
+                breakdown, state = architecture.breakdown_delta(
+                    state,
+                    added_faults=interval.nodes - state.faults,
+                    removed_faults=state.faults - interval.nodes,
+                )
+            fold(interval, breakdown)
+    else:
+        breakdown_for = _BreakdownMemo(architecture, n_nodes, tp_size)
+        for interval in timeline.intervals:
+            fold(interval, breakdown_for(interval.nodes))
+
+    if streaming:
+        return series
     return IntervalSeries(
         starts_hours=starts,
         ends_hours=ends,
         waste_ratios=waste_ratios,
         usable_gpus=usable,
         faulty_gpus=faulty_gpus,
-        total_gpus=architecture.total_gpus(timeline.n_nodes),
+        total_gpus=total_gpus,
     )
 
 

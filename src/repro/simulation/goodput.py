@@ -30,7 +30,7 @@ per arrival).
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from repro.faults.trace import FaultTrace
@@ -43,14 +43,16 @@ class GoodputConfig:
 
     ``sample_interval_hours`` is deprecated: the replay is event-driven and
     exact, so the value has no effect.  Setting it to anything but the
-    default emits a :class:`DeprecationWarning`.
+    default emits a :class:`DeprecationWarning`, and the field is excluded
+    from ``repr`` so the dead knob does not leak into logs or serialized
+    dumps built from it.
     """
 
     job_gpus: int
     tp_size: int
     checkpoint_interval_hours: float = 1.0
     restart_overhead_hours: float = 0.25
-    sample_interval_hours: float = 1.0
+    sample_interval_hours: float = field(default=1.0, repr=False)
 
     def __post_init__(self) -> None:
         if self.job_gpus < 1 or self.tp_size < 1:

@@ -1,0 +1,107 @@
+"""Documentation build checks: intra-repo links and generated references.
+
+These tests are the "docs build" CI gate: every relative link in the curated
+documentation set must resolve to a real file (and, for ``#fragment`` links,
+to a real heading), and the generated CLI reference must match the live
+argparse output byte for byte so documented help text cannot drift from
+``--help``.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _DOC_EXAMPLES, iter_subcommands, render_cli_reference
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The curated documentation set the link check gates (PAPERS.md and
+#: SNIPPETS.md are retrieved reference material, not maintained docs).
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _links(path: Path):
+    text = _FENCE.sub("", path.read_text())
+    return _LINK.findall(text)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (backticks etc. stripped)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _heading_slugs(path: Path):
+    text = _FENCE.sub("", path.read_text())
+    return {_github_slug(h) for h in _HEADING.findall(text)}
+
+
+def test_doc_set_is_complete():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "ROADMAP.md", "architecture.md", "api.md",
+            "metrics.md", "cli.md"} <= names
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_intra_repo_links_resolve(path):
+    broken = []
+    for target in _links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part else path
+        if not resolved.exists():
+            broken.append(target)
+            continue
+        if fragment and resolved.suffix == ".md":
+            if _github_slug(fragment) not in _heading_slugs(resolved):
+                broken.append(target)
+    assert not broken, f"{path.name}: broken intra-repo links {broken}"
+
+
+def test_docs_link_to_each_other():
+    """The index reaches every docs page and the README reaches the index."""
+    index_targets = {t.partition("#")[0] for t in _links(REPO_ROOT / "docs" / "README.md")}
+    assert {"architecture.md", "api.md", "metrics.md", "cli.md"} <= index_targets
+    readme_targets = {t.partition("#")[0] for t in _links(REPO_ROOT / "README.md")}
+    assert "docs/README.md" in readme_targets
+
+
+class TestCliReference:
+    def test_cli_reference_matches_argparse_output(self):
+        """docs/cli.md is generated; regenerating must be a no-op.
+
+        Regenerate with ``python -m repro.cli docs > docs/cli.md`` after any
+        CLI change.
+        """
+        on_disk = (REPO_ROOT / "docs" / "cli.md").read_text()
+        assert on_disk == render_cli_reference()
+
+    def test_every_subcommand_is_documented_with_an_example(self):
+        names = [name for name, _ in iter_subcommands()]
+        assert names, "CLI has no subcommands?"
+        assert set(names) == set(_DOC_EXAMPLES)
+        reference = render_cli_reference()
+        for name in names:
+            assert f"## `{name}`" in reference
+            assert _DOC_EXAMPLES[name] in reference
+
+    def test_docs_subcommand_output_matches_renderer(self):
+        from repro.cli import main
+
+        import io
+        from contextlib import redirect_stdout
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            assert main(["docs"]) == 0
+        assert buffer.getvalue() == render_cli_reference()

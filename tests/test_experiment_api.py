@@ -102,6 +102,39 @@ class TestSpecRoundTrip:
         with pytest.raises(ValueError, match="typo_field"):
             Scenario.from_dict(scenario)
 
+    def test_deprecated_goodput_sample_interval_scrubbed_from_dumps(self):
+        # Regression: the deprecated (no-effect) knob used to survive into
+        # spec dumps and digests.  It is still *accepted* as input -- old
+        # spec files keep loading and keep triggering the deprecation path
+        # -- but serialized output and the digest are clean.
+        def spec_with(options):
+            return ExperimentSpec.of(
+                scenario=Scenario.default("scrub", trace=TraceSpec(days=10)),
+                experiments=("goodput",),
+                options=options,
+            )
+
+        with pytest.warns(DeprecationWarning, match="sample_interval_hours"):
+            noisy = spec_with(
+                {"goodput": {"job_gpus": 64, "sample_interval_hours": 6.0}}
+            )
+        clean = spec_with({"goodput": {"job_gpus": 64}})
+        assert noisy.options_for("goodput")["sample_interval_hours"] == 6.0
+        # Loading an old spec file (dict form) warns too.
+        with pytest.warns(DeprecationWarning, match="sample_interval_hours"):
+            reloaded = ExperimentSpec.from_dict(
+                {
+                    "scenario": noisy.scenario.to_dict(),
+                    "experiments": ["goodput"],
+                    "options": {"goodput": {"sample_interval_hours": 6.0}},
+                }
+            )
+        assert "sample_interval_hours" not in reloaded.to_json()
+        assert "sample_interval_hours" not in noisy.to_dict()["options"]["goodput"]
+        assert "sample_interval_hours" not in noisy.to_json()
+        assert noisy.to_dict() == clean.to_dict()
+        assert noisy.digest() == clean.digest()
+
 
 class TestRegistry:
     def test_default_lineup_registered(self):
