@@ -1,0 +1,134 @@
+"""Placement scheduler: placed replay vs the expected-value replay.
+
+Node-level placement upgrades the cluster scheduler from expected-value
+restart accounting to deterministic per-job fault hits: every running job
+holds concrete node ids, and a fault interval deschedules exactly the jobs
+whose nodes went down.  That precision costs bookkeeping -- placement
+domains per fault set, free-node lists, per-placement node selection -- and
+this benchmark bounds the price: on the same 1,000-job, 90-day, 5,000-node
+workload the scheduler benchmark gates, the placed replay must stay within
+3x of the expected-value replay.
+
+It also pins the semantics while timing:
+
+* the placed replay is deterministic -- two runs produce byte-identical
+  ``ClusterReport`` JSON;
+* placed ``impacting_faults`` are integer hit counts (the expected-value
+  path accumulates fractional expectations);
+* the wall-clock partition invariant holds for every job in both modes.
+"""
+
+import json
+import math
+import time
+
+from conftest import emit_report, format_table
+
+from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.hbd import NVLHBD
+from repro.scheduler import ClusterScheduler, WorkloadConfig, generate_workload
+
+N_NODES = 5000
+DURATION_DAYS = 90
+TP_SIZE = 32
+N_JOBS = 1000
+MAX_SLOWDOWN = 3.0
+TIMING_ROUNDS = 3
+
+
+def _run(arch, timeline, jobs, placement):
+    return ClusterScheduler(arch, timeline, jobs, placement=placement).run()
+
+
+def _best_of(rounds, fn, *args):
+    best = math.inf
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_placed_replay_within_3x_of_expected(benchmark):
+    trace = generate_synthetic_trace(
+        SyntheticTraceConfig(n_nodes=N_NODES, duration_days=DURATION_DAYS, seed=90)
+    )
+    arch = NVLHBD(72, gpus_per_node=8)
+    jobs = generate_workload(
+        WorkloadConfig(
+            n_jobs=N_JOBS,
+            seed=42,
+            tp_size=TP_SIZE,
+            max_gpus=8192,
+            mean_interarrival_hours=1.0,
+            median_work_hours=8.0,
+        )
+    )
+    timeline = trace.interval_timeline()  # swept once, shared by both paths
+
+    expected_seconds, expected = _best_of(
+        TIMING_ROUNDS, _run, arch, timeline, jobs, None
+    )
+    placed_seconds, placed = _best_of(
+        TIMING_ROUNDS, _run, arch, timeline, jobs, "packed"
+    )
+    slowdown = placed_seconds / max(expected_seconds, 1e-9)
+
+    benchmark.pedantic(
+        _run, rounds=1, iterations=1, args=(arch, timeline, jobs, "packed")
+    )
+
+    # Semantics while we are here: determinism, integer hits, conservation.
+    rerun = _run(arch, timeline, jobs, "packed")
+    assert json.dumps(placed.to_dict(), sort_keys=True) == json.dumps(
+        rerun.to_dict(), sort_keys=True
+    )
+    assert placed.all_finished and expected.all_finished
+    placed_hits = sum(job.impacting_faults for job in placed.jobs)
+    expected_hits = sum(job.impacting_faults for job in expected.jobs)
+    assert all(
+        float(job.impacting_faults).is_integer() for job in placed.jobs
+    ), "placed hits must be deterministic counts"
+    for report in (placed, expected):
+        for job in report.jobs:
+            buckets = job.productive_hours + job.waiting_hours + job.restart_hours
+            assert math.isclose(buckets, job.wall_clock_hours, abs_tol=1e-6)
+
+    text = format_table(
+        ["metric", "value"],
+        [
+            ["trace nodes (8-GPU)", trace.n_nodes],
+            ["trace days", trace.duration_days],
+            ["fault events", len(trace)],
+            ["exact intervals", len(timeline)],
+            ["jobs", placed.n_jobs],
+            ["expected-value replay (s)", expected_seconds],
+            ["placed replay (s)", placed_seconds],
+            ["slowdown (placed / expected)", slowdown],
+            ["fault hits (placed, exact)", placed_hits],
+            ["fault hits (expected value)", expected_hits],
+            ["makespan (h, placed)", placed.makespan_hours],
+            ["makespan (h, expected)", expected.makespan_hours],
+            ["mean JCT (h, placed)", placed.mean_jct_hours],
+            ["mean rho (placed)", placed.mean_finish_time_fairness],
+            ["Jain index (placed)", placed.jain_fairness_index],
+        ],
+    )
+    emit_report(
+        "placement_scheduler",
+        text,
+        gates=[
+            (
+                "placed replay <= 3x expected-value replay",
+                slowdown,
+                MAX_SLOWDOWN,
+                "<=",
+            ),
+        ],
+    )
+
+    assert slowdown <= MAX_SLOWDOWN, (
+        f"placed replay {slowdown:.2f}x slower than the expected-value path "
+        f"(budget {MAX_SLOWDOWN}x)"
+    )

@@ -142,7 +142,18 @@ def test_scheduler_engine_speedup(benchmark):
             ["cluster goodput", report.cluster_goodput],
         ],
     )
-    emit_report("scheduler_engine", text)
+    emit_report(
+        "scheduler_engine",
+        text,
+        gates=[
+            (
+                "event-driven scheduler >= 5x naive hourly rescan",
+                speedup,
+                MIN_SPEEDUP,
+                ">=",
+            ),
+        ],
+    )
 
     assert speedup >= MIN_SPEEDUP, (
         f"event-driven scheduler only {speedup:.1f}x faster than the naive "

@@ -97,7 +97,13 @@ def test_timeline_engine_speedup(benchmark):
             ["exact min usable GPUs", series.min_usable_gpus],
         ],
     )
-    emit_report("timeline_engine", text)
+    emit_report(
+        "timeline_engine",
+        text,
+        gates=[
+            ("exact replay >= 5x seed grid scan", speedup, MIN_SPEEDUP, ">="),
+        ],
+    )
 
     assert speedup >= MIN_SPEEDUP, (
         f"exact replay only {speedup:.1f}x faster than the seed grid path"
@@ -170,10 +176,80 @@ def test_delta_replay_speedup(benchmark):
             ["min usable GPUs", delta.min_usable_gpus],
         ],
     )
-    emit_report("delta_replay", text)
+    emit_report(
+        "delta_replay",
+        text,
+        gates=[
+            ("NVL delta replay >= 3x full recompute", speedup, MIN_DELTA_SPEEDUP, ">="),
+        ],
+    )
 
     # Correctness first: the delta walk must be bit-for-bit the full replay.
     assert delta == full
     assert speedup >= MIN_DELTA_SPEEDUP, (
         f"delta replay only {speedup:.1f}x faster than full recompute"
+    )
+
+
+def test_infinitehbd_delta_replay_speedup(benchmark):
+    """The K-hop local update vs the full segment recompute.
+
+    InfiniteHBD's ``usable_gpus`` rebuilds every healthy segment -- O(n)
+    Python per interval -- while the local update only re-sweeps the faults
+    between the breakpoints around each flipped node.  A smaller sub-hourly
+    trace keeps the (gated, slow) full-recompute side affordable in CI.
+    """
+    from repro.hbd import InfiniteHBDArchitecture
+
+    trace = _subhourly_trace(2000, 120, 2500, seed=120)
+    arch = InfiniteHBDArchitecture(k=3, gpus_per_node=8)
+    timeline = trace.interval_timeline()
+
+    start = time.perf_counter()
+    full = replay_intervals(arch, timeline, TP_SIZE, incremental=False)
+    full_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    delta = replay_intervals(arch, timeline, TP_SIZE, incremental=True)
+    delta_seconds = time.perf_counter() - start
+    speedup = full_seconds / max(delta_seconds, 1e-9)
+
+    benchmark.pedantic(
+        replay_intervals,
+        rounds=1,
+        iterations=1,
+        args=(arch, timeline, TP_SIZE),
+        kwargs={"incremental": True, "streaming": True},
+    )
+
+    text = format_table(
+        ["metric", "value"],
+        [
+            ["trace nodes (8-GPU)", trace.n_nodes],
+            ["trace days", trace.duration_days],
+            ["fault events", len(trace.events)],
+            ["exact intervals", len(timeline)],
+            ["full-recompute replay (s)", full_seconds],
+            ["K-hop local delta replay (s)", delta_seconds],
+            ["speedup", speedup],
+            ["mean waste", delta.mean_waste_ratio],
+            ["min usable GPUs", delta.min_usable_gpus],
+        ],
+    )
+    emit_report(
+        "infinitehbd_delta_replay",
+        text,
+        gates=[
+            (
+                "InfiniteHBD K-hop delta >= 3x full recompute",
+                speedup,
+                MIN_DELTA_SPEEDUP,
+                ">=",
+            ),
+        ],
+    )
+
+    assert delta == full
+    assert speedup >= MIN_DELTA_SPEEDUP, (
+        f"InfiniteHBD delta replay only {speedup:.1f}x faster than full recompute"
     )

@@ -4,8 +4,15 @@ Every benchmark regenerates one table or figure of the paper.  Results are
 printed to stdout (visible with ``pytest -s`` or on failure) and persisted to
 ``benchmarks/results/<name>.txt`` so the regenerated numbers can be inspected
 and diffed against the paper after a run.
+
+Benchmarks that *gate* CI (asserted speedup / slowdown bounds) additionally
+pass ``gates=[(label, measured, bound, direction), ...]`` to
+:func:`emit_report`; the machine-readable ``results/<name>.json`` feeds
+``benchmarks/perf_summary.py``, which renders the consolidated markdown perf
+table the CI ``perf`` job publishes to ``$GITHUB_STEP_SUMMARY``.
 """
 
+import json
 import os
 import sys
 
@@ -30,13 +37,35 @@ SIM_NODES_4GPU = 720
 TP_SIZES = (8, 16, 32, 64)
 
 
-def emit_report(name: str, text: str) -> None:
-    """Print a report block and persist it under benchmarks/results/."""
+def emit_report(name: str, text: str, gates=None) -> None:
+    """Print a report block and persist it under benchmarks/results/.
+
+    ``gates`` is an optional list of ``(label, measured, bound, direction)``
+    tuples (direction ``">="`` or ``"<="``) describing the CI assertions the
+    benchmark enforces; they are persisted as ``results/<name>.json`` for
+    the perf-summary table.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     header = f"\n===== {name} =====\n"
     print(header + text)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+    if gates:
+        payload = {
+            "name": name,
+            "gates": [
+                {
+                    "label": label,
+                    "measured": measured,
+                    "bound": bound,
+                    "direction": direction,
+                }
+                for label, measured, bound, direction in gates
+            ],
+        }
+        with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
 
 
 def format_table(headers, rows) -> str:

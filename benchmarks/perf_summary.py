@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Render the consolidated CI perf table from the benchmark gate JSONs.
+
+Each gated benchmark persists ``benchmarks/results/<name>.json`` (via
+``conftest.emit_report(..., gates=...)``) describing the speedup / slowdown
+bounds it asserted and the values it measured.  This script folds them into
+one markdown table; the CI ``perf`` job appends its output to
+``$GITHUB_STEP_SUMMARY`` so every run publishes the measured numbers next to
+their floors.
+
+Usage:  python benchmarks/perf_summary.py [results_dir]
+"""
+
+import json
+import operator
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+_OPERATORS = {">=": operator.ge, "<=": operator.le}
+
+
+def load_gates(results_dir):
+    """All persisted gate records, sorted by benchmark name."""
+    gates = []
+    if not os.path.isdir(results_dir):
+        return gates
+    for entry in sorted(os.listdir(results_dir)):
+        if not entry.endswith(".json"):
+            continue
+        with open(os.path.join(results_dir, entry)) as handle:
+            payload = json.load(handle)
+        for gate in payload.get("gates", ()):
+            gates.append(
+                {
+                    "benchmark": payload.get("name", entry[: -len(".json")]),
+                    "label": gate["label"],
+                    "measured": float(gate["measured"]),
+                    "bound": float(gate["bound"]),
+                    "direction": gate["direction"],
+                }
+            )
+    return gates
+
+
+def render_markdown(gates):
+    """The perf table as GitHub-flavoured markdown."""
+    lines = [
+        "## Benchmark perf gates",
+        "",
+        "| benchmark | gate | measured | bound | status |",
+        "| --- | --- | ---: | ---: | :---: |",
+    ]
+    if not gates:
+        lines.append("| _no gate results found_ | | | | |")
+        return "\n".join(lines)
+    for gate in gates:
+        passed = _OPERATORS[gate["direction"]](gate["measured"], gate["bound"])
+        lines.append(
+            f"| {gate['benchmark']} | {gate['label']} "
+            f"| {gate['measured']:.2f}x | {gate['direction']} {gate['bound']:g}x "
+            f"| {'✅' if passed else '❌'} |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv):
+    results_dir = argv[1] if len(argv) > 1 else RESULTS_DIR
+    gates = load_gates(results_dir)
+    print(render_markdown(gates))
+    return 0 if all(
+        _OPERATORS[g["direction"]](g["measured"], g["bound"]) for g in gates
+    ) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,7 +9,12 @@ heavy-tailed sizes and durations) is replayed:
 1. across the scheduling policy zoo (FIFO, smallest-job-first,
    shortest-remaining-work, each with and without preemption) on a single
    architecture, showing the classic JCT/makespan trade-offs; then
-2. across HBD architectures under one policy, via the declarative
+2. across capacity models on the same architecture: the expected-value
+   replay versus node-level placement (packed / spread), with and without
+   EASY backfill -- placed fault hits are deterministic per seed, and the
+   finish-time-fairness columns (mean rho, Jain's index) show what backfill
+   buys the small jobs; then
+3. across HBD architectures under one policy, via the declarative
    ``schedule`` experiment of :mod:`repro.api` -- fragmentation-prone
    architectures lose cluster goodput and stretch the queue.
 
@@ -60,10 +65,38 @@ def policy_zoo(trace_spec: TraceSpec, n_nodes: int, jobs, tp_size: int) -> None:
             )
 
 
+def placement_study(trace_spec: TraceSpec, n_nodes: int, jobs, tp_size: int) -> None:
+    print()
+    print("=" * 72)
+    print("2. Capacity models on InfiniteHBD(K=3): expected-value vs placed")
+    print("=" * 72)
+    timeline = trace_spec.build().interval_timeline(n_nodes)
+    architecture = InfiniteHBDArchitecture(k=3, gpus_per_node=4)
+    print(
+        f"{'mode':28s} {'makespan':>9s} {'mean JCT':>9s} {'queue':>7s} "
+        f"{'hits':>7s} {'rho':>6s} {'Jain':>6s}"
+    )
+    for placement in (None, "packed", "spread"):
+        for backfill in (False, True):
+            report = ClusterScheduler(
+                architecture, timeline, jobs,
+                placement=placement, backfill=backfill,
+            ).run()
+            label = (placement or "expected-value") + (" +backfill" if backfill else "")
+            hits = sum(job.impacting_faults for job in report.jobs)
+            print(
+                f"{label:28s} {report.makespan_hours:9.1f} "
+                f"{report.mean_jct_hours:9.2f} "
+                f"{report.mean_queueing_delay_hours:7.2f} {hits:7.2f} "
+                f"{report.mean_finish_time_fairness:6.2f} "
+                f"{report.jain_fairness_index:6.3f}"
+            )
+
+
 def architecture_sweep(args: argparse.Namespace) -> None:
     print()
     print("=" * 72)
-    print("2. Architectures under preemptive smallest-first (repro.api)")
+    print("3. Architectures under preemptive smallest-first (repro.api)")
     print("=" * 72)
     spec = ExperimentSpec.of(
         scenario=Scenario(
@@ -118,6 +151,7 @@ def main() -> None:
         )
     )
     policy_zoo(trace_spec, args.nodes, jobs, args.tp)
+    placement_study(trace_spec, args.nodes, jobs, args.tp)
     architecture_sweep(args)
 
 

@@ -272,10 +272,14 @@ def _run_schedule_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List
         jobs,
         policy=scenario.scheduler.build(),
         horizon_hours=scenario.scheduler.horizon_hours,
+        placement=scenario.scheduler.build_placement(),
+        backfill=scenario.scheduler.backfill,
     ).run()
     metrics = {
         "policy": report.policy,
         "preemptive": report.preemptive,
+        "placement": report.placement,
+        "backfill": report.backfill,
         "n_jobs": report.n_jobs,
         "finished_jobs": report.finished_jobs,
         "makespan_hours": report.makespan_hours,
@@ -286,6 +290,9 @@ def _run_schedule_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List
         "p99_queueing_delay_hours": report.p99_queueing_delay_hours,
         "cluster_goodput": report.cluster_goodput,
         "cluster_utilization": report.cluster_utilization,
+        "mean_finish_time_fairness": report.mean_finish_time_fairness,
+        "max_finish_time_fairness": report.max_finish_time_fairness,
+        "jain_fairness_index": report.jain_fairness_index,
         "total_gpus": report.total_gpus,
     }
     series = {
@@ -293,6 +300,7 @@ def _run_schedule_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List
         "queueing_delays_hours": report.queueing_delays_hours(),
         "submit_hours": [job.submit_hour for job in report.jobs],
         "productive_hours": [job.productive_hours for job in report.jobs],
+        "finish_time_fairness": report.finish_time_fairness(),
     }
     return [
         ExperimentResult.of(

@@ -32,6 +32,11 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.faults.trace import FaultTrace
 from repro.scheduler.jobs import JobSpec, check_known_fields
+from repro.scheduler.placement import (
+    PLACEMENT_NAMES,
+    PlacementPolicy,
+    placement_by_name,
+)
 from repro.scheduler.policies import POLICY_NAMES, SchedulingPolicy, policy_by_name
 
 #: Experiments the runner knows how to execute.
@@ -272,19 +277,31 @@ class SchedulerSpec:
 
     ``horizon_hours=None`` runs the workload to completion (past the trace
     end the cluster is fault-free); a finite horizon hard-stops the replay
-    and reports unfinished jobs.
+    and reports unfinished jobs.  ``placement`` selects node-level placement
+    (``"packed"`` / ``"spread"``: jobs hold concrete node ids and fault hits
+    are deterministic); ``None`` keeps the expected-value capacity replay.
+    ``backfill`` lets small jobs jump a blocked FIFO head when they cannot
+    delay its projected start.
 
     >>> SchedulerSpec(policy="smallest-first", preemptive=True).build()
     SmallestFirstPolicy(smallest-first, preemptive)
+    >>> SchedulerSpec(placement="packed").build_placement()
+    PackedPlacement(packed)
     >>> SchedulerSpec(policy="lifo")
     Traceback (most recent call last):
         ...
     ValueError: unknown scheduling policy 'lifo'; known: ['fifo', 'smallest-first', 'shortest-remaining']
+    >>> SchedulerSpec(placement="scattered")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown placement policy 'scattered'; known: ['packed', 'spread']
     """
 
     policy: str = "fifo"
     preemptive: bool = False
     horizon_hours: Optional[float] = None
+    placement: Optional[str] = None
+    backfill: bool = False
 
     def __post_init__(self) -> None:
         if self.policy not in POLICY_NAMES:
@@ -293,9 +310,19 @@ class SchedulerSpec:
             )
         if self.horizon_hours is not None and self.horizon_hours <= 0:
             raise ValueError("horizon_hours must be positive")
+        if self.placement is not None and self.placement not in PLACEMENT_NAMES:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; "
+                f"known: {list(PLACEMENT_NAMES)}"
+            )
 
     def build(self) -> SchedulingPolicy:
         return policy_by_name(self.policy, preemptive=self.preemptive)
+
+    def build_placement(self) -> Optional[PlacementPolicy]:
+        if self.placement is None:
+            return None
+        return placement_by_name(self.placement)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

@@ -32,7 +32,6 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.api.results import ResultSet
 from repro.api.runner import ExperimentRunner
 from repro.api.spec import (
     ExperimentSpec,
@@ -42,6 +41,7 @@ from repro.api.spec import (
     WorkloadSpec,
     default_architecture_specs,
 )
+from repro.scheduler.placement import PLACEMENT_NAMES
 from repro.scheduler.policies import POLICY_NAMES
 
 
@@ -205,16 +205,23 @@ def cmd_schedule(args: argparse.Namespace) -> List[str]:
                 mean_interarrival_hours=args.mean_interarrival,
                 median_work_hours=args.median_work,
             ),
-            scheduler=SchedulerSpec(policy=args.policy, preemptive=args.preemptive),
+            scheduler=SchedulerSpec(
+                policy=args.policy,
+                preemptive=args.preemptive,
+                placement=args.placement,
+                backfill=args.backfill,
+            ),
         ),
         experiments=("schedule",),
         max_workers=args.workers,
     )
     results = ExperimentRunner(spec).run()
     lines = [
-        f"policy={args.policy} preemptive={args.preemptive} jobs={args.jobs}",
+        f"policy={args.policy} preemptive={args.preemptive} "
+        f"placement={args.placement or 'expected-value'} "
+        f"backfill={args.backfill} jobs={args.jobs}",
         f"{'architecture':20s} {'done':>9s} {'makespan':>9s} {'mean JCT':>9s} "
-        f"{'p99 JCT':>9s} {'queue':>7s} {'goodput':>8s}",
+        f"{'p99 JCT':>9s} {'queue':>7s} {'goodput':>8s} {'rho':>6s} {'Jain':>6s}",
     ]
     for result in results:
         lines.append(
@@ -224,7 +231,9 @@ def cmd_schedule(args: argparse.Namespace) -> List[str]:
             f"{result.metric('mean_jct_hours'):9.2f} "
             f"{result.metric('p99_jct_hours'):9.2f} "
             f"{result.metric('mean_queueing_delay_hours'):7.2f} "
-            f"{result.metric('cluster_goodput'):8.4f}"
+            f"{result.metric('cluster_goodput'):8.4f} "
+            f"{result.metric('mean_finish_time_fairness'):6.2f} "
+            f"{result.metric('jain_fairness_index'):6.3f}"
         )
     return lines
 
@@ -364,6 +373,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of synthetic jobs in the queue")
     p.add_argument("--policy", choices=POLICY_NAMES, default="fifo")
     p.add_argument("--preemptive", action="store_true")
+    p.add_argument("--placement", choices=PLACEMENT_NAMES, default=None,
+                   help="node-level placement policy (default: expected-value "
+                        "capacity replay without concrete nodes)")
+    p.add_argument("--backfill", action="store_true",
+                   help="EASY backfill: small jobs may jump a blocked FIFO "
+                        "head when they cannot delay its projected start")
     p.add_argument("--mean-interarrival", type=float, default=1.0,
                    help="mean Poisson inter-arrival time (hours)")
     p.add_argument("--median-work", type=float, default=8.0,
@@ -403,7 +418,7 @@ _DOC_EXAMPLES = {
     "mfu": "python -m repro.cli mfu --model moe --gpus 8192",
     "cost": "python -m repro.cli cost --include-hpn",
     "goodput": "python -m repro.cli goodput --days 60 --job-gpus 2560",
-    "schedule": "python -m repro.cli schedule --jobs 200 --policy smallest-first --preemptive",
+    "schedule": "python -m repro.cli schedule --jobs 200 --placement packed --backfill",
     "run": "python -m repro.cli run --spec demo.json --output results.json",
     "architectures": "python -m repro.cli architectures",
     "docs": "python -m repro.cli docs > docs/cli.md",

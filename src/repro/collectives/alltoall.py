@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.collectives.cost_model import CollectiveCost, LinkSpec
+from repro.collectives.cost_model import LinkSpec
 
 
 # --------------------------------------------------------------------------

@@ -10,8 +10,7 @@ control, NCCL protocol overhead, ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ node.  The alpha-beta model below reproduces these numbers through the link's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict
 
 from repro.collectives.cost_model import (
     CollectiveCost,

@@ -21,7 +21,7 @@ capacity simulations.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.control.fabric_manager import NodeFabricManager, NodeRole

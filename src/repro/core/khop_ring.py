@@ -23,7 +23,7 @@ segments (a *breakpoint* in the paper's Appendix C terminology).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 

@@ -16,7 +16,7 @@ and bundle bookkeeping, while the ring-construction code
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.hardware.ocstrx import OCSTrxBundle, OCSTrxConfig, PathState

@@ -29,7 +29,7 @@ the placement and its cross-ToR traffic report.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.dcn.fattree import FatTree, FatTreeConfig

@@ -15,8 +15,8 @@ fabric manager of the paper's control plane does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.core.khop_ring import KHopRingTopology
 from repro.core.node import Node

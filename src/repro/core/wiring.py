@@ -19,7 +19,7 @@ Port convention (per node, matching Figure 4/5):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.orchestrator import DeploymentPlan, deployment_strategy
 from repro.dcn.fattree import FatTree, FatTreeConfig

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.cost.architectures import ArchitectureBOM, all_reference_boms, infinitehbd_bom
+from repro.cost.architectures import ArchitectureBOM, all_reference_boms
 from repro.faults.model import IIDFaultModel
 from repro.hbd.base import HBDArchitecture
 from repro.hbd.registry import default_architectures

@@ -7,7 +7,7 @@ published in Table 8, so the Table 6 normalisation is pure arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.cost.components import Component, component

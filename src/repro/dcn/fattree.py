@@ -28,7 +28,7 @@ Network distance (in switch hops, as used in Figure 6/7 of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import List
 
 import networkx as nx
 

@@ -26,8 +26,8 @@ derived from :mod:`repro.training.comm` for a specific model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.dcn.fattree import FatTree
 

@@ -23,7 +23,7 @@ from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.cdf import weighted_quantile
-from repro.faults.trace import FaultEvent, FaultTrace, HOURS_PER_DAY
+from repro.faults.trace import FaultEvent, FaultTrace
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Any, FrozenSet, Iterable, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,38 @@ class WasteBreakdown:
         if self.total_gpus == 0:
             return 0.0
         return (self.wasted_gpus + self.faulty_gpus) / self.total_gpus
+
+
+@dataclass(frozen=True)
+class PlacementGroup:
+    """A placement domain: healthy nodes a TP group must not straddle.
+
+    ``nodes`` are the healthy node ids of the domain in deployment order;
+    ``nodes_per_group`` is the number of whole nodes one TP group of the
+    queried ``tp_size`` consumes inside this domain (``ceil(tp / R)`` for
+    sharable domains; the full domain for dedicated combinations such as
+    multi-cube TPUv4 groups).  Placement is node-granular: a node belongs to
+    at most one job, so a domain holds ``capacity_groups`` TP groups and any
+    ``nodes_per_group`` free nodes of the domain can host one of them.
+
+    When ``tp_size`` is a multiple of ``gpus_per_node`` (every evaluated
+    configuration), ``sum(g.capacity_gpus for g in groups)`` equals
+    ``usable_gpus`` exactly; otherwise node granularity makes the placed
+    capacity a documented conservative lower bound.
+    """
+
+    nodes: Tuple[int, ...]
+    nodes_per_group: int
+    tp_size: int
+
+    @property
+    def capacity_groups(self) -> int:
+        """TP groups this domain can host when all its nodes are free."""
+        return len(self.nodes) // self.nodes_per_group
+
+    @property
+    def capacity_gpus(self) -> int:
+        return self.capacity_groups * self.tp_size
 
 
 @dataclass
@@ -221,6 +253,37 @@ class HBDArchitecture(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} returned a delta payload but does not "
             "implement _delta_flip"
+        )
+
+    # ------------------------------------------------------------- placement
+    def nodes_per_tp_group(self, tp_size: int) -> int:
+        """Whole nodes one TP group of ``tp_size`` GPUs occupies (>= 1)."""
+        if tp_size < 1:
+            raise ValueError("tp_size must be >= 1")
+        return max(1, -(-tp_size // self.gpus_per_node))
+
+    def placement_groups(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> Tuple[PlacementGroup, ...]:
+        """Disjoint placement domains under a fault set.
+
+        A TP group must be placed entirely inside one domain; the node-level
+        placement scheduler carves jobs out of these.  The base
+        implementation is the Big-Switch semantics -- one flat domain over
+        every healthy node; architectures with internal structure (rings,
+        cubes, units, segments) override it so placement respects the same
+        boundaries ``usable_gpus`` charges fragmentation against.
+        """
+        faulty = self._clean_faults(n_nodes, faulty_nodes)
+        healthy = tuple(n for n in range(n_nodes) if n not in faulty)
+        if not healthy:
+            return ()
+        return (
+            PlacementGroup(
+                nodes=healthy,
+                nodes_per_group=self.nodes_per_tp_group(tp_size),
+                tp_size=tp_size,
+            ),
         )
 
     def waste_ratio(

@@ -12,9 +12,9 @@ how the evaluation treats e.g. TP-64 on NVL-36.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Dict, FrozenSet, Iterable, Tuple
 
-from repro.hbd.base import DeltaReplayState, HBDArchitecture
+from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
 
 
 class _NVLDelta:
@@ -60,6 +60,7 @@ class NVLHBD(HBDArchitecture):
             raise ValueError("hbd_size must be a multiple of gpus_per_node")
         self.hbd_size = hbd_size
         self.name = f"NVL-{hbd_size}"
+        self._skeleton_cache: Dict[Tuple[int, int], Tuple[PlacementGroup, ...]] = {}
 
     @property
     def nodes_per_unit(self) -> int:
@@ -92,6 +93,49 @@ class NVLHBD(HBDArchitecture):
             )
             usable += self._fit(healthy_leftover, tp_size)
         return usable
+
+    # ------------------------------------------------------------- placement
+    def placement_groups(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> Tuple[PlacementGroup, ...]:
+        """One domain per HBD unit (plus the partial trailing unit).
+
+        Unit boundaries never move, so the all-healthy skeleton is cached
+        per ``(n_nodes, tp_size)`` and a fault set only rebuilds the units
+        it touches -- O(faults + units) per distinct fault set instead of
+        O(n_nodes), and untouched units keep their identity (callers can
+        reuse per-domain bookkeeping across fault transitions).
+        """
+        if tp_size > self.hbd_size:
+            return ()
+        faulty = self._clean_faults(n_nodes, faulty_nodes)
+        npu = self.nodes_per_unit
+        npg = self.nodes_per_tp_group(tp_size)
+        key = (n_nodes, tp_size)
+        skeleton = self._skeleton_cache.get(key)
+        if skeleton is None:
+            skeleton = tuple(
+                PlacementGroup(
+                    nodes=tuple(range(start, min(start + npu, n_nodes))),
+                    nodes_per_group=npg,
+                    tp_size=tp_size,
+                )
+                for start in range(0, n_nodes, npu)
+            )
+            self._skeleton_cache[key] = skeleton
+        if not faulty:
+            return skeleton
+        groups: list = list(skeleton)
+        for unit in {node // npu for node in faulty}:
+            healthy = tuple(
+                node for node in skeleton[unit].nodes if node not in faulty
+            )
+            # A fully faulty unit stays as an empty domain so unit indices
+            # never shift (identity-stable positions for the reuse above).
+            groups[unit] = PlacementGroup(
+                nodes=healthy, nodes_per_group=npg, tp_size=tp_size
+            )
+        return tuple(groups)
 
     # ------------------------------------------------------------ delta replay
     def _delta_init(

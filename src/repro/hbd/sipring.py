@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Tuple
 
-from repro.hbd.base import DeltaReplayState, HBDArchitecture
+from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
 
 
 class _SiPRingDelta:
@@ -61,6 +61,33 @@ class SiPRingHBD(HBDArchitecture):
             if not faulty_rings.get(ring, False):
                 usable += per_ring_usable
         return usable
+
+    # ------------------------------------------------------------- placement
+    def placement_groups(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> Tuple[PlacementGroup, ...]:
+        """One domain per fault-free ring; a faulty ring hosts nothing."""
+        faulty = self._clean_faults(n_nodes, faulty_nodes)
+        nodes_per_ring = self.nodes_per_tp_group(tp_size)
+        n_rings = n_nodes // nodes_per_ring
+        faulty_rings = {
+            node // nodes_per_ring
+            for node in faulty
+            if node // nodes_per_ring < n_rings
+        }
+        groups = []
+        for ring in range(n_rings):
+            if ring in faulty_rings:
+                continue
+            start = ring * nodes_per_ring
+            groups.append(
+                PlacementGroup(
+                    nodes=tuple(range(start, start + nodes_per_ring)),
+                    nodes_per_group=nodes_per_ring,
+                    tp_size=tp_size,
+                )
+            )
+        return tuple(groups)
 
     # ------------------------------------------------------------ delta replay
     def _delta_init(

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Tuple
 
-from repro.hbd.base import DeltaReplayState, HBDArchitecture
+from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
 
 
 class _TPUv4Delta:
@@ -100,6 +100,65 @@ class TPUv4HBD(HBDArchitecture):
         )
         groups = healthy_cubes // cubes_per_group
         return groups * tp_size
+
+    # ------------------------------------------------------------- placement
+    def placement_groups(
+        self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
+    ) -> Tuple[PlacementGroup, ...]:
+        """Per-cube domains below the cube size; dedicated healthy-cube
+        combinations (the whole combination per TP group) above it."""
+        faulty = self._clean_faults(n_nodes, faulty_nodes)
+        n_cubes = self.n_cubes(n_nodes)
+        npc = self.nodes_per_cube
+
+        def cube_nodes(cube: int) -> Tuple[int, ...]:
+            start = cube * npc
+            return tuple(
+                node for node in range(start, start + npc) if node not in faulty
+            )
+
+        if tp_size <= self.cube_size:
+            npg = self.nodes_per_tp_group(tp_size)
+            groups = []
+            for cube in range(n_cubes):
+                healthy = cube_nodes(cube)
+                if healthy:
+                    groups.append(
+                        PlacementGroup(
+                            nodes=healthy, nodes_per_group=npg, tp_size=tp_size
+                        )
+                    )
+            leftover = tuple(
+                node for node in range(n_cubes * npc, n_nodes) if node not in faulty
+            )
+            if leftover:
+                groups.append(
+                    PlacementGroup(
+                        nodes=leftover, nodes_per_group=npg, tp_size=tp_size
+                    )
+                )
+            return tuple(groups)
+
+        # TP group spans multiple cubes: chunk the fully healthy cubes (in
+        # index order) into dedicated combinations of cubes_per_group; each
+        # combination hosts exactly one TP group and is consumed whole.
+        faults_per_cube = self._faults_per_cube(n_nodes, faulty)
+        cubes_per_group = -(-tp_size // self.cube_size)
+        healthy_cubes = [
+            cube for cube in range(n_cubes) if faults_per_cube.get(cube, 0) == 0
+        ]
+        groups = []
+        for i in range(0, len(healthy_cubes) - cubes_per_group + 1, cubes_per_group):
+            chunk = healthy_cubes[i : i + cubes_per_group]
+            nodes = tuple(
+                node for cube in chunk for node in range(cube * npc, (cube + 1) * npc)
+            )
+            groups.append(
+                PlacementGroup(
+                    nodes=nodes, nodes_per_group=len(nodes), tp_size=tp_size
+                )
+            )
+        return tuple(groups)
 
     # ------------------------------------------------------------ delta replay
     def _delta_init(

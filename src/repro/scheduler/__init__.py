@@ -11,8 +11,12 @@ HBD architecture preserves under faults.
 * :mod:`repro.scheduler.policies` -- pluggable policies: FIFO,
   smallest-job-first, shortest-remaining-work, each with or without
   preemption.
+* :mod:`repro.scheduler.placement` -- node-placement policies (packed /
+  spread) for placed mode, where jobs hold concrete node ids and fault
+  hits are deterministic.
 * :mod:`repro.scheduler.engine` -- :class:`ClusterScheduler`, the
-  event-driven sweep merging fault-interval boundaries with job events.
+  event-driven sweep merging fault-interval boundaries with job events,
+  with optional node-level placement and EASY backfill.
 * :mod:`repro.scheduler.workload` -- the synthetic workload generator.
 * :mod:`repro.scheduler.report` -- :class:`ClusterReport` (makespan, JCT
   distribution, queueing delay, cluster goodput).
@@ -23,6 +27,13 @@ GoodputSimulator`) is a thin wrapper over this engine.
 
 from repro.scheduler.engine import ClusterScheduler, schedule_comparison
 from repro.scheduler.jobs import JobReport, JobSpec
+from repro.scheduler.placement import (
+    PLACEMENT_NAMES,
+    PackedPlacement,
+    PlacementPolicy,
+    SpreadPlacement,
+    placement_by_name,
+)
 from repro.scheduler.policies import (
     FifoPolicy,
     POLICY_NAMES,
@@ -40,12 +51,17 @@ __all__ = [
     "FifoPolicy",
     "JobReport",
     "JobSpec",
+    "PLACEMENT_NAMES",
     "POLICY_NAMES",
+    "PackedPlacement",
+    "PlacementPolicy",
     "SchedulingPolicy",
     "ShortestRemainingPolicy",
     "SmallestFirstPolicy",
+    "SpreadPlacement",
     "WorkloadConfig",
     "generate_workload",
+    "placement_by_name",
     "policy_by_name",
     "schedule_comparison",
 ]

@@ -18,26 +18,19 @@ exactly: each in-system job is in exactly one of three states (waiting for
 capacity, productively running, or restarting), and the engine's core
 invariant is that the three buckets partition the job's wall-clock time.
 
-Capacity comes from ``architecture.usable_gpus(n_nodes, faults, tp_size)``,
-memoized per distinct ``(fault set, TP size)`` -- fault sets recur (most
-often the empty set), so long traces cost O(distinct sets) breakdowns, not
-O(events).  A set of running jobs is feasible when, for every job, the total
-allocated GPU count fits within the usable capacity at that job's own TP
-granularity; this is exact for single-TP workloads (the common case and the
-goodput-compatibility case) and a documented approximation for mixed-TP
-queues.
+The engine runs in one of two capacity models:
 
-Fault handling matches the single-job goodput accounting so that
-:class:`~repro.simulation.goodput.GoodputSimulator` is a thin wrapper over
-this engine:
+**Expected-value mode** (``placement=None``, the default, and the model the
+single-job :class:`~repro.simulation.goodput.GoodputSimulator` wraps):
+capacity comes from ``architecture.usable_gpus(n_nodes, faults, tp_size)``,
+memoized per distinct ``(fault set, TP size)``.  Jobs hold GPU *counts*, not
+nodes, so a fault arrival charges every allocated job its *expected* share
+of the damage (``new_faults x job_gpus / cluster_gpus`` hits, each costing
+half a checkpoint interval plus the restart overhead) as restart *debt*,
+paid as wall-clock restart time before the job makes further progress:
 
 * faults already active at t=0 are pre-existing capacity loss, never charged
   as arrivals;
-* a fault arrival charges every job allocated in the interval that starts at
-  the boundary its *expected* share of the damage (``new_faults x job_gpus /
-  cluster_gpus`` hits, each costing half a checkpoint interval plus the
-  restart overhead) as restart *debt*, paid as wall-clock restart time
-  before the job makes further progress;
 * a job descheduled because the usable capacity can no longer host it at
   all simply waits (no extra charge -- the expected-damage charge above
   already accounts for the fault);
@@ -45,16 +38,50 @@ this engine:
   policy preemption, or a capacity squeeze that displaced the
   lowest-priority job -- checkpoints on the way out and pays only the
   restart overhead when it resumes.
+
+**Placed mode** (``placement=`` a
+:class:`~repro.scheduler.placement.PlacementPolicy` or its name): every
+running job holds a concrete, deterministic set of node ids carved out of
+the architecture's placement domains
+(:meth:`~repro.hbd.base.HBDArchitecture.placement_groups` -- rings, cubes,
+units, healthy segments, or one flat domain for Big-Switch).  A fault
+interval then deschedules exactly the jobs whose held nodes went down:
+each direct hit charges half a checkpoint interval plus the restart
+overhead (``impacting_faults`` counts real hits, not expectations), the
+job's nodes are released, and it re-enters the queue at its policy
+priority.  Jobs whose nodes survived are untouched -- there is no
+expected-value broadcast charge, and under non-preemptive policies no
+capacity squeeze can move a running job (its concrete nodes are healthy).
+Placement is node-granular (each TP group occupies whole
+nodes inside one domain), so the placed capacity equals the expected-value
+capacity whenever the TP size is a multiple of the node size (every
+evaluated configuration) and is a conservative lower bound otherwise.  A
+job that stays allocated but is moved to different nodes by a preemptive
+policy pays the restart overhead for the migration; a job a preemptive
+reshuffle leaves unplaceable after a capacity drop waits uncharged, like
+the expected-value engine's squeezed jobs.
+
+**Backfill** (``backfill=True``): under a strict-order policy (FIFO), a job
+that does not fit normally blocks every job behind it.  With backfill
+enabled the engine computes an EASY-style reservation for the blocked head
+-- the earliest instant the head could start if the current fault interval
+lasted (``shadow``) and the capacity left over at that instant (``extra``)
+-- and lets later jobs jump the queue only when they fit now *and* either
+finish before ``shadow`` or fit inside ``extra``, so the head's projected
+start is never delayed.  Non-strict policies skip blocked jobs anyway, so
+the flag is a no-op for them.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.faults.timeline import IntervalTimeline
-from repro.hbd.base import HBDArchitecture
+from repro.hbd.base import HBDArchitecture, PlacementGroup
 from repro.scheduler.jobs import JobReport, JobSpec
+from repro.scheduler.placement import PlacementPolicy, placement_by_name
 from repro.scheduler.policies import FifoPolicy, SchedulingPolicy
 from repro.scheduler.report import ClusterReport
 
@@ -81,6 +108,7 @@ class _JobRuntime:
         "end",
         "in_system",
         "allocated",
+        "nodes",
     )
 
     def __init__(self, spec: JobSpec, sequence: int) -> None:
@@ -99,6 +127,7 @@ class _JobRuntime:
         self.end: Optional[float] = None
         self.in_system = False
         self.allocated = False
+        self.nodes: FrozenSet[int] = frozenset()
 
     @property
     def done(self) -> bool:
@@ -125,13 +154,108 @@ class _JobRuntime:
         )
 
 
+class _TpPlacementState:
+    """Free-node bookkeeping for one TP size under one fault set.
+
+    Rebuilt on every fault transition; domains whose ``PlacementGroup``
+    object survived the transition (architectures keep untouched domains
+    identity-stable, e.g. NVL units without faults) carry their free lists
+    over, so a rebuild costs O(changed domains), not O(n_nodes).
+    """
+
+    __slots__ = (
+        "faults", "groups", "free", "avail", "avail_total", "npg",
+        "node_group", "buckets",
+    )
+
+    def __init__(
+        self,
+        faults: FrozenSet[int],
+        groups: Tuple[PlacementGroup, ...],
+        held: Set[int],
+        prior: Optional["_TpPlacementState"] = None,
+    ) -> None:
+        self.faults = faults
+        self.groups = groups
+        self.npg: List[int] = [group.nodes_per_group for group in groups]
+        if prior is not None and len(prior.groups) == len(groups):
+            # Positions are identity-stable for architectures that patch
+            # only the touched domains (NVL units); fall back to an id map
+            # when the domain count shifted (segments splitting, etc.).
+            prior_of = list(prior.groups)
+        else:
+            prior_index = (
+                {id(group): i for i, group in enumerate(prior.groups)}
+                if prior is not None
+                else {}
+            )
+            prior_of = None
+        self.free: List[List[int]] = []
+        self.avail: List[int] = []
+        for index, group in enumerate(groups):
+            if prior_of is not None:
+                j = index if prior_of[index] is group else None
+            else:
+                j = prior_index.get(id(group))
+            if j is not None:
+                # Same domain object => same healthy membership, and stale
+                # states were kept in step with the held set by
+                # ``_placed_sync``, so the old free list is still exact.
+                self.free.append(prior.free[j])
+                self.avail.append(prior.avail[j])
+            else:
+                free = [node for node in group.nodes if node not in held]
+                self.free.append(free)
+                self.avail.append(len(free) // self.npg[index])
+        self.avail_total = sum(self.avail)
+        # Slot-count bands: slots -> ascending domain indices, the iteration
+        # structure behind banded placement policies.
+        self.buckets: Dict[int, List[int]] = {}
+        for index, slots in enumerate(self.avail):
+            self.buckets.setdefault(slots, []).append(index)
+        if prior_of is not None:
+            # Positional identity: indices are unchanged, so only the
+            # domains that were replaced need their entries refreshed (the
+            # prior state is discarded, so adopting its dict is safe).
+            self.node_group: Dict[int, int] = prior.node_group
+            for index, group in enumerate(groups):
+                if prior_of[index] is not group:
+                    for node in group.nodes:
+                        self.node_group[node] = index
+        else:
+            self.node_group = {
+                node: index
+                for index, group in enumerate(groups)
+                for node in group.nodes
+            }
+
+    def set_avail(self, index: int, slots: int) -> None:
+        """Move a domain to its new slot band and update the totals."""
+        old = self.avail[index]
+        if slots == old:
+            return
+        bucket = self.buckets[old]
+        del bucket[bisect.bisect_left(bucket, index)]
+        bisect.insort(self.buckets.setdefault(slots, []), index)
+        self.avail_total += slots - old
+        self.avail[index] = slots
+
+    def refresh(self, index: int, held: Set[int]) -> None:
+        """Recompute one domain's free list from the global held set."""
+        self.free[index] = [
+            node for node in self.groups[index].nodes if node not in held
+        ]
+        self.set_avail(index, len(self.free[index]) // self.npg[index])
+
+
 class ClusterScheduler:
     """Replay a queue of jobs against one architecture over the fault timeline.
 
     Parameters
     ----------
     architecture:
-        The HBD architecture supplying ``usable_gpus``.
+        The HBD architecture supplying ``usable_gpus`` (and, in placed mode,
+        ``placement_groups``).
     timeline:
         The exact fault timeline of the trace (``trace.interval_timeline()``).
         Beyond the traced window the cluster is assumed fault-free.
@@ -145,6 +269,14 @@ class ClusterScheduler:
         Hard stop of the simulation.  ``None`` (default) runs until every
         job completes -- which requires every job to fit the fault-free
         cluster and to have finite work.
+    placement:
+        ``None`` (default) keeps the expected-value capacity model.  A
+        :class:`~repro.scheduler.placement.PlacementPolicy` (or its spec
+        name, e.g. ``"packed"``) switches to node-level placement with
+        deterministic fault hits.
+    backfill:
+        Allow EASY backfilling past a blocked head under strict-order
+        (FIFO) policies.
 
     A 32-GPU cluster, one 10-hour fault on node 0, two jobs back to back:
 
@@ -164,6 +296,18 @@ class ClusterScheduler:
     3.0
     >>> report.makespan_hours
     6.0
+
+    In placed mode jobs hold concrete nodes, so the fault starting at t=10
+    on node 0 is a deterministic hit on exactly the job holding it:
+
+    >>> long_job = JobSpec(name="long", gpus=32, tp_size=4, work_hours=12.0)
+    >>> placed = ClusterScheduler(
+    ...     BigSwitchHBD(4), trace.interval_timeline(), [long_job],
+    ...     placement="packed").run()
+    >>> placed.jobs[0].impacting_faults   # a real hit count, not an expectation
+    1.0
+    >>> placed.jobs[0].waiting_hours      # descheduled while node 0 is down
+    10.0
     """
 
     def __init__(
@@ -173,6 +317,8 @@ class ClusterScheduler:
         jobs: Sequence[JobSpec],
         policy: Optional[SchedulingPolicy] = None,
         horizon_hours: Optional[float] = None,
+        placement: Optional[Union[PlacementPolicy, str]] = None,
+        backfill: bool = False,
     ) -> None:
         if timeline.gpus_per_node != architecture.gpus_per_node:
             raise ValueError(
@@ -186,6 +332,10 @@ class ClusterScheduler:
         self.timeline = timeline
         self.policy = policy if policy is not None else FifoPolicy()
         self.horizon_hours = horizon_hours
+        if isinstance(placement, str):
+            placement = placement_by_name(placement)
+        self.placement = placement
+        self.backfill = bool(backfill)
         self.n_nodes = timeline.n_nodes
         self.total_gpus = architecture.total_gpus(timeline.n_nodes)
         self.jobs: Tuple[JobSpec, ...] = tuple(jobs)
@@ -201,6 +351,13 @@ class ClusterScheduler:
         # advances the state by the few node events since the last query
         # instead of recomputing over the whole node set.
         self._delta_states: Dict[int, "object"] = {}
+        # Placed-mode bookkeeping: memoized placement domains per (fault
+        # set, TP), the nodes currently held by allocated jobs, and per-TP
+        # free-node states (rebuilt whenever the fault set moves).
+        self._groups: Dict[Tuple[FrozenSet[int], int], Tuple[PlacementGroup, ...]] = {}
+        self._placed_cap: Dict[Tuple[FrozenSet[int], int], int] = {}
+        self._held: Set[int] = set()
+        self._tp_states: Dict[int, _TpPlacementState] = {}
 
     # ------------------------------------------------------------- capacity
     def _capacity(self, faults: FrozenSet[int], tp_size: int) -> int:
@@ -235,16 +392,184 @@ class ClusterScheduler:
                 raise ValueError(
                     f"job {job.name!r} has unbounded work; set horizon_hours"
                 )
-            if job.gpus > self._capacity(empty, job.tp_size):
+            if self.placement is not None:
+                capacity = self._placed_capacity(empty, job.tp_size)
+            else:
+                capacity = self._capacity(empty, job.tp_size)
+            if job.gpus > capacity:
                 raise ValueError(
                     f"job {job.name!r} ({job.gpus} GPUs at TP-{job.tp_size}) "
                     f"cannot run even on the fault-free cluster; set "
                     f"horizon_hours to simulate it waiting forever"
                 )
 
+    # -------------------------------------------------- placed-mode plumbing
+    def _placement_groups(
+        self, faults: FrozenSet[int], tp_size: int
+    ) -> Tuple[PlacementGroup, ...]:
+        key = (faults, tp_size)
+        groups = self._groups.get(key)
+        if groups is None:
+            groups = self.architecture.placement_groups(
+                self.n_nodes, faults, tp_size
+            )
+            self._groups[key] = groups
+        return groups
+
+    def _placed_capacity(self, faults: FrozenSet[int], tp_size: int) -> int:
+        key = (faults, tp_size)
+        capacity = self._placed_cap.get(key)
+        if capacity is None:
+            capacity = sum(
+                g.capacity_gpus for g in self._placement_groups(faults, tp_size)
+            )
+            self._placed_cap[key] = capacity
+        return capacity
+
+    def _tp_state(self, tp_size: int, faults: FrozenSet[int]) -> _TpPlacementState:
+        state = self._tp_states.get(tp_size)
+        if state is None or state.faults != faults:
+            state = _TpPlacementState(
+                faults,
+                self._placement_groups(faults, tp_size),
+                self._held,
+                prior=state,
+            )
+            self._tp_states[tp_size] = state
+        return state
+
+    def _placed_sync(self, nodes: FrozenSet[int], skip: Optional[int] = None) -> None:
+        """Refresh the free lists of every domain touching ``nodes``.
+
+        Free lists are a pure function of (domain nodes, held set), so a
+        refresh after any hold/release keeps every TP size consistent
+        (``skip`` names a TP size already updated in place).  Stale states
+        (built for an older fault set) are refreshed too -- harmlessly,
+        since they are rebuilt wholesale on their next use.
+        """
+        for tp_size, state in self._tp_states.items():
+            if tp_size == skip:
+                continue
+            touched = {
+                state.node_group[node]
+                for node in nodes
+                if node in state.node_group
+            }
+            for index in touched:
+                state.refresh(index, self._held)
+
+    def _release_nodes(self, nodes: FrozenSet[int]) -> None:
+        if nodes:
+            self._held -= nodes
+            self._placed_sync(nodes)
+
+    def _try_place(
+        self, rt: _JobRuntime, faults: FrozenSet[int]
+    ) -> Optional[FrozenSet[int]]:
+        """Carve the job's TP groups out of free domain nodes, or fail clean.
+
+        Domains are filled in the placement policy's preference order; the
+        nodes handed out are always the first free nodes of each chosen
+        domain (deployment order), so the outcome is a deterministic
+        function of the schedule history.
+        """
+        spec = rt.spec
+        state = self._tp_state(spec.tp_size, faults)
+        needed = spec.gpus // spec.tp_size
+        if state.avail_total < needed:
+            return None
+        bands = self.placement.bands
+        plan: List[Tuple[int, int]] = []
+        if bands is not None:
+            # Banded fast path: walk the slot-count bands directly (index
+            # order within a band) instead of sorting every domain.
+            band_keys = sorted(state.buckets, reverse=bands == "descending")
+            for slots in band_keys:
+                if not slots:
+                    continue
+                for index in state.buckets[slots]:
+                    take = min(slots, needed)
+                    plan.append((index, take))
+                    needed -= take
+                    if not needed:
+                        break
+                if not needed:
+                    break
+        else:
+            candidates = [
+                (slots, index) for index, slots in enumerate(state.avail) if slots
+            ]
+            self.placement.order(candidates)
+            for slots, index in candidates:
+                take = min(slots, needed)
+                plan.append((index, take))
+                needed -= take
+                if not needed:
+                    break
+        taken: List[int] = []
+        for index, take in plan:
+            count = take * state.npg[index]
+            taken.extend(state.free[index][:count])
+            del state.free[index][:count]
+            state.set_avail(index, state.avail[index] - take)
+        nodes = frozenset(taken)
+        self._held |= nodes
+        self._placed_sync(nodes, skip=spec.tp_size)
+        return nodes
+
     # ----------------------------------------------------------- allocation
+    def _backfill_window(
+        self,
+        head: _JobRuntime,
+        allocated: List[_JobRuntime],
+        faults: FrozenSet[int],
+        t: float,
+    ) -> Tuple[float, float]:
+        """EASY reservation for a blocked head: (shadow start, extra GPUs).
+
+        Projects the currently allocated jobs' completions under the current
+        fault interval's capacity (at the head's TP granularity) and finds
+        the earliest instant the head could start; ``extra`` is the capacity
+        still free at that instant after the head's reservation.  When the
+        head has no projected start (an unbounded job hogs the cluster),
+        both are infinite -- backfilling cannot delay a start that never
+        comes.
+
+        The reservation is count-granular: exact for the expected-value
+        engine and for placed single-TP workloads (slot accounting is
+        exact there), conservative under placed-mode fragmentation -- when
+        the count says the head fits *now* but placement failed (mixed-TP
+        node fragmentation), no reservation can be trusted and backfill is
+        blocked outright rather than risk delaying the head.
+        """
+        capacity = self._capacity(faults, head.spec.tp_size)
+        free = capacity - sum(rt.spec.gpus for rt in allocated)
+        if free >= head.spec.gpus:
+            return t, 0.0
+        completions = sorted(
+            (t + rt.restart_debt + rt.remaining_work, rt.spec.gpus)
+            for rt in allocated
+            if rt.remaining_work < math.inf
+        )
+        for end, gpus in completions:
+            free += gpus
+            if free >= head.spec.gpus:
+                return end, free - head.spec.gpus
+        return math.inf, math.inf
+
+    def _may_backfill(
+        self, rt: _JobRuntime, t: float, shadow: float, extra: float
+    ) -> Tuple[bool, bool]:
+        """(admit past the blocked head?, does it consume ``extra``?)."""
+        projected = t + rt.restart_debt + rt.remaining_work
+        if projected <= shadow + _EPS:
+            return True, False
+        if rt.spec.gpus <= extra:
+            return True, True
+        return False, False
+
     def _select(
-        self, in_system: List[_JobRuntime], faults: FrozenSet[int]
+        self, in_system: List[_JobRuntime], faults: FrozenSet[int], t: float
     ) -> Set[int]:
         """Greedy policy-ordered allocation; returns the selected sequences."""
         policy = self.policy
@@ -253,6 +578,7 @@ class ClusterScheduler:
             return policy.priority_key(rt.spec, rt.remaining_work, rt.sequence)
 
         selected: Set[int] = set()
+        chosen: List[_JobRuntime] = []
         used = 0
         if policy.preemptive:
             admission = sorted(in_system, key=key)
@@ -267,19 +593,104 @@ class ClusterScheduler:
             for rt in sorted((rt for rt in in_system if rt.allocated), key=key):
                 if used + rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size):
                     selected.add(rt.sequence)
+                    chosen.append(rt)
                     used += rt.spec.gpus
                 else:
                     displaced.append(rt)
             admission = sorted(
                 [rt for rt in in_system if not rt.allocated] + displaced, key=key
             )
+        shadow: Optional[float] = None
+        extra = 0.0
         for rt in admission:
+            if shadow is not None:
+                admit, consumes = self._may_backfill(rt, t, shadow, extra)
+                if not admit:
+                    continue
+                if used + rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size):
+                    selected.add(rt.sequence)
+                    chosen.append(rt)
+                    used += rt.spec.gpus
+                    if consumes:
+                        extra -= rt.spec.gpus
+                continue
             if used + rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size):
                 selected.add(rt.sequence)
+                chosen.append(rt)
                 used += rt.spec.gpus
             elif policy.strict_order:
-                break
+                if not self.backfill:
+                    break
+                shadow, extra = self._backfill_window(rt, chosen, faults, t)
         return selected
+
+    def _select_placed(
+        self, in_system: List[_JobRuntime], faults: FrozenSet[int], t: float
+    ) -> Dict[int, FrozenSet[int]]:
+        """Placed-mode allocation: concrete nodes per selected job."""
+        policy = self.policy
+
+        def key(rt: _JobRuntime):
+            return policy.priority_key(rt.spec, rt.remaining_work, rt.sequence)
+
+        placements: Dict[int, FrozenSet[int]] = {}
+        chosen: List[_JobRuntime] = []
+        if policy.preemptive:
+            # Re-place everyone in priority order; a job keeps its exact
+            # nodes when no higher-priority job claimed them (stability --
+            # an unmoved job is never charged).
+            self._held.clear()
+            self._tp_states.clear()
+            admission = sorted(in_system, key=key)
+        else:
+            # Running jobs are immovable in placed mode: their concrete
+            # nodes are healthy (fault hits released theirs already), so
+            # only completions free nodes.
+            for rt in in_system:
+                if rt.allocated:
+                    placements[rt.sequence] = rt.nodes
+                    chosen.append(rt)
+            admission = sorted(
+                [rt for rt in in_system if not rt.allocated], key=key
+            )
+        def attempt(rt: _JobRuntime) -> Optional[FrozenSet[int]]:
+            # A still-allocated job keeps its exact nodes whenever no
+            # higher-priority job claimed them (stability: an unmoved job
+            # is never charged); otherwise it is placed like any other.
+            if (
+                policy.preemptive
+                and rt.allocated
+                and rt.nodes
+                and not (rt.nodes & self._held)
+            ):
+                self._held |= rt.nodes
+                self._placed_sync(rt.nodes)
+                return rt.nodes
+            return self._try_place(rt, faults)
+
+        shadow: Optional[float] = None
+        extra = 0.0
+        for rt in admission:
+            if shadow is not None:
+                admit, consumes = self._may_backfill(rt, t, shadow, extra)
+                if not admit:
+                    continue
+                nodes = attempt(rt)
+                if nodes is not None:
+                    placements[rt.sequence] = nodes
+                    chosen.append(rt)
+                    if consumes:
+                        extra -= rt.spec.gpus
+                continue
+            nodes = attempt(rt)
+            if nodes is not None:
+                placements[rt.sequence] = nodes
+                chosen.append(rt)
+            elif policy.strict_order:
+                if not self.backfill:
+                    break
+                shadow, extra = self._backfill_window(rt, chosen, faults, t)
+        return placements
 
     # ------------------------------------------------------------ the sweep
     def run(self) -> ClusterReport:
@@ -288,6 +699,9 @@ class ClusterScheduler:
             self._validate_runs_to_completion()
         elif horizon <= 0:
             raise ValueError("horizon_hours must be positive")
+        placed = self.placement is not None
+        self._held.clear()
+        self._tp_states.clear()
 
         runtimes = [_JobRuntime(spec, i) for i, spec in enumerate(self.jobs)]
         pending = sorted(runtimes, key=lambda rt: (rt.spec.submit_hour, rt.sequence))
@@ -303,6 +717,7 @@ class ClusterScheduler:
         def settle_completions(now: float) -> None:
             """Mark allocated jobs whose work and restart debt are both done."""
             nonlocal unfinished, in_system
+            released: Set[int] = set()
             for rt in in_system:
                 if rt.allocated and rt.restart_debt <= _EPS and rt.remaining_work <= _EPS:
                     rt.restart_debt = 0.0
@@ -311,8 +726,12 @@ class ClusterScheduler:
                     rt.end = now
                     rt.allocated = False
                     rt.in_system = False
+                    released |= rt.nodes
+                    rt.nodes = frozenset()
                     unfinished -= 1
             in_system = [rt for rt in in_system if rt.in_system]
+            if placed:
+                self._release_nodes(frozenset(released))
 
         t = 0.0
         while unfinished:
@@ -388,41 +807,92 @@ class ClusterScheduler:
             # --------------------------------------------------- completions
             settle_completions(t)
 
-            # -------------------------------------------------- reallocation
-            selected = self._select(in_system, faults)
-            for rt in in_system:
-                now_allocated = rt.sequence in selected
-                if rt.allocated and not now_allocated:
-                    # Classify the eviction per job, independent of whether a
-                    # fault boundary shares the timestamp: a job the current
-                    # capacity could not host at all just waits (matching the
-                    # single-job goodput accounting), while a job that still
-                    # fits but lost its slot to higher-priority work was
-                    # preempted -- it checkpoints on the way out and pays the
-                    # restart overhead when it resumes.
-                    if rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size):
-                        rt.preemptions += 1
-                        rt.restart_debt += rt.spec.restart_overhead_hours
-                        rt.restart_charged += rt.spec.restart_overhead_hours
-                if now_allocated and rt.first_start is None:
-                    rt.first_start = t
-                rt.allocated = now_allocated
-
-            # ------------------------------------------- fault restart debt
-            if new_faults:
-                arrivals = len(new_faults)
+            # ------------------------------------- deterministic fault hits
+            if placed and new_faults:
+                # Exactly the jobs whose held nodes went down restart: each
+                # direct hit costs half a checkpoint interval plus the
+                # restart overhead, and the job's nodes are released.
+                released: Set[int] = set()
                 for rt in in_system:
                     if not rt.allocated:
                         continue
-                    spec = rt.spec
-                    expected_hits = arrivals * spec.gpus / self.total_gpus
-                    debt = expected_hits * (
-                        spec.checkpoint_interval_hours / 2.0
-                        + spec.restart_overhead_hours
-                    )
-                    rt.impacting_faults += expected_hits
-                    rt.restart_debt += debt
-                    rt.restart_charged += debt
+                    hits = len(rt.nodes & new_faults)
+                    if hits:
+                        spec = rt.spec
+                        debt = hits * (
+                            spec.checkpoint_interval_hours / 2.0
+                            + spec.restart_overhead_hours
+                        )
+                        rt.impacting_faults += hits
+                        rt.restart_debt += debt
+                        rt.restart_charged += debt
+                        rt.allocated = False
+                        released |= rt.nodes
+                        rt.nodes = frozenset()
+                self._release_nodes(frozenset(released))
+
+            # -------------------------------------------------- reallocation
+            if placed:
+                placements = self._select_placed(in_system, faults, t)
+                for rt in in_system:
+                    now_allocated = rt.sequence in placements
+                    new_nodes = placements.get(rt.sequence, frozenset())
+                    if rt.allocated and (
+                        not now_allocated or new_nodes != rt.nodes
+                    ):
+                        # Policy pressure moves placed jobs (fault hits
+                        # released their victims above): eviction and
+                        # migration both checkpoint and pay the restart
+                        # overhead on resume.  A preemptive reshuffle that
+                        # leaves a job no room *anywhere* after a capacity
+                        # drop is a squeeze, not a preemption -- it waits
+                        # uncharged, matching the expected-value engine.
+                        if now_allocated or rt.spec.gpus <= self._placed_capacity(
+                            faults, rt.spec.tp_size
+                        ):
+                            rt.preemptions += 1
+                            rt.restart_debt += rt.spec.restart_overhead_hours
+                            rt.restart_charged += rt.spec.restart_overhead_hours
+                    if now_allocated and rt.first_start is None:
+                        rt.first_start = t
+                    rt.allocated = now_allocated
+                    rt.nodes = new_nodes
+            else:
+                selected = self._select(in_system, faults, t)
+                for rt in in_system:
+                    now_allocated = rt.sequence in selected
+                    if rt.allocated and not now_allocated:
+                        # Classify the eviction per job, independent of
+                        # whether a fault boundary shares the timestamp: a
+                        # job the current capacity could not host at all
+                        # just waits (matching the single-job goodput
+                        # accounting), while a job that still fits but lost
+                        # its slot to higher-priority work was preempted --
+                        # it checkpoints on the way out and pays the
+                        # restart overhead when it resumes.
+                        if rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size):
+                            rt.preemptions += 1
+                            rt.restart_debt += rt.spec.restart_overhead_hours
+                            rt.restart_charged += rt.spec.restart_overhead_hours
+                    if now_allocated and rt.first_start is None:
+                        rt.first_start = t
+                    rt.allocated = now_allocated
+
+                # --------------------------------------- fault restart debt
+                if new_faults:
+                    arrivals = len(new_faults)
+                    for rt in in_system:
+                        if not rt.allocated:
+                            continue
+                        spec = rt.spec
+                        expected_hits = arrivals * spec.gpus / self.total_gpus
+                        debt = expected_hits * (
+                            spec.checkpoint_interval_hours / 2.0
+                            + spec.restart_overhead_hours
+                        )
+                        rt.impacting_faults += expected_hits
+                        rt.restart_debt += debt
+                        rt.restart_charged += debt
 
         # ------------------------------------------------------- wind down
         end_hour = t if horizon is None else horizon
@@ -442,6 +912,8 @@ class ClusterScheduler:
             policy=self.policy.name,
             preemptive=self.policy.preemptive,
             horizon_hours=end_hour if horizon is None else horizon,
+            placement=self.placement.name if placed else None,
+            backfill=self.backfill,
         )
 
 
@@ -451,6 +923,8 @@ def schedule_comparison(
     jobs: Sequence[JobSpec],
     policy: Optional[SchedulingPolicy] = None,
     horizon_hours: Optional[float] = None,
+    placement: Optional[Union[PlacementPolicy, str]] = None,
+    backfill: bool = False,
 ) -> Dict[str, ClusterReport]:
     """Replay the same workload across several architectures.
 
@@ -466,7 +940,13 @@ def schedule_comparison(
     """
     return {
         arch.name: ClusterScheduler(
-            arch, timeline, jobs, policy=policy, horizon_hours=horizon_hours
+            arch,
+            timeline,
+            jobs,
+            policy=policy,
+            horizon_hours=horizon_hours,
+            placement=placement,
+            backfill=backfill,
         ).run()
         for arch in architectures
     }

@@ -181,11 +181,25 @@ class JobReport:
             return 0.0
         return self.productive_hours / wall
 
+    @property
+    def finish_time_fairness(self) -> Optional[float]:
+        """Tiresias/Themis-style rho = JCT / ideal JCT on dedicated capacity.
+
+        The ideal JCT is the job's productive work on a dedicated, fault-free
+        allocation (``work_hours``), so ``rho >= 1`` and ``rho == 1`` means
+        the job never waited, restarted or was preempted.  ``None`` for jobs
+        that did not finish (or have unbounded work).
+        """
+        if self.jct_hours is None or not self.work_hours:
+            return None
+        return self.jct_hours / self.work_hours
+
     def to_dict(self) -> Dict[str, Any]:
         data = dataclasses.asdict(self)
         data["finished"] = self.finished
         data["jct_hours"] = self.jct_hours
         data["queueing_delay_hours"] = self.queueing_delay_hours
+        data["finish_time_fairness"] = self.finish_time_fairness
         return data
 
 

@@ -1,0 +1,124 @@
+"""Pluggable node-placement policies for the cluster scheduler.
+
+In placed mode every running job holds a concrete set of node ids, carved
+out of the architecture's placement domains
+(:meth:`repro.hbd.base.HBDArchitecture.placement_groups`: rings for
+SiP-Ring, cubes for TPUv4, units for NVL, healthy segments for InfiniteHBD,
+one flat domain for Big-Switch).  The architecture decides *where* a TP
+group may live; the placement policy only decides *which* domain to fill
+first when several could host the job:
+
+* :class:`PackedPlacement` -- best-fit: fill the domains with the fewest
+  free slots first, keeping large contiguous holes open for large jobs (and
+  concentrating a job's blast radius in few domains);
+* :class:`SpreadPlacement` -- worst-fit: spread TP groups across the
+  emptiest domains, trading fragmentation for a lower chance that a single
+  domain fault takes out many of one job's nodes.
+
+Both are deterministic: ties always break on the domain index, and nodes
+within a domain are handed out lowest-id-first, so a seeded replay is
+byte-for-byte reproducible.  ``placement_by_name`` resolves the spec / CLI
+names with difflib suggestions, matching the scheduling-policy ergonomics.
+"""
+
+from __future__ import annotations
+
+import abc
+import difflib
+from typing import Dict, List, Optional, Tuple, Type
+
+
+class PlacementPolicy(abc.ABC):
+    """Domain-preference order for node-level job placement.
+
+    Subclasses order ``(free_slots, domain_index)`` candidates in place; the
+    engine fills domains in that order until the job's TP groups are all
+    placed (or fails without side effects when they cannot be).
+
+    >>> candidates = [(3, 0), (1, 1), (3, 2)]
+    >>> PackedPlacement().order(candidates); candidates
+    [(1, 1), (3, 0), (3, 2)]
+    >>> candidates = [(3, 0), (1, 1), (3, 2)]
+    >>> SpreadPlacement().order(candidates); candidates
+    [(3, 0), (3, 2), (1, 1)]
+    """
+
+    #: Spec / CLI name of the placement policy.
+    name: str = "abstract"
+
+    #: Fast path: when set to ``"ascending"`` / ``"descending"``, the engine
+    #: walks its per-slot-count domain bands directly in that order (index
+    #: order within a band) instead of materialising and sorting the full
+    #: candidate list -- equivalent to :meth:`order` for the built-ins.
+    #: Custom policies leave it ``None`` and get the generic sorted path.
+    bands: Optional[str] = None
+
+    @abc.abstractmethod
+    def order(self, candidates: List[Tuple[int, int]]) -> None:
+        """Sort ``(free_slots, domain_index)`` pairs into fill order.
+
+        ``free_slots`` is the number of TP groups the domain can still
+        host.  Every ordering must break ties on the domain index (the
+        architecture's deterministic domain order) so placement stays
+        seed-reproducible.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.name})"
+
+
+class PackedPlacement(PlacementPolicy):
+    """Best-fit: fill the fullest domains first (fewest free slots)."""
+
+    name = "packed"
+    bands = "ascending"
+
+    def order(self, candidates: List[Tuple[int, int]]) -> None:
+        candidates.sort()
+
+
+class SpreadPlacement(PlacementPolicy):
+    """Worst-fit: spread TP groups over the emptiest domains first."""
+
+    name = "spread"
+    bands = "descending"
+
+    def order(self, candidates: List[Tuple[int, int]]) -> None:
+        candidates.sort(key=lambda candidate: (-candidate[0], candidate[1]))
+
+
+_PLACEMENTS: Dict[str, Type[PlacementPolicy]] = {
+    PackedPlacement.name: PackedPlacement,
+    SpreadPlacement.name: SpreadPlacement,
+}
+
+#: Spec / CLI names of the built-in placement policies, in presentation order.
+PLACEMENT_NAMES: Tuple[str, ...] = tuple(_PLACEMENTS)
+
+
+def placement_by_name(name: str) -> PlacementPolicy:
+    """Instantiate a placement policy by its spec name.
+
+    >>> placement_by_name("packed")
+    PackedPlacement(packed)
+    >>> placement_by_name("SPREAD").name   # case-insensitive
+    'spread'
+    """
+    key = name.strip().lower()
+    cls = _PLACEMENTS.get(key)
+    if cls is None:
+        close = difflib.get_close_matches(key, _PLACEMENTS, n=2)
+        hint = f"; did you mean {close}?" if close else ""
+        raise KeyError(
+            f"unknown placement policy {name!r}; known: {list(_PLACEMENTS)}{hint}"
+        )
+    return cls()
+
+
+__all__ = [
+    "PLACEMENT_NAMES",
+    "PackedPlacement",
+    "PlacementPolicy",
+    "SpreadPlacement",
+    "placement_by_name",
+]

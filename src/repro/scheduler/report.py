@@ -2,16 +2,16 @@
 
 :class:`ClusterReport` aggregates the per-job :class:`~repro.scheduler.jobs.
 JobReport` records into the workload-level metrics the multi-job evaluation
-is about: makespan, the JCT distribution, queueing delay, and cluster
-goodput (productive GPU-hours over the GPU-hours the cluster offered while
-the workload was in flight).
+is about: makespan, the JCT distribution, queueing delay, cluster goodput
+(productive GPU-hours over the GPU-hours the cluster offered while the
+workload was in flight), and finish-time fairness (the per-job slowdown
+``rho`` with its max / mean and Jain's index).
 """
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +47,10 @@ class ClusterReport:
     policy: str
     preemptive: bool
     horizon_hours: float
+    #: Placement-policy name in placed mode, None for expected-value replay.
+    placement: Optional[str] = None
+    #: Whether EASY backfilling past a blocked head was enabled.
+    backfill: bool = False
 
     # ------------------------------------------------------------ population
     @property
@@ -146,11 +150,47 @@ class ClusterReport:
         busy = self.productive_gpu_hours + self.restart_gpu_hours
         return busy / (self.total_gpus * span)
 
+    # -------------------------------------------------------------- fairness
+    def finish_time_fairness(self) -> List[float]:
+        """Per-job rho = JCT / ideal JCT, for the finished bounded jobs."""
+        return [
+            rho
+            for rho in (job.finish_time_fairness for job in self.jobs)
+            if rho is not None
+        ]
+
+    @property
+    def mean_finish_time_fairness(self) -> float:
+        rhos = self.finish_time_fairness()
+        return float(np.mean(rhos)) if rhos else 0.0
+
+    @property
+    def max_finish_time_fairness(self) -> float:
+        rhos = self.finish_time_fairness()
+        return float(max(rhos)) if rhos else 0.0
+
+    @property
+    def jain_fairness_index(self) -> float:
+        """Jain's index over the per-job rho values.
+
+        ``(sum rho)^2 / (n * sum rho^2)`` -- 1.0 when every job suffers the
+        same slowdown, towards ``1/n`` when one job absorbs all of it; 0.0
+        when no job finished (no data).
+        """
+        rhos = self.finish_time_fairness()
+        if not rhos:
+            return 0.0
+        total = sum(rhos)
+        squares = sum(rho * rho for rho in rhos)
+        return (total * total) / (len(rhos) * squares)
+
     # ------------------------------------------------------------- serialise
     def to_dict(self) -> Dict[str, Any]:
         return {
             "policy": self.policy,
             "preemptive": self.preemptive,
+            "placement": self.placement,
+            "backfill": self.backfill,
             "n_nodes": self.n_nodes,
             "total_gpus": self.total_gpus,
             "horizon_hours": self.horizon_hours,
@@ -164,6 +204,9 @@ class ClusterReport:
             "p99_queueing_delay_hours": self.p99_queueing_delay_hours,
             "cluster_goodput": self.cluster_goodput,
             "cluster_utilization": self.cluster_utilization,
+            "mean_finish_time_fairness": self.mean_finish_time_fairness,
+            "max_finish_time_fairness": self.max_finish_time_fairness,
+            "jain_fairness_index": self.jain_fairness_index,
             "jobs": [job.to_dict() for job in self.jobs],
         }
 

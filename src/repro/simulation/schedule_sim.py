@@ -16,7 +16,7 @@ suffer when one round must take a longer detour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.collectives.cost_model import LinkSpec

@@ -25,10 +25,10 @@ selects them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.training.comm import CommVolumes, iteration_comm_volumes
+from repro.training.comm import iteration_comm_volumes
 from repro.training.flops import flops_per_iteration
 from repro.training.models import ModelConfig
 

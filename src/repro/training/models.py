@@ -15,8 +15,7 @@ only depends on the order of magnitude and the dense/MoE split).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

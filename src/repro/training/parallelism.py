@@ -11,10 +11,10 @@ divisibility, head/layer limits) are skipped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.training.mfu import HardwareSpec, MFUEstimate, MFUSimulator, ParallelismConfig
-from repro.training.models import ModelConfig, gpt_moe_1t, llama31_405b
+from repro.training.mfu import MFUEstimate, MFUSimulator, ParallelismConfig
+from repro.training.models import ModelConfig, gpt_moe_1t
 
 DEFAULT_TP_CHOICES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 DEFAULT_PP_CHOICES: Tuple[int, ...] = (1, 2, 4, 8, 16)

@@ -34,7 +34,7 @@ N_NODES = 24
 DURATION_DAYS = 4
 DURATION_HOURS = DURATION_DAYS * HOURS_PER_DAY
 
-#: The delta-capable line-up plus the fallback architectures, all at R=4.
+#: The delta-capable line-up plus the fallback architecture, all at R=4.
 ARCHITECTURES = [
     SiPRingHBD(gpus_per_node=4),
     TPUv4HBD(gpus_per_node=4, cube_size=16),
@@ -133,13 +133,50 @@ class TestBreakdownDelta:
         with pytest.raises(ValueError, match="both added and removed"):
             arch.breakdown_delta(state, added_faults={6}, removed_faults={6})
 
-    def test_fallback_architectures_are_total(self):
-        for arch in (BigSwitchHBD(4), InfiniteHBDArchitecture(k=2, gpus_per_node=4)):
-            assert not arch.supports_delta
-            state = arch.delta_state(N_NODES, {1, 2}, 8)
-            assert state.aux is None
-            breakdown, state = arch.breakdown_delta(state, added_faults={7})
-            assert breakdown == arch.breakdown(N_NODES, {1, 2, 7}, 8)
+    def test_fallback_architecture_is_total(self):
+        # Big-Switch is the only remaining full-recompute fallback: its
+        # capacity is a single global remainder with no local structure.
+        arch = BigSwitchHBD(4)
+        assert not arch.supports_delta
+        state = arch.delta_state(N_NODES, {1, 2}, 8)
+        assert state.aux is None
+        breakdown, state = arch.breakdown_delta(state, added_faults={7})
+        assert breakdown == arch.breakdown(N_NODES, {1, 2, 7}, 8)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        k=st.integers(min_value=1, max_value=4),
+        ring=st.booleans(),
+        tp_index=st.integers(0, 3),
+        flips=st.lists(st.integers(min_value=0, max_value=39), max_size=60),
+        initial=st.sets(st.integers(min_value=0, max_value=39), max_size=12),
+    )
+    def test_infinitehbd_local_update_matches_topology(
+        self, n, k, ring, tp_index, flips, initial
+    ):
+        """The K-hop local update is bit-for-bit the topology recompute.
+
+        Every flip only touches the segment(s) within reach of the node
+        (bounded by the nearest breakpoints), so this walk stresses run
+        merges/splits, wrap-around runs and the no-breakpoint single-segment
+        ring across K, ring/line mode and TP sizes.
+        """
+        tp_size = (2, 4, 8, 16)[tp_index]
+        arch = InfiniteHBDArchitecture(k=k, gpus_per_node=4, ring=ring)
+        faults = {f for f in initial if f < n}
+        state = arch.delta_state(n, faults, tp_size)
+        assert state.usable == arch.usable_gpus(n, faults, tp_size)
+        for node in flips:
+            node %= n
+            if node in faults:
+                faults.discard(node)
+                breakdown, state = arch.breakdown_delta(state, removed_faults=[node])
+            else:
+                faults.add(node)
+                breakdown, state = arch.breakdown_delta(state, added_faults=[node])
+            assert breakdown.usable_gpus == arch.usable_gpus(n, faults, tp_size)
+            assert state.faults == frozenset(faults)
 
     def test_infeasible_tp_stays_zero(self):
         arch = NVLHBD(8, gpus_per_node=4)  # tp 16 > hbd_size 8
