@@ -17,12 +17,12 @@ values) instead of O(intervals).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 
 def empirical_cdf(
-    values: Sequence[float], weights: Optional[Sequence[float]] = None
-) -> Tuple[List[float], List[float]]:
+    values: Sequence[float], weights: Sequence[float] | None = None
+) -> tuple[list[float], list[float]]:
     """``(sorted values, cumulative probability)`` of an empirical distribution.
 
     Without ``weights`` every value counts equally and the cumulative column
@@ -39,12 +39,12 @@ def empirical_cdf(
         raise ValueError("values and weights must have the same length")
     if any(w < 0 for w in weights):
         raise ValueError("weights must be non-negative")
-    pairs = sorted(zip(values, weights))
+    pairs = sorted(zip(values, weights, strict=True))
     total = sum(weight for _, weight in pairs)
     if total <= 0:
         raise ValueError("total weight must be positive")
     sorted_values = [value for value, _ in pairs]
-    cumulative: List[float] = []
+    cumulative: list[float] = []
     running = 0.0
     for _, weight in pairs:
         running += weight
@@ -72,7 +72,7 @@ def weighted_quantile(
         raise ValueError("weights must be non-negative")
     if not values:
         return 0.0
-    pairs = sorted(zip(values, weights))
+    pairs = sorted(zip(values, weights, strict=True))
     total = sum(weight for _, weight in pairs)
     if total <= 0:
         return pairs[0][0]
@@ -102,7 +102,7 @@ class StreamingDistribution:
     __slots__ = ("_weights", "_weighted_sum", "_total_weight", "_count")
 
     def __init__(self) -> None:
-        self._weights: Dict[float, float] = {}
+        self._weights: dict[float, float] = {}
         self._weighted_sum = 0.0
         self._total_weight = 0.0
         self._count = 0
@@ -129,7 +129,7 @@ class StreamingDistribution:
     def total_weight(self) -> float:
         return self._total_weight
 
-    def items(self) -> List[Tuple[float, float]]:
+    def items(self) -> list[tuple[float, float]]:
         """``(value, total weight)`` pairs, sorted by value."""
         return sorted(self._weights.items())
 
@@ -156,7 +156,7 @@ class StreamingDistribution:
             [v for v, _ in items], [w for _, w in items], q
         )
 
-    def cdf(self) -> Tuple[List[float], List[float]]:
+    def cdf(self) -> tuple[list[float], list[float]]:
         """``(distinct sorted values, cumulative probability)``.
 
         The same step function :func:`empirical_cdf` produces from the

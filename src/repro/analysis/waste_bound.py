@@ -19,10 +19,10 @@ with node failure rates derived from the p99 of the production trace
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 #: Node failure probabilities used by Table 7 (p99-derived, per Appendix C).
-TABLE7_NODE_FAILURE_RATE: Dict[int, float] = {4: 0.0367, 8: 0.0722}
+TABLE7_NODE_FAILURE_RATE: dict[int, float] = {4: 0.0367, 8: 0.0722}
 
 
 def breakpoint_expectation_per_node(p_s: float, k: int) -> float:
@@ -54,15 +54,15 @@ def waste_bound_table(
     tp_size: int = 32,
     ks: Sequence[int] = (2, 3, 4),
     node_sizes: Sequence[int] = (4, 8),
-    failure_rates: Dict[int, float] = None,
-) -> List[Dict[str, float]]:
+    failure_rates: dict[int, float] = None,
+) -> list[dict[str, float]]:
     """Regenerate Table 7 (rows: node size R, columns: K)."""
     rates = failure_rates or TABLE7_NODE_FAILURE_RATE
-    rows: List[Dict[str, float]] = []
+    rows: list[dict[str, float]] = []
     for r in node_sizes:
         if r not in rates:
             raise KeyError(f"no failure rate provided for R={r}")
-        row: Dict[str, float] = {"gpus_per_node": r, "node_failure_rate": rates[r]}
+        row: dict[str, float] = {"gpus_per_node": r, "node_failure_rate": rates[r]}
         for k in ks:
             row[f"k{k}_bound"] = waste_ratio_upper_bound(rates[r], k, tp_size, r)
         rows.append(row)

@@ -27,7 +27,8 @@ from __future__ import annotations
 import difflib
 import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from collections.abc import Callable, Iterator, Mapping
+from typing import Any, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.hbd.base import HBDArchitecture
@@ -50,13 +51,13 @@ class ArchitectureEntry:
 
     name: str
     factory: ArchitectureFactory
-    defaults: Tuple[Tuple[str, Any], ...] = ()
-    aliases: Tuple[str, ...] = ()
+    defaults: tuple[tuple[str, Any], ...] = ()
+    aliases: tuple[str, ...] = ()
     description: str = ""
 
-    def build(self, gpus_per_node: int = 4, **params: Any) -> "HBDArchitecture":
+    def build(self, gpus_per_node: int = 4, **params: Any) -> HBDArchitecture:
         """Instantiate the architecture, merging ``params`` over the defaults."""
-        merged: Dict[str, Any] = dict(self.defaults)
+        merged: dict[str, Any] = dict(self.defaults)
         merged.update(params)
         return self.factory(gpus_per_node=gpus_per_node, **merged)
 
@@ -76,8 +77,8 @@ class ArchitectureRegistry:
     """
 
     def __init__(self) -> None:
-        self._entries: Dict[str, ArchitectureEntry] = {}
-        self._aliases: Dict[str, str] = {}
+        self._entries: dict[str, ArchitectureEntry] = {}
+        self._aliases: dict[str, str] = {}
         self._lock = threading.RLock()
         self._builtins_loaded = False
 
@@ -90,8 +91,8 @@ class ArchitectureRegistry:
         self,
         name: str,
         *,
-        aliases: Tuple[str, ...] = (),
-        defaults: Optional[Mapping[str, Any]] = None,
+        aliases: tuple[str, ...] = (),
+        defaults: Mapping[str, Any] | None = None,
         description: str = "",
         override: bool = False,
     ) -> Callable[[ArchitectureFactory], ArchitectureFactory]:
@@ -115,8 +116,8 @@ class ArchitectureRegistry:
         name: str,
         factory: ArchitectureFactory,
         *,
-        aliases: Tuple[str, ...] = (),
-        defaults: Optional[Mapping[str, Any]] = None,
+        aliases: tuple[str, ...] = (),
+        defaults: Mapping[str, Any] | None = None,
         description: str = "",
         override: bool = False,
     ) -> ArchitectureEntry:
@@ -193,11 +194,11 @@ class ArchitectureRegistry:
 
     def create(
         self, name: str, gpus_per_node: int = 4, **params: Any
-    ) -> "HBDArchitecture":
+    ) -> HBDArchitecture:
         """Instantiate the architecture registered under ``name``."""
         return self.get(name).build(gpus_per_node=gpus_per_node, **params)
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """Canonical registered names, in registration order."""
         self._ensure_builtins()
         with self._lock:

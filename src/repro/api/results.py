@@ -13,7 +13,8 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -29,11 +30,11 @@ class Provenance:
     version: str
     spec_sha256: str
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "Provenance":
+    def from_dict(cls, data: Mapping[str, Any]) -> Provenance:
         return cls(
             seed=data["seed"],
             version=data["version"],
@@ -66,9 +67,9 @@ class ExperimentResult:
     scenario: str
     architecture: str
     tp_size: int
-    metrics: Tuple[Tuple[str, Any], ...]
-    series: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
-    provenance: Optional[Provenance] = None
+    metrics: tuple[tuple[str, Any], ...]
+    series: tuple[tuple[str, tuple[float, ...]], ...] = ()
+    provenance: Provenance | None = None
 
     @classmethod
     def of(
@@ -78,9 +79,9 @@ class ExperimentResult:
         architecture: str,
         tp_size: int,
         metrics: Mapping[str, Any],
-        series: Optional[Mapping[str, Sequence[float]]] = None,
-        provenance: Optional[Provenance] = None,
-    ) -> "ExperimentResult":
+        series: Mapping[str, Sequence[float]] | None = None,
+        provenance: Provenance | None = None,
+    ) -> ExperimentResult:
         return cls(
             experiment=experiment,
             scenario=scenario,
@@ -93,11 +94,11 @@ class ExperimentResult:
 
     # ------------------------------------------------------------- accessors
     @property
-    def metrics_dict(self) -> Dict[str, Any]:
+    def metrics_dict(self) -> dict[str, Any]:
         return dict(self.metrics)
 
     @property
-    def series_dict(self) -> Dict[str, Tuple[float, ...]]:
+    def series_dict(self) -> dict[str, tuple[float, ...]]:
         return dict(self.series)
 
     def metric(self, name: str) -> Any:
@@ -109,12 +110,12 @@ class ExperimentResult:
                 f"{name!r}; available: {sorted(self.metrics_dict)}"
             ) from None
 
-    def with_provenance(self, provenance: Provenance) -> "ExperimentResult":
+    def with_provenance(self, provenance: Provenance) -> ExperimentResult:
         return dataclasses.replace(self, provenance=provenance)
 
     # ---------------------------------------------------------- serialization
-    def to_dict(self) -> Dict[str, Any]:
-        data: Dict[str, Any] = {
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
             "experiment": self.experiment,
             "scenario": self.scenario,
             "architecture": self.architecture,
@@ -128,7 +129,7 @@ class ExperimentResult:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+    def from_dict(cls, data: Mapping[str, Any]) -> ExperimentResult:
         provenance = data.get("provenance")
         return cls.of(
             experiment=data["experiment"],
@@ -156,7 +157,7 @@ class ResultSet:
     True
     """
 
-    results: List[ExperimentResult] = field(default_factory=list)
+    results: list[ExperimentResult] = field(default_factory=list)
 
     def __iter__(self) -> Iterator[ExperimentResult]:
         return iter(self.results)
@@ -169,10 +170,10 @@ class ResultSet:
 
     def filter(
         self,
-        experiment: Optional[str] = None,
-        architecture: Optional[str] = None,
-        tp_size: Optional[int] = None,
-    ) -> "ResultSet":
+        experiment: str | None = None,
+        architecture: str | None = None,
+        tp_size: int | None = None,
+    ) -> ResultSet:
         """Sub-set matching every given axis (None = wildcard)."""
         return ResultSet([
             r for r in self.results
@@ -181,31 +182,31 @@ class ResultSet:
             and (tp_size is None or r.tp_size == tp_size)
         ])
 
-    def architectures(self) -> List[str]:
+    def architectures(self) -> list[str]:
         """Distinct architecture names, in first-seen order."""
-        seen: Dict[str, None] = {}
+        seen: dict[str, None] = {}
         for r in self.results:
             seen.setdefault(r.architecture)
         return list(seen)
 
-    def metric_table(self, experiment: str, metric: str) -> Dict[str, Dict[int, Any]]:
+    def metric_table(self, experiment: str, metric: str) -> dict[str, dict[int, Any]]:
         """``{architecture: {tp_size: value}}`` for one experiment metric."""
-        table: Dict[str, Dict[int, Any]] = {}
+        table: dict[str, dict[int, Any]] = {}
         for r in self.filter(experiment=experiment):
             table.setdefault(r.architecture, {})[r.tp_size] = r.metric(metric)
         return table
 
     # ---------------------------------------------------------- serialization
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {"results": [r.to_dict() for r in self.results]}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "ResultSet":
+    def from_dict(cls, data: Mapping[str, Any]) -> ResultSet:
         return cls([ExperimentResult.from_dict(r) for r in data["results"]])
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
-    def from_json(cls, text: str) -> "ResultSet":
+    def from_json(cls, text: str) -> ResultSet:
         return cls.from_dict(json.loads(text))

@@ -31,7 +31,9 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Callable, Mapping, Sequence
+from multiprocessing.context import BaseContext
+from typing import Any
 
 from repro.api.results import ExperimentResult, Provenance, ResultSet
 from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
@@ -43,13 +45,13 @@ from repro.simulation.goodput import GoodputConfig, GoodputSimulator
 
 
 # ------------------------------------------------------------- parallel plumbing
-def _resolve_workers(max_workers: Optional[int], n_tasks: int) -> int:
+def _resolve_workers(max_workers: int | None, n_tasks: int) -> int:
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     return max(1, min(max_workers, n_tasks))
 
 
-def _fork_context():
+def _fork_context() -> BaseContext | None:
     import multiprocessing
 
     try:
@@ -58,7 +60,7 @@ def _fork_context():
         return None
 
 
-def _map_tasks(fn: Callable[[Any], Any], payloads: Sequence[Any], max_workers: Optional[int]) -> List[Any]:
+def _map_tasks(fn: Callable[[Any], Any], payloads: Sequence[Any], max_workers: int | None) -> list[Any]:
     """Map ``fn`` over ``payloads``, forking a pool when it can help.
 
     Falls back to in-process serial execution on a single core or when fork
@@ -74,12 +76,12 @@ def _map_tasks(fn: Callable[[Any], Any], payloads: Sequence[Any], max_workers: O
 
 
 # ------------------------------------------------------- shared fault timelines
-_TIMELINE_CACHE: Dict[Tuple[TraceSpec, Optional[int]], IntervalTimeline] = {}
+_TIMELINE_CACHE: dict[tuple[TraceSpec, int | None], IntervalTimeline] = {}
 _TIMELINE_LOCK = threading.Lock()
 
 
 def _timeline_for(
-    trace_spec: TraceSpec, n_nodes: Optional[int]
+    trace_spec: TraceSpec, n_nodes: int | None
 ) -> IntervalTimeline:
     """Per-process memoized exact interval timeline for a declarative trace."""
     key = (trace_spec, n_nodes)
@@ -94,7 +96,7 @@ def _timeline_for(
 
 
 # ------------------------------------------------ concrete-object sweep helpers
-def _sweep_one(args: Tuple[HBDArchitecture, IntervalTimeline, int]) -> IntervalSeries:
+def _sweep_one(args: tuple[HBDArchitecture, IntervalTimeline, int]) -> IntervalSeries:
     architecture, timeline, tp_size = args
     return replay_intervals(architecture, timeline, tp_size)
 
@@ -103,9 +105,9 @@ def compare_architectures_over_trace(
     architectures: Sequence[HBDArchitecture],
     trace: FaultTrace,
     tp_size: int,
-    n_nodes: Optional[int] = None,
-    max_workers: Optional[int] = 1,
-) -> Dict[str, IntervalSeries]:
+    n_nodes: int | None = None,
+    max_workers: int | None = 1,
+) -> dict[str, IntervalSeries]:
     """Replay one trace against many architectures over a shared exact timeline.
 
     >>> from repro.api.spec import TraceSpec
@@ -121,16 +123,16 @@ def compare_architectures_over_trace(
     timeline = trace.interval_timeline(n_nodes)
     payloads = [(arch, timeline, tp_size) for arch in architectures]
     series = _map_tasks(_sweep_one, payloads, max_workers)
-    return {arch.name: s for arch, s in zip(architectures, series)}
+    return {arch.name: s for arch, s in zip(architectures, series, strict=True)}
 
 
 def compare_architectures_over_tp_sizes(
     architectures: Sequence[HBDArchitecture],
     trace: FaultTrace,
     tp_sizes: Sequence[int],
-    n_nodes: Optional[int] = None,
-    max_workers: Optional[int] = 1,
-) -> Dict[str, Dict[int, IntervalSeries]]:
+    n_nodes: int | None = None,
+    max_workers: int | None = 1,
+) -> dict[str, dict[int, IntervalSeries]]:
     """Full architecture × TP-size replay grid over a shared exact timeline.
 
     >>> from repro.api.spec import TraceSpec
@@ -144,8 +146,8 @@ def compare_architectures_over_tp_sizes(
     timeline = trace.interval_timeline(n_nodes)
     payloads = [(arch, timeline, tp) for arch in architectures for tp in tp_sizes]
     series = _map_tasks(_sweep_one, payloads, max_workers)
-    grid: Dict[str, Dict[int, IntervalSeries]] = {}
-    for (arch, _, tp), s in zip(payloads, series):
+    grid: dict[str, dict[int, IntervalSeries]] = {}
+    for (arch, _, tp), s in zip(payloads, series, strict=True):
         grid.setdefault(arch.name, {})[tp] = s
     return grid
 
@@ -157,7 +159,7 @@ def _scenario_nodes(scenario: Scenario) -> int:
     return scenario.trace.build().n_nodes
 
 
-def _run_capacity_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+def _run_capacity_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list[dict[str, Any]]:
     """waste / max_job_scale / fault_waiting: exact interval-replay experiments."""
     scenario = spec.scenario
     experiment = payload["experiment"]
@@ -176,7 +178,7 @@ def _run_capacity_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List
     if experiment == "waste":
         # Duration-weighted exact aggregates -- independent of any sampling
         # grid; the emitted series is the piecewise-constant step function.
-        metrics: Dict[str, Any] = {
+        metrics: dict[str, Any] = {
             "mean_waste_ratio": series.mean_waste_ratio,
             "p99_waste_ratio": series.p99_waste_ratio,
             "min_usable_gpus": series.min_usable_gpus,
@@ -212,7 +214,7 @@ def _run_capacity_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List
     ]
 
 
-def _run_goodput_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+def _run_goodput_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list[dict[str, Any]]:
     scenario = spec.scenario
     arch_spec = ArchitectureSpec.from_dict(payload["arch"])
     tp_size = payload["tp_size"]
@@ -247,7 +249,7 @@ def _run_goodput_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[
     ]
 
 
-def _run_schedule_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+def _run_schedule_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list[dict[str, Any]]:
     """Multi-job cluster scheduling over the exact fault timeline."""
     from repro.scheduler.engine import ClusterScheduler
 
@@ -309,7 +311,7 @@ def _run_schedule_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List
     ]
 
 
-def _run_cross_tor_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+def _run_cross_tor_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list[dict[str, Any]]:
     import numpy as np
 
     from repro.core.orchestrator import JobSpec, Orchestrator
@@ -357,7 +359,7 @@ def _run_cross_tor_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> Lis
     ]
 
 
-def _run_mfu_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+def _run_mfu_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list[dict[str, Any]]:
     from repro.training.models import gpt_moe_1t, llama31_405b
     from repro.training.parallelism import search_optimal_strategy
 
@@ -383,7 +385,7 @@ def _run_mfu_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict
         max_tp=options.get("max_tp"),
     )
     if result.best_config is None:
-        metrics: Dict[str, Any] = {"feasible": False}
+        metrics: dict[str, Any] = {"feasible": False}
     else:
         c, e = result.best_config, result.best_estimate
         metrics = {
@@ -403,7 +405,7 @@ def _run_mfu_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict
     ]
 
 
-def _run_cost_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dict[str, Any]]:
+def _run_cost_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list[dict[str, Any]]:
     from repro.cost.analysis import interconnect_cost_table
 
     scenario = spec.scenario
@@ -426,7 +428,7 @@ def _run_cost_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> List[Dic
     ]
 
 
-_HANDLERS: Dict[str, Callable[[ExperimentSpec, Mapping[str, Any]], List[Dict[str, Any]]]] = {
+_HANDLERS: dict[str, Callable[[ExperimentSpec, Mapping[str, Any]], list[dict[str, Any]]]] = {
     "waste": _run_capacity_task,
     "max_job_scale": _run_capacity_task,
     "fault_waiting": _run_capacity_task,
@@ -441,7 +443,7 @@ _HANDLERS: Dict[str, Callable[[ExperimentSpec, Mapping[str, Any]], List[Dict[str
 _ARCH_SWEEP_EXPERIMENTS = ("waste", "max_job_scale", "fault_waiting", "goodput", "schedule")
 
 
-def _execute_payload(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+def _execute_payload(payload: dict[str, Any]) -> list[dict[str, Any]]:
     """Top-level task entry point (picklable for the process pool)."""
     spec = ExperimentSpec.from_dict(payload["spec"])
     return _HANDLERS[payload["experiment"]](spec, payload)
@@ -477,17 +479,17 @@ class ExperimentRunner:
     def __init__(
         self,
         spec: ExperimentSpec,
-        max_workers: Optional[int] = None,
+        max_workers: int | None = None,
     ) -> None:
         self.spec = spec
         self.max_workers = max_workers if max_workers is not None else spec.max_workers
 
-    def tasks(self) -> List[Dict[str, Any]]:
+    def tasks(self) -> list[dict[str, Any]]:
         """The deterministic task list (experiment × architecture × TP)."""
         spec = self.spec
         scenario = spec.scenario
         spec_dict = spec.to_dict()
-        payloads: List[Dict[str, Any]] = []
+        payloads: list[dict[str, Any]] = []
         for experiment in spec.experiments:
             if experiment in _ARCH_SWEEP_EXPERIMENTS:
                 if not scenario.architectures:
@@ -555,7 +557,7 @@ class ExperimentRunner:
 
 
 def run_experiment(
-    spec: ExperimentSpec, max_workers: Optional[int] = None
+    spec: ExperimentSpec, max_workers: int | None = None
 ) -> ResultSet:
     """One-call convenience wrapper around :class:`ExperimentRunner`.
 
@@ -581,4 +583,5 @@ def run_experiment(
 def _package_version() -> str:
     import repro
 
-    return getattr(repro, "__version__", "0")
+    version = getattr(repro, "__version__", "0")
+    return str(version)

@@ -28,7 +28,8 @@ import json
 import threading
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from collections.abc import Mapping
+from typing import TYPE_CHECKING, Any
 
 from repro.faults.trace import FaultTrace
 from repro.scheduler.jobs import JobSpec, check_known_fields
@@ -38,6 +39,10 @@ from repro.scheduler.placement import (
     placement_by_name,
 )
 from repro.scheduler.policies import POLICY_NAMES, SchedulingPolicy, policy_by_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.api.registry import ArchitectureRegistry
+    from repro.hbd.base import HBDArchitecture
 
 #: Experiments the runner knows how to execute.
 KNOWN_EXPERIMENTS = (
@@ -57,7 +62,7 @@ _check_fields = check_known_fields
 
 
 # --------------------------------------------------------------------- traces
-_TRACE_CACHE: Dict["TraceSpec", FaultTrace] = {}
+_TRACE_CACHE: dict[TraceSpec, FaultTrace] = {}
 _TRACE_CACHE_LOCK = threading.Lock()
 
 
@@ -125,11 +130,11 @@ class TraceSpec:
             _TRACE_CACHE.setdefault(self, trace)
         return trace
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "TraceSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> TraceSpec:
         _check_fields(cls, data)
         return cls(**data)
 
@@ -149,33 +154,35 @@ class ArchitectureSpec:
     """
 
     name: str
-    params: Tuple[Tuple[str, Any], ...] = ()
+    params: tuple[tuple[str, Any], ...] = ()
 
     @classmethod
-    def of(cls, name: str, **params: Any) -> "ArchitectureSpec":
+    def of(cls, name: str, **params: Any) -> ArchitectureSpec:
         return cls(name=name, params=tuple(sorted(params.items())))
 
-    def build(self, gpus_per_node: int = 4, registry=None):
+    def build(
+        self, gpus_per_node: int = 4, registry: ArchitectureRegistry | None = None
+    ) -> HBDArchitecture:
         """Instantiate through the (global by default) architecture registry."""
         from repro.api.registry import REGISTRY
 
         reg = registry if registry is not None else REGISTRY
         return reg.create(self.name, gpus_per_node=gpus_per_node, **dict(self.params))
 
-    def to_dict(self) -> Union[str, Dict[str, Any]]:
+    def to_dict(self) -> str | dict[str, Any]:
         if not self.params:
             return self.name
         return {"name": self.name, "params": dict(self.params)}
 
     @classmethod
-    def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "ArchitectureSpec":
+    def from_dict(cls, data: str | Mapping[str, Any]) -> ArchitectureSpec:
         if isinstance(data, str):
             return cls(name=data)
         _check_fields(cls, data)
         return cls.of(data["name"], **dict(data.get("params", {})))
 
 
-def default_architecture_specs() -> Tuple[ArchitectureSpec, ...]:
+def default_architecture_specs() -> tuple[ArchitectureSpec, ...]:
     """The paper's eight-architecture line-up as registry specs.
 
     >>> [spec.name for spec in default_architecture_specs()][:3]
@@ -210,11 +217,11 @@ class WorkloadSpec:
     """
 
     kind: str = "synthetic"
-    jobs: Tuple[JobSpec, ...] = ()
+    jobs: tuple[JobSpec, ...] = ()
     n_jobs: int = 100
     seed: int = 0
-    tp_size: Optional[int] = None
-    max_gpus: Optional[int] = None
+    tp_size: int | None = None
+    max_gpus: int | None = None
     mean_interarrival_hours: float = 1.0
     median_tp_groups: float = 4.0
     sigma_tp_groups: float = 1.2
@@ -233,7 +240,7 @@ class WorkloadSpec:
         if self.kind == "synthetic" and self.jobs:
             raise ValueError("synthetic workloads must not carry explicit jobs")
 
-    def build(self, tp_size: int, max_gpus: int) -> Tuple[JobSpec, ...]:
+    def build(self, tp_size: int, max_gpus: int) -> tuple[JobSpec, ...]:
         """The concrete job queue (``tp_size`` / ``max_gpus`` fill the defaults)."""
         if self.kind == "explicit":
             return self.jobs
@@ -255,7 +262,7 @@ class WorkloadSpec:
             )
         )
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         data = dataclasses.asdict(self)
         data["jobs"] = [job.to_dict() for job in self.jobs]
         if not data["jobs"]:
@@ -263,7 +270,7 @@ class WorkloadSpec:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> WorkloadSpec:
         _check_fields(cls, data)
         fields = dict(data)
         if "jobs" in fields:
@@ -299,8 +306,8 @@ class SchedulerSpec:
 
     policy: str = "fifo"
     preemptive: bool = False
-    horizon_hours: Optional[float] = None
-    placement: Optional[str] = None
+    horizon_hours: float | None = None
+    placement: str | None = None
     backfill: bool = False
 
     def __post_init__(self) -> None:
@@ -319,16 +326,16 @@ class SchedulerSpec:
     def build(self) -> SchedulingPolicy:
         return policy_by_name(self.policy, preemptive=self.preemptive)
 
-    def build_placement(self) -> Optional[PlacementPolicy]:
+    def build_placement(self) -> PlacementPolicy | None:
         if self.placement is None:
             return None
         return placement_by_name(self.placement)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "SchedulerSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> SchedulerSpec:
         _check_fields(cls, data)
         return cls(**data)
 
@@ -347,13 +354,13 @@ class Scenario:
 
     name: str
     trace: TraceSpec = field(default_factory=TraceSpec)
-    architectures: Tuple[ArchitectureSpec, ...] = ()
-    tp_sizes: Tuple[int, ...] = (32,)
-    n_nodes: Optional[int] = 720
+    architectures: tuple[ArchitectureSpec, ...] = ()
+    tp_sizes: tuple[int, ...] = (32,)
+    n_nodes: int | None = 720
     seed: int = 348
     job_gpus: int = 2560
     availability: float = 1.0
-    workload: Optional[WorkloadSpec] = None
+    workload: WorkloadSpec | None = None
     scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
 
     def __post_init__(self) -> None:
@@ -365,12 +372,12 @@ class Scenario:
             raise ValueError("availability must be in (0, 1]")
 
     @classmethod
-    def default(cls, name: str = "default", **overrides: Any) -> "Scenario":
+    def default(cls, name: str = "default", **overrides: Any) -> Scenario:
         """The paper's 2,880-GPU line-up scenario with optional overrides."""
         overrides.setdefault("architectures", default_architecture_specs())
         return cls(name=name, **overrides)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         data = {
             "name": self.name,
             "trace": self.trace.to_dict(),
@@ -390,7 +397,7 @@ class Scenario:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+    def from_dict(cls, data: Mapping[str, Any]) -> Scenario:
         _check_fields(cls, data)
         fields = dict(data)
         if "trace" in fields:
@@ -432,9 +439,9 @@ class ExperimentSpec:
     """
 
     scenario: Scenario
-    experiments: Tuple[str, ...] = ("waste",)
-    options: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
-    max_workers: Optional[int] = None
+    experiments: tuple[str, ...] = ("waste",)
+    options: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = ()
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         unknown = sorted(set(self.experiments) - set(KNOWN_EXPERIMENTS))
@@ -466,10 +473,10 @@ class ExperimentSpec:
     def of(
         cls,
         scenario: Scenario,
-        experiments: Tuple[str, ...] = ("waste",),
-        options: Optional[Mapping[str, Mapping[str, Any]]] = None,
-        max_workers: Optional[int] = None,
-    ) -> "ExperimentSpec":
+        experiments: tuple[str, ...] = ("waste",),
+        options: Mapping[str, Mapping[str, Any]] | None = None,
+        max_workers: int | None = None,
+    ) -> ExperimentSpec:
         """Build a spec from plain mappings (the ergonomic constructor)."""
         packed = tuple(
             (name, tuple(sorted(opts.items())))
@@ -482,14 +489,14 @@ class ExperimentSpec:
             max_workers=max_workers,
         )
 
-    def options_for(self, experiment: str) -> Dict[str, Any]:
+    def options_for(self, experiment: str) -> dict[str, Any]:
         for name, opts in self.options:
             if name == experiment:
                 return dict(opts)
         return {}
 
-    def to_dict(self) -> Dict[str, Any]:
-        options: Dict[str, Dict[str, Any]] = {}
+    def to_dict(self) -> dict[str, Any]:
+        options: dict[str, dict[str, Any]] = {}
         for name, opts in self.options:
             cleaned = dict(opts)
             # Deprecated, ignored by the event-driven replay: accepted as
@@ -506,7 +513,7 @@ class ExperimentSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> ExperimentSpec:
         _check_fields(cls, data)
         return cls.of(
             scenario=Scenario.from_dict(data["scenario"]),
@@ -519,10 +526,10 @@ class ExperimentSpec:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
-    def from_json(cls, text: str) -> "ExperimentSpec":
+    def from_json(cls, text: str) -> ExperimentSpec:
         return cls.from_dict(json.loads(text))
 
     def digest(self) -> str:
         """Stable SHA-256 of the canonical JSON form (stamped into results)."""
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return hashlib.sha256(canonical.encode()).hexdigest()

@@ -30,7 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.api.runner import ExperimentRunner
 from repro.api.spec import (
@@ -48,7 +48,7 @@ from repro.scheduler.policies import POLICY_NAMES
 # --------------------------------------------------------------------------
 # subcommand implementations (return lines of text so they are testable)
 # --------------------------------------------------------------------------
-def cmd_trace(args: argparse.Namespace) -> List[str]:
+def cmd_trace(args: argparse.Namespace) -> list[str]:
     # TraceSpec owns the node-granularity logic: 8 GPUs/node is the generated
     # trace, 4 GPUs/node applies the Bayes conversion; anything else is
     # rejected by both argparse (choices) and TraceSpec validation.
@@ -67,7 +67,7 @@ def cmd_trace(args: argparse.Namespace) -> List[str]:
     return lines
 
 
-def cmd_waste(args: argparse.Namespace) -> List[str]:
+def cmd_waste(args: argparse.Namespace) -> list[str]:
     spec = ExperimentSpec.of(
         scenario=Scenario(
             name="cli-waste",
@@ -90,7 +90,7 @@ def cmd_waste(args: argparse.Namespace) -> List[str]:
     return lines
 
 
-def cmd_orchestrate(args: argparse.Namespace) -> List[str]:
+def cmd_orchestrate(args: argparse.Namespace) -> list[str]:
     import numpy as np
 
     from repro.core.orchestrator import JobSpec, Orchestrator
@@ -123,7 +123,7 @@ def cmd_orchestrate(args: argparse.Namespace) -> List[str]:
     return lines
 
 
-def cmd_mfu(args: argparse.Namespace) -> List[str]:
+def cmd_mfu(args: argparse.Namespace) -> list[str]:
     from repro.training.models import gpt_moe_1t, llama31_405b
     from repro.training.parallelism import search_optimal_strategy
 
@@ -150,7 +150,7 @@ def cmd_mfu(args: argparse.Namespace) -> List[str]:
     ]
 
 
-def cmd_cost(args: argparse.Namespace) -> List[str]:
+def cmd_cost(args: argparse.Namespace) -> list[str]:
     from repro.cost.analysis import interconnect_cost_table
 
     rows = interconnect_cost_table(include_hpn=args.include_hpn)
@@ -163,7 +163,7 @@ def cmd_cost(args: argparse.Namespace) -> List[str]:
     return lines
 
 
-def cmd_goodput(args: argparse.Namespace) -> List[str]:
+def cmd_goodput(args: argparse.Namespace) -> list[str]:
     spec = ExperimentSpec.of(
         scenario=Scenario(
             name="cli-goodput",
@@ -190,7 +190,7 @@ def cmd_goodput(args: argparse.Namespace) -> List[str]:
     return lines
 
 
-def cmd_schedule(args: argparse.Namespace) -> List[str]:
+def cmd_schedule(args: argparse.Namespace) -> list[str]:
     spec = ExperimentSpec.of(
         scenario=Scenario(
             name="cli-schedule",
@@ -238,7 +238,7 @@ def cmd_schedule(args: argparse.Namespace) -> List[str]:
     return lines
 
 
-def cmd_run(args: argparse.Namespace) -> List[str]:
+def cmd_run(args: argparse.Namespace) -> list[str]:
     with open(args.spec) as handle:
         spec = ExperimentSpec.from_dict(json.load(handle))
     results = ExperimentRunner(spec, max_workers=args.workers).run()
@@ -262,7 +262,7 @@ def cmd_run(args: argparse.Namespace) -> List[str]:
     return lines
 
 
-def cmd_architectures(args: argparse.Namespace) -> List[str]:
+def cmd_architectures(args: argparse.Namespace) -> list[str]:
     from repro.api.registry import REGISTRY
 
     lines = [f"{'name':20s} {'aliases':28s} description"]
@@ -272,8 +272,27 @@ def cmd_architectures(args: argparse.Namespace) -> List[str]:
     return lines
 
 
-def cmd_docs(args: argparse.Namespace) -> List[str]:
+def cmd_docs(args: argparse.Namespace) -> list[str]:
     return render_cli_reference().splitlines()
+
+
+def cmd_lint(args: argparse.Namespace) -> list[str]:
+    import io
+
+    from repro.devtools.lint import run as lint_run
+
+    argv = list(args.paths) + ["--format", args.format]
+    if args.config is not None:
+        argv += ["--config", args.config]
+    buffer = io.StringIO()
+    status = lint_run(argv, stream=buffer)
+    lines = buffer.getvalue().splitlines()
+    if status:
+        # Findings remain: print them here so the nonzero exit can propagate.
+        for line in lines:
+            print(line)
+        raise SystemExit(status)
+    return lines
 
 
 def _fmt_metric(value) -> str:
@@ -404,6 +423,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("docs", help="print the generated CLI reference (markdown)")
     p.set_defaults(func=cmd_docs)
 
+    p = add_parser("lint", help="determinism linter (rules D001-D008)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.add_argument("--config", metavar="PYPROJECT", default=None,
+                   help="explicit pyproject.toml to read [tool.repro-lint] from")
+    p.set_defaults(func=cmd_lint)
+
     return parser
 
 
@@ -422,17 +450,17 @@ _DOC_EXAMPLES = {
     "run": "python -m repro.cli run --spec demo.json --output results.json",
     "architectures": "python -m repro.cli architectures",
     "docs": "python -m repro.cli docs > docs/cli.md",
+    "lint": "python -m repro.cli lint src",
 }
 
 
-def iter_subcommands(parser: Optional[argparse.ArgumentParser] = None):
+def iter_subcommands(parser: argparse.ArgumentParser | None = None):
     """``(name, subparser)`` pairs of the CLI, in registration order."""
     parser = parser if parser is not None else build_parser()
     for action in parser._actions:
         if isinstance(action, argparse._SubParsersAction):
             # choices preserves registration order and skips alias duplicates
-            for name, subparser in action.choices.items():
-                yield name, subparser
+            yield from action.choices.items()
 
 
 def render_cli_reference() -> str:
@@ -474,7 +502,7 @@ def render_cli_reference() -> str:
     return "\n".join(lines) + "\n"
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     for line in args.func(args):

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.collectives.cost_model import LinkSpec
 
@@ -31,7 +31,7 @@ def _check_power_of_two(p: int) -> None:
         raise ValueError(f"group size must be a power of two, got {p}")
 
 
-def binary_exchange_alltoall(blocks: Sequence[Sequence]) -> List[List]:
+def binary_exchange_alltoall(blocks: Sequence[Sequence]) -> list[list]:
     """Run the Binary Exchange AllToAll on explicit data blocks.
 
     ``blocks[i][j]`` is the payload node ``i`` wants to deliver to node ``j``.
@@ -51,14 +51,14 @@ def binary_exchange_alltoall(blocks: Sequence[Sequence]) -> List[List]:
             raise ValueError(f"blocks[{i}] must have {p} entries")
 
     # held[i] maps (source, destination) -> payload currently stored at node i.
-    held: List[Dict[Tuple[int, int], object]] = [
+    held: list[dict[tuple[int, int], object]] = [
         {(i, dst): blocks[i][dst] for dst in range(p)} for i in range(p)
     ]
     rounds = int(math.log2(p)) if p > 1 else 0
     for k in range(1, rounds + 1):
         bit = rounds - k
         mask = 1 << bit
-        new_held: List[Dict[Tuple[int, int], object]] = [dict() for _ in range(p)]
+        new_held: list[dict[tuple[int, int], object]] = [dict() for _ in range(p)]
         for i in range(p):
             partner = i ^ mask
             for (src, dst), payload in held[i].items():
@@ -68,7 +68,7 @@ def binary_exchange_alltoall(blocks: Sequence[Sequence]) -> List[List]:
                     new_held[i][(src, dst)] = payload
         held = new_held
 
-    result: List[List] = [[None] * p for _ in range(p)]
+    result: list[list] = [[None] * p for _ in range(p)]
     for i in range(p):
         for (src, dst), payload in held[i].items():
             if dst != i:
@@ -80,7 +80,7 @@ def binary_exchange_alltoall(blocks: Sequence[Sequence]) -> List[List]:
     return result
 
 
-def pairwise_exchange_alltoall(blocks: Sequence[Sequence]) -> List[List]:
+def pairwise_exchange_alltoall(blocks: Sequence[Sequence]) -> list[list]:
     """Pairwise-exchange AllToAll (reference algorithm, needs full mesh).
 
     In round ``k`` (1..p-1) node ``i`` exchanges directly with ``i XOR k``;
@@ -92,7 +92,7 @@ def pairwise_exchange_alltoall(blocks: Sequence[Sequence]) -> List[List]:
     for i, row in enumerate(blocks):
         if len(row) != p:
             raise ValueError(f"blocks[{i}] must have {p} entries")
-    result: List[List] = [[None] * p for _ in range(p)]
+    result: list[list] = [[None] * p for _ in range(p)]
     for i in range(p):
         result[i][i] = blocks[i][i]
     for k in range(1, p):
@@ -238,11 +238,11 @@ def complexity_comparison(
     group_sizes: Sequence[int],
     block_bytes: float,
     link: LinkSpec,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Ring vs Binary Exchange vs Bruck vs pairwise across group sizes."""
-    rows: List[Dict[str, float]] = []
+    rows: list[dict[str, float]] = []
     for p in group_sizes:
-        row: Dict[str, float] = {"group_size": p}
+        row: dict[str, float] = {"group_size": p}
         row["ring_s"] = ring_alltoall_cost(p, block_bytes, link).time_s
         row["binary_exchange_s"] = binary_exchange_cost(p, block_bytes, link).time_s
         row["bruck_s"] = bruck_cost(p, block_bytes, link).time_s

@@ -17,7 +17,6 @@ node.  The alpha-beta model below reproduces these numbers through the link's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.collectives.cost_model import (
     CollectiveCost,
@@ -110,7 +109,7 @@ class RingAllReduceModel:
             return 0.0
         return (t_switched - t_direct) / t_switched
 
-    def section52_summary(self) -> Dict[str, float]:
+    def section52_summary(self) -> dict[str, float]:
         """The three headline utilisation numbers of section 5.2."""
         return {
             "ring_16_gpu_utilization": self.utilization(16),

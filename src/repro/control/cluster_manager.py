@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 from repro.control.fabric_manager import NodeFabricManager, NodeRole
 from repro.core.khop_ring import KHopRingTopology, KHopTopologyConfig
@@ -45,7 +45,7 @@ class RingAssignment:
 
     ring_id: int
     tp_size: int
-    node_ids: List[int]
+    node_ids: list[int]
     state: RingState = RingState.ACTIVE
 
     @property
@@ -92,19 +92,19 @@ class ClusterManager:
         self.topology = KHopRingTopology(
             KHopTopologyConfig(n_nodes=n_nodes, k=k, gpus_per_node=gpus_per_node, ring=ring)
         )
-        self.nodes: List[Node] = make_nodes(
+        self.nodes: list[Node] = make_nodes(
             n_nodes,
             n_gpus=gpus_per_node,
             n_bundles=max(2, k),
             modules_per_bundle=modules_per_bundle,
         )
-        self.fabric_managers: Dict[int, NodeFabricManager] = {
+        self.fabric_managers: dict[int, NodeFabricManager] = {
             node.node_id: NodeFabricManager(node, self.topology) for node in self.nodes
         }
-        self.rings: Dict[int, RingAssignment] = {}
-        self.events: List[ControlEvent] = []
+        self.rings: dict[int, RingAssignment] = {}
+        self.events: list[ControlEvent] = []
         self._next_ring_id = 0
-        self._node_to_ring: Dict[int, int] = {}
+        self._node_to_ring: dict[int, int] = {}
 
     # ------------------------------------------------------------------ state
     @property
@@ -116,10 +116,10 @@ class ClusterManager:
         return self.topology.config.gpus_per_node
 
     @property
-    def faulty_nodes(self) -> Set[int]:
+    def faulty_nodes(self) -> set[int]:
         return {n.node_id for n in self.nodes if n.failed}
 
-    def free_nodes(self) -> List[int]:
+    def free_nodes(self) -> list[int]:
         """Healthy nodes not currently assigned to any ring."""
         return [
             n.node_id
@@ -127,10 +127,10 @@ class ClusterManager:
             if not n.failed and n.node_id not in self._node_to_ring
         ]
 
-    def active_rings(self) -> List[RingAssignment]:
+    def active_rings(self) -> list[RingAssignment]:
         return [r for r in self.rings.values() if r.state in (RingState.ACTIVE, RingState.DEGRADED)]
 
-    def ring_of(self, node_id: int) -> Optional[RingAssignment]:
+    def ring_of(self, node_id: int) -> RingAssignment | None:
         ring_id = self._node_to_ring.get(node_id)
         return self.rings.get(ring_id) if ring_id is not None else None
 
@@ -144,9 +144,9 @@ class ClusterManager:
     def allocate_rings(
         self,
         tp_size: int,
-        max_rings: Optional[int] = None,
+        max_rings: int | None = None,
         time_hours: float = 0.0,
-    ) -> List[RingAssignment]:
+    ) -> list[RingAssignment]:
         """Allocate as many ``tp_size``-GPU rings as possible (or ``max_rings``).
 
         Rings are packed onto healthy segments of the topology, skipping
@@ -156,9 +156,9 @@ class ClusterManager:
         """
         nodes_per_ring = self.nodes_per_ring(tp_size)
         unavailable = self.faulty_nodes | set(self._node_to_ring)
-        allocated: List[RingAssignment] = []
+        allocated: list[RingAssignment] = []
         for segment in self.topology.healthy_segments(self.faulty_nodes):
-            run: List[int] = []
+            run: list[int] = []
             for node_id in segment.nodes:
                 if node_id in unavailable:
                     # An already-assigned node interrupts the free run only if
@@ -193,7 +193,7 @@ class ClusterManager:
                 self.release_ring(ring_id, time_hours)
 
     # ------------------------------------------------------------ fault plane
-    def handle_fault(self, node_id: int, time_hours: float = 0.0) -> Optional[float]:
+    def handle_fault(self, node_id: int, time_hours: float = 0.0) -> float | None:
         """Process a node failure.
 
         Returns the bypass reconfiguration latency in microseconds when the
@@ -234,7 +234,7 @@ class ClusterManager:
         self.allocate_rings(tp_size)
         total_rings = max(1, len(self.active_rings()))
 
-        changes: List[Tuple[float, str, int]] = []
+        changes: list[tuple[float, str, int]] = []
         for event in trace.events:
             if event.node_id >= self.n_nodes:
                 continue
@@ -243,7 +243,7 @@ class ClusterManager:
         changes.sort(key=lambda c: c[0])
 
         faults = repairs = bypasses = 0
-        availability_samples: List[float] = []
+        availability_samples: list[float] = []
         for time_hours, kind, node_id in changes:
             if kind == "fault":
                 faults += 1
@@ -278,7 +278,7 @@ class ClusterManager:
     def _program_ring(
         self, node_ids: Sequence[int], tp_size: int, time_hours: float
     ) -> RingAssignment:
-        latencies: List[float] = []
+        latencies: list[float] = []
         for position, node_id in enumerate(node_ids):
             manager = self.fabric_managers[node_id]
             is_head = position == 0
@@ -323,7 +323,7 @@ class ClusterManager:
 
     def _heal_ring(
         self, ring: RingAssignment, failed_node: int, time_hours: float
-    ) -> Optional[float]:
+    ) -> float | None:
         """Bypass ``failed_node`` inside ``ring`` if the K-hop reach allows it."""
         index = ring.node_ids.index(failed_node)
         left_index = index - 1
@@ -339,7 +339,7 @@ class ClusterManager:
             )
             return None
 
-        latencies: List[float] = []
+        latencies: list[float] = []
         if 0 <= left_index and right_index < len(ring.node_ids):
             left_node = ring.node_ids[left_index]
             right_node = ring.node_ids[right_index]

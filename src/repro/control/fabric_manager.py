@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
 
 from repro.core.khop_ring import KHopRingTopology
 from repro.core.node import Node
@@ -33,8 +32,8 @@ class FabricConfiguration:
     """The intent most recently applied to a node."""
 
     role: NodeRole
-    left_peer: Optional[int]
-    right_peer: Optional[int]
+    left_peer: int | None
+    right_peer: int | None
 
 
 class NodeFabricManager:
@@ -66,8 +65,8 @@ class NodeFabricManager:
     def configure(
         self,
         role: NodeRole,
-        left_peer: Optional[int] = None,
-        right_peer: Optional[int] = None,
+        left_peer: int | None = None,
+        right_peer: int | None = None,
     ) -> float:
         """Apply a ring role; returns the switching latency in microseconds.
 
@@ -80,7 +79,7 @@ class NodeFabricManager:
 
         left_bundle = self.node.bundle(0)
         right_bundle = self.node.bundle(min(1, self.node.n_bundles - 1))
-        latencies: List[float] = []
+        latencies: list[float] = []
 
         if role is NodeRole.UNASSIGNED:
             latencies.append(left_bundle.deactivate())
@@ -145,7 +144,7 @@ class NodeFabricManager:
         return latency
 
     # -------------------------------------------------------------- internals
-    def _point(self, bundle, peer: Optional[int], force: bool = False) -> float:
+    def _point(self, bundle, peer: int | None, force: bool = False) -> float:
         if peer is None:
             raise ValueError("an outward-facing side needs a peer node")
         self._check_reachable(peer)
@@ -167,7 +166,7 @@ class NodeFabricManager:
             )
 
     def _validate(
-        self, role: NodeRole, left_peer: Optional[int], right_peer: Optional[int]
+        self, role: NodeRole, left_peer: int | None, right_peer: int | None
     ) -> None:
         if role is NodeRole.MIDDLE and (left_peer is None or right_peer is None):
             raise ValueError("a middle node needs both peers")

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 import networkx as nx
 
@@ -62,15 +62,15 @@ class PowerOfTwoTopology:
         self.config = config
 
     # ------------------------------------------------------------------ links
-    def link_distances(self) -> List[int]:
+    def link_distances(self) -> list[int]:
         """The set of hop distances covered by direct links."""
         return [2 ** i for i in range(self.config.n_bundles)]
 
-    def neighbors(self, node: int) -> List[int]:
+    def neighbors(self, node: int) -> list[int]:
         """Nodes directly reachable from ``node``."""
         self._check(node)
         n = self.config.n_nodes
-        result: Set[int] = set()
+        result: set[int] = set()
         for distance in self.link_distances():
             if self.config.ring:
                 result.add((node + distance) % n)
@@ -104,7 +104,7 @@ class PowerOfTwoTopology:
     # ------------------------------------------------- binary exchange support
     def binary_exchange_rounds(
         self, group_nodes: Sequence[int]
-    ) -> List[List[Tuple[int, int]]]:
+    ) -> list[list[tuple[int, int]]]:
         """Per-round communication pairs of Binary Exchange over ``group_nodes``.
 
         ``group_nodes`` must have a power-of-two length; round ``k`` pairs the
@@ -120,10 +120,10 @@ class PowerOfTwoTopology:
         for node in group_nodes:
             self._check(node)
         rounds = int(math.log2(p)) if p > 1 else 0
-        schedule: List[List[Tuple[int, int]]] = []
+        schedule: list[list[tuple[int, int]]] = []
         for k in range(1, rounds + 1):
             mask = 1 << (rounds - k)
-            pairs: List[Tuple[int, int]] = []
+            pairs: list[tuple[int, int]] = []
             for index in range(p):
                 partner = index ^ mask
                 if index < partner:
@@ -145,7 +145,7 @@ class PowerOfTwoTopology:
             return False
         return True
 
-    def ep_group(self, start: int, ep_size: int, stride: int = 1) -> List[int]:
+    def ep_group(self, start: int, ep_size: int, stride: int = 1) -> list[int]:
         """The ``ep_size`` nodes of an EP group starting at ``start``.
 
         ``stride`` is the node distance between consecutive EP members (the
@@ -185,7 +185,7 @@ class PowerOfTwoTopology:
 
     def plan_tp_ep(
         self, start: int, tp_size: int, ep_size: int
-    ) -> Dict[str, object]:
+    ) -> dict[str, object]:
         """Lay out one TP x EP block starting at node ``start``.
 
         Returns the TP node span per EP member plus the Binary Exchange

@@ -23,7 +23,7 @@ segments (a *breakpoint* in the paper's Appendix C terminology).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set, Tuple
+from collections.abc import Iterable
 
 import networkx as nx
 
@@ -80,7 +80,7 @@ class Segment:
     ``is_ring`` is True when the segment wraps the whole ring (no endpoints).
     """
 
-    nodes: Tuple[int, ...]
+    nodes: tuple[int, ...]
     is_ring: bool = False
 
     def __len__(self) -> int:
@@ -106,11 +106,11 @@ class KHopRingTopology:
         self.config = config
 
     # ------------------------------------------------------------ basic graph
-    def neighbors(self, node: int) -> List[int]:
+    def neighbors(self, node: int) -> list[int]:
         """Nodes within K hops of ``node`` (primary + backup links)."""
         self._check_node(node)
         n, k = self.config.n_nodes, self.config.k
-        result: Set[int] = set()
+        result: set[int] = set()
         for hop in range(1, k + 1):
             if self.config.ring:
                 result.add((node + hop) % n)
@@ -140,7 +140,7 @@ class KHopRingTopology:
             return min(diff, self.config.n_nodes - diff)
         return diff
 
-    def graph(self, faulty: Optional[Iterable[int]] = None) -> nx.Graph:
+    def graph(self, faulty: Iterable[int] | None = None) -> nx.Graph:
         """Explicit networkx graph; faulty nodes (if given) are removed."""
         faulty_set = set(faulty or ())
         g = nx.Graph()
@@ -158,7 +158,7 @@ class KHopRingTopology:
         return g
 
     # -------------------------------------------------------- healthy segments
-    def healthy_segments(self, faulty: Iterable[int]) -> List[Segment]:
+    def healthy_segments(self, faulty: Iterable[int]) -> list[Segment]:
         """Maximal healthy segments under ``faulty`` node failures.
 
         Two consecutive healthy nodes belong to the same segment when the run
@@ -176,8 +176,8 @@ class KHopRingTopology:
         if not faulty_set and self.config.ring:
             return [Segment(nodes=tuple(healthy), is_ring=True)]
 
-        segments: List[List[int]] = [[healthy[0]]]
-        for prev, cur in zip(healthy, healthy[1:]):
+        segments: list[list[int]] = [[healthy[0]]]
+        for prev, cur in zip(healthy, healthy[1:], strict=False):
             if cur - prev <= k:
                 segments[-1].append(cur)
             else:
@@ -213,7 +213,7 @@ class KHopRingTopology:
         if len(healthy) <= 1:
             return 0
         count = 0
-        for prev, cur in zip(healthy, healthy[1:]):
+        for prev, cur in zip(healthy, healthy[1:], strict=False):
             if cur - prev - 1 >= k:
                 count += 1
         if self.config.ring:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 
 class MultiDimStrategy(enum.Enum):
@@ -57,7 +57,7 @@ class MultiDimPlan:
     """Evaluation of one provisioning strategy for a traffic mix."""
 
     strategy: MultiDimStrategy
-    per_dimension_bandwidth_gbps: Dict[str, float]
+    per_dimension_bandwidth_gbps: dict[str, float]
     communication_time_s: float
     reconfiguration_time_s: float
     keeps_backup_links: bool
@@ -122,7 +122,7 @@ class MultiDimensionPlanner:
             keeps_backup_links=len(traffic) <= 1,
         )
 
-    def compare(self, traffic: Sequence[DimensionTraffic]) -> Dict[str, MultiDimPlan]:
+    def compare(self, traffic: Sequence[DimensionTraffic]) -> dict[str, MultiDimPlan]:
         """Both plans for the same traffic mix, keyed by strategy value."""
         return {
             MultiDimStrategy.INDEPENDENT.value: self.independent_plan(traffic),

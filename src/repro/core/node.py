@@ -17,7 +17,6 @@ and bundle bookkeeping, while the ring-construction code
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.hardware.ocstrx import OCSTrxBundle, OCSTrxConfig, PathState
 
@@ -61,7 +60,7 @@ class Node:
         n_gpus: int = 4,
         n_bundles: int = 2,
         modules_per_bundle: int = 8,
-        trx_config: Optional[OCSTrxConfig] = None,
+        trx_config: OCSTrxConfig | None = None,
     ) -> None:
         if n_gpus < 2:
             raise ValueError("a node needs at least 2 GPUs")
@@ -72,11 +71,11 @@ class Node:
         self.node_id = node_id
         self.n_gpus = n_gpus
         self.n_bundles = n_bundles
-        self.gpus: List[GPU] = [
+        self.gpus: list[GPU] = [
             GPU(gpu_id=f"n{node_id}/g{i}", node_id=node_id, local_index=i)
             for i in range(n_gpus)
         ]
-        self.bundles: List[OCSTrxBundle] = [
+        self.bundles: list[OCSTrxBundle] = [
             OCSTrxBundle(
                 bundle_id=f"n{node_id}/b{i}",
                 n_modules=modules_per_bundle,
@@ -131,7 +130,7 @@ class Node:
         """Bundle at ``index`` (0-based, < K)."""
         return self.bundles[index]
 
-    def bundle_states(self) -> Dict[str, PathState]:
+    def bundle_states(self) -> dict[str, PathState]:
         """Current path state per bundle id (for debugging / assertions)."""
         return {b.bundle_id: b.state for b in self.bundles}
 
@@ -147,8 +146,8 @@ def make_nodes(
     n_gpus: int = 4,
     n_bundles: int = 2,
     modules_per_bundle: int = 8,
-    trx_config: Optional[OCSTrxConfig] = None,
-) -> List[Node]:
+    trx_config: OCSTrxConfig | None = None,
+) -> list[Node]:
     """Create ``n_nodes`` identical nodes numbered 0..n_nodes-1."""
     if n_nodes < 1:
         raise ValueError("n_nodes must be >= 1")

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.dcn.fattree import FatTree, FatTreeConfig
 from repro.dcn.traffic import CrossToRReport, TrafficModel, TrafficVolumes
@@ -47,7 +47,7 @@ class TPGroup:
     ring is built along this order.
     """
 
-    nodes: Tuple[int, ...]
+    nodes: tuple[int, ...]
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -105,7 +105,7 @@ class DeploymentPlan:
     ``nodes_per_tor`` the interleaving factor ``p``.
     """
 
-    order: List[int]
+    order: list[int]
     k: int
     nodes_per_tor: int
 
@@ -122,7 +122,7 @@ class DeploymentPlan:
         """Position of ``node`` in deployment (HBD) order."""
         return self._position[node]
 
-    def hbd_neighbors(self, node: int) -> List[int]:
+    def hbd_neighbors(self, node: int) -> list[int]:
         """Nodes within K hops of ``node`` along the deployment order."""
         pos = self.position_of(node)
         result = []
@@ -134,7 +134,7 @@ class DeploymentPlan:
                 result.append(self.order[idx])
         return result
 
-    def edges(self) -> List[Tuple[int, int]]:
+    def edges(self) -> list[tuple[int, int]]:
         """All HBD links implied by the deployment (within K positions)."""
         result = []
         for i, a in enumerate(self.order):
@@ -147,7 +147,7 @@ class DeploymentPlan:
 class OrchestrationResult:
     """Placement produced by one of the orchestration entry points."""
 
-    placement: List[TPGroup]
+    placement: list[TPGroup]
     satisfied: bool
     constraints_used: int = 0
     method: str = "dcn_free"
@@ -159,7 +159,7 @@ class OrchestrationResult:
     def placed_gpus(self, gpus_per_node: int) -> int:
         return sum(len(g) for g in self.placement) * gpus_per_node
 
-    def as_node_lists(self) -> List[List[int]]:
+    def as_node_lists(self) -> list[list[int]]:
         """Placement as plain lists (for the traffic model)."""
         return [list(g.nodes) for g in self.placement]
 
@@ -188,7 +188,7 @@ def deployment_strategy(n_nodes: int, k: int, nodes_per_tor: int) -> DeploymentP
         raise ValueError("nodes_per_tor must be >= 1")
     p = nodes_per_tor
     l = n_nodes // p
-    order: List[int] = []
+    order: list[int] = []
     for i in range(p):
         for j in range(l):
             order.append(i + j * p)
@@ -201,16 +201,16 @@ def deployment_strategy(n_nodes: int, k: int, nodes_per_tor: int) -> DeploymentP
 # Algorithm 2: DCN-free orchestration
 # --------------------------------------------------------------------------
 def _healthy_runs(
-    sequence: Sequence[int], faulty: Set[int], k: int
-) -> List[List[int]]:
+    sequence: Sequence[int], faulty: set[int], k: int
+) -> list[list[int]]:
     """Split ``sequence`` into healthy runs bridgeable across < k faults.
 
     Adjacent healthy entries stay in the same run when fewer than ``k``
     consecutive faulty entries separate them (the backup links of the K-Hop
     topology bridge such gaps); a longer fault run is a breakpoint.
     """
-    runs: List[List[int]] = []
-    current: List[int] = []
+    runs: list[list[int]] = []
+    current: list[int] = []
     gap = 0
     for node in sequence:
         if node in faulty:
@@ -231,7 +231,7 @@ def orchestrate_dcn_free(
     k: int,
     faulty: Iterable[int],
     nodes_per_group: int,
-) -> List[TPGroup]:
+) -> list[TPGroup]:
     """Algorithm 2: place TP groups greedily on healthy HBD segments.
 
     ``sequence`` is a node sequence in HBD order (the full deployment order or
@@ -242,7 +242,7 @@ def orchestrate_dcn_free(
     if nodes_per_group < 1:
         raise ValueError("nodes_per_group must be >= 1")
     faulty_set = set(faulty)
-    placement: List[TPGroup] = []
+    placement: list[TPGroup] = []
     for run in _healthy_runs(sequence, faulty_set, k):
         for start in range(0, len(run) - nodes_per_group + 1, nodes_per_group):
             placement.append(TPGroup(nodes=tuple(run[start : start + nodes_per_group])))
@@ -253,10 +253,10 @@ def orchestrate_dcn_free(
 # Algorithm 4: Fat-Tree placement under constraints
 # --------------------------------------------------------------------------
 def _expand_faults_to_tor(
-    faulty: Set[int],
+    faulty: set[int],
     fat_tree: FatTree,
     domains_under_constraint: int,
-) -> Set[int]:
+) -> set[int]:
     """Apply the TP-group alignment constraint.
 
     For the first ``domains_under_constraint`` aggregation domains, a faulty
@@ -279,7 +279,7 @@ def placement_fat_tree(
     n_constraints: int,
     faulty: Iterable[int],
     nodes_per_group: int,
-) -> List[TPGroup]:
+) -> list[TPGroup]:
     """Algorithm 4: placement under ``n_constraints`` locality constraints.
 
     Constraints are consumed in two bands:
@@ -305,7 +305,7 @@ def placement_fat_tree(
 
     effective_faults = _expand_faults_to_tor(faulty_set, fat_tree, n_align)
 
-    placement: List[TPGroup] = []
+    placement: list[TPGroup] = []
     working = list(plan.order)
     for _ in range(n_subline):
         if not working:
@@ -344,7 +344,7 @@ def orchestrate_fat_tree(
     n_maxsubline = n_domains * p
     high = n_domains + n_maxsubline
     low = 0
-    best_constraints: Optional[int] = None
+    best_constraints: int | None = None
 
     while low <= high:
         mid = (low + high) // 2
@@ -376,8 +376,8 @@ def orchestrate_fat_tree(
 
 
 def _order_groups_for_outer_parallelism(
-    placement: List[TPGroup], fat_tree: FatTree
-) -> List[TPGroup]:
+    placement: list[TPGroup], fat_tree: FatTree
+) -> list[TPGroup]:
     """Emit the placement in an order that keeps outer-parallel sets aligned.
 
     The training framework assigns outer-parallel (DP/CP) sets to consecutive
@@ -391,13 +391,13 @@ def _order_groups_for_outer_parallelism(
        misaligned leftovers are the ones dropped.
     """
     p = fat_tree.config.nodes_per_tor
-    buckets: Dict[Tuple, List[TPGroup]] = {}
+    buckets: dict[tuple, list[TPGroup]] = {}
     for group in placement:
         tors = tuple(fat_tree.tor_of(n) for n in group.nodes)
         buckets.setdefault(tors, []).append(group)
 
-    ordered: List[TPGroup] = []
-    leftovers: List[TPGroup] = []
+    ordered: list[TPGroup] = []
+    leftovers: list[TPGroup] = []
     # Largest buckets first; ties broken by coverage for determinism.
     for coverage in sorted(buckets, key=lambda c: (-len(buckets[c]), c)):
         bucket = buckets[coverage]
@@ -452,8 +452,8 @@ class Orchestrator:
         self,
         n_nodes: int,
         k: int = 2,
-        fat_tree_config: Optional[FatTreeConfig] = None,
-        volumes: Optional[TrafficVolumes] = None,
+        fat_tree_config: FatTreeConfig | None = None,
+        volumes: TrafficVolumes | None = None,
     ) -> None:
         self.fat_tree = FatTree(
             fat_tree_config
@@ -505,7 +505,7 @@ class Orchestrator:
         faulty: Iterable[int] = (),
         method: str = "optimized",
         seed: int = 0,
-    ) -> Tuple[OrchestrationResult, CrossToRReport]:
+    ) -> tuple[OrchestrationResult, CrossToRReport]:
         """Convenience: place the job and evaluate its cross-ToR traffic."""
         result = self.place(job, faulty, method=method, seed=seed)
         return result, self.cross_tor_report(result)

@@ -16,7 +16,7 @@ fabric manager of the paper's control plane does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.core.khop_ring import KHopRingTopology
 from repro.core.node import Node
@@ -45,8 +45,8 @@ class GPURing:
         Per-hop ring bandwidth (the minimum bundle bandwidth along the ring).
     """
 
-    gpu_order: Tuple[str, ...]
-    node_order: Tuple[int, ...]
+    gpu_order: tuple[str, ...]
+    node_order: tuple[int, ...]
     reconfiguration_latency_us: float
     bandwidth_gbps: float
 
@@ -55,7 +55,7 @@ class GPURing:
         """Number of GPUs in the ring."""
         return len(self.gpu_order)
 
-    def neighbors_of(self, gpu_id: str) -> Tuple[str, str]:
+    def neighbors_of(self, gpu_id: str) -> tuple[str, str]:
         """(previous, next) GPUs of ``gpu_id`` on the ring."""
         idx = self.gpu_order.index(gpu_id)
         prev_gpu = self.gpu_order[(idx - 1) % len(self.gpu_order)]
@@ -98,7 +98,7 @@ class RingBuilder:
                     f"node {node_id} has a single OCSTrx bundle; multi-node "
                     "rings need at least 2 bundles per node"
                 )
-        for a, b in zip(node_ids, node_ids[1:]):
+        for a, b in zip(node_ids, node_ids[1:], strict=False):
             if not self.topology.has_link(a, b):
                 raise RingConstructionError(
                     f"nodes {a} and {b} are {self.topology.hop_distance(a, b)} hops "
@@ -115,8 +115,8 @@ class RingBuilder:
         node participate, so the ring size is ``len(node_ids) * R``.
         """
         self.validate_line(node_ids)
-        latencies: List[float] = []
-        bandwidths: List[float] = []
+        latencies: list[float] = []
+        bandwidths: list[float] = []
 
         for position, node_id in enumerate(node_ids):
             node = self.nodes[node_id]
@@ -174,7 +174,7 @@ class RingBuilder:
         """
         if n_nodes < 1:
             raise RingConstructionError("n_nodes must be >= 1")
-        selected: List[int] = []
+        selected: list[int] = []
         cursor = start
         limit = self.topology.config.n_nodes
         scanned = 0
@@ -209,15 +209,15 @@ class RingBuilder:
             bundle.wire_external(path, peer_node_id)
         return bundle.activate(path)
 
-    def _gpu_ring_order(self, node_ids: Sequence[int]) -> List[str]:
+    def _gpu_ring_order(self, node_ids: Sequence[int]) -> list[str]:
         """GPU traversal order of the ring.
 
         The ring goes "out" along the upper-half GPUs of each node and comes
         "back" along the lower-half GPUs, matching the cross-lane loopback of
         Figure 2 (GPUs 1..R/2 forward, GPUs R/2+1..R on the return path).
         """
-        forward: List[str] = []
-        backward: List[str] = []
+        forward: list[str] = []
+        backward: list[str] = []
         for node_id in node_ids:
             node = self.nodes[node_id]
             half = node.n_gpus // 2

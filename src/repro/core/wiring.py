@@ -19,7 +19,6 @@ Port convention (per node, matching Figure 4/5):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.core.orchestrator import DeploymentPlan, deployment_strategy
 from repro.dcn.fattree import FatTree, FatTreeConfig
@@ -65,8 +64,8 @@ class NodeWiring:
 class WiringPlan:
     """The full cabling list plus per-node summaries."""
 
-    cables: List[CableSpec]
-    nodes: List[NodeWiring]
+    cables: list[CableSpec]
+    nodes: list[NodeWiring]
     k: int
     gpus_per_node: int
     modules_per_bundle: int
@@ -89,8 +88,8 @@ class WiringPlan:
     def total_dac_links(self) -> int:
         return sum(node.intra_node_dac_links for node in self.nodes)
 
-    def cables_by_hop_distance(self) -> Dict[int, int]:
-        counts: Dict[int, int] = {}
+    def cables_by_hop_distance(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
         for cable in self.cables:
             counts[cable.hop_distance] = counts.get(cable.hop_distance, 0) + 1
         return counts
@@ -105,7 +104,7 @@ class WiringPlan:
             return 0.0
         return sum(1 for c in self.cables if c.crosses_domain) / len(self.cables)
 
-    def cables_of_node(self, node_id: int) -> List[CableSpec]:
+    def cables_of_node(self, node_id: int) -> list[CableSpec]:
         return [c for c in self.cables if node_id in (c.node_a, c.node_b)]
 
     # ------------------------------------------------------------ validation
@@ -118,7 +117,7 @@ class WiringPlan:
         * hop distances never exceed ``K``.
         """
         endpoint_seen: set = set()
-        per_node_links: Dict[int, int] = {}
+        per_node_links: dict[int, int] = {}
         for cable in self.cables:
             for node, bundle, port in (
                 (cable.node_a, cable.bundle_a, cable.port_a),
@@ -150,8 +149,8 @@ class WiringPlanner:
         k: int = 2,
         gpus_per_node: int = 4,
         modules_per_bundle: int = 8,
-        fat_tree: Optional[FatTree] = None,
-        plan: Optional[DeploymentPlan] = None,
+        fat_tree: FatTree | None = None,
+        plan: DeploymentPlan | None = None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -173,7 +172,7 @@ class WiringPlanner:
     def build(self) -> WiringPlan:
         """Generate the full cabling list."""
         order = self.plan.order
-        cables: List[CableSpec] = []
+        cables: list[CableSpec] = []
         cable_id = 0
         for position, node_a in enumerate(order):
             for offset in range(1, self.k + 1):
@@ -218,7 +217,7 @@ class WiringPlanner:
         plan.validate()
         return plan
 
-    def bom_check(self, plan: WiringPlan) -> Dict[str, float]:
+    def bom_check(self, plan: WiringPlan) -> dict[str, float]:
         """Per-node component counts for cross-checking against Table 8.
 
         Returns OCSTrx modules, fibers (one per module port in use, i.e. two

@@ -17,7 +17,7 @@ curves are directly comparable to the paper's y-axis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.cost.architectures import ArchitectureBOM, all_reference_boms
 from repro.faults.model import IIDFaultModel
@@ -46,9 +46,9 @@ class CostSummary:
     power_per_gBps: float
 
 
-def interconnect_cost_table(include_hpn: bool = False) -> List[CostSummary]:
+def interconnect_cost_table(include_hpn: bool = False) -> list[CostSummary]:
     """Table 6: normalised interconnect cost and power per architecture."""
-    rows: List[CostSummary] = []
+    rows: list[CostSummary] = []
     for bom in all_reference_boms(include_hpn=include_hpn):
         rows.append(
             CostSummary(
@@ -76,7 +76,7 @@ def cost_reduction_vs(name_a: str = "InfiniteHBD(K=2)", name_b: str = "NVL-72") 
 # --------------------------------------------------------------------------
 # Aggregate (fault-aware) cost -- Figure 17d
 # --------------------------------------------------------------------------
-_BOM_FOR_ARCH: Dict[str, str] = {
+_BOM_FOR_ARCH: dict[str, str] = {
     "InfiniteHBD(K=2)": "InfiniteHBD(K=2)",
     "InfiniteHBD(K=3)": "InfiniteHBD(K=3)",
     "TPUv4": "TPUv4",
@@ -122,15 +122,16 @@ def aggregate_cost(
 
     mean_unavailable = model.expectation(fault_ratio, unavailable_ratio)
     bom = _bom_for(architecture)
-    if reference_bandwidth_gBps is None:
-        interconnect_per_gpu = bom.cost_per_gpu
-    else:
-        interconnect_per_gpu = bom.cost_per_gpu_per_gBps * reference_bandwidth_gBps
+    interconnect_per_gpu = (
+        bom.cost_per_gpu
+        if reference_bandwidth_gBps is None
+        else bom.cost_per_gpu_per_gBps * reference_bandwidth_gBps
+    )
     return gpu_cost_usd * mean_unavailable + interconnect_per_gpu
 
 
 def aggregate_cost_sweep(
-    architectures: Optional[Sequence[HBDArchitecture]] = None,
+    architectures: Sequence[HBDArchitecture] | None = None,
     n_nodes: int = 768,
     fault_ratios: Sequence[float] = (0.0, 0.05, 0.10, 0.15, 0.20),
     tp_size: int = 32,
@@ -138,7 +139,7 @@ def aggregate_cost_sweep(
     normalize: bool = True,
     n_samples: int = 10,
     seed: int = 0,
-) -> Dict[str, List[float]]:
+) -> dict[str, list[float]]:
     """Aggregate cost curves versus node fault ratio (Figure 17d).
 
     When ``normalize`` is True the curves are rescaled so that InfiniteHBD
@@ -151,7 +152,7 @@ def aggregate_cost_sweep(
             for a in default_architectures(gpus_per_node=4)
             if a.name not in ("Big-Switch", "SiP-Ring")
         ]
-    curves: Dict[str, List[float]] = {}
+    curves: dict[str, list[float]] = {}
     for arch in architectures:
         curves[arch.name] = [
             aggregate_cost(

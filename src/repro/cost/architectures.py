@@ -8,7 +8,6 @@ published in Table 8, so the Table 6 normalisation is pure arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from repro.cost.components import Component, component
 
@@ -40,7 +39,7 @@ class ArchitectureBOM:
     name: str
     n_gpus: int
     per_gpu_bandwidth_gBps: float
-    lines: Tuple[BOMLine, ...]
+    lines: tuple[BOMLine, ...]
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
@@ -74,7 +73,7 @@ class ArchitectureBOM:
         return self.power_per_gpu / self.per_gpu_bandwidth_gBps
 
 
-def _bom(name: str, n_gpus: int, bandwidth: float, parts: List[Tuple[str, int]]) -> ArchitectureBOM:
+def _bom(name: str, n_gpus: int, bandwidth: float, parts: list[tuple[str, int]]) -> ArchitectureBOM:
     return ArchitectureBOM(
         name=name,
         n_gpus=n_gpus,
@@ -174,7 +173,7 @@ def infinitehbd_bom(k: int = 2) -> ArchitectureBOM:
     return _bom(f"InfiniteHBD(K={k})", 4, 800.0, parts)
 
 
-def all_reference_boms(include_hpn: bool = False) -> List[ArchitectureBOM]:
+def all_reference_boms(include_hpn: bool = False) -> list[ArchitectureBOM]:
     """All Table 8 deployments, in the paper's row order."""
     boms = [
         tpuv4_bom(),
@@ -191,7 +190,7 @@ def all_reference_boms(include_hpn: bool = False) -> List[ArchitectureBOM]:
 
 def reference_bom(name: str) -> ArchitectureBOM:
     """Look up a reference BOM by architecture name."""
-    catalog: Dict[str, ArchitectureBOM] = {
+    catalog: dict[str, ArchitectureBOM] = {
         b.name.lower(): b for b in all_reference_boms(include_hpn=True)
     }
     key = name.lower()

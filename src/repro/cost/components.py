@@ -10,7 +10,6 @@ re-derived.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -42,7 +41,7 @@ class Component:
 
 
 #: Table 8 component catalog, keyed by a short identifier.
-COMPONENT_CATALOG: Dict[str, Component] = {
+COMPONENT_CATALOG: dict[str, Component] = {
     # --- TPUv4 interconnect -------------------------------------------------
     "palomar_ocs": Component("palomar_ocs", 80000.0, 6400.0, 108.0),
     "dac_50gBps": Component("dac_50gBps", 63.60, 50.0, 0.1),

@@ -28,7 +28,6 @@ Network distance (in switch hops, as used in Figure 6/7 of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import networkx as nx
 
@@ -91,7 +90,7 @@ class FatTree:
         """Index of the aggregation-switch domain covering ``node``."""
         return self.tor_of(node) // self.config.tors_per_domain
 
-    def nodes_in_tor(self, tor: int) -> List[int]:
+    def nodes_in_tor(self, tor: int) -> list[int]:
         """Node ids attached to ToR ``tor``."""
         if not 0 <= tor < self.config.n_tors:
             raise ValueError(f"ToR {tor} out of range")
@@ -99,7 +98,7 @@ class FatTree:
         end = min(start + self.config.nodes_per_tor, self.config.n_nodes)
         return list(range(start, end))
 
-    def nodes_in_domain(self, domain: int) -> List[int]:
+    def nodes_in_domain(self, domain: int) -> list[int]:
         """Node ids covered by aggregation domain ``domain``."""
         if not 0 <= domain < self.config.n_domains:
             raise ValueError(f"domain {domain} out of range")

@@ -23,7 +23,7 @@ each outer-parallel set into one pod needs no spine bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import networkx as nx
 
@@ -64,7 +64,7 @@ class RailOptimized:
         self._check_node(node)
         return node // self.config.nodes_per_pod
 
-    def rail_of(self, node: int, gpu_index: int) -> Tuple[int, int]:
+    def rail_of(self, node: int, gpu_index: int) -> tuple[int, int]:
         """(pod, rail) identity of one GPU's NIC."""
         self._check_node(node)
         if not 0 <= gpu_index < self.config.gpus_per_node:
@@ -88,7 +88,7 @@ class RailOptimized:
             return 3
         return 5
 
-    def nodes_in_pod(self, pod: int) -> List[int]:
+    def nodes_in_pod(self, pod: int) -> list[int]:
         if not 0 <= pod < self.config.n_pods:
             raise ValueError(f"pod {pod} out of range")
         start = pod * self.config.nodes_per_pod
@@ -129,7 +129,7 @@ class RailTrafficModel:
     that must cross the spine.
     """
 
-    def __init__(self, fabric: RailOptimized, local_set_size: Optional[int] = None) -> None:
+    def __init__(self, fabric: RailOptimized, local_set_size: int | None = None) -> None:
         self.fabric = fabric
         if local_set_size is None:
             local_set_size = fabric.config.gpus_per_node
@@ -156,7 +156,7 @@ class RailTrafficModel:
                 continue
             for rank in range(group_size):
                 members = [g[rank] for g in local_set]
-                ring = list(zip(members, members[1:] + members[:1]))
+                ring = list(zip(members, members[1:] + members[:1], strict=True))
                 if len(members) == 2:
                     ring = ring[:1]
                 for a, b in ring:

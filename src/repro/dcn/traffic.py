@@ -27,7 +27,7 @@ derived from :mod:`repro.training.comm` for a specific model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.dcn.fattree import FatTree
 
@@ -100,8 +100,8 @@ class TrafficModel:
     def __init__(
         self,
         fat_tree: FatTree,
-        volumes: Optional[TrafficVolumes] = None,
-        local_set_size: Optional[int] = None,
+        volumes: TrafficVolumes | None = None,
+        local_set_size: int | None = None,
     ) -> None:
         self.fat_tree = fat_tree
         self.volumes = volumes or TrafficVolumes()
@@ -143,7 +143,7 @@ class TrafficModel:
         tier2_edges = 0
 
         # First tier: ring among the rank-k nodes of each local set.
-        sets: List[List[List[int]]] = [
+        sets: list[list[list[int]]] = [
             groups[i : i + self.local_set_size]
             for i in range(0, len(groups), self.local_set_size)
         ]
@@ -201,7 +201,7 @@ class TrafficModel:
         return self.volumes.outer_volume / float(self.local_set_size)
 
     @staticmethod
-    def _ring_edges(members: Sequence[int]) -> List[Tuple[int, int]]:
+    def _ring_edges(members: Sequence[int]) -> list[tuple[int, int]]:
         """Edges of a ring over ``members`` (no self loops, no duplicates)."""
         n = len(members)
         if n < 2:

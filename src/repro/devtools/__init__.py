@@ -1,0 +1,33 @@
+"""Developer tooling for the repro engine: the determinism linter.
+
+``python -m repro.devtools.lint src`` (or ``repro lint``) machine-checks
+the coding rules behind the repo's determinism contracts -- seeded RNG
+only, no wall-clock reads, ordered iteration over fault sets, frozen spec
+dataclasses.  See :mod:`repro.devtools.rules` for the rule catalog and
+``docs/devtools.md`` for the human-readable version.
+"""
+
+from repro.devtools.engine import (
+    Finding,
+    LintConfig,
+    LintResult,
+    Rule,
+    lint_paths,
+    lint_source,
+    load_config,
+    module_name_for_path,
+)
+from repro.devtools.rules import default_rules, rule_by_code
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "default_rules",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "module_name_for_path",
+    "rule_by_code",
+]

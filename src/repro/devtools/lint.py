@@ -1,0 +1,107 @@
+"""Command-line front end of the determinism linter.
+
+Run as ``python -m repro.devtools.lint [paths...]`` (or via the ``repro
+lint`` CLI subcommand).  Exit status is 0 when clean, 1 when findings
+remain, 2 on usage errors -- so the CI ``static-analysis`` job can gate on
+it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+from typing import TextIO
+
+from repro.devtools.engine import LintConfig, LintResult, lint_paths, load_config
+from repro.devtools.rules import default_rules, rule_by_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Determinism linter for the repro engine (rules D001-D008).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help="explicit pyproject.toml to read [tool.repro-lint] from "
+        "(default: nearest pyproject.toml above the current directory)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print the rationale and examples for one rule code and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rule codes and exit",
+    )
+    return parser
+
+
+def render_text(result: LintResult, stream: TextIO) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=stream)
+    summary = f"{len(result.findings)} finding(s), {len(result.suppressed)} suppressed"
+    print(summary, file=stream)
+
+
+def run(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> int:
+    stream = stream if stream is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.code}  {rule.title}", file=stream)
+        return 0
+
+    if args.explain is not None:
+        rule_cls = rule_by_code(args.explain.upper())
+        if rule_cls is None:
+            parser.error(f"unknown rule code {args.explain!r}; see --list-rules")
+        print(rule_cls.explain(), file=stream)
+        return 0
+
+    config = (
+        LintConfig.from_pyproject(Path(args.config))
+        if args.config is not None
+        else load_config(Path(args.paths[0]))
+    )
+
+    result = lint_paths([Path(p) for p in args.paths], config=config)
+    if args.format == "json":
+        json.dump(result.to_dict(), stream, indent=2, sort_keys=True)
+        print(file=stream)
+    else:
+        render_text(result, stream)
+    return 0 if result.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    return run(argv)
+
+
+__all__ = ["build_parser", "main", "render_text", "run"]
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

@@ -16,7 +16,6 @@ derives the conversion as follows:
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 import numpy as np
 
@@ -57,7 +56,7 @@ def conversion_probability(
 def convert_trace_8gpu_to_4gpu(
     trace: FaultTrace,
     seed: int = 0,
-    mean_node_fault_ratio: Optional[float] = None,
+    mean_node_fault_ratio: float | None = None,
 ) -> FaultTrace:
     """Convert an 8-GPU-node trace into a 4-GPU-node trace.
 
@@ -86,7 +85,7 @@ def convert_trace_8gpu_to_4gpu(
         target_gpus_per_node=4,
     )
 
-    events: List[FaultEvent] = []
+    events: list[FaultEvent] = []
     for event in trace.events:
         for half in (0, 1):
             if rng.random() < p_convert:

@@ -11,14 +11,14 @@ fault sets at a target ratio and provides Monte-Carlo averaging helpers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Set
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
 
 def sample_fault_set(
     n_nodes: int, fault_ratio: float, rng: np.random.Generator
-) -> Set[int]:
+) -> set[int]:
     """Draw one i.i.d. node fault set at ``fault_ratio``.
 
     The number of faulty nodes is the rounded expectation (the evaluation
@@ -50,7 +50,7 @@ class IIDFaultModel:
         if self.n_samples < 1:
             raise ValueError("n_samples must be >= 1")
 
-    def fault_sets(self, fault_ratio: float) -> List[Set[int]]:
+    def fault_sets(self, fault_ratio: float) -> list[set[int]]:
         """``n_samples`` independent fault sets at ``fault_ratio``."""
         rng = np.random.default_rng(self.seed)
         return [
@@ -59,7 +59,7 @@ class IIDFaultModel:
         ]
 
     def expectation(
-        self, fault_ratio: float, metric: Callable[[Set[int]], float]
+        self, fault_ratio: float, metric: Callable[[set[int]], float]
     ) -> float:
         """Monte-Carlo mean of ``metric`` over fault sets at ``fault_ratio``."""
         sets = self.fault_sets(fault_ratio)
@@ -68,7 +68,7 @@ class IIDFaultModel:
     def sweep(
         self,
         fault_ratios: Sequence[float],
-        metric: Callable[[Set[int]], float],
-    ) -> List[float]:
+        metric: Callable[[set[int]], float],
+    ) -> list[float]:
         """Monte-Carlo mean of ``metric`` across a sweep of fault ratios."""
         return [self.expectation(ratio, metric) for ratio in fault_ratios]

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Set
 
 import numpy as np
 
@@ -102,23 +101,26 @@ def _daily_ratio_targets(config: SyntheticTraceConfig, rng: np.random.Generator)
     return np.clip(ratios, 0.0, 0.5)
 
 
-def generate_synthetic_trace(config: SyntheticTraceConfig = SyntheticTraceConfig()) -> FaultTrace:
+def generate_synthetic_trace(config: SyntheticTraceConfig | None = None) -> FaultTrace:
     """Generate a synthetic node-fault trace matching ``config``'s statistics."""
+    config = config if config is not None else SyntheticTraceConfig()
     rng = np.random.default_rng(config.seed)
     targets = _daily_ratio_targets(config, rng)
     persistence = 1.0 - 1.0 / config.mean_repair_days
 
-    faulty: Set[int] = set()
-    membership: List[Set[int]] = []
+    faulty: set[int] = set()
+    membership: list[set[int]] = []
     all_nodes = np.arange(config.n_nodes)
 
     for day in range(config.duration_days):
         target_count = int(round(targets[day] * config.n_nodes))
         target_count = min(target_count, config.n_nodes)
 
-        # Nodes repaired today (those that do not persist).
+        # Nodes repaired today (those that do not persist).  Iterate the
+        # fault set in sorted order so the node-to-draw pairing is a pure
+        # function of the seed, not of set-insertion history.
         survivors = {
-            node for node in faulty if rng.random() < persistence
+            node for node in sorted(faulty) if rng.random() < persistence
         }
         faulty = survivors
 
@@ -146,9 +148,9 @@ def generate_synthetic_trace(config: SyntheticTraceConfig = SyntheticTraceConfig
     )
 
 
-def _membership_to_events(membership: List[Set[int]]) -> List[FaultEvent]:
+def _membership_to_events(membership: list[set[int]]) -> list[FaultEvent]:
     """Merge per-day faulty membership into contiguous fault events."""
-    events: List[FaultEvent] = []
+    events: list[FaultEvent] = []
     open_since: dict = {}
     for day, members in enumerate(membership):
         # Close events for nodes that recovered.

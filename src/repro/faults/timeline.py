@@ -20,7 +20,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.analysis.cdf import weighted_quantile
 from repro.faults.trace import FaultEvent, FaultTrace
@@ -32,7 +32,7 @@ class FaultInterval:
 
     start_hour: float
     end_hour: float
-    nodes: FrozenSet[int]
+    nodes: frozenset[int]
 
     @property
     def duration_hours(self) -> float:
@@ -45,7 +45,7 @@ class FaultInterval:
 
 def sweep_intervals(
     events: Iterable[FaultEvent], duration_hours: float
-) -> Tuple[FaultInterval, ...]:
+) -> tuple[FaultInterval, ...]:
     """Exact piecewise-constant fault-set sequence covering ``[0, duration)``.
 
     Events are clipped to the trace window; overlapping events on the same
@@ -55,7 +55,7 @@ def sweep_intervals(
     if duration_hours <= 0:
         raise ValueError("duration_hours must be positive")
     # time -> list of (node, +1 open / -1 close) deltas at that boundary
-    boundaries: Dict[float, List[Tuple[int, int]]] = {}
+    boundaries: dict[float, list[tuple[int, int]]] = {}
     for event in events:
         start = max(0.0, event.start_hour)
         end = min(duration_hours, event.end_hour)
@@ -64,10 +64,10 @@ def sweep_intervals(
         boundaries.setdefault(start, []).append((event.node_id, +1))
         boundaries.setdefault(end, []).append((event.node_id, -1))
 
-    intervals: List[FaultInterval] = []
-    open_counts: Dict[int, int] = {}
+    intervals: list[FaultInterval] = []
+    open_counts: dict[int, int] = {}
     cursor = 0.0
-    current: FrozenSet[int] = frozenset()
+    current: frozenset[int] = frozenset()
     for t in sorted(boundaries):
         if t > cursor:
             _append_merged(intervals, cursor, t, current)
@@ -85,7 +85,7 @@ def sweep_intervals(
 
 
 def _append_merged(
-    intervals: List[FaultInterval], start: float, end: float, nodes: FrozenSet[int]
+    intervals: list[FaultInterval], start: float, end: float, nodes: frozenset[int]
 ) -> None:
     if intervals and intervals[-1].nodes == nodes and intervals[-1].end_hour == start:
         intervals[-1] = FaultInterval(intervals[-1].start_hour, end, nodes)
@@ -120,14 +120,14 @@ class IntervalTimeline:
     be computed exactly as a duration-weighted quantity.
     """
 
-    intervals: Tuple[FaultInterval, ...]
+    intervals: tuple[FaultInterval, ...]
     n_nodes: int
     gpus_per_node: int
 
     @classmethod
     def from_trace(
-        cls, trace: FaultTrace, n_nodes: Optional[int] = None
-    ) -> "IntervalTimeline":
+        cls, trace: FaultTrace, n_nodes: int | None = None
+    ) -> IntervalTimeline:
         nodes = n_nodes if n_nodes is not None else trace.n_nodes
         if nodes > trace.n_nodes:
             raise ValueError("simulated cluster larger than the fault trace")
@@ -150,31 +150,31 @@ class IntervalTimeline:
         return self.intervals[-1].end_hour if self.intervals else 0.0
 
     @cached_property
-    def _starts(self) -> List[float]:
+    def _starts(self) -> list[float]:
         return [interval.start_hour for interval in self.intervals]
 
     @property
-    def durations_hours(self) -> List[float]:
+    def durations_hours(self) -> list[float]:
         return [interval.duration_hours for interval in self.intervals]
 
     @property
-    def fault_ratios(self) -> List[float]:
+    def fault_ratios(self) -> list[float]:
         return [len(interval.nodes) / self.n_nodes for interval in self.intervals]
 
-    def fault_set_at(self, hour: float) -> FrozenSet[int]:
+    def fault_set_at(self, hour: float) -> frozenset[int]:
         """The exact fault set at ``hour`` (O(log intervals))."""
         if not self.intervals or not 0.0 <= hour < self.duration_hours:
             return frozenset()
         index = bisect_right(self._starts, hour) - 1
         return self.intervals[index].nodes
 
-    def resample(self, times_hours: Sequence[float]) -> List[FrozenSet[int]]:
+    def resample(self, times_hours: Sequence[float]) -> list[frozenset[int]]:
         """Fault sets at the given instants (the grid compatibility layer).
 
         For sorted ``times_hours`` this is a linear merge over the intervals;
         the result is bit-for-bit what per-instant trace scans would produce.
         """
-        sets: List[FrozenSet[int]] = []
+        sets: list[frozenset[int]] = []
         index = 0
         last = len(self.intervals) - 1
         previous_t = None

@@ -27,9 +27,13 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.faults.timeline import IntervalTimeline
 
 #: Hours per day -- trace times are expressed in hours from the trace start.
 HOURS_PER_DAY = 24.0
@@ -58,7 +62,7 @@ class FaultEvent:
         return self.start_hour <= hour < self.end_hour
 
 
-def merge_overlapping_events(events: Iterable[FaultEvent]) -> List[FaultEvent]:
+def merge_overlapping_events(events: Iterable[FaultEvent]) -> list[FaultEvent]:
     """Merge overlapping or touching events on the same node.
 
     The sweep-line timeline already handles overlaps exactly (per-node open
@@ -68,10 +72,10 @@ def merge_overlapping_events(events: Iterable[FaultEvent]) -> List[FaultEvent]:
     list into its maximal disjoint downtime windows; disjoint events are
     returned unchanged.
     """
-    per_node: Dict[int, List[FaultEvent]] = {}
+    per_node: dict[int, list[FaultEvent]] = {}
     for event in events:
         per_node.setdefault(event.node_id, []).append(event)
-    merged: List[FaultEvent] = []
+    merged: list[FaultEvent] = []
     for node_id, node_events in per_node.items():
         node_events.sort(key=lambda e: (e.start_hour, e.end_hour))
         current_start = current_end = None
@@ -122,7 +126,7 @@ class FaultTrace:
         self.n_nodes = n_nodes
         self.duration_days = duration_days
         self.gpus_per_node = gpus_per_node
-        self.events: List[FaultEvent] = sorted(
+        self.events: list[FaultEvent] = sorted(
             events, key=lambda e: (e.start_hour, e.node_id)
         )
         for event in self.events:
@@ -132,7 +136,7 @@ class FaultTrace:
                 )
         # Lazily swept exact timelines, keyed by simulated cluster size so
         # every consumer of the same (trace, n_nodes) shares one sweep.
-        self._interval_timelines: Dict[int, object] = {}
+        self._interval_timelines: dict[int, IntervalTimeline] = {}
 
     # ------------------------------------------------------------------ query
     @property
@@ -143,7 +147,7 @@ class FaultTrace:
     def total_gpus(self) -> int:
         return self.n_nodes * self.gpus_per_node
 
-    def interval_timeline(self, n_nodes: Optional[int] = None):
+    def interval_timeline(self, n_nodes: int | None = None) -> IntervalTimeline:
         """The exact piecewise-constant fault timeline (swept once, cached).
 
         ``n_nodes`` restricts the timeline to the first ``n_nodes`` nodes
@@ -160,7 +164,7 @@ class FaultTrace:
             self._interval_timelines[nodes] = timeline
         return timeline
 
-    def faulty_nodes_at(self, hour: float) -> Set[int]:
+    def faulty_nodes_at(self, hour: float) -> set[int]:
         """Set of node ids faulty at time ``hour``."""
         if 0.0 <= hour < self.duration_hours:
             return set(self.interval_timeline().fault_set_at(hour))
@@ -170,7 +174,7 @@ class FaultTrace:
         """Faulty-node ratio at time ``hour``."""
         return len(self.faulty_nodes_at(hour)) / self.n_nodes
 
-    def sample_times(self, interval_hours: float = 24.0) -> List[float]:
+    def sample_times(self, interval_hours: float = 24.0) -> list[float]:
         """Sampling grid covering the trace at ``interval_hours`` spacing.
 
         The grid is generated by integer multiplication (``i * interval``)
@@ -191,7 +195,7 @@ class FaultTrace:
 
     def fault_ratio_series(
         self, interval_hours: float = 24.0
-    ) -> Tuple[List[float], List[float]]:
+    ) -> tuple[list[float], list[float]]:
         """(times_in_days, faulty-node ratio) time series (Figure 18a).
 
         Grid compatibility layer: the exact interval timeline is resampled at
@@ -205,8 +209,8 @@ class FaultTrace:
         return [t / HOURS_PER_DAY for t in times], ratios
 
     def fault_ratio_cdf(
-        self, interval_hours: Optional[float] = None
-    ) -> Tuple[List[float], List[float]]:
+        self, interval_hours: float | None = None
+    ) -> tuple[list[float], list[float]]:
         """CDF of the faulty-node ratio (Figure 18b): (ratios, cumulative).
 
         By default this is the exact duration-weighted CDF over the interval
@@ -221,7 +225,7 @@ class FaultTrace:
         timeline = self.interval_timeline()
         return empirical_cdf(timeline.fault_ratios, timeline.durations_hours)
 
-    def statistics(self, interval_hours: Optional[float] = None) -> TraceStatistics:
+    def statistics(self, interval_hours: float | None = None) -> TraceStatistics:
         """Summary statistics of the trace (Appendix A numbers).
 
         By default every ratio statistic is exact: duration-weighted over the
@@ -252,7 +256,7 @@ class FaultTrace:
             n_events=len(self.events),
         )
 
-    def restrict_nodes(self, n_nodes: int) -> "FaultTrace":
+    def restrict_nodes(self, n_nodes: int) -> FaultTrace:
         """Project the trace onto the first ``n_nodes`` nodes.
 
         Used when the simulated cluster is smaller than the traced one (the
@@ -287,7 +291,7 @@ class FaultTrace:
         duration_days: float,
         gpus_per_node: int = 8,
         merge_overlaps: bool = True,
-    ) -> "FaultTrace":
+    ) -> FaultTrace:
         """Parse a trace from the CSV schema of :meth:`to_csv`.
 
         Built for real-trace ingestion, so malformed rows fail with the row
@@ -310,7 +314,7 @@ class FaultTrace:
                 f"trace CSV is missing column(s) {missing}; "
                 f"expected header: node_id,start_hour,end_hour"
             )
-        events: List[FaultEvent] = []
+        events: list[FaultEvent] = []
         for line, row in enumerate(reader, start=2):  # line 1 is the header
             try:
                 node_id = int(row["node_id"])

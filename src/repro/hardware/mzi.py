@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
 
 
 class MZIStateError(RuntimeError):
@@ -142,8 +141,8 @@ class MZISwitchMatrix:
         self.base_loss_db = base_loss_db
         self.element_settle_us = element_settle_us
         # Identity permutation: lane i -> lane i.
-        self._mapping: Dict[int, int] = {i: i for i in range(n_lanes)}
-        self._elements: List[MZISwitchElement] = [
+        self._mapping: dict[int, int] = {i: i for i in range(n_lanes)}
+        self._elements: list[MZISwitchElement] = [
             MZISwitchElement(name=f"mzi-{i}", stage_loss_db=stage_loss_db,
                              settle_time_us=element_settle_us)
             for i in range(self.stage_count * max(1, n_lanes // 2))
@@ -157,12 +156,12 @@ class MZISwitchMatrix:
         return max(1, math.ceil(math.log2(self.n_lanes)))
 
     @property
-    def elements(self) -> List[MZISwitchElement]:
+    def elements(self) -> list[MZISwitchElement]:
         """The underlying switch elements (behavioural placeholders)."""
         return list(self._elements)
 
     @property
-    def mapping(self) -> Dict[int, int]:
+    def mapping(self) -> dict[int, int]:
         """Current input-lane -> output-lane permutation."""
         return dict(self._mapping)
 
@@ -171,7 +170,7 @@ class MZISwitchMatrix:
         self._check_lane(input_lane)
         return self._mapping[input_lane]
 
-    def configure(self, mapping: Dict[int, int]) -> float:
+    def configure(self, mapping: dict[int, int]) -> float:
         """Install a new (partial) permutation and return settle time in us.
 
         ``mapping`` maps input lanes to output lanes.  Lanes not mentioned

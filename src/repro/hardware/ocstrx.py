@@ -25,7 +25,6 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 from repro.hardware.mzi import MZISwitchMatrix
 
@@ -59,7 +58,7 @@ class OCSTrxConfig:
 
     line_rate_gbps: float = 800.0
     serdes_pairs: int = 8
-    reconfig_latency_us: Tuple[float, float] = (60.0, 80.0)
+    reconfig_latency_us: tuple[float, float] = (60.0, 80.0)
     core_power_watts: float = 3.2
     peripheral_power_watts: float = 8.5
     n_lanes: int = 8
@@ -101,7 +100,7 @@ class OCSTrx:
     def __init__(
         self,
         trx_id: str,
-        config: Optional[OCSTrxConfig] = None,
+        config: OCSTrxConfig | None = None,
     ) -> None:
         self.trx_id = trx_id
         self.config = config or OCSTrxConfig()
@@ -112,7 +111,7 @@ class OCSTrx:
             PathState.EXTERNAL_2: None,
         }
         self._failed = False
-        self._history: List[ReconfigurationEvent] = []
+        self._history: list[ReconfigurationEvent] = []
 
     # ------------------------------------------------------------------ state
     @property
@@ -126,7 +125,7 @@ class OCSTrx:
         return self._failed
 
     @property
-    def history(self) -> List[ReconfigurationEvent]:
+    def history(self) -> list[ReconfigurationEvent]:
         """All reconfiguration events applied to this module."""
         return list(self._history)
 
@@ -250,13 +249,13 @@ class OCSTrxBundle:
         self,
         bundle_id: str,
         n_modules: int = 8,
-        config: Optional[OCSTrxConfig] = None,
+        config: OCSTrxConfig | None = None,
     ) -> None:
         if n_modules < 1:
             raise ValueError("bundle needs at least one OCSTrx module")
         self.bundle_id = bundle_id
         self.config = config or OCSTrxConfig()
-        self.modules: List[OCSTrx] = [
+        self.modules: list[OCSTrx] = [
             OCSTrx(f"{bundle_id}/trx{i}", self.config) for i in range(n_modules)
         ]
 

@@ -20,15 +20,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
 #: Temperatures (deg C) at which the paper reports insertion loss and power.
-REPORTED_TEMPERATURES_C: Tuple[float, ...] = (0.0, 25.0, 50.0, 85.0)
+REPORTED_TEMPERATURES_C: tuple[float, ...] = (0.0, 25.0, 50.0, 85.0)
 
 #: Temperatures (deg C) at which the paper reports BER sweeps.
-BER_TEMPERATURES_C: Tuple[float, ...] = (-5.0, 25.0, 50.0, 75.0)
+BER_TEMPERATURES_C: tuple[float, ...] = (-5.0, 25.0, 50.0, 75.0)
 
 #: Industrial BER threshold used for pass/fail in the paper's evaluation.
 INDUSTRIAL_BER_THRESHOLD = 2.4e-4  # pre-FEC threshold for 800G PAM4 optics
@@ -76,7 +76,7 @@ class InsertionLossModel:
         temperature_c: float,
         n_samples: int,
         rng: np.random.Generator,
-    ) -> Dict[str, float]:
+    ) -> dict[str, float]:
         """Average / max / min loss for a measurement campaign (Figure 10a)."""
         samples = self.sample(temperature_c, n_samples, rng)
         return {
@@ -92,7 +92,7 @@ class InsertionLossModel:
         n_samples: int,
         rng: np.random.Generator,
         bins: Sequence[float] = (2.0, 2.5, 3.0, 3.5, 4.0, 4.5),
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Histogram of losses for Figure 11; returns (counts, bin_edges)."""
         samples = self.sample(temperature_c, n_samples, rng)
         counts, edges = np.histogram(samples, bins=np.asarray(bins, dtype=float))
@@ -111,7 +111,7 @@ class PowerModel:
 
     base_power_watts: float = 2.9
     temperature_slope_w_per_c: float = 0.0022
-    path_offsets_watts: Dict[int, float] = field(
+    path_offsets_watts: dict[int, float] = field(
         default_factory=lambda: {1: 0.00, 2: 0.03, 3: 0.06}
     )
     max_power_watts: float = 3.2
@@ -129,7 +129,7 @@ class PowerModel:
 
     def sweep(
         self, temperatures_c: Sequence[float] = REPORTED_TEMPERATURES_C
-    ) -> Dict[int, List[float]]:
+    ) -> dict[int, list[float]]:
         """Per-path power across a temperature sweep (Figure 10b series)."""
         return {
             path: [self.power_watts(t, path) for t in temperatures_c]
@@ -179,7 +179,7 @@ class BERModel:
         self,
         oma_values_mw: Sequence[float],
         temperature_c: float,
-    ) -> List[Tuple[float, float]]:
+    ) -> list[tuple[float, float]]:
         """BER across an OMA sweep at a fixed temperature."""
         return [(oma, self.ber(oma, temperature_c)) for oma in oma_values_mw]
 
@@ -213,20 +213,20 @@ class OpticalMeasurementCampaign:
         self.power_model = power_model or PowerModel()
         self.ber_model = ber_model or BERModel()
 
-    def figure10a_insertion_loss(self) -> List[Dict[str, float]]:
+    def figure10a_insertion_loss(self) -> list[dict[str, float]]:
         """Average/max/min insertion loss per temperature (Figure 10a)."""
         return [
             self.loss_model.statistics(t, self.n_devices, self.rng)
             for t in REPORTED_TEMPERATURES_C
         ]
 
-    def figure10b_power(self) -> Dict[int, List[float]]:
+    def figure10b_power(self) -> dict[int, list[float]]:
         """Per-path power versus temperature (Figure 10b)."""
         return self.power_model.sweep(REPORTED_TEMPERATURES_C)
 
-    def figure11_loss_histograms(self) -> Dict[float, Tuple[List[int], List[float]]]:
+    def figure11_loss_histograms(self) -> dict[float, tuple[list[int], list[float]]]:
         """Insertion-loss histograms per temperature (Figure 11)."""
-        result: Dict[float, Tuple[List[int], List[float]]] = {}
+        result: dict[float, tuple[list[int], list[float]]] = {}
         for t in REPORTED_TEMPERATURES_C:
             counts, edges = self.loss_model.histogram(t, self.n_devices, self.rng)
             result[t] = (counts.tolist(), edges.tolist())
@@ -234,7 +234,7 @@ class OpticalMeasurementCampaign:
 
     def figure12_ber(
         self, oma_values_mw: Sequence[float] = (0.25, 0.5, 0.75, 1.0, 1.25)
-    ) -> Dict[float, List[Tuple[float, float]]]:
+    ) -> dict[float, list[tuple[float, float]]]:
         """BER sweeps per temperature (Figure 12)."""
         return {
             t: self.ber_model.sweep(oma_values_mw, t) for t in BER_TEMPERATURES_C

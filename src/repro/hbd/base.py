@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Iterable, Optional, Tuple
+from collections.abc import Iterable
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -72,7 +73,7 @@ class PlacementGroup:
     capacity a documented conservative lower bound.
     """
 
-    nodes: Tuple[int, ...]
+    nodes: tuple[int, ...]
     nodes_per_group: int
     tp_size: int
 
@@ -104,9 +105,9 @@ class DeltaReplayState:
 
     n_nodes: int
     tp_size: int
-    faults: FrozenSet[int]
+    faults: frozenset[int]
     usable: int
-    aux: Optional[Any]
+    aux: Any | None
 
 
 class HBDArchitecture(abc.ABC):
@@ -185,7 +186,7 @@ class HBDArchitecture(abc.ABC):
         state: DeltaReplayState,
         added_faults: Iterable[int] = (),
         removed_faults: Iterable[int] = (),
-    ) -> Tuple[WasteBreakdown, DeltaReplayState]:
+    ) -> tuple[WasteBreakdown, DeltaReplayState]:
         """Breakdown after flipping the given nodes, plus the advanced state.
 
         ``added_faults`` are nodes that become faulty, ``removed_faults``
@@ -211,9 +212,9 @@ class HBDArchitecture(abc.ABC):
             usable = self.usable_gpus(n_nodes, faults, tp_size)
         else:
             usable = state.usable
-            for node in removed:
+            for node in sorted(removed):
                 usable += self._delta_flip(state, node, failed=False)
-            for node in added:
+            for node in sorted(added):
                 usable += self._delta_flip(state, node, failed=True)
         new_state = DeltaReplayState(
             n_nodes=n_nodes, tp_size=tp_size, faults=faults, usable=usable,
@@ -232,8 +233,8 @@ class HBDArchitecture(abc.ABC):
         return breakdown, new_state
 
     def _delta_init(
-        self, n_nodes: int, faulty: FrozenSet[int], tp_size: int
-    ) -> Tuple[int, Optional[Any]]:
+        self, n_nodes: int, faulty: frozenset[int], tp_size: int
+    ) -> tuple[int, Any | None]:
         """Usable count plus the incremental payload for ``faulty``.
 
         The base implementation has no payload (``None``), which makes
@@ -264,7 +265,7 @@ class HBDArchitecture(abc.ABC):
 
     def placement_groups(
         self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
-    ) -> Tuple[PlacementGroup, ...]:
+    ) -> tuple[PlacementGroup, ...]:
         """Disjoint placement domains under a fault set.
 
         A TP group must be placed entirely inside one domain; the node-level
@@ -311,7 +312,7 @@ class HBDArchitecture(abc.ABC):
     # --------------------------------------------------------------- helpers
     def _clean_faults(
         self, n_nodes: int, faulty_nodes: Iterable[int]
-    ) -> FrozenSet[int]:
+    ) -> frozenset[int]:
         return frozenset(f for f in faulty_nodes if 0 <= f < n_nodes)
 
     @staticmethod

@@ -9,7 +9,7 @@ paper notes that InfiniteHBD with K=3 tracks this bound almost exactly.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.hbd.base import HBDArchitecture
 

@@ -23,7 +23,7 @@ local to the affected segment, independent of the cluster size.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from repro.core.khop_ring import KHopRingTopology, KHopTopologyConfig
 from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
@@ -34,12 +34,12 @@ class _KHopDelta:
 
     __slots__ = ("faults",)
 
-    def __init__(self, faults: List[int]) -> None:
+    def __init__(self, faults: list[int]) -> None:
         self.faults = faults
 
 
 def _span_capacity(
-    faults: List[int], lo: int, hi: int, k: int, npg: int, tp_size: int
+    faults: list[int], lo: int, hi: int, k: int, npg: int, tp_size: int
 ) -> int:
     """Capacity of the healthy segments inside the span ``[lo, hi]``.
 
@@ -91,7 +91,7 @@ class InfiniteHBDArchitecture(HBDArchitecture):
         self.k = k
         self.ring = ring
         self.name = f"InfiniteHBD(K={k})"
-        self._topology_cache: Dict[int, KHopRingTopology] = {}
+        self._topology_cache: dict[int, KHopRingTopology] = {}
 
     def topology(self, n_nodes: int) -> KHopRingTopology:
         """K-Hop topology instance for an ``n_nodes`` cluster (cached)."""
@@ -122,7 +122,7 @@ class InfiniteHBDArchitecture(HBDArchitecture):
     # ------------------------------------------------------------- placement
     def placement_groups(
         self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
-    ) -> Tuple[PlacementGroup, ...]:
+    ) -> tuple[PlacementGroup, ...]:
         """One domain per healthy segment (bridgeable fault runs included)."""
         faulty = self._clean_faults(n_nodes, faulty_nodes)
         topo = self.topology(n_nodes)
@@ -134,8 +134,8 @@ class InfiniteHBDArchitecture(HBDArchitecture):
 
     # ------------------------------------------------------------ delta replay
     def _delta_init(
-        self, n_nodes: int, faulty: FrozenSet[int], tp_size: int
-    ) -> Tuple[int, _KHopDelta]:
+        self, n_nodes: int, faulty: frozenset[int], tp_size: int
+    ) -> tuple[int, _KHopDelta]:
         usable = self.topology(n_nodes).usable_gpus(faulty, tp_size)
         return usable, _KHopDelta(sorted(faulty))
 
@@ -151,7 +151,7 @@ class InfiniteHBDArchitecture(HBDArchitecture):
         return -self._fail_delta(aux.faults, node, state)
 
     def _fail_delta(
-        self, faults: List[int], node: int, state: DeltaReplayState
+        self, faults: list[int], node: int, state: DeltaReplayState
     ) -> int:
         """Capacity change of failing the (currently healthy) ``node``."""
         n, tp_size = state.n_nodes, state.tp_size
@@ -179,8 +179,8 @@ class InfiniteHBDArchitecture(HBDArchitecture):
         return after - before
 
     def _scan(
-        self, faults: List[int], node: int, n: int, forward: bool
-    ) -> Tuple[Optional[int], List[int]]:
+        self, faults: list[int], node: int, n: int, forward: bool
+    ) -> tuple[int | None, list[int]]:
         """Walk the sorted fault list away from ``node`` to the nearest
         breakpoint (fault run of ``>= k`` consecutive nodes).
 
@@ -192,15 +192,15 @@ class InfiniteHBDArchitecture(HBDArchitecture):
         between the two anchors linearly.
         """
         m = len(faults)
-        passed: List[int] = []
+        passed: list[int] = []
         if m == 0:
             return None, passed
         step = 1 if forward else -1
         index = bisect.bisect_right(faults, node) if forward else (
             bisect.bisect_left(faults, node) - 1
         )
-        run: List[int] = []
-        prev: Optional[int] = None
+        run: list[int] = []
+        prev: int | None = None
         for _ in range(m):
             if 0 <= index < m:
                 pos = faults[index]

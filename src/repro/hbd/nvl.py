@@ -12,7 +12,7 @@ how the evaluation treats e.g. TP-64 on NVL-36.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Tuple
+from collections.abc import Iterable
 
 from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
 
@@ -37,7 +37,7 @@ class _NVLDelta:
         infeasible: bool,
         nodes_per_unit: int,
         n_units: int,
-        unit_faults: Dict[int, int],
+        unit_faults: dict[int, int],
         leftover_healthy_gpus: int,
     ) -> None:
         self.infeasible = infeasible
@@ -60,7 +60,7 @@ class NVLHBD(HBDArchitecture):
             raise ValueError("hbd_size must be a multiple of gpus_per_node")
         self.hbd_size = hbd_size
         self.name = f"NVL-{hbd_size}"
-        self._skeleton_cache: Dict[Tuple[int, int], Tuple[PlacementGroup, ...]] = {}
+        self._skeleton_cache: dict[tuple[int, int], tuple[PlacementGroup, ...]] = {}
 
     @property
     def nodes_per_unit(self) -> int:
@@ -97,7 +97,7 @@ class NVLHBD(HBDArchitecture):
     # ------------------------------------------------------------- placement
     def placement_groups(
         self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
-    ) -> Tuple[PlacementGroup, ...]:
+    ) -> tuple[PlacementGroup, ...]:
         """One domain per HBD unit (plus the partial trailing unit).
 
         Unit boundaries never move, so the all-healthy skeleton is cached
@@ -139,8 +139,8 @@ class NVLHBD(HBDArchitecture):
 
     # ------------------------------------------------------------ delta replay
     def _delta_init(
-        self, n_nodes: int, faulty: FrozenSet[int], tp_size: int
-    ) -> Tuple[int, _NVLDelta]:
+        self, n_nodes: int, faulty: frozenset[int], tp_size: int
+    ) -> tuple[int, _NVLDelta]:
         if tp_size > self.hbd_size:
             return 0, _NVLDelta(True, self.nodes_per_unit, 0, {}, 0)
         n_units = self.n_units(n_nodes)
@@ -179,8 +179,8 @@ class NVLHBD(HBDArchitecture):
         return self._fit(aux.leftover_healthy_gpus, tp_size) - old
 
     # --------------------------------------------------------------- helpers
-    def _faults_per_unit(self, n_nodes: int, faulty) -> Dict[int, int]:
-        counts: Dict[int, int] = {}
+    def _faults_per_unit(self, n_nodes: int, faulty) -> dict[int, int]:
+        counts: dict[int, int] = {}
         for node in faulty:
             unit = node // self.nodes_per_unit
             if unit < self.n_units(n_nodes):

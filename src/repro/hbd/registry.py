@@ -14,7 +14,6 @@ historical signatures as thin shims over the registry.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from repro.api.registry import REGISTRY, ArchitectureRegistry
 from repro.hbd.base import HBDArchitecture
@@ -25,7 +24,7 @@ from repro.hbd.sipring import SiPRingHBD
 from repro.hbd.tpuv4 import TPUv4HBD
 
 #: The architecture line-up of Figures 13-16 and 20-23, in legend order.
-DEFAULT_LINEUP: Tuple[str, ...] = (
+DEFAULT_LINEUP: tuple[str, ...] = (
     "InfiniteHBD(K=2)",
     "InfiniteHBD(K=3)",
     "Big-Switch",
@@ -103,7 +102,7 @@ for _size in (36, 72, 576):
 
 
 # ------------------------------------------------------------- classic shims
-def default_architectures(gpus_per_node: int = 4) -> List[HBDArchitecture]:
+def default_architectures(gpus_per_node: int = 4) -> list[HBDArchitecture]:
     """The architecture line-up of Figures 13-16 and 20-23.
 
     Returned in the paper's legend order: InfiniteHBD (K=2), InfiniteHBD
@@ -123,6 +122,6 @@ def architecture_by_name(name: str, gpus_per_node: int = 4) -> HBDArchitecture:
     return REGISTRY.create(name, gpus_per_node=gpus_per_node)
 
 
-def list_architectures(registry: ArchitectureRegistry = REGISTRY) -> List[str]:
+def list_architectures(registry: ArchitectureRegistry = REGISTRY) -> list[str]:
     """Every registered architecture name (built-ins plus plugins)."""
     return registry.names()

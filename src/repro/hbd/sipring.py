@@ -9,7 +9,7 @@ radius of GPU-centric designs).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Tuple
+from collections.abc import Iterable
 
 from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
 
@@ -24,7 +24,7 @@ class _SiPRingDelta:
         nodes_per_ring: int,
         n_rings: int,
         per_ring_usable: int,
-        ring_faults: Dict[int, int],
+        ring_faults: dict[int, int],
     ) -> None:
         self.nodes_per_ring = nodes_per_ring
         self.n_rings = n_rings
@@ -50,7 +50,7 @@ class SiPRingHBD(HBDArchitecture):
         per_ring_usable = self._fit(ring_gpu_capacity, tp_size)
 
         n_rings = n_nodes // nodes_per_ring
-        faulty_rings: Dict[int, bool] = {}
+        faulty_rings: dict[int, bool] = {}
         for node in faulty:
             ring = node // nodes_per_ring
             if ring < n_rings:
@@ -65,7 +65,7 @@ class SiPRingHBD(HBDArchitecture):
     # ------------------------------------------------------------- placement
     def placement_groups(
         self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
-    ) -> Tuple[PlacementGroup, ...]:
+    ) -> tuple[PlacementGroup, ...]:
         """One domain per fault-free ring; a faulty ring hosts nothing."""
         faulty = self._clean_faults(n_nodes, faulty_nodes)
         nodes_per_ring = self.nodes_per_tp_group(tp_size)
@@ -91,12 +91,12 @@ class SiPRingHBD(HBDArchitecture):
 
     # ------------------------------------------------------------ delta replay
     def _delta_init(
-        self, n_nodes: int, faulty: FrozenSet[int], tp_size: int
-    ) -> Tuple[int, _SiPRingDelta]:
+        self, n_nodes: int, faulty: frozenset[int], tp_size: int
+    ) -> tuple[int, _SiPRingDelta]:
         nodes_per_ring = max(1, -(-tp_size // self.gpus_per_node))
         per_ring_usable = self._fit(nodes_per_ring * self.gpus_per_node, tp_size)
         n_rings = n_nodes // nodes_per_ring
-        ring_faults: Dict[int, int] = {}
+        ring_faults: dict[int, int] = {}
         for node in faulty:
             ring = node // nodes_per_ring
             if ring < n_rings:

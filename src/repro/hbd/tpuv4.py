@@ -14,7 +14,7 @@ cube-granular:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Tuple
+from collections.abc import Iterable
 
 from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
 
@@ -42,7 +42,7 @@ class _TPUv4Delta:
         multi_cube: bool,
         nodes_per_cube: int,
         n_cubes: int,
-        cube_faults: Dict[int, int],
+        cube_faults: dict[int, int],
         leftover_healthy_gpus: int,
         healthy_cubes: int,
         cubes_per_group: int,
@@ -104,14 +104,14 @@ class TPUv4HBD(HBDArchitecture):
     # ------------------------------------------------------------- placement
     def placement_groups(
         self, n_nodes: int, faulty_nodes: Iterable[int], tp_size: int
-    ) -> Tuple[PlacementGroup, ...]:
+    ) -> tuple[PlacementGroup, ...]:
         """Per-cube domains below the cube size; dedicated healthy-cube
         combinations (the whole combination per TP group) above it."""
         faulty = self._clean_faults(n_nodes, faulty_nodes)
         n_cubes = self.n_cubes(n_nodes)
         npc = self.nodes_per_cube
 
-        def cube_nodes(cube: int) -> Tuple[int, ...]:
+        def cube_nodes(cube: int) -> tuple[int, ...]:
             start = cube * npc
             return tuple(
                 node for node in range(start, start + npc) if node not in faulty
@@ -162,8 +162,8 @@ class TPUv4HBD(HBDArchitecture):
 
     # ------------------------------------------------------------ delta replay
     def _delta_init(
-        self, n_nodes: int, faulty: FrozenSet[int], tp_size: int
-    ) -> Tuple[int, _TPUv4Delta]:
+        self, n_nodes: int, faulty: frozenset[int], tp_size: int
+    ) -> tuple[int, _TPUv4Delta]:
         n_cubes = self.n_cubes(n_nodes)
         cube_faults = self._faults_per_cube(n_nodes, faulty)
         if tp_size <= self.cube_size:
@@ -229,8 +229,8 @@ class TPUv4HBD(HBDArchitecture):
         return self._fit(aux.leftover_healthy_gpus, tp_size) - old
 
     # --------------------------------------------------------------- helpers
-    def _faults_per_cube(self, n_nodes: int, faulty) -> Dict[int, int]:
-        counts: Dict[int, int] = {}
+    def _faults_per_cube(self, n_nodes: int, faulty) -> dict[int, int]:
+        counts: dict[int, int] = {}
         for node in faulty:
             cube = node // self.nodes_per_cube
             if cube < self.n_cubes(n_nodes):

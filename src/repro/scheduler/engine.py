@@ -76,10 +76,11 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from collections.abc import Sequence
+from typing import Any
 
 from repro.faults.timeline import IntervalTimeline
-from repro.hbd.base import HBDArchitecture, PlacementGroup
+from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
 from repro.scheduler.jobs import JobReport, JobSpec
 from repro.scheduler.placement import PlacementPolicy, placement_by_name
 from repro.scheduler.policies import FifoPolicy, SchedulingPolicy
@@ -122,12 +123,12 @@ class _JobRuntime:
         self.restart_charged = 0.0
         self.impacting_faults = 0.0
         self.preemptions = 0
-        self.first_start: Optional[float] = None
-        self.completion: Optional[float] = None
-        self.end: Optional[float] = None
+        self.first_start: float | None = None
+        self.completion: float | None = None
+        self.end: float | None = None
         self.in_system = False
         self.allocated = False
-        self.nodes: FrozenSet[int] = frozenset()
+        self.nodes: frozenset[int] = frozenset()
 
     @property
     def done(self) -> bool:
@@ -170,34 +171,32 @@ class _TpPlacementState:
 
     def __init__(
         self,
-        faults: FrozenSet[int],
-        groups: Tuple[PlacementGroup, ...],
-        held: Set[int],
-        prior: Optional["_TpPlacementState"] = None,
+        faults: frozenset[int],
+        groups: tuple[PlacementGroup, ...],
+        held: set[int],
+        prior: _TpPlacementState | None = None,
     ) -> None:
         self.faults = faults
         self.groups = groups
-        self.npg: List[int] = [group.nodes_per_group for group in groups]
+        self.npg: list[int] = [group.nodes_per_group for group in groups]
+        prior_of: list[PlacementGroup] | None = None
+        prior_index: dict[int, int] = {}
         if prior is not None and len(prior.groups) == len(groups):
             # Positions are identity-stable for architectures that patch
             # only the touched domains (NVL units); fall back to an id map
             # when the domain count shifted (segments splitting, etc.).
             prior_of = list(prior.groups)
-        else:
-            prior_index = (
-                {id(group): i for i, group in enumerate(prior.groups)}
-                if prior is not None
-                else {}
-            )
-            prior_of = None
-        self.free: List[List[int]] = []
-        self.avail: List[int] = []
+        elif prior is not None:
+            prior_index = {id(group): i for i, group in enumerate(prior.groups)}
+        self.free: list[list[int]] = []
+        self.avail: list[int] = []
         for index, group in enumerate(groups):
-            if prior_of is not None:
-                j = index if prior_of[index] is group else None
-            else:
-                j = prior_index.get(id(group))
-            if j is not None:
+            j = (
+                prior_index.get(id(group))
+                if prior_of is None
+                else (index if prior_of[index] is group else None)
+            )
+            if j is not None and prior is not None:
                 # Same domain object => same healthy membership, and stale
                 # states were kept in step with the held set by
                 # ``_placed_sync``, so the old free list is still exact.
@@ -210,14 +209,14 @@ class _TpPlacementState:
         self.avail_total = sum(self.avail)
         # Slot-count bands: slots -> ascending domain indices, the iteration
         # structure behind banded placement policies.
-        self.buckets: Dict[int, List[int]] = {}
+        self.buckets: dict[int, list[int]] = {}
         for index, slots in enumerate(self.avail):
             self.buckets.setdefault(slots, []).append(index)
         if prior_of is not None:
             # Positional identity: indices are unchanged, so only the
             # domains that were replaced need their entries refreshed (the
             # prior state is discarded, so adopting its dict is safe).
-            self.node_group: Dict[int, int] = prior.node_group
+            self.node_group: dict[int, int] = prior.node_group
             for index, group in enumerate(groups):
                 if prior_of[index] is not group:
                     for node in group.nodes:
@@ -240,7 +239,7 @@ class _TpPlacementState:
         self.avail_total += slots - old
         self.avail[index] = slots
 
-    def refresh(self, index: int, held: Set[int]) -> None:
+    def refresh(self, index: int, held: set[int]) -> None:
         """Recompute one domain's free list from the global held set."""
         self.free[index] = [
             node for node in self.groups[index].nodes if node not in held
@@ -315,9 +314,9 @@ class ClusterScheduler:
         architecture: HBDArchitecture,
         timeline: IntervalTimeline,
         jobs: Sequence[JobSpec],
-        policy: Optional[SchedulingPolicy] = None,
-        horizon_hours: Optional[float] = None,
-        placement: Optional[Union[PlacementPolicy, str]] = None,
+        policy: SchedulingPolicy | None = None,
+        horizon_hours: float | None = None,
+        placement: PlacementPolicy | str | None = None,
         backfill: bool = False,
     ) -> None:
         if timeline.gpus_per_node != architecture.gpus_per_node:
@@ -338,29 +337,29 @@ class ClusterScheduler:
         self.backfill = bool(backfill)
         self.n_nodes = timeline.n_nodes
         self.total_gpus = architecture.total_gpus(timeline.n_nodes)
-        self.jobs: Tuple[JobSpec, ...] = tuple(jobs)
+        self.jobs: tuple[JobSpec, ...] = tuple(jobs)
         for job in self.jobs:
             if job.gpus > self.total_gpus:
                 raise ValueError(
                     f"job {job.name!r} ({job.gpus} GPUs) larger than the "
                     f"cluster ({self.total_gpus} GPUs)"
                 )
-        self._usable: Dict[Tuple[FrozenSet[int], int], int] = {}
+        self._usable: dict[tuple[frozenset[int], int], int] = {}
         # Per-TP incremental replay states (architectures with an O(delta)
         # update): capacity queries arrive in sweep order, so each memo miss
         # advances the state by the few node events since the last query
         # instead of recomputing over the whole node set.
-        self._delta_states: Dict[int, "object"] = {}
+        self._delta_states: dict[int, DeltaReplayState] = {}
         # Placed-mode bookkeeping: memoized placement domains per (fault
         # set, TP), the nodes currently held by allocated jobs, and per-TP
         # free-node states (rebuilt whenever the fault set moves).
-        self._groups: Dict[Tuple[FrozenSet[int], int], Tuple[PlacementGroup, ...]] = {}
-        self._placed_cap: Dict[Tuple[FrozenSet[int], int], int] = {}
-        self._held: Set[int] = set()
-        self._tp_states: Dict[int, _TpPlacementState] = {}
+        self._groups: dict[tuple[frozenset[int], int], tuple[PlacementGroup, ...]] = {}
+        self._placed_cap: dict[tuple[frozenset[int], int], int] = {}
+        self._held: set[int] = set()
+        self._tp_states: dict[int, _TpPlacementState] = {}
 
     # ------------------------------------------------------------- capacity
-    def _capacity(self, faults: FrozenSet[int], tp_size: int) -> int:
+    def _capacity(self, faults: frozenset[int], tp_size: int) -> int:
         key = (faults, tp_size)
         usable = self._usable.get(key)
         if usable is None:
@@ -386,16 +385,17 @@ class ClusterScheduler:
         return usable
 
     def _validate_runs_to_completion(self) -> None:
-        empty: FrozenSet[int] = frozenset()
+        empty: frozenset[int] = frozenset()
         for job in self.jobs:
             if job.work_hours is None:
                 raise ValueError(
                     f"job {job.name!r} has unbounded work; set horizon_hours"
                 )
-            if self.placement is not None:
-                capacity = self._placed_capacity(empty, job.tp_size)
-            else:
-                capacity = self._capacity(empty, job.tp_size)
+            capacity = (
+                self._placed_capacity(empty, job.tp_size)
+                if self.placement is not None
+                else self._capacity(empty, job.tp_size)
+            )
             if job.gpus > capacity:
                 raise ValueError(
                     f"job {job.name!r} ({job.gpus} GPUs at TP-{job.tp_size}) "
@@ -405,8 +405,8 @@ class ClusterScheduler:
 
     # -------------------------------------------------- placed-mode plumbing
     def _placement_groups(
-        self, faults: FrozenSet[int], tp_size: int
-    ) -> Tuple[PlacementGroup, ...]:
+        self, faults: frozenset[int], tp_size: int
+    ) -> tuple[PlacementGroup, ...]:
         key = (faults, tp_size)
         groups = self._groups.get(key)
         if groups is None:
@@ -416,7 +416,7 @@ class ClusterScheduler:
             self._groups[key] = groups
         return groups
 
-    def _placed_capacity(self, faults: FrozenSet[int], tp_size: int) -> int:
+    def _placed_capacity(self, faults: frozenset[int], tp_size: int) -> int:
         key = (faults, tp_size)
         capacity = self._placed_cap.get(key)
         if capacity is None:
@@ -426,7 +426,7 @@ class ClusterScheduler:
             self._placed_cap[key] = capacity
         return capacity
 
-    def _tp_state(self, tp_size: int, faults: FrozenSet[int]) -> _TpPlacementState:
+    def _tp_state(self, tp_size: int, faults: frozenset[int]) -> _TpPlacementState:
         state = self._tp_states.get(tp_size)
         if state is None or state.faults != faults:
             state = _TpPlacementState(
@@ -438,7 +438,7 @@ class ClusterScheduler:
             self._tp_states[tp_size] = state
         return state
 
-    def _placed_sync(self, nodes: FrozenSet[int], skip: Optional[int] = None) -> None:
+    def _placed_sync(self, nodes: frozenset[int], skip: int | None = None) -> None:
         """Refresh the free lists of every domain touching ``nodes``.
 
         Free lists are a pure function of (domain nodes, held set), so a
@@ -455,17 +455,17 @@ class ClusterScheduler:
                 for node in nodes
                 if node in state.node_group
             }
-            for index in touched:
+            for index in sorted(touched):
                 state.refresh(index, self._held)
 
-    def _release_nodes(self, nodes: FrozenSet[int]) -> None:
+    def _release_nodes(self, nodes: frozenset[int]) -> None:
         if nodes:
             self._held -= nodes
             self._placed_sync(nodes)
 
     def _try_place(
-        self, rt: _JobRuntime, faults: FrozenSet[int]
-    ) -> Optional[FrozenSet[int]]:
+        self, rt: _JobRuntime, faults: frozenset[int]
+    ) -> frozenset[int] | None:
         """Carve the job's TP groups out of free domain nodes, or fail clean.
 
         Domains are filled in the placement policy's preference order; the
@@ -478,8 +478,10 @@ class ClusterScheduler:
         needed = spec.gpus // spec.tp_size
         if state.avail_total < needed:
             return None
-        bands = self.placement.bands
-        plan: List[Tuple[int, int]] = []
+        placement = self.placement
+        assert placement is not None  # _try_place only runs in placed mode
+        bands = placement.bands
+        plan: list[tuple[int, int]] = []
         if bands is not None:
             # Banded fast path: walk the slot-count bands directly (index
             # order within a band) instead of sorting every domain.
@@ -499,14 +501,14 @@ class ClusterScheduler:
             candidates = [
                 (slots, index) for index, slots in enumerate(state.avail) if slots
             ]
-            self.placement.order(candidates)
+            placement.order(candidates)
             for slots, index in candidates:
                 take = min(slots, needed)
                 plan.append((index, take))
                 needed -= take
                 if not needed:
                     break
-        taken: List[int] = []
+        taken: list[int] = []
         for index, take in plan:
             count = take * state.npg[index]
             taken.extend(state.free[index][:count])
@@ -521,10 +523,10 @@ class ClusterScheduler:
     def _backfill_window(
         self,
         head: _JobRuntime,
-        allocated: List[_JobRuntime],
-        faults: FrozenSet[int],
+        allocated: list[_JobRuntime],
+        faults: frozenset[int],
         t: float,
-    ) -> Tuple[float, float]:
+    ) -> tuple[float, float]:
         """EASY reservation for a blocked head: (shadow start, extra GPUs).
 
         Projects the currently allocated jobs' completions under the current
@@ -559,7 +561,7 @@ class ClusterScheduler:
 
     def _may_backfill(
         self, rt: _JobRuntime, t: float, shadow: float, extra: float
-    ) -> Tuple[bool, bool]:
+    ) -> tuple[bool, bool]:
         """(admit past the blocked head?, does it consume ``extra``?)."""
         projected = t + rt.restart_debt + rt.remaining_work
         if projected <= shadow + _EPS:
@@ -569,16 +571,16 @@ class ClusterScheduler:
         return False, False
 
     def _select(
-        self, in_system: List[_JobRuntime], faults: FrozenSet[int], t: float
-    ) -> Set[int]:
+        self, in_system: list[_JobRuntime], faults: frozenset[int], t: float
+    ) -> set[int]:
         """Greedy policy-ordered allocation; returns the selected sequences."""
         policy = self.policy
 
-        def key(rt: _JobRuntime):
+        def key(rt: _JobRuntime) -> tuple[Any, ...]:
             return policy.priority_key(rt.spec, rt.remaining_work, rt.sequence)
 
-        selected: Set[int] = set()
-        chosen: List[_JobRuntime] = []
+        selected: set[int] = set()
+        chosen: list[_JobRuntime] = []
         used = 0
         if policy.preemptive:
             admission = sorted(in_system, key=key)
@@ -589,7 +591,7 @@ class ClusterScheduler:
             # queue at its priority position, so under a strict-order policy
             # it still blocks every younger job (no backfill past the
             # descheduled queue head).
-            displaced: List[_JobRuntime] = []
+            displaced: list[_JobRuntime] = []
             for rt in sorted((rt for rt in in_system if rt.allocated), key=key):
                 if used + rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size):
                     selected.add(rt.sequence)
@@ -600,7 +602,7 @@ class ClusterScheduler:
             admission = sorted(
                 [rt for rt in in_system if not rt.allocated] + displaced, key=key
             )
-        shadow: Optional[float] = None
+        shadow: float | None = None
         extra = 0.0
         for rt in admission:
             if shadow is not None:
@@ -625,16 +627,16 @@ class ClusterScheduler:
         return selected
 
     def _select_placed(
-        self, in_system: List[_JobRuntime], faults: FrozenSet[int], t: float
-    ) -> Dict[int, FrozenSet[int]]:
+        self, in_system: list[_JobRuntime], faults: frozenset[int], t: float
+    ) -> dict[int, frozenset[int]]:
         """Placed-mode allocation: concrete nodes per selected job."""
         policy = self.policy
 
-        def key(rt: _JobRuntime):
+        def key(rt: _JobRuntime) -> tuple[Any, ...]:
             return policy.priority_key(rt.spec, rt.remaining_work, rt.sequence)
 
-        placements: Dict[int, FrozenSet[int]] = {}
-        chosen: List[_JobRuntime] = []
+        placements: dict[int, frozenset[int]] = {}
+        chosen: list[_JobRuntime] = []
         if policy.preemptive:
             # Re-place everyone in priority order; a job keeps its exact
             # nodes when no higher-priority job claimed them (stability --
@@ -653,7 +655,7 @@ class ClusterScheduler:
             admission = sorted(
                 [rt for rt in in_system if not rt.allocated], key=key
             )
-        def attempt(rt: _JobRuntime) -> Optional[FrozenSet[int]]:
+        def attempt(rt: _JobRuntime) -> frozenset[int] | None:
             # A still-allocated job keeps its exact nodes whenever no
             # higher-priority job claimed them (stability: an unmoved job
             # is never charged); otherwise it is placed like any other.
@@ -668,7 +670,7 @@ class ClusterScheduler:
                 return rt.nodes
             return self._try_place(rt, faults)
 
-        shadow: Optional[float] = None
+        shadow: float | None = None
         extra = 0.0
         for rt in admission:
             if shadow is not None:
@@ -706,18 +708,18 @@ class ClusterScheduler:
         runtimes = [_JobRuntime(spec, i) for i, spec in enumerate(self.jobs)]
         pending = sorted(runtimes, key=lambda rt: (rt.spec.submit_hour, rt.sequence))
         pending_index = 0
-        in_system: List[_JobRuntime] = []
+        in_system: list[_JobRuntime] = []
         unfinished = len(runtimes)
 
         intervals = self.timeline.intervals
         interval_index = 0
-        empty: FrozenSet[int] = frozenset()
-        faults: FrozenSet[int] = intervals[0].nodes if intervals else empty
+        empty: frozenset[int] = frozenset()
+        faults: frozenset[int] = intervals[0].nodes if intervals else empty
 
         def settle_completions(now: float) -> None:
             """Mark allocated jobs whose work and restart debt are both done."""
             nonlocal unfinished, in_system
-            released: Set[int] = set()
+            released: set[int] = set()
             for rt in in_system:
                 if rt.allocated and rt.restart_debt <= _EPS and rt.remaining_work <= _EPS:
                     rt.restart_debt = 0.0
@@ -780,7 +782,7 @@ class ClusterScheduler:
                 break
 
             # ----------------------------------------- fault-set transition
-            new_faults: FrozenSet[int] = empty
+            new_faults: frozenset[int] = empty
             while (
                 interval_index < len(intervals)
                 and intervals[interval_index].end_hour <= t
@@ -812,7 +814,7 @@ class ClusterScheduler:
                 # Exactly the jobs whose held nodes went down restart: each
                 # direct hit costs half a checkpoint interval plus the
                 # restart overhead, and the job's nodes are released.
-                released: Set[int] = set()
+                released: set[int] = set()
                 for rt in in_system:
                     if not rt.allocated:
                         continue
@@ -837,22 +839,25 @@ class ClusterScheduler:
                 for rt in in_system:
                     now_allocated = rt.sequence in placements
                     new_nodes = placements.get(rt.sequence, frozenset())
-                    if rt.allocated and (
-                        not now_allocated or new_nodes != rt.nodes
+                    # Policy pressure moves placed jobs (fault hits
+                    # released their victims above): eviction and
+                    # migration both checkpoint and pay the restart
+                    # overhead on resume.  A preemptive reshuffle that
+                    # leaves a job no room *anywhere* after a capacity
+                    # drop is a squeeze, not a preemption -- it waits
+                    # uncharged, matching the expected-value engine.
+                    if (
+                        rt.allocated
+                        and (not now_allocated or new_nodes != rt.nodes)
+                        and (
+                            now_allocated
+                            or rt.spec.gpus
+                            <= self._placed_capacity(faults, rt.spec.tp_size)
+                        )
                     ):
-                        # Policy pressure moves placed jobs (fault hits
-                        # released their victims above): eviction and
-                        # migration both checkpoint and pay the restart
-                        # overhead on resume.  A preemptive reshuffle that
-                        # leaves a job no room *anywhere* after a capacity
-                        # drop is a squeeze, not a preemption -- it waits
-                        # uncharged, matching the expected-value engine.
-                        if now_allocated or rt.spec.gpus <= self._placed_capacity(
-                            faults, rt.spec.tp_size
-                        ):
-                            rt.preemptions += 1
-                            rt.restart_debt += rt.spec.restart_overhead_hours
-                            rt.restart_charged += rt.spec.restart_overhead_hours
+                        rt.preemptions += 1
+                        rt.restart_debt += rt.spec.restart_overhead_hours
+                        rt.restart_charged += rt.spec.restart_overhead_hours
                     if now_allocated and rt.first_start is None:
                         rt.first_start = t
                     rt.allocated = now_allocated
@@ -861,19 +866,22 @@ class ClusterScheduler:
                 selected = self._select(in_system, faults, t)
                 for rt in in_system:
                     now_allocated = rt.sequence in selected
-                    if rt.allocated and not now_allocated:
-                        # Classify the eviction per job, independent of
-                        # whether a fault boundary shares the timestamp: a
-                        # job the current capacity could not host at all
-                        # just waits (matching the single-job goodput
-                        # accounting), while a job that still fits but lost
-                        # its slot to higher-priority work was preempted --
-                        # it checkpoints on the way out and pays the
-                        # restart overhead when it resumes.
-                        if rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size):
-                            rt.preemptions += 1
-                            rt.restart_debt += rt.spec.restart_overhead_hours
-                            rt.restart_charged += rt.spec.restart_overhead_hours
+                    # Classify the eviction per job, independent of
+                    # whether a fault boundary shares the timestamp: a
+                    # job the current capacity could not host at all
+                    # just waits (matching the single-job goodput
+                    # accounting), while a job that still fits but lost
+                    # its slot to higher-priority work was preempted --
+                    # it checkpoints on the way out and pays the
+                    # restart overhead when it resumes.
+                    if (
+                        rt.allocated
+                        and not now_allocated
+                        and rt.spec.gpus <= self._capacity(faults, rt.spec.tp_size)
+                    ):
+                        rt.preemptions += 1
+                        rt.restart_debt += rt.spec.restart_overhead_hours
+                        rt.restart_charged += rt.spec.restart_overhead_hours
                     if now_allocated and rt.first_start is None:
                         rt.first_start = t
                     rt.allocated = now_allocated
@@ -912,7 +920,7 @@ class ClusterScheduler:
             policy=self.policy.name,
             preemptive=self.policy.preemptive,
             horizon_hours=end_hour if horizon is None else horizon,
-            placement=self.placement.name if placed else None,
+            placement=self.placement.name if self.placement is not None else None,
             backfill=self.backfill,
         )
 
@@ -921,11 +929,11 @@ def schedule_comparison(
     architectures: Sequence[HBDArchitecture],
     timeline: IntervalTimeline,
     jobs: Sequence[JobSpec],
-    policy: Optional[SchedulingPolicy] = None,
-    horizon_hours: Optional[float] = None,
-    placement: Optional[Union[PlacementPolicy, str]] = None,
+    policy: SchedulingPolicy | None = None,
+    horizon_hours: float | None = None,
+    placement: PlacementPolicy | str | None = None,
     backfill: bool = False,
-) -> Dict[str, ClusterReport]:
+) -> dict[str, ClusterReport]:
     """Replay the same workload across several architectures.
 
     >>> from repro.faults.trace import FaultTrace

@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Type
+from collections.abc import Mapping
+from typing import Any
 
 
-def check_known_fields(cls: Type, data: Mapping[str, Any]) -> None:
+def check_known_fields(cls: type[Any], data: Mapping[str, Any]) -> None:
     """Reject mappings with keys that are not fields of ``cls``.
 
     Shared by every ``from_dict`` in the spec layer (including
@@ -68,7 +69,7 @@ class JobSpec:
     name: str
     gpus: int
     tp_size: int
-    work_hours: Optional[float] = None
+    work_hours: float | None = None
     submit_hour: float = 0.0
     checkpoint_interval_hours: float = 1.0
     restart_overhead_hours: float = 0.25
@@ -97,11 +98,11 @@ class JobSpec:
             )
 
     # ------------------------------------------------------------- serialise
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> JobSpec:
         check_known_fields(cls, data)
         return cls(**data)
 
@@ -139,9 +140,9 @@ class JobReport:
     gpus: int
     tp_size: int
     submit_hour: float
-    work_hours: Optional[float]
-    first_start_hour: Optional[float]
-    completion_hour: Optional[float]
+    work_hours: float | None
+    first_start_hour: float | None
+    completion_hour: float | None
     end_hour: float
     productive_hours: float
     waiting_hours: float
@@ -160,14 +161,14 @@ class JobReport:
         return self.end_hour - self.submit_hour
 
     @property
-    def jct_hours(self) -> Optional[float]:
+    def jct_hours(self) -> float | None:
         """Job completion time (None when the job did not finish)."""
         if self.completion_hour is None:
             return None
         return self.completion_hour - self.submit_hour
 
     @property
-    def queueing_delay_hours(self) -> Optional[float]:
+    def queueing_delay_hours(self) -> float | None:
         """Submit-to-first-allocation delay (None when never scheduled)."""
         if self.first_start_hour is None:
             return None
@@ -182,7 +183,7 @@ class JobReport:
         return self.productive_hours / wall
 
     @property
-    def finish_time_fairness(self) -> Optional[float]:
+    def finish_time_fairness(self) -> float | None:
         """Tiresias/Themis-style rho = JCT / ideal JCT on dedicated capacity.
 
         The ideal JCT is the job's productive work on a dedicated, fault-free
@@ -194,7 +195,7 @@ class JobReport:
             return None
         return self.jct_hours / self.work_hours
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         data = dataclasses.asdict(self)
         data["finished"] = self.finished
         data["jct_hours"] = self.jct_hours

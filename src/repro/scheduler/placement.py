@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import abc
 import difflib
-from typing import Dict, List, Optional, Tuple, Type
 
 
 class PlacementPolicy(abc.ABC):
@@ -51,10 +50,10 @@ class PlacementPolicy(abc.ABC):
     #: order within a band) instead of materialising and sorting the full
     #: candidate list -- equivalent to :meth:`order` for the built-ins.
     #: Custom policies leave it ``None`` and get the generic sorted path.
-    bands: Optional[str] = None
+    bands: str | None = None
 
     @abc.abstractmethod
-    def order(self, candidates: List[Tuple[int, int]]) -> None:
+    def order(self, candidates: list[tuple[int, int]]) -> None:
         """Sort ``(free_slots, domain_index)`` pairs into fill order.
 
         ``free_slots`` is the number of TP groups the domain can still
@@ -73,7 +72,7 @@ class PackedPlacement(PlacementPolicy):
     name = "packed"
     bands = "ascending"
 
-    def order(self, candidates: List[Tuple[int, int]]) -> None:
+    def order(self, candidates: list[tuple[int, int]]) -> None:
         candidates.sort()
 
 
@@ -83,17 +82,17 @@ class SpreadPlacement(PlacementPolicy):
     name = "spread"
     bands = "descending"
 
-    def order(self, candidates: List[Tuple[int, int]]) -> None:
+    def order(self, candidates: list[tuple[int, int]]) -> None:
         candidates.sort(key=lambda candidate: (-candidate[0], candidate[1]))
 
 
-_PLACEMENTS: Dict[str, Type[PlacementPolicy]] = {
+_PLACEMENTS: dict[str, type[PlacementPolicy]] = {
     PackedPlacement.name: PackedPlacement,
     SpreadPlacement.name: SpreadPlacement,
 }
 
 #: Spec / CLI names of the built-in placement policies, in presentation order.
-PLACEMENT_NAMES: Tuple[str, ...] = tuple(_PLACEMENTS)
+PLACEMENT_NAMES: tuple[str, ...] = tuple(_PLACEMENTS)
 
 
 def placement_by_name(name: str) -> PlacementPolicy:

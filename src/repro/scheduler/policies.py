@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 import difflib
-from typing import Dict, Tuple, Type
+from typing import Any
 
 from repro.scheduler.jobs import JobSpec
 
@@ -50,7 +50,7 @@ class SchedulingPolicy(abc.ABC):
     @abc.abstractmethod
     def priority_key(
         self, job: JobSpec, remaining_work_hours: float, sequence: int
-    ) -> Tuple:
+    ) -> tuple[Any, ...]:
         """Sort key; the engine runs jobs in ascending key order.
 
         ``remaining_work_hours`` is the job's outstanding productive work
@@ -81,7 +81,7 @@ class FifoPolicy(SchedulingPolicy):
 
     def priority_key(
         self, job: JobSpec, remaining_work_hours: float, sequence: int
-    ) -> Tuple:
+    ) -> tuple[Any, ...]:
         return (job.submit_hour, sequence)
 
 
@@ -102,7 +102,7 @@ class SmallestFirstPolicy(SchedulingPolicy):
 
     def priority_key(
         self, job: JobSpec, remaining_work_hours: float, sequence: int
-    ) -> Tuple:
+    ) -> tuple[Any, ...]:
         return (job.gpus, job.submit_hour, sequence)
 
 
@@ -122,18 +122,18 @@ class ShortestRemainingPolicy(SchedulingPolicy):
 
     def priority_key(
         self, job: JobSpec, remaining_work_hours: float, sequence: int
-    ) -> Tuple:
+    ) -> tuple[Any, ...]:
         return (remaining_work_hours, job.submit_hour, sequence)
 
 
-_POLICIES: Dict[str, Type[SchedulingPolicy]] = {
+_POLICIES: dict[str, type[SchedulingPolicy]] = {
     FifoPolicy.name: FifoPolicy,
     SmallestFirstPolicy.name: SmallestFirstPolicy,
     ShortestRemainingPolicy.name: ShortestRemainingPolicy,
 }
 
 #: Spec / CLI names of the built-in policies, in presentation order.
-POLICY_NAMES: Tuple[str, ...] = tuple(_POLICIES)
+POLICY_NAMES: tuple[str, ...] = tuple(_POLICIES)
 
 
 def policy_by_name(name: str, preemptive: bool = False) -> SchedulingPolicy:

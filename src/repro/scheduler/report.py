@@ -11,7 +11,7 @@ workload was in flight), and finish-time fairness (the per-job slowdown
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 import numpy as np
 
@@ -41,14 +41,14 @@ class ClusterReport:
     0.75
     """
 
-    jobs: Tuple[JobReport, ...]
+    jobs: tuple[JobReport, ...]
     n_nodes: int
     total_gpus: int
     policy: str
     preemptive: bool
     horizon_hours: float
     #: Placement-policy name in placed mode, None for expected-value replay.
-    placement: Optional[str] = None
+    placement: str | None = None
     #: Whether EASY backfilling past a blocked head was enabled.
     backfill: bool = False
 
@@ -86,7 +86,7 @@ class ClusterReport:
         return end - start
 
     # ------------------------------------------------------------------- JCT
-    def jct_hours(self) -> List[float]:
+    def jct_hours(self) -> list[float]:
         """Completion times of the finished jobs, in submission order."""
         return [job.jct_hours for job in self.jobs if job.jct_hours is not None]
 
@@ -106,7 +106,7 @@ class ClusterReport:
         return float(np.percentile(jcts, 99)) if jcts else 0.0
 
     # -------------------------------------------------------------- queueing
-    def queueing_delays_hours(self) -> List[float]:
+    def queueing_delays_hours(self) -> list[float]:
         """Submit-to-first-start delays of the jobs that ever ran."""
         return [
             job.queueing_delay_hours
@@ -151,7 +151,7 @@ class ClusterReport:
         return busy / (self.total_gpus * span)
 
     # -------------------------------------------------------------- fairness
-    def finish_time_fairness(self) -> List[float]:
+    def finish_time_fairness(self) -> list[float]:
         """Per-job rho = JCT / ideal JCT, for the finished bounded jobs."""
         return [
             rho
@@ -185,7 +185,7 @@ class ClusterReport:
         return (total * total) / (len(rhos) * squares)
 
     # ------------------------------------------------------------- serialise
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "policy": self.policy,
             "preemptive": self.preemptive,

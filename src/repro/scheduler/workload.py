@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Tuple
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
 
@@ -71,16 +72,16 @@ class WorkloadConfig:
         if self.sigma_tp_groups < 0 or self.sigma_work_hours < 0:
             raise ValueError("sigmas must be non-negative")
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadConfig":
+    def from_dict(cls, data: Mapping[str, Any]) -> WorkloadConfig:
         check_known_fields(cls, data)
         return cls(**data)
 
 
-def generate_workload(config: WorkloadConfig) -> Tuple[JobSpec, ...]:
+def generate_workload(config: WorkloadConfig) -> tuple[JobSpec, ...]:
     """Deterministically sample a job queue from a :class:`WorkloadConfig`.
 
     >>> jobs = generate_workload(WorkloadConfig(n_jobs=3, seed=1, tp_size=8,
@@ -99,10 +100,11 @@ def generate_workload(config: WorkloadConfig) -> Tuple[JobSpec, ...]:
     n = config.n_jobs
     max_groups = config.max_gpus // config.tp_size
 
-    if config.mean_interarrival_hours > 0:
-        gaps = rng.exponential(config.mean_interarrival_hours, size=n)
-    else:
-        gaps = np.zeros(n)
+    gaps = (
+        rng.exponential(config.mean_interarrival_hours, size=n)
+        if config.mean_interarrival_hours > 0
+        else np.zeros(n)
+    )
     submits = np.cumsum(gaps) - gaps[0]  # first job arrives at t=0
 
     groups = np.rint(

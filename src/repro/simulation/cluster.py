@@ -37,7 +37,6 @@ O(samples x events).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -56,10 +55,10 @@ class SimulationSeries:
     new code.
     """
 
-    times_days: List[float]
-    waste_ratios: List[float]
-    usable_gpus: List[int]
-    faulty_gpus: List[int]
+    times_days: list[float]
+    waste_ratios: list[float]
+    usable_gpus: list[int]
+    faulty_gpus: list[int]
     total_gpus: int
 
     @property
@@ -80,7 +79,7 @@ class SimulationSeries:
             return 0
         return int(min(self.usable_gpus))
 
-    def waste_ratio_cdf(self) -> Tuple[List[float], List[float]]:
+    def waste_ratio_cdf(self) -> tuple[list[float], list[float]]:
         """(sorted waste ratios, cumulative probability) -- Figures 13/21."""
         return empirical_cdf(self.waste_ratios)
 
@@ -114,24 +113,24 @@ class IntervalSeries:
     architecture, independent of any sampling grid.
     """
 
-    starts_hours: List[float]
-    ends_hours: List[float]
-    waste_ratios: List[float]
-    usable_gpus: List[int]
-    faulty_gpus: List[int]
+    starts_hours: list[float]
+    ends_hours: list[float]
+    waste_ratios: list[float]
+    usable_gpus: list[int]
+    faulty_gpus: list[int]
     total_gpus: int
 
     def __len__(self) -> int:
         return len(self.starts_hours)
 
     @property
-    def times_days(self) -> List[float]:
+    def times_days(self) -> list[float]:
         """Interval start times in days (for plotting step series)."""
         return [t / HOURS_PER_DAY for t in self.starts_hours]
 
     @property
-    def durations_hours(self) -> List[float]:
-        return [e - s for s, e in zip(self.starts_hours, self.ends_hours)]
+    def durations_hours(self) -> list[float]:
+        return [e - s for s, e in zip(self.starts_hours, self.ends_hours, strict=True)]
 
     @property
     def total_hours(self) -> float:
@@ -144,7 +143,7 @@ class IntervalSeries:
         if total == 0:
             return 0.0
         return sum(
-            w * d for w, d in zip(self.waste_ratios, self.durations_hours)
+            w * d for w, d in zip(self.waste_ratios, self.durations_hours, strict=True)
         ) / total
 
     @property
@@ -165,7 +164,7 @@ class IntervalSeries:
         """Exact duration-weighted quantile (``q`` in [0, 1]) of the waste ratio."""
         return weighted_quantile(self.waste_ratios, self.durations_hours, q)
 
-    def waste_ratio_cdf(self) -> Tuple[List[float], List[float]]:
+    def waste_ratio_cdf(self) -> tuple[list[float], list[float]]:
         """Exact duration-weighted waste-ratio CDF -- Figures 13/21."""
         if not self.waste_ratios:
             return [], []
@@ -178,7 +177,7 @@ class IntervalSeries:
             return 0.0
         waiting = sum(
             d
-            for usable, d in zip(self.usable_gpus, self.durations_hours)
+            for usable, d in zip(self.usable_gpus, self.durations_hours, strict=True)
             if usable < job_gpus
         )
         return waiting / total
@@ -199,7 +198,7 @@ class IntervalSeries:
             return self.min_usable_gpus
         # Smallest usable level u with P(usable <= u) > 1 - availability: the
         # job can be any scale up to u and still wait at most 1 - availability.
-        pairs = sorted(zip(self.usable_gpus, self.durations_hours))
+        pairs = sorted(zip(self.usable_gpus, self.durations_hours, strict=True))
         total = self.total_hours
         budget = (1.0 - availability) * total
         cumulative = 0.0
@@ -213,7 +212,7 @@ class IntervalSeries:
         """Duration-weighted mean waste ratio over ``[start_day, end_day)``."""
         start_h, end_h = start_day * HOURS_PER_DAY, end_day * HOURS_PER_DAY
         weighted = covered = 0.0
-        for s, e, w in zip(self.starts_hours, self.ends_hours, self.waste_ratios):
+        for s, e, w in zip(self.starts_hours, self.ends_hours, self.waste_ratios, strict=True):
             overlap = min(e, end_h) - max(s, start_h)
             if overlap > 0:
                 weighted += w * overlap
@@ -278,7 +277,7 @@ class StreamingIntervalSeries:
         """Exact duration-weighted quantile (``q`` in [0, 1]) of the waste ratio."""
         return self.waste.quantile(q)
 
-    def waste_ratio_cdf(self) -> Tuple[List[float], List[float]]:
+    def waste_ratio_cdf(self) -> tuple[list[float], list[float]]:
         """Exact duration-weighted waste-ratio CDF (distinct values only)."""
         return self.waste.cdf()
 
@@ -324,9 +323,9 @@ class _BreakdownMemo:
         self.architecture = architecture
         self.n_nodes = n_nodes
         self.tp_size = tp_size
-        self._cache: Dict[FrozenSet[int], WasteBreakdown] = {}
+        self._cache: dict[frozenset[int], WasteBreakdown] = {}
 
-    def __call__(self, fault_set: FrozenSet[int]) -> WasteBreakdown:
+    def __call__(self, fault_set: frozenset[int]) -> WasteBreakdown:
         breakdown = self._cache.get(fault_set)
         if breakdown is None:
             breakdown = self.architecture.breakdown(
@@ -347,8 +346,8 @@ class FaultTimeline:
     per-sample scans.
     """
 
-    times_hours: Tuple[float, ...]
-    fault_sets: Tuple[FrozenSet[int], ...]
+    times_hours: tuple[float, ...]
+    fault_sets: tuple[frozenset[int], ...]
     n_nodes: int
     gpus_per_node: int
 
@@ -356,9 +355,9 @@ class FaultTimeline:
     def from_trace(
         cls,
         trace: FaultTrace,
-        n_nodes: Optional[int] = None,
+        n_nodes: int | None = None,
         sample_interval_hours: float = HOURS_PER_DAY,
-    ) -> "FaultTimeline":
+    ) -> FaultTimeline:
         nodes = n_nodes if n_nodes is not None else trace.n_nodes
         if nodes > trace.n_nodes:
             raise ValueError("simulated cluster larger than the fault trace")
@@ -378,9 +377,9 @@ def replay_timeline(
     """Replay a pre-sampled (grid) fault timeline against one architecture."""
     _check_gpus_per_node(architecture, timeline.gpus_per_node)
     breakdown_for = _BreakdownMemo(architecture, timeline.n_nodes, tp_size)
-    waste_ratios: List[float] = []
-    usable: List[int] = []
-    faulty_gpus: List[int] = []
+    waste_ratios: list[float] = []
+    usable: list[int] = []
+    faulty_gpus: list[int] = []
     for fault_set in timeline.fault_sets:
         breakdown = breakdown_for(fault_set)
         waste_ratios.append(breakdown.waste_ratio)
@@ -397,12 +396,12 @@ def replay_timeline(
 
 def replay_intervals(
     architecture: HBDArchitecture,
-    timeline: Union[IntervalTimeline, IntervalStream],
+    timeline: IntervalTimeline | IntervalStream,
     tp_size: int,
     *,
-    incremental: Optional[bool] = None,
+    incremental: bool | None = None,
     streaming: bool = False,
-) -> Union[IntervalSeries, StreamingIntervalSeries]:
+) -> IntervalSeries | StreamingIntervalSeries:
     """Exact event-driven replay of the interval timeline against one architecture.
 
     Parameters
@@ -431,11 +430,11 @@ def replay_intervals(
         series = StreamingIntervalSeries(total_gpus=total_gpus)
         fold = series._fold
     else:
-        starts: List[float] = []
-        ends: List[float] = []
-        waste_ratios: List[float] = []
-        usable: List[int] = []
-        faulty_gpus: List[int] = []
+        starts: list[float] = []
+        ends: list[float] = []
+        waste_ratios: list[float] = []
+        usable: list[int] = []
+        faulty_gpus: list[int] = []
 
         def fold(interval, breakdown: WasteBreakdown) -> None:
             starts.append(interval.start_hour)
@@ -489,7 +488,7 @@ class ClusterSimulator:
         self,
         architecture: HBDArchitecture,
         trace: FaultTrace,
-        n_nodes: Optional[int] = None,
+        n_nodes: int | None = None,
         sample_interval_hours: float = HOURS_PER_DAY,
     ) -> None:
         if trace.gpus_per_node != architecture.gpus_per_node:
@@ -509,7 +508,7 @@ class ClusterSimulator:
             trace if self.n_nodes == trace.n_nodes else trace.restrict_nodes(self.n_nodes)
         )
         self.sample_interval_hours = sample_interval_hours
-        self._timeline: Optional[FaultTimeline] = None
+        self._timeline: FaultTimeline | None = None
 
     # --------------------------------------------------------------- running
     def timeline(self) -> FaultTimeline:

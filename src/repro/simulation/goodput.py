@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.faults.trace import FaultTrace
 from repro.hbd.base import HBDArchitecture
@@ -109,7 +109,7 @@ class GoodputSimulator:
         architecture: HBDArchitecture,
         trace: FaultTrace,
         config: GoodputConfig,
-        n_nodes: Optional[int] = None,
+        n_nodes: int | None = None,
     ) -> None:
         if trace.gpus_per_node != architecture.gpus_per_node:
             raise ValueError("trace and architecture GPU-per-node mismatch")
@@ -168,8 +168,8 @@ def goodput_comparison(
     architectures: Sequence[HBDArchitecture],
     trace: FaultTrace,
     config: GoodputConfig,
-    n_nodes: Optional[int] = None,
-) -> Dict[str, GoodputReport]:
+    n_nodes: int | None = None,
+) -> dict[str, GoodputReport]:
     """Goodput of the same job across several architectures."""
     return {
         arch.name: GoodputSimulator(arch, trace, config, n_nodes=n_nodes).run()

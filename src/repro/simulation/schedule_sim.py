@@ -17,7 +17,7 @@ suffer when one round must take a longer detour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.collectives.cost_model import LinkSpec
 
@@ -43,14 +43,14 @@ class RoundResult:
 
     round_index: int
     duration_s: float
-    slowest_transfer: Optional[Transfer]
+    slowest_transfer: Transfer | None
 
 
 @dataclass
 class ScheduleResult:
     """Timing of a whole schedule."""
 
-    rounds: List[RoundResult]
+    rounds: list[RoundResult]
     reconfiguration_s: float
 
     @property
@@ -58,7 +58,7 @@ class ScheduleResult:
         return sum(r.duration_s for r in self.rounds) + self.reconfiguration_s
 
     @property
-    def critical_path(self) -> List[Optional[Transfer]]:
+    def critical_path(self) -> list[Transfer | None]:
         return [r.slowest_transfer for r in self.rounds]
 
 
@@ -67,7 +67,7 @@ class LinkMap:
 
     def __init__(self, default: LinkSpec) -> None:
         self.default = default
-        self._overrides: Dict[Tuple[str, str], LinkSpec] = {}
+        self._overrides: dict[tuple[str, str], LinkSpec] = {}
 
     def set_link(self, a: str, b: str, spec: LinkSpec) -> None:
         """Override the link between ``a`` and ``b`` (both directions)."""
@@ -105,9 +105,9 @@ class ScheduleSimulator:
         reconfiguration_us_per_round: float = 0.0,
     ) -> ScheduleResult:
         """Run ``schedule``; each round completes when its slowest transfer does."""
-        rounds: List[RoundResult] = []
+        rounds: list[RoundResult] = []
         for index, transfers in enumerate(schedule):
-            slowest: Optional[Transfer] = None
+            slowest: Transfer | None = None
             duration = 0.0
             for transfer in transfers:
                 spec = self.links.link(transfer.src, transfer.dst)
@@ -127,7 +127,7 @@ class ScheduleSimulator:
 # --------------------------------------------------------------------------
 def ring_allreduce_schedule(
     members: Sequence[str], message_bytes: float
-) -> List[List[Transfer]]:
+) -> list[list[Transfer]]:
     """Schedule of a bandwidth-optimal ring AllReduce.
 
     ``2 * (n - 1)`` rounds; in every round each member sends one
@@ -137,7 +137,7 @@ def ring_allreduce_schedule(
     if n < 2 or message_bytes <= 0:
         return []
     chunk = message_bytes / n
-    rounds: List[List[Transfer]] = []
+    rounds: list[list[Transfer]] = []
     for _ in range(2 * (n - 1)):
         rounds.append(
             [
@@ -150,7 +150,7 @@ def ring_allreduce_schedule(
 
 def binary_exchange_schedule(
     members: Sequence[str], block_bytes: float
-) -> List[List[Transfer]]:
+) -> list[list[Transfer]]:
     """Schedule of the Binary Exchange AllToAll (Appendix G).
 
     ``log2(n)`` rounds; in round ``k`` member ``i`` exchanges ``n/2`` blocks
@@ -163,10 +163,10 @@ def binary_exchange_schedule(
         raise ValueError("binary exchange needs a power-of-two member count")
     rounds_count = n.bit_length() - 1
     per_round_bytes = block_bytes * n / 2.0
-    rounds: List[List[Transfer]] = []
+    rounds: list[list[Transfer]] = []
     for k in range(1, rounds_count + 1):
         mask = 1 << (rounds_count - k)
-        transfers: List[Transfer] = []
+        transfers: list[Transfer] = []
         for i in range(n):
             partner = i ^ mask
             transfers.append(
@@ -180,9 +180,9 @@ def simulate_degraded_ring(
     n_members: int,
     message_bytes: float,
     link: LinkSpec,
-    degraded_pairs: Iterable[Tuple[int, int]] = (),
+    degraded_pairs: Iterable[tuple[int, int]] = (),
     degradation_factor: float = 0.5,
-) -> Tuple[float, float]:
+) -> tuple[float, float]:
     """(healthy_time, degraded_time) of a ring AllReduce with slow links.
 
     Convenience wrapper used by tests and examples: members are numbered

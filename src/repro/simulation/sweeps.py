@@ -24,7 +24,7 @@ specs, memoized traces and serializable results.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from collections.abc import Sequence
 
 from repro.faults.model import IIDFaultModel
 from repro.faults.trace import FaultTrace
@@ -36,9 +36,9 @@ def architecture_comparison_over_trace(
     architectures: Sequence[HBDArchitecture],
     trace: FaultTrace,
     tp_size: int,
-    n_nodes: Optional[int] = None,
-    max_workers: Optional[int] = 1,
-) -> Dict[str, IntervalSeries]:
+    n_nodes: int | None = None,
+    max_workers: int | None = 1,
+) -> dict[str, IntervalSeries]:
     """Replay ``trace`` against every architecture for one TP size (exact)."""
     from repro.api.runner import compare_architectures_over_trace
 
@@ -54,12 +54,12 @@ def waste_ratio_vs_fault_ratio(
     fault_ratios: Sequence[float],
     n_samples: int = 20,
     seed: int = 0,
-) -> Dict[str, List[float]]:
+) -> dict[str, list[float]]:
     """Mean GPU waste ratio versus node fault ratio (Figures 14 / 22)."""
     model = IIDFaultModel(n_nodes=n_nodes, seed=seed, n_samples=n_samples)
-    results: Dict[str, List[float]] = {}
+    results: dict[str, list[float]] = {}
     for arch in architectures:
-        def metric(fault_set: Set[int], _arch=arch) -> float:
+        def metric(fault_set: set[int], _arch=arch) -> float:
             return _arch.waste_ratio(n_nodes, fault_set, tp_size)
 
         results[arch.name] = model.sweep(fault_ratios, metric)
@@ -70,10 +70,10 @@ def max_job_scale_comparison(
     architectures: Sequence[HBDArchitecture],
     trace: FaultTrace,
     tp_sizes: Sequence[int],
-    n_nodes: Optional[int] = None,
+    n_nodes: int | None = None,
     availability: float = 1.0,
-    max_workers: Optional[int] = 1,
-) -> Dict[str, Dict[int, int]]:
+    max_workers: int | None = 1,
+) -> dict[str, dict[int, int]]:
     """Maximum job scale (GPUs) supported through the trace (Figure 15)."""
     from repro.api.runner import compare_architectures_over_tp_sizes
 
@@ -91,9 +91,9 @@ def fault_waiting_comparison(
     trace: FaultTrace,
     tp_size: int,
     job_scales: Sequence[int],
-    n_nodes: Optional[int] = None,
-    max_workers: Optional[int] = 1,
-) -> Dict[str, Dict[int, float]]:
+    n_nodes: int | None = None,
+    max_workers: int | None = 1,
+) -> dict[str, dict[int, float]]:
     """Job fault-waiting rate versus job scale (Figures 16 / 23)."""
     from repro.api.runner import compare_architectures_over_trace
 

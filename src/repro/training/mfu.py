@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.training.comm import iteration_comm_volumes
 from repro.training.flops import flops_per_iteration
@@ -154,7 +153,7 @@ class MFUEstimate:
 class MFUSimulator:
     """Analytical MFU estimator for (model, parallelism, hardware) triples."""
 
-    def __init__(self, hardware: Optional[HardwareSpec] = None) -> None:
+    def __init__(self, hardware: HardwareSpec | None = None) -> None:
         self.hardware = hardware or HardwareSpec()
 
     # ----------------------------------------------------------------- memory

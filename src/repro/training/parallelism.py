@@ -11,14 +11,14 @@ divisibility, head/layer limits) are skipped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.training.mfu import MFUEstimate, MFUSimulator, ParallelismConfig
 from repro.training.models import ModelConfig, gpt_moe_1t
 
-DEFAULT_TP_CHOICES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
-DEFAULT_PP_CHOICES: Tuple[int, ...] = (1, 2, 4, 8, 16)
-DEFAULT_EP_CHOICES: Tuple[int, ...] = (1, 2, 4, 8)
+DEFAULT_TP_CHOICES: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+DEFAULT_PP_CHOICES: tuple[int, ...] = (1, 2, 4, 8, 16)
+DEFAULT_EP_CHOICES: tuple[int, ...] = (1, 2, 4, 8)
 MAX_DP = 1024
 
 
@@ -28,8 +28,8 @@ class StrategySearchResult:
 
     model_name: str
     world_size: int
-    best_config: Optional[ParallelismConfig]
-    best_estimate: Optional[MFUEstimate]
+    best_config: ParallelismConfig | None
+    best_estimate: MFUEstimate | None
     n_evaluated: int
 
     @property
@@ -46,11 +46,11 @@ def enumerate_configs(
     micro_batch: int = 1,
     expert_imbalance_coef: float = 0.0,
     max_dp: int = MAX_DP,
-) -> List[ParallelismConfig]:
+) -> list[ParallelismConfig]:
     """All (tp, pp, dp, ep) combinations that exactly tile ``world_size``."""
     if world_size < 1:
         raise ValueError("world_size must be >= 1")
-    configs: List[ParallelismConfig] = []
+    configs: list[ParallelismConfig] = []
     for tp in tp_choices:
         for pp in pp_choices:
             if world_size % (tp * pp):
@@ -81,12 +81,12 @@ def search_optimal_strategy(
     model: ModelConfig,
     world_size: int,
     global_batch: int,
-    simulator: Optional[MFUSimulator] = None,
+    simulator: MFUSimulator | None = None,
     tp_choices: Sequence[int] = DEFAULT_TP_CHOICES,
     pp_choices: Sequence[int] = DEFAULT_PP_CHOICES,
     ep_choices: Sequence[int] = (1,),
     expert_imbalance_coef: float = 0.0,
-    max_tp: Optional[int] = None,
+    max_tp: int | None = None,
 ) -> StrategySearchResult:
     """Grid search for the MFU-optimal strategy.
 
@@ -104,8 +104,8 @@ def search_optimal_strategy(
         ep_choices=ep_choices,
         expert_imbalance_coef=expert_imbalance_coef,
     )
-    best_config: Optional[ParallelismConfig] = None
-    best_estimate: Optional[MFUEstimate] = None
+    best_config: ParallelismConfig | None = None
+    best_estimate: MFUEstimate | None = None
     evaluated = 0
     for config in candidates:
         estimate = simulator.estimate(model, config)
@@ -127,11 +127,11 @@ def optimal_mfu_table(
     model: ModelConfig,
     gpu_counts: Sequence[int],
     global_batch: int,
-    simulator: Optional[MFUSimulator] = None,
+    simulator: MFUSimulator | None = None,
     ep_choices: Sequence[int] = (1,),
     expert_imbalance_coef: float = 0.0,
-    baseline_max_tp: Optional[int] = 8,
-) -> List[Dict[str, float]]:
+    baseline_max_tp: int | None = 8,
+) -> list[dict[str, float]]:
     """Rows of Table 2 (dense) or Table 5 (MoE).
 
     Each row contains the optimal parallelism, its MFU, and -- when
@@ -139,7 +139,7 @@ def optimal_mfu_table(
     that size plus the improvement ratio (Table 2's last two columns).
     """
     simulator = simulator or MFUSimulator()
-    rows: List[Dict[str, float]] = []
+    rows: list[dict[str, float]] = []
     for world in gpu_counts:
         unconstrained = search_optimal_strategy(
             model,
@@ -149,7 +149,7 @@ def optimal_mfu_table(
             ep_choices=ep_choices,
             expert_imbalance_coef=expert_imbalance_coef,
         )
-        row: Dict[str, float] = {
+        row: dict[str, float] = {
             "gpus": world,
             "tp": unconstrained.best_config.tp if unconstrained.best_config else 0,
             "pp": unconstrained.best_config.pp if unconstrained.best_config else 0,
@@ -176,12 +176,12 @@ def optimal_mfu_table(
 
 
 def tp_vs_ep_imbalance_table(
-    model: Optional[ModelConfig] = None,
+    model: ModelConfig | None = None,
     world_size: int = 1024,
     global_batch: int = 1536,
     imbalance_coefs: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
-    simulator: Optional[MFUSimulator] = None,
-) -> Dict[str, Dict[float, float]]:
+    simulator: MFUSimulator | None = None,
+) -> dict[str, dict[float, float]]:
     """Table 4: TP-only MFU versus EP MFU across imbalance coefficients.
 
     The TP-only column shards experts with tensor parallelism (EP = 1), so it
@@ -193,7 +193,7 @@ def tp_vs_ep_imbalance_table(
     tp_result = search_optimal_strategy(
         model, world_size, global_batch, simulator=simulator, ep_choices=(1,)
     )
-    results: Dict[str, Dict[float, float]] = {"tp": {}, "ep": {}}
+    results: dict[str, dict[float, float]] = {"tp": {}, "ep": {}}
     for coef in imbalance_coefs:
         results["tp"][coef] = tp_result.mfu
         ep_result = search_optimal_strategy(
