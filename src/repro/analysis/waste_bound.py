@@ -54,7 +54,7 @@ def waste_bound_table(
     tp_size: int = 32,
     ks: Sequence[int] = (2, 3, 4),
     node_sizes: Sequence[int] = (4, 8),
-    failure_rates: dict[int, float] = None,
+    failure_rates: dict[int, float] | None = None,
 ) -> list[dict[str, float]]:
     """Regenerate Table 7 (rows: node size R, columns: K)."""
     rates = failure_rates or TABLE7_NODE_FAILURE_RATE

@@ -110,6 +110,34 @@ class ExperimentResult:
                 f"{name!r}; available: {sorted(self.metrics_dict)}"
             ) from None
 
+    def metric_stats(self, name: str) -> dict[str, float | int]:
+        """Monte-Carlo columns for one metric: mean / stddev / ci95 / n_seeds.
+
+        Multi-seed results (``num_seeds > 1``) carry explicit ``<name>_mean``
+        / ``<name>_stddev`` / ``<name>_ci95`` metrics; single-seed results
+        degrade to a zero-spread point estimate, so callers can treat every
+        result uniformly.
+
+        >>> result = ExperimentResult.of(
+        ...     "waste", "demo", "NVL-72", 32, metrics={"mean_waste_ratio": 0.05})
+        >>> result.metric_stats("mean_waste_ratio")
+        {'mean': 0.05, 'stddev': 0.0, 'ci95': 0.0, 'n_seeds': 1}
+        """
+        metrics = self.metrics_dict
+        if f"{name}_mean" in metrics:
+            return {
+                "mean": metrics[f"{name}_mean"],
+                "stddev": metrics[f"{name}_stddev"],
+                "ci95": metrics[f"{name}_ci95"],
+                "n_seeds": int(metrics.get("num_seeds", 1)),
+            }
+        return {
+            "mean": float(self.metric(name)),
+            "stddev": 0.0,
+            "ci95": 0.0,
+            "n_seeds": int(metrics.get("num_seeds", 1)),
+        }
+
     def with_provenance(self, provenance: Provenance) -> ExperimentResult:
         return dataclasses.replace(self, provenance=provenance)
 
@@ -194,6 +222,20 @@ class ResultSet:
         table: dict[str, dict[int, Any]] = {}
         for r in self.filter(experiment=experiment):
             table.setdefault(r.architecture, {})[r.tp_size] = r.metric(metric)
+        return table
+
+    def stats_table(
+        self, experiment: str, metric: str
+    ) -> dict[str, dict[int, dict[str, float | int]]]:
+        """``{architecture: {tp_size: {mean, stddev, ci95, n_seeds}}}``.
+
+        The Monte-Carlo sibling of :meth:`metric_table`
+        (:meth:`ExperimentResult.metric_stats` per cell); single-seed cells
+        report zero spread.
+        """
+        table: dict[str, dict[int, dict[str, float | int]]] = {}
+        for r in self.filter(experiment=experiment):
+            table.setdefault(r.architecture, {})[r.tp_size] = r.metric_stats(metric)
         return table
 
     # ---------------------------------------------------------- serialization

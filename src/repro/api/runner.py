@@ -28,6 +28,7 @@ now a thin shim over.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor
@@ -40,6 +41,7 @@ from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
 from repro.faults.timeline import IntervalTimeline
 from repro.faults.trace import FaultTrace
 from repro.hbd.base import HBDArchitecture
+from repro.mc import TraceBatch, replay_batch, seed_stats
 from repro.simulation.cluster import IntervalSeries, replay_intervals
 from repro.simulation.goodput import GoodputConfig, GoodputSimulator
 
@@ -159,8 +161,127 @@ def _scenario_nodes(scenario: Scenario) -> int:
     return scenario.trace.build().n_nodes
 
 
+# -------------------------------------------------------- multi-seed plumbing
+def _seed_trace_specs(spec: ExperimentSpec) -> list[TraceSpec]:
+    """The spec's trace at seeds ``base, base + 1, ..., base + num_seeds - 1``.
+
+    Seed 0 of the list is the spec's own trace, so every ``num_seeds=1``
+    code path sees exactly the single-seed inputs it always did.
+    """
+    base = spec.scenario.trace
+    return [
+        dataclasses.replace(base, seed=base.seed + offset)
+        for offset in range(spec.num_seeds)
+    ]
+
+
+def _aggregate_seed_metrics(
+    per_seed: Sequence[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Fold per-seed metric dicts into Monte-Carlo columns.
+
+    Every numeric metric ``X`` grows ``X_mean`` / ``X_stddev`` (ddof=1) /
+    ``X_ci95`` (1.96 * stddev / sqrt(n)) siblings; the base ``X`` column
+    becomes the cross-seed mean when the metric varies and keeps its exact
+    single-seed value (and type -- cluster constants like ``total_gpus`` stay
+    ints) when it does not.  Non-numeric metrics (policy names, flags) keep
+    the base seed's value.  A ``num_seeds`` metric records the seed count.
+    """
+    aggregated: dict[str, Any] = {}
+    for key in per_seed[0]:
+        values = [metrics[key] for metrics in per_seed]
+        first = values[0]
+        if isinstance(first, bool) or not isinstance(first, (int, float)):
+            aggregated[key] = first
+            continue
+        stats = seed_stats([float(value) for value in values])
+        identical = all(value == first for value in values)
+        aggregated[key] = first if identical else stats.mean
+        aggregated[f"{key}_mean"] = stats.mean
+        aggregated[f"{key}_stddev"] = stats.stddev
+        aggregated[f"{key}_ci95"] = stats.ci95
+    aggregated["num_seeds"] = len(per_seed)
+    return aggregated
+
+
+def _run_capacity_multi_seed(
+    spec: ExperimentSpec, payload: Mapping[str, Any]
+) -> list[dict[str, Any]]:
+    """Batched Monte-Carlo variant of the capacity experiments.
+
+    All ``num_seeds`` timelines stack into one :class:`TraceBatch` and replay
+    in a single vectorized pass; per-seed values are bit-for-bit the scalar
+    path's, the emitted series is the base seed's.
+    """
+    scenario = spec.scenario
+    experiment = payload["experiment"]
+    arch_spec = ArchitectureSpec.from_dict(payload["arch"])
+    tp_size = payload["tp_size"]
+    architecture = arch_spec.build(gpus_per_node=scenario.trace.gpus_per_node)
+    trace_specs = _seed_trace_specs(spec)
+    timelines = [_timeline_for(ts, scenario.n_nodes) for ts in trace_specs]
+    batch = TraceBatch.from_timelines(
+        timelines, seeds=[ts.seed for ts in trace_specs]
+    )
+    batch_series = replay_batch(architecture, batch, tp_size)
+    base = batch_series.series_for_seed(0)
+
+    per_seed: list[dict[str, Any]]
+    if experiment == "waste":
+        means = batch_series.mean_waste_ratios()
+        p99s = batch_series.p99_waste_ratios()
+        mins = batch_series.min_usable_gpus()
+        per_seed = [
+            {
+                "mean_waste_ratio": means[i],
+                "p99_waste_ratio": p99s[i],
+                "min_usable_gpus": mins[i],
+                "total_gpus": batch_series.total_gpus,
+            }
+            for i in range(batch.n_seeds)
+        ]
+        out_series: dict[str, Sequence[float]] = {
+            "times_days": base.times_days,
+            "durations_hours": base.durations_hours,
+            "waste_ratios": base.waste_ratios,
+            "usable_gpus": base.usable_gpus,
+        }
+    elif experiment == "max_job_scale":
+        scales = batch_series.supported_job_scales(scenario.availability)
+        per_seed = [
+            {
+                "max_job_scale": scales[i],
+                "availability": scenario.availability,
+                "total_gpus": batch_series.total_gpus,
+            }
+            for i in range(batch.n_seeds)
+        ]
+        out_series = {}
+    else:  # fault_waiting
+        options = spec.options_for("fault_waiting")
+        job_scales = [int(s) for s in options.get("job_scales", [scenario.job_gpus])]
+        rates = batch_series.fault_waiting_rates(scenario.job_gpus)
+        per_seed = [
+            {"fault_waiting_rate": rates[i], "job_gpus": scenario.job_gpus}
+            for i in range(batch.n_seeds)
+        ]
+        out_series = {
+            "job_scales": job_scales,
+            "waiting_rates": [base.fault_waiting_rate(s) for s in job_scales],
+        }
+
+    metrics = _aggregate_seed_metrics(per_seed)
+    return [
+        ExperimentResult.of(
+            experiment, scenario.name, architecture.name, tp_size, metrics, out_series
+        ).to_dict()
+    ]
+
+
 def _run_capacity_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list[dict[str, Any]]:
     """waste / max_job_scale / fault_waiting: exact interval-replay experiments."""
+    if spec.num_seeds > 1:
+        return _run_capacity_multi_seed(spec, payload)
     scenario = spec.scenario
     experiment = payload["experiment"]
     arch_spec = ArchitectureSpec.from_dict(payload["arch"])
@@ -229,19 +350,22 @@ def _run_goodput_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list[
         checkpoint_interval_hours=float(options.get("checkpoint_interval_hours", 1.0)),
         restart_overhead_hours=float(options.get("restart_overhead_hours", 0.25)),
     )
-    report = GoodputSimulator(
-        architecture, scenario.trace.build(), config, n_nodes=scenario.n_nodes
-    ).run()
-    metrics = {
-        "goodput": report.goodput,
-        "waiting_fraction": report.waiting_fraction,
-        "job_impacting_faults": report.job_impacting_faults,
-        "productive_hours": report.productive_hours,
-        "waiting_hours": report.waiting_hours,
-        "restart_hours": report.restart_hours,
-        "total_hours": report.total_hours,
-        "job_gpus": config.job_gpus,
-    }
+    per_seed: list[dict[str, Any]] = []
+    for trace_spec in _seed_trace_specs(spec):
+        report = GoodputSimulator(
+            architecture, trace_spec.build(), config, n_nodes=scenario.n_nodes
+        ).run()
+        per_seed.append({
+            "goodput": report.goodput,
+            "waiting_fraction": report.waiting_fraction,
+            "job_impacting_faults": report.job_impacting_faults,
+            "productive_hours": report.productive_hours,
+            "waiting_hours": report.waiting_hours,
+            "restart_hours": report.restart_hours,
+            "total_hours": report.total_hours,
+            "job_gpus": config.job_gpus,
+        })
+    metrics = per_seed[0] if len(per_seed) == 1 else _aggregate_seed_metrics(per_seed)
     return [
         ExperimentResult.of(
             "goodput", scenario.name, architecture.name, tp_size, metrics
@@ -259,51 +383,58 @@ def _run_schedule_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list
     arch_spec = ArchitectureSpec.from_dict(payload["arch"])
     tp_size = payload["tp_size"]
     architecture = arch_spec.build(gpus_per_node=scenario.trace.gpus_per_node)
-    timeline = _timeline_for(scenario.trace, scenario.n_nodes)
 
-    # Size cap for generated jobs: half the simulated cluster, rounded to a
-    # TP multiple, so the same workload spec stays schedulable across the
-    # whole architecture line-up (fragmentation differs per architecture).
-    total_gpus = architecture.total_gpus(timeline.n_nodes)
-    default_max = max(tp_size, total_gpus // 2 // tp_size * tp_size)
-    jobs = scenario.workload.build(tp_size=tp_size, max_gpus=default_max)
+    per_seed: list[dict[str, Any]] = []
+    series: dict[str, Sequence[float]] = {}
+    for trace_spec in _seed_trace_specs(spec):
+        timeline = _timeline_for(trace_spec, scenario.n_nodes)
 
-    report = ClusterScheduler(
-        architecture,
-        timeline,
-        jobs,
-        policy=scenario.scheduler.build(),
-        horizon_hours=scenario.scheduler.horizon_hours,
-        placement=scenario.scheduler.build_placement(),
-        backfill=scenario.scheduler.backfill,
-    ).run()
-    metrics = {
-        "policy": report.policy,
-        "preemptive": report.preemptive,
-        "placement": report.placement,
-        "backfill": report.backfill,
-        "n_jobs": report.n_jobs,
-        "finished_jobs": report.finished_jobs,
-        "makespan_hours": report.makespan_hours,
-        "mean_jct_hours": report.mean_jct_hours,
-        "p50_jct_hours": report.p50_jct_hours,
-        "p99_jct_hours": report.p99_jct_hours,
-        "mean_queueing_delay_hours": report.mean_queueing_delay_hours,
-        "p99_queueing_delay_hours": report.p99_queueing_delay_hours,
-        "cluster_goodput": report.cluster_goodput,
-        "cluster_utilization": report.cluster_utilization,
-        "mean_finish_time_fairness": report.mean_finish_time_fairness,
-        "max_finish_time_fairness": report.max_finish_time_fairness,
-        "jain_fairness_index": report.jain_fairness_index,
-        "total_gpus": report.total_gpus,
-    }
-    series = {
-        "jct_hours": report.jct_hours(),
-        "queueing_delays_hours": report.queueing_delays_hours(),
-        "submit_hours": [job.submit_hour for job in report.jobs],
-        "productive_hours": [job.productive_hours for job in report.jobs],
-        "finish_time_fairness": report.finish_time_fairness(),
-    }
+        # Size cap for generated jobs: half the simulated cluster, rounded to
+        # a TP multiple, so the same workload spec stays schedulable across
+        # the whole architecture line-up (fragmentation differs per
+        # architecture).
+        total_gpus = architecture.total_gpus(timeline.n_nodes)
+        default_max = max(tp_size, total_gpus // 2 // tp_size * tp_size)
+        jobs = scenario.workload.build(tp_size=tp_size, max_gpus=default_max)
+
+        report = ClusterScheduler(
+            architecture,
+            timeline,
+            jobs,
+            policy=scenario.scheduler.build(),
+            horizon_hours=scenario.scheduler.horizon_hours,
+            placement=scenario.scheduler.build_placement(),
+            backfill=scenario.scheduler.backfill,
+        ).run()
+        per_seed.append({
+            "policy": report.policy,
+            "preemptive": report.preemptive,
+            "placement": report.placement,
+            "backfill": report.backfill,
+            "n_jobs": report.n_jobs,
+            "finished_jobs": report.finished_jobs,
+            "makespan_hours": report.makespan_hours,
+            "mean_jct_hours": report.mean_jct_hours,
+            "p50_jct_hours": report.p50_jct_hours,
+            "p99_jct_hours": report.p99_jct_hours,
+            "mean_queueing_delay_hours": report.mean_queueing_delay_hours,
+            "p99_queueing_delay_hours": report.p99_queueing_delay_hours,
+            "cluster_goodput": report.cluster_goodput,
+            "cluster_utilization": report.cluster_utilization,
+            "mean_finish_time_fairness": report.mean_finish_time_fairness,
+            "max_finish_time_fairness": report.max_finish_time_fairness,
+            "jain_fairness_index": report.jain_fairness_index,
+            "total_gpus": report.total_gpus,
+        })
+        if not series:  # the emitted series is the base seed's
+            series = {
+                "jct_hours": report.jct_hours(),
+                "queueing_delays_hours": report.queueing_delays_hours(),
+                "submit_hours": [job.submit_hour for job in report.jobs],
+                "productive_hours": [job.productive_hours for job in report.jobs],
+                "finish_time_fairness": report.finish_time_fairness(),
+            }
+    metrics = per_seed[0] if len(per_seed) == 1 else _aggregate_seed_metrics(per_seed)
     return [
         ExperimentResult.of(
             "schedule", scenario.name, architecture.name, tp_size, metrics, series
@@ -453,6 +584,12 @@ def _execute_payload(payload: dict[str, Any]) -> list[dict[str, Any]]:
 class ExperimentRunner:
     """Execute an :class:`ExperimentSpec` and collect a :class:`ResultSet`.
 
+    ``ExperimentRunner(spec, num_seeds=N)`` (or ``spec.num_seeds``) repeats
+    the architecture-sweep experiments over ``N`` trace seeds: the capacity
+    experiments replay all seeds in one vectorized :mod:`repro.mc` pass, and
+    every numeric metric grows ``*_mean`` / ``*_stddev`` / ``*_ci95``
+    columns.  ``num_seeds=1`` (the default) is the exact single-seed path.
+
     >>> from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
     >>> spec = ExperimentSpec.of(
     ...     scenario=Scenario(
@@ -480,7 +617,12 @@ class ExperimentRunner:
         self,
         spec: ExperimentSpec,
         max_workers: int | None = None,
+        num_seeds: int | None = None,
     ) -> None:
+        if num_seeds is not None and num_seeds != spec.num_seeds:
+            # The override becomes part of the effective spec, so stamped
+            # digests always describe what actually ran.
+            spec = dataclasses.replace(spec, num_seeds=num_seeds)
         self.spec = spec
         self.max_workers = max_workers if max_workers is not None else spec.max_workers
 
@@ -547,13 +689,16 @@ class ExperimentRunner:
         needs_trace = any(
             e in _ARCH_SWEEP_EXPERIMENTS for e in self.spec.experiments
         )
+        trace_specs = _seed_trace_specs(self.spec)
         if needs_trace:
-            scenario.trace.build()
+            for trace_spec in trace_specs:
+                trace_spec.build()
         if any(
             e in ("waste", "max_job_scale", "fault_waiting", "schedule")
             for e in self.spec.experiments
         ):
-            _timeline_for(scenario.trace, scenario.n_nodes)
+            for trace_spec in trace_specs:
+                _timeline_for(trace_spec, scenario.n_nodes)
 
 
 def run_experiment(

@@ -423,7 +423,11 @@ class ExperimentSpec:
     ``options`` carries per-experiment keyword overrides, keyed by experiment
     name (e.g. ``{"fault_waiting": {"job_scales": [2304, 2560]}}``).
     ``max_workers`` bounds the runner's process pool (``None`` = auto,
-    ``0``/``1`` = serial).
+    ``0``/``1`` = serial).  ``num_seeds`` repeats every experiment over that
+    many trace seeds (base seed, base seed + 1, ...) so results grow
+    ``*_mean`` / ``*_stddev`` / ``*_ci95`` columns; ``1`` (the default) is
+    the exact single-seed path and leaves serialized dumps and digests
+    unchanged.
 
     >>> spec = ExperimentSpec.of(
     ...     scenario=Scenario.default("demo", trace=TraceSpec(days=5, seed=1)),
@@ -442,8 +446,11 @@ class ExperimentSpec:
     experiments: tuple[str, ...] = ("waste",)
     options: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = ()
     max_workers: int | None = None
+    num_seeds: int = 1
 
     def __post_init__(self) -> None:
+        if self.num_seeds < 1:
+            raise ValueError("num_seeds must be >= 1")
         unknown = sorted(set(self.experiments) - set(KNOWN_EXPERIMENTS))
         if unknown:
             raise ValueError(
@@ -476,6 +483,7 @@ class ExperimentSpec:
         experiments: tuple[str, ...] = ("waste",),
         options: Mapping[str, Mapping[str, Any]] | None = None,
         max_workers: int | None = None,
+        num_seeds: int = 1,
     ) -> ExperimentSpec:
         """Build a spec from plain mappings (the ergonomic constructor)."""
         packed = tuple(
@@ -487,6 +495,7 @@ class ExperimentSpec:
             experiments=tuple(experiments),
             options=packed,
             max_workers=max_workers,
+            num_seeds=num_seeds,
         )
 
     def options_for(self, experiment: str) -> dict[str, Any]:
@@ -505,12 +514,17 @@ class ExperimentSpec:
             if name == "goodput":
                 cleaned.pop("sample_interval_hours", None)
             options[name] = cleaned
-        return {
+        data = {
             "scenario": self.scenario.to_dict(),
             "experiments": list(self.experiments),
             "options": options,
             "max_workers": self.max_workers,
         }
+        # Emitted only when it changes behaviour, so single-seed spec files
+        # (and their digests) are unchanged.
+        if self.num_seeds != 1:
+            data["num_seeds"] = self.num_seeds
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> ExperimentSpec:
@@ -520,6 +534,7 @@ class ExperimentSpec:
             experiments=tuple(data.get("experiments", ("waste",))),
             options=data.get("options"),
             max_workers=data.get("max_workers"),
+            num_seeds=int(data.get("num_seeds", 1)),
         )
 
     def to_json(self, indent: int = 2) -> str:

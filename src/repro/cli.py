@@ -241,7 +241,9 @@ def cmd_schedule(args: argparse.Namespace) -> list[str]:
 def cmd_run(args: argparse.Namespace) -> list[str]:
     with open(args.spec) as handle:
         spec = ExperimentSpec.from_dict(json.load(handle))
-    results = ExperimentRunner(spec, max_workers=args.workers).run()
+    results = ExperimentRunner(
+        spec, max_workers=args.workers, num_seeds=args.seeds
+    ).run()
 
     lines = [
         f"scenario={spec.scenario.name} experiments={','.join(spec.experiments)} "
@@ -415,6 +417,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the ResultSet JSON here")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool size (default: one per CPU)")
+    p.add_argument("--seeds", type=int, default=None,
+                   help="Monte-Carlo seed count: repeat every experiment over "
+                        "N trace seeds and add mean/stddev/ci95 metric "
+                        "columns (default: the spec's num_seeds, usually 1)")
     p.set_defaults(func=cmd_run)
 
     p = add_parser("architectures", help="list the architecture registry")
@@ -423,7 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("docs", help="print the generated CLI reference (markdown)")
     p.set_defaults(func=cmd_docs)
 
-    p = add_parser("lint", help="determinism linter (rules D001-D008)")
+    p = add_parser("lint", help="determinism linter (rules D001-D009)")
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
     p.add_argument("--format", choices=("text", "json"), default="text",

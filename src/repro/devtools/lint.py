@@ -22,7 +22,7 @@ from repro.devtools.rules import default_rules, rule_by_code
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="Determinism linter for the repro engine (rules D001-D008).",
+        description="Determinism linter for the repro engine (rules D001-D009).",
     )
     parser.add_argument(
         "paths",

@@ -743,6 +743,72 @@ __all__ = ["helper"]
                 )
 
 
+# ----------------------------------------------------------------------- D009
+
+
+class UnseededGeneratorRule(Rule):
+    code = "D009"
+    title = "RNG constructed without an explicit seed"
+    rationale = """
+D001 bans draws from the hidden global RNGs; this rule closes the remaining
+gap: *constructing* a generator without a seed (``np.random.default_rng()``,
+``np.random.RandomState()``, ``random.Random()``).  An unseeded generator is
+seeded from the OS entropy pool, so every run replays differently even though
+no global state is touched.  Engine code must thread an explicit seed down to
+every generator it creates.
+"""
+    bad = """
+import numpy as np
+
+def sample() -> float:
+    rng = np.random.default_rng()
+    return float(rng.uniform())
+"""
+    good = """
+import numpy as np
+
+def sample(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.uniform())
+"""
+
+    _CONSTRUCTORS = {
+        "random.Random",
+        "numpy.random.RandomState",
+        "numpy.random.default_rng",
+    }
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_modules(ctx.config.engine_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_call_name(node.func, ctx.aliases)
+            if name not in self._CONSTRUCTORS:
+                continue
+            if self._is_unseeded(node):
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"{name}() constructed without an explicit seed; pass a "
+                    "deterministic seed so replays are byte-identical",
+                )
+
+    @staticmethod
+    def _is_unseeded(node: ast.Call) -> bool:
+        if node.args:
+            first = node.args[0]
+            return isinstance(first, ast.Constant) and first.value is None
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                return False  # **kwargs: cannot tell, do not guess
+            if keyword.arg == "seed":
+                value = keyword.value
+                return isinstance(value, ast.Constant) and value.value is None
+        return True
+
+
 # -------------------------------------------------------------------- registry
 
 _RULE_CLASSES: tuple[type[Rule], ...] = (
@@ -754,6 +820,7 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     NonFrozenSpecRule,
     CacheMutationRule,
     AllExportsRule,
+    UnseededGeneratorRule,
 )
 
 
@@ -776,6 +843,7 @@ __all__ = [
     "MutableDefaultRule",
     "NonFrozenSpecRule",
     "UnorderedIterationRule",
+    "UnseededGeneratorRule",
     "UnseededRandomRule",
     "WallClockRule",
     "canonical_call_name",

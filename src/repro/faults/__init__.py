@@ -16,7 +16,18 @@ from repro.faults.trace import (
     TraceStatistics,
     merge_overlapping_events,
 )
-from repro.faults.timeline import FaultInterval, IntervalTimeline, sweep_intervals
+from repro.faults.events import (
+    EVENT_DTYPE,
+    ColumnarIntervals,
+    columnar_event_log,
+    event_log_from_intervals,
+)
+from repro.faults.timeline import (
+    FaultInterval,
+    IntervalTimeline,
+    intervals_from_event_log,
+    sweep_intervals,
+)
 from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
 from repro.faults.convert import convert_trace_8gpu_to_4gpu, node_fault_probability
 from repro.faults.model import IIDFaultModel, sample_fault_set
@@ -26,8 +37,13 @@ __all__ = [
     "FaultTrace",
     "TraceStatistics",
     "merge_overlapping_events",
+    "EVENT_DTYPE",
+    "ColumnarIntervals",
+    "columnar_event_log",
+    "event_log_from_intervals",
     "FaultInterval",
     "IntervalTimeline",
+    "intervals_from_event_log",
     "sweep_intervals",
     "SyntheticTraceConfig",
     "generate_synthetic_trace",

@@ -13,6 +13,14 @@ duration.  Every downstream metric (waste CDF, supported job scale, waiting
 fraction, fault-ratio statistics) becomes a duration-weighted exact quantity
 over these intervals, and the old grid API is a thin compatibility layer that
 resamples the intervals (:meth:`IntervalTimeline.resample`).
+
+The sweep itself runs over the *columnar event log*
+(:mod:`repro.faults.events`): the normalized ``(time, node, kind)`` numpy
+structured array built once per trace and shared -- zero copy -- with the
+replay layer, the scheduler's capacity walk and the batched Monte-Carlo
+engine (:mod:`repro.mc`).  :attr:`IntervalTimeline.event_log` exposes that
+array, and :attr:`IntervalTimeline.columnar` the per-interval
+``starts/ends/fault_counts`` column view.
 """
 
 from __future__ import annotations
@@ -22,7 +30,15 @@ from dataclasses import dataclass
 from functools import cached_property
 from collections.abc import Iterable, Iterator, Sequence
 
+import numpy as np
+from numpy.typing import NDArray
+
 from repro.analysis.cdf import weighted_quantile
+from repro.faults.events import (
+    ColumnarIntervals,
+    columnar_event_log,
+    event_log_from_intervals,
+)
 from repro.faults.trace import FaultEvent, FaultTrace
 
 
@@ -49,48 +65,48 @@ def sweep_intervals(
     """Exact piecewise-constant fault-set sequence covering ``[0, duration)``.
 
     Events are clipped to the trace window; overlapping events on the same
-    node are handled with per-node open counters; adjacent intervals with an
-    identical fault set are merged, so consecutive intervals always differ.
+    node are unioned (columnar-log normalization), so every boundary changes
+    the fault set and consecutive intervals always differ.
+    """
+    log = columnar_event_log(events, duration_hours)
+    return intervals_from_event_log(log, duration_hours)
+
+
+def intervals_from_event_log(
+    log: NDArray[np.void], duration_hours: float
+) -> tuple[FaultInterval, ...]:
+    """Sweep a normalized columnar event log into the interval sequence.
+
+    The log must be normalized (see :mod:`repro.faults.events`): each record
+    flips one node's state, records are sorted by time, and no record sits
+    at or beyond ``duration_hours``.  Because every distinct timestamp
+    genuinely changes the fault set, no adjacent-interval merging is needed.
     """
     if duration_hours <= 0:
         raise ValueError("duration_hours must be positive")
-    # time -> list of (node, +1 open / -1 close) deltas at that boundary
-    boundaries: dict[float, list[tuple[int, int]]] = {}
-    for event in events:
-        start = max(0.0, event.start_hour)
-        end = min(duration_hours, event.end_hour)
-        if end <= start:
-            continue
-        boundaries.setdefault(start, []).append((event.node_id, +1))
-        boundaries.setdefault(end, []).append((event.node_id, -1))
+    times: list[float] = log["time"].tolist()
+    node_ids: list[int] = log["node"].tolist()
+    kinds: list[int] = log["kind"].tolist()
 
     intervals: list[FaultInterval] = []
-    open_counts: dict[int, int] = {}
+    open_nodes: set[int] = set()
     cursor = 0.0
-    current: frozenset[int] = frozenset()
-    for t in sorted(boundaries):
+    index = 0
+    n = len(times)
+    while index < n:
+        t = times[index]
         if t > cursor:
-            _append_merged(intervals, cursor, t, current)
+            intervals.append(FaultInterval(cursor, t, frozenset(open_nodes)))
             cursor = t
-        for node, delta in boundaries[t]:
-            count = open_counts.get(node, 0) + delta
-            if count:
-                open_counts[node] = count
+        while index < n and times[index] == t:
+            if kinds[index] > 0:
+                open_nodes.add(node_ids[index])
             else:
-                open_counts.pop(node, None)
-        current = frozenset(open_counts)
+                open_nodes.discard(node_ids[index])
+            index += 1
     if cursor < duration_hours:
-        _append_merged(intervals, cursor, duration_hours, current)
+        intervals.append(FaultInterval(cursor, duration_hours, frozenset(open_nodes)))
     return tuple(intervals)
-
-
-def _append_merged(
-    intervals: list[FaultInterval], start: float, end: float, nodes: frozenset[int]
-) -> None:
-    if intervals and intervals[-1].nodes == nodes and intervals[-1].end_hour == start:
-        intervals[-1] = FaultInterval(intervals[-1].start_hour, end, nodes)
-    else:
-        intervals.append(FaultInterval(start, end, nodes))
 
 
 @dataclass
@@ -132,11 +148,16 @@ class IntervalTimeline:
         if nodes > trace.n_nodes:
             raise ValueError("simulated cluster larger than the fault trace")
         restricted = trace if nodes == trace.n_nodes else trace.restrict_nodes(nodes)
-        return cls(
-            intervals=sweep_intervals(restricted.events, restricted.duration_hours),
+        log = columnar_event_log(restricted.events, restricted.duration_hours)
+        timeline = cls(
+            intervals=intervals_from_event_log(log, restricted.duration_hours),
             n_nodes=nodes,
             gpus_per_node=trace.gpus_per_node,
         )
+        # The log is canonical, so pre-seed the cached property rather than
+        # re-deriving it from the swept intervals later.
+        timeline.__dict__["event_log"] = log
+        return timeline
 
     # ------------------------------------------------------------------ query
     def __len__(self) -> int:
@@ -148,6 +169,21 @@ class IntervalTimeline:
     @property
     def duration_hours(self) -> float:
         return self.intervals[-1].end_hour if self.intervals else 0.0
+
+    @cached_property
+    def event_log(self) -> NDArray[np.void]:
+        """The normalized columnar ``(time, node, kind)`` event log.
+
+        Pre-seeded by :meth:`from_trace` (the log the sweep consumed);
+        recovered from the intervals otherwise.  Shared zero-copy with every
+        consumer -- treat it as immutable.
+        """
+        return event_log_from_intervals(self.intervals)
+
+    @cached_property
+    def columnar(self) -> ColumnarIntervals:
+        """Zero-copy per-interval column view (starts / ends / fault counts)."""
+        return ColumnarIntervals.from_intervals(self.intervals)
 
     @cached_property
     def _starts(self) -> list[float]:
@@ -215,5 +251,6 @@ __all__ = [
     "FaultInterval",
     "IntervalStream",
     "IntervalTimeline",
+    "intervals_from_event_log",
     "sweep_intervals",
 ]

@@ -15,7 +15,14 @@ Architectures:
 * :class:`~repro.hbd.infinitehbd.InfiniteHBDArchitecture` -- the paper's design.
 """
 
-from repro.hbd.base import DeltaReplayState, HBDArchitecture, WasteBreakdown
+from repro.hbd.base import (
+    CountDecomposition,
+    DeltaReplayState,
+    FaultCountKernel,
+    HBDArchitecture,
+    HealthyGroupDecomposition,
+    WasteBreakdown,
+)
 from repro.hbd.bigswitch import BigSwitchHBD
 from repro.hbd.nvl import NVLHBD
 from repro.hbd.tpuv4 import TPUv4HBD
@@ -29,8 +36,11 @@ from repro.hbd.registry import (
 )
 
 __all__ = [
+    "CountDecomposition",
     "DeltaReplayState",
+    "FaultCountKernel",
     "HBDArchitecture",
+    "HealthyGroupDecomposition",
     "WasteBreakdown",
     "BigSwitchHBD",
     "NVLHBD",

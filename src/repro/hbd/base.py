@@ -87,6 +87,78 @@ class PlacementGroup:
         return self.capacity_groups * self.tp_size
 
 
+@dataclass(frozen=True)
+class CountDecomposition:
+    """``usable_gpus`` as a sum of per-domain fault-count lookups.
+
+    For architectures whose capacity decomposes over independent node
+    domains (switch, units, rings, cubes), ``usable_gpus`` depends on the
+    fault set only through the *number* of faults inside each domain:
+
+    ``usable = sum(tables[table_of_domain[d]][faults_in_domain_d])``
+
+    ``domain_of_node[node]`` maps each node to its domain (``-1`` = the node
+    never contributes, e.g. nodes beyond the last complete ring); domains
+    with identical lookup tables share one entry in ``tables`` via
+    ``table_of_domain``.  The batched Monte-Carlo engine (:mod:`repro.mc`)
+    turns this into vectorized table gathers over whole seed blocks;
+    :meth:`usable_gpus` is the scalar reference evaluator the equivalence
+    tests check against the architecture's own ``usable_gpus``.
+    """
+
+    domain_of_node: tuple[int, ...]
+    tables: tuple[tuple[int, ...], ...]
+    table_of_domain: tuple[int, ...]
+
+    def usable_gpus(self, faulty_nodes: Iterable[int]) -> int:
+        """Scalar reference evaluation (faulty ids must be in range)."""
+        counts = [0] * len(self.table_of_domain)
+        for node in faulty_nodes:
+            domain = self.domain_of_node[node]
+            if domain >= 0:
+                counts[domain] += 1
+        return sum(
+            self.tables[self.table_of_domain[domain]][count]
+            for domain, count in enumerate(counts)
+        )
+
+
+@dataclass(frozen=True)
+class HealthyGroupDecomposition:
+    """``usable_gpus`` as whole-domain groups of fault-free domains.
+
+    For dedicated multi-domain TP groups (TPUv4 with ``tp > cube_size``):
+    a domain contributes only when completely fault-free, and every
+    ``group_size`` healthy domains host one TP group:
+
+    ``usable = (healthy_domains // group_size) * tp_size``
+
+    ``domain_of_node`` follows the :class:`CountDecomposition` convention
+    (``-1`` = excluded); ``n_domains`` counts the domains (all of which are
+    healthy when no fault touches them).
+    """
+
+    domain_of_node: tuple[int, ...]
+    n_domains: int
+    group_size: int
+    tp_size: int
+
+    def usable_gpus(self, faulty_nodes: Iterable[int]) -> int:
+        """Scalar reference evaluation (faulty ids must be in range)."""
+        hit: set[int] = set()
+        for node in faulty_nodes:
+            domain = self.domain_of_node[node]
+            if domain >= 0:
+                hit.add(domain)
+        healthy = self.n_domains - len(hit)
+        return (healthy // self.group_size) * self.tp_size
+
+
+#: A fault-count kernel: either decomposition form, or ``None`` when the
+#: architecture's capacity is not a function of per-domain fault counts.
+FaultCountKernel = CountDecomposition | HealthyGroupDecomposition
+
+
 @dataclass
 class DeltaReplayState:
     """Carry-over state of an incremental (delta) breakdown replay.
@@ -255,6 +327,23 @@ class HBDArchitecture(abc.ABC):
             f"{type(self).__name__} returned a delta payload but does not "
             "implement _delta_flip"
         )
+
+    # ------------------------------------------------------ count decomposition
+    def fault_count_decomposition(
+        self, n_nodes: int, tp_size: int
+    ) -> FaultCountKernel | None:
+        """Per-domain fault-count kernel of ``usable_gpus``, when one exists.
+
+        When the return value is not ``None``, its reference evaluation
+        equals ``usable_gpus(n_nodes, faulty, tp_size)`` for **every** fault
+        set (property-tested), which lets the batched Monte-Carlo engine
+        evaluate whole seed blocks with table gathers instead of per-interval
+        Python calls.  The base implementation returns ``None`` -- correct
+        for architectures whose capacity depends on *which* nodes failed,
+        not just how many per domain (InfiniteHBD's K-hop segments) -- and
+        callers then fall back to the exact scalar replay.
+        """
+        return None
 
     # ------------------------------------------------------------- placement
     def nodes_per_tp_group(self, tp_size: int) -> int:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.hbd.base import HBDArchitecture
+from repro.hbd.base import CountDecomposition, HBDArchitecture
 
 
 class BigSwitchHBD(HBDArchitecture):
@@ -25,3 +25,17 @@ class BigSwitchHBD(HBDArchitecture):
         faulty = self._clean_faults(n_nodes, faulty_nodes)
         healthy_gpus = (n_nodes - len(faulty)) * self.gpus_per_node
         return self._fit(healthy_gpus, tp_size)
+
+    def fault_count_decomposition(
+        self, n_nodes: int, tp_size: int
+    ) -> CountDecomposition:
+        """One flat domain: usable depends only on the total fault count."""
+        table = tuple(
+            self._fit((n_nodes - count) * self.gpus_per_node, tp_size)
+            for count in range(n_nodes + 1)
+        )
+        return CountDecomposition(
+            domain_of_node=(0,) * n_nodes,
+            tables=(table,),
+            table_of_domain=(0,),
+        )

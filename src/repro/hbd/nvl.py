@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
+from repro.hbd.base import (
+    CountDecomposition,
+    DeltaReplayState,
+    HBDArchitecture,
+    PlacementGroup,
+)
 
 
 class _NVLDelta:
@@ -93,6 +98,41 @@ class NVLHBD(HBDArchitecture):
             )
             usable += self._fit(healthy_leftover, tp_size)
         return usable
+
+    def fault_count_decomposition(
+        self, n_nodes: int, tp_size: int
+    ) -> CountDecomposition:
+        """One domain per HBD unit, one more for the partial trailing unit."""
+        if tp_size > self.hbd_size:
+            # Infeasible TP size: usable is pinned at zero, no domains.
+            return CountDecomposition(
+                domain_of_node=(-1,) * n_nodes, tables=(), table_of_domain=()
+            )
+        npu = self.nodes_per_unit
+        n_units = self.n_units(n_nodes)
+        unit_table = tuple(
+            self._fit(self.hbd_size - count * self.gpus_per_node, tp_size)
+            for count in range(npu + 1)
+        )
+        domain_of_node = tuple(
+            min(node // npu, n_units) for node in range(n_nodes)
+        )
+        leftover = n_nodes % npu
+        if leftover:
+            leftover_table = tuple(
+                self._fit((leftover - count) * self.gpus_per_node, tp_size)
+                for count in range(leftover + 1)
+            )
+            return CountDecomposition(
+                domain_of_node=domain_of_node,
+                tables=(unit_table, leftover_table),
+                table_of_domain=(0,) * n_units + (1,),
+            )
+        return CountDecomposition(
+            domain_of_node=domain_of_node,
+            tables=(unit_table,),
+            table_of_domain=(0,) * n_units,
+        )
 
     # ------------------------------------------------------------- placement
     def placement_groups(

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
+from repro.hbd.base import (
+    CountDecomposition,
+    DeltaReplayState,
+    HBDArchitecture,
+    PlacementGroup,
+)
 
 
 class _SiPRingDelta:
@@ -61,6 +66,24 @@ class SiPRingHBD(HBDArchitecture):
             if not faulty_rings.get(ring, False):
                 usable += per_ring_usable
         return usable
+
+    def fault_count_decomposition(
+        self, n_nodes: int, tp_size: int
+    ) -> CountDecomposition:
+        """One domain per ring; any fault zeroes the ring's contribution."""
+        nodes_per_ring = self.nodes_per_tp_group(tp_size)
+        per_ring_usable = self._fit(nodes_per_ring * self.gpus_per_node, tp_size)
+        n_rings = n_nodes // nodes_per_ring
+        domain_of_node = tuple(
+            node // nodes_per_ring if node // nodes_per_ring < n_rings else -1
+            for node in range(n_nodes)
+        )
+        ring_table = (per_ring_usable,) + (0,) * nodes_per_ring
+        return CountDecomposition(
+            domain_of_node=domain_of_node,
+            tables=(ring_table,) if n_rings else (),
+            table_of_domain=(0,) * n_rings,
+        )
 
     # ------------------------------------------------------------- placement
     def placement_groups(

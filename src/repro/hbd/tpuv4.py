@@ -16,7 +16,14 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.hbd.base import DeltaReplayState, HBDArchitecture, PlacementGroup
+from repro.hbd.base import (
+    CountDecomposition,
+    DeltaReplayState,
+    FaultCountKernel,
+    HBDArchitecture,
+    HealthyGroupDecomposition,
+    PlacementGroup,
+)
 
 
 class _TPUv4Delta:
@@ -100,6 +107,48 @@ class TPUv4HBD(HBDArchitecture):
         )
         groups = healthy_cubes // cubes_per_group
         return groups * tp_size
+
+    def fault_count_decomposition(
+        self, n_nodes: int, tp_size: int
+    ) -> FaultCountKernel:
+        """Per-cube count tables below the cube size; healthy-cube groups above."""
+        npc = self.nodes_per_cube
+        n_cubes = self.n_cubes(n_nodes)
+        if tp_size <= self.cube_size:
+            cube_table = tuple(
+                self._fit(self.cube_size - count * self.gpus_per_node, tp_size)
+                for count in range(npc + 1)
+            )
+            domain_of_node = tuple(
+                min(node // npc, n_cubes) for node in range(n_nodes)
+            )
+            leftover = n_nodes % npc
+            if leftover:
+                leftover_table = tuple(
+                    self._fit((leftover - count) * self.gpus_per_node, tp_size)
+                    for count in range(leftover + 1)
+                )
+                return CountDecomposition(
+                    domain_of_node=domain_of_node,
+                    tables=(cube_table, leftover_table),
+                    table_of_domain=(0,) * n_cubes + (1,),
+                )
+            return CountDecomposition(
+                domain_of_node=domain_of_node,
+                tables=(cube_table,),
+                table_of_domain=(0,) * n_cubes,
+            )
+        # Multi-cube TP groups: only the count of fully healthy cubes matters,
+        # and partial-cube nodes never participate.
+        return HealthyGroupDecomposition(
+            domain_of_node=tuple(
+                node // npc if node // npc < n_cubes else -1
+                for node in range(n_nodes)
+            ),
+            n_domains=n_cubes,
+            group_size=-(-tp_size // self.cube_size),
+            tp_size=tp_size,
+        )
 
     # ------------------------------------------------------------- placement
     def placement_groups(

@@ -712,6 +712,10 @@ class ClusterScheduler:
         unfinished = len(runtimes)
 
         intervals = self.timeline.intervals
+        # Interval end times come off the shared columnar view as plain
+        # Python floats (bit-identical to the interval fields): the hot
+        # event-time comparisons below skip the per-access attribute chain.
+        interval_ends = self.timeline.columnar.ends_list
         interval_index = 0
         empty: frozenset[int] = frozenset()
         faults: frozenset[int] = intervals[0].nodes if intervals else empty
@@ -743,7 +747,7 @@ class ClusterScheduler:
             # ---------------------------------------------- next event time
             t_next = math.inf
             if interval_index < len(intervals):
-                t_next = intervals[interval_index].end_hour
+                t_next = interval_ends[interval_index]
             if pending_index < len(pending):
                 t_next = min(t_next, pending[pending_index].spec.submit_hour)
             for rt in in_system:
@@ -785,7 +789,7 @@ class ClusterScheduler:
             new_faults: frozenset[int] = empty
             while (
                 interval_index < len(intervals)
-                and intervals[interval_index].end_hour <= t
+                and interval_ends[interval_index] <= t
             ):
                 previous = faults
                 interval_index += 1

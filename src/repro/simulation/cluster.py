@@ -430,18 +430,30 @@ def replay_intervals(
         series = StreamingIntervalSeries(total_gpus=total_gpus)
         fold = series._fold
     else:
-        starts: list[float] = []
-        ends: list[float] = []
+        columnar = timeline.columnar if isinstance(timeline, IntervalTimeline) else None
         waste_ratios: list[float] = []
         usable: list[int] = []
         faulty_gpus: list[int] = []
+        if columnar is not None:
+            # Interval boundaries come straight off the shared columnar view
+            # (bit-identical floats); the walk only accumulates breakdowns.
+            starts = columnar.starts_hours.tolist()
+            ends = columnar.ends_hours.tolist()
 
-        def fold(interval, breakdown: WasteBreakdown) -> None:
-            starts.append(interval.start_hour)
-            ends.append(interval.end_hour)
-            waste_ratios.append(breakdown.waste_ratio)
-            usable.append(breakdown.usable_gpus)
-            faulty_gpus.append(breakdown.faulty_gpus)
+            def fold(interval, breakdown: WasteBreakdown) -> None:
+                waste_ratios.append(breakdown.waste_ratio)
+                usable.append(breakdown.usable_gpus)
+                faulty_gpus.append(breakdown.faulty_gpus)
+        else:
+            starts = []
+            ends = []
+
+            def fold(interval, breakdown: WasteBreakdown) -> None:
+                starts.append(interval.start_hour)
+                ends.append(interval.end_hour)
+                waste_ratios.append(breakdown.waste_ratio)
+                usable.append(breakdown.usable_gpus)
+                faulty_gpus.append(breakdown.faulty_gpus)
 
     if use_delta:
         state = None

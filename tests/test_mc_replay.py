@@ -1,0 +1,308 @@
+"""Batched Monte-Carlo replay (repro.mc) vs the scalar engines.
+
+The contract under test: every per-seed result out of ``replay_batch`` is
+**bit-for-bit** the scalar ``replay_intervals`` output for that seed's
+timeline -- on every registry architecture, including the exact scalar
+fallback (InfiniteHBD has no fault-count decomposition).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.runner import ExperimentRunner
+from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
+from repro.faults.events import event_log_from_intervals
+from repro.faults.timeline import IntervalTimeline
+from repro.faults.trace import FaultEvent, FaultTrace
+from repro.hbd import (
+    BigSwitchHBD,
+    InfiniteHBDArchitecture,
+    NVLHBD,
+    SiPRingHBD,
+    TPUv4HBD,
+)
+from repro.mc import (
+    BatchTraceConfig,
+    TraceBatch,
+    kernel_for,
+    replay_batch,
+    sample_trace_batch,
+    seed_stats,
+)
+from repro.simulation.cluster import replay_intervals
+
+ARCHITECTURES = [
+    BigSwitchHBD(4),
+    NVLHBD(72, 4),
+    NVLHBD(36, 4),
+    TPUv4HBD(4, 64),
+    SiPRingHBD(4),
+    InfiniteHBDArchitecture(k=2, gpus_per_node=4),
+]
+
+TP_SIZES = (8, 32, 128)
+
+
+def _timeline(n_nodes, duration_hours, runs, gpus_per_node=4):
+    """Exact scalar timeline from (node, start, end) fault runs."""
+    events = [
+        FaultEvent(node_id=node, start_hour=float(start), end_hour=float(end))
+        for node, start, end in runs
+        if end > start
+    ]
+    trace = FaultTrace(
+        n_nodes=n_nodes,
+        duration_days=duration_hours / 24.0,
+        events=events,
+        gpus_per_node=gpus_per_node,
+    )
+    return IntervalTimeline.from_trace(trace)
+
+
+def _assert_series_equal(got, ref):
+    assert got.starts_hours == ref.starts_hours
+    assert got.ends_hours == ref.ends_hours
+    assert got.waste_ratios == ref.waste_ratios
+    assert got.usable_gpus == ref.usable_gpus
+    assert got.faulty_gpus == ref.faulty_gpus
+    assert got.total_gpus == ref.total_gpus
+
+
+# --------------------------------------------------------------------------
+# hypothesis strategies
+# --------------------------------------------------------------------------
+DURATION = 48
+
+run_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=23),          # node
+        st.integers(min_value=0, max_value=DURATION - 1),  # start
+        st.integers(min_value=1, max_value=DURATION),      # length
+    ),
+    max_size=25,
+)
+
+float_run_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=23),
+        st.floats(min_value=0.0, max_value=DURATION - 0.5, allow_nan=False),
+        st.floats(min_value=0.25, max_value=DURATION, allow_nan=False),
+    ),
+    max_size=25,
+)
+
+
+class TestBatchedMatchesScalar:
+    @given(st.lists(run_lists, min_size=1, max_size=4), st.sampled_from(TP_SIZES))
+    @settings(max_examples=60, deadline=None)
+    def test_integer_time_traces_bit_for_bit(self, per_seed_runs, tp_size):
+        timelines = [
+            _timeline(24, float(DURATION), [(n, s, min(s + d, DURATION)) for n, s, d in runs])
+            for runs in per_seed_runs
+        ]
+        batch = TraceBatch.from_timelines(timelines)
+        for architecture in ARCHITECTURES:
+            series = replay_batch(architecture, batch, tp_size)
+            for index, timeline in enumerate(timelines):
+                ref = replay_intervals(architecture, timeline, tp_size)
+                _assert_series_equal(series.series_for_seed(index), ref)
+
+    @given(st.lists(float_run_lists, min_size=1, max_size=3), st.sampled_from(TP_SIZES))
+    @settings(max_examples=40, deadline=None)
+    def test_float_time_traces_within_tolerance(self, per_seed_runs, tp_size):
+        timelines = [
+            _timeline(24, float(DURATION), [(n, s, min(s + d, DURATION)) for n, s, d in runs])
+            for runs in per_seed_runs
+        ]
+        batch = TraceBatch.from_timelines(timelines)
+        for architecture in ARCHITECTURES:
+            series = replay_batch(architecture, batch, tp_size)
+            for index, timeline in enumerate(timelines):
+                ref = replay_intervals(architecture, timeline, tp_size)
+                got = series.series_for_seed(index)
+                # Integer capacity columns are always exact; float columns
+                # must agree to full precision (the pipeline reuses the
+                # scalar sweep's boundary floats).
+                assert got.usable_gpus == ref.usable_gpus
+                assert got.faulty_gpus == ref.faulty_gpus
+                for a, b in zip(got.starts_hours, ref.starts_hours, strict=True):
+                    assert math.isclose(a, b, rel_tol=0.0, abs_tol=0.0) or a == b
+                for a, b in zip(got.waste_ratios, ref.waste_ratios, strict=True):
+                    assert math.isclose(a, b, rel_tol=1e-15, abs_tol=1e-15)
+
+    @pytest.mark.parametrize("architecture", ARCHITECTURES, ids=lambda a: a.name)
+    def test_synthetic_batch_and_aggregates(self, architecture):
+        batch = sample_trace_batch(
+            BatchTraceConfig(n_seeds=4, n_nodes=64, duration_days=15, gpus_per_node=4, seed=9)
+        )
+        for tp_size in TP_SIZES:
+            series = replay_batch(architecture, batch, tp_size)
+            for index in range(batch.n_seeds):
+                ref = replay_intervals(
+                    architecture, batch.timeline_for_seed(index), tp_size
+                )
+                _assert_series_equal(series.series_for_seed(index), ref)
+                assert series.mean_waste_ratios()[index] == ref.mean_waste_ratio
+                assert series.p99_waste_ratios()[index] == ref.p99_waste_ratio
+                assert series.min_usable_gpus()[index] == ref.min_usable_gpus
+                assert (
+                    series.supported_job_scales(0.99)[index]
+                    == ref.supported_job_scale(0.99)
+                )
+                assert (
+                    series.fault_waiting_rates(64)[index]
+                    == ref.fault_waiting_rate(64)
+                )
+
+    def test_infinitehbd_uses_exact_scalar_fallback(self):
+        architecture = InfiniteHBDArchitecture(k=2, gpus_per_node=4)
+        assert architecture.fault_count_decomposition(24, 8) is None
+        assert kernel_for(architecture, 24, 8) is None
+
+
+class TestFaultCountDecompositions:
+    @given(
+        st.sets(st.integers(min_value=0, max_value=95), max_size=40),
+        st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_decomposition_matches_usable_gpus(self, faults, tp_size):
+        n_nodes = 96
+        for architecture in ARCHITECTURES:
+            decomposition = architecture.fault_count_decomposition(n_nodes, tp_size)
+            if decomposition is None:
+                continue
+            expected = architecture.usable_gpus(n_nodes, faults, tp_size)
+            assert decomposition.usable_gpus(faults) == expected, architecture.name
+
+
+class TestEventLogCanonical:
+    def test_intervals_round_trip_through_the_log(self):
+        timeline = _timeline(24, 48.0, [(3, 1, 7), (3, 5, 12), (9, 0, 48), (11, 47, 48)])
+        rebuilt = event_log_from_intervals(timeline.intervals)
+        assert np.array_equal(rebuilt, timeline.event_log)
+
+    def test_batch_timeline_for_seed_round_trips(self):
+        timeline = _timeline(24, 48.0, [(1, 2, 9), (5, 9, 20), (1, 8, 10)])
+        batch = TraceBatch.from_timelines([timeline])
+        recovered = batch.timeline_for_seed(0)
+        assert recovered.intervals == timeline.intervals
+        assert np.array_equal(recovered.event_log, timeline.event_log)
+
+
+class TestSeedStats:
+    def test_stddev_is_zero_when_seeds_share_a_trace(self):
+        timeline = _timeline(24, 48.0, [(2, 1, 10), (7, 5, 30)])
+        batch = TraceBatch.from_timelines([timeline, timeline, timeline])
+        series = replay_batch(NVLHBD(72, 4), batch, 32)
+        means = series.mean_waste_ratios()
+        assert means[0] == means[1] == means[2]
+        stats = seed_stats(means)
+        assert stats.stddev == 0.0
+        assert stats.ci95 == 0.0
+        assert stats.mean == means[0]
+        assert stats.n_seeds == 3
+
+    def test_single_seed_degrades_to_point_estimate(self):
+        stats = seed_stats([0.25])
+        assert (stats.mean, stats.stddev, stats.ci95, stats.n_seeds) == (0.25, 0.0, 0.0, 1)
+
+    def test_spread_matches_textbook_formulas(self):
+        values = [1.0, 2.0, 4.0]
+        stats = seed_stats(values)
+        assert stats.mean == pytest.approx(7.0 / 3.0)
+        variance = sum((v - stats.mean) ** 2 for v in values) / 2
+        assert stats.stddev == pytest.approx(math.sqrt(variance))
+        assert stats.ci95 == pytest.approx(1.96 * stats.stddev / math.sqrt(3))
+
+
+# --------------------------------------------------------------------------
+# spec / runner plumbing
+# --------------------------------------------------------------------------
+def _spec(num_seeds=1, experiments=("waste",)):
+    return ExperimentSpec.of(
+        scenario=Scenario(
+            name="mc",
+            trace=TraceSpec(days=4, seed=5),
+            architectures=(
+                ArchitectureSpec(name="Big-Switch"),
+                ArchitectureSpec(name="NVL-72"),
+            ),
+            tp_sizes=(32,),
+            n_nodes=192,
+        ),
+        experiments=experiments,
+        options={"goodput": {"job_gpus": 256}} if "goodput" in experiments else None,
+        max_workers=1,
+        num_seeds=num_seeds,
+    )
+
+
+class TestSpecPlumbing:
+    def test_single_seed_digest_is_unchanged(self):
+        spec = _spec(num_seeds=1)
+        assert "num_seeds" not in spec.to_dict()
+        # A pre-num_seeds spec file (no such key) parses to the same digest.
+        assert ExperimentSpec.from_dict(spec.to_dict()).digest() == spec.digest()
+
+    def test_multi_seed_round_trips_and_changes_digest(self):
+        spec = _spec(num_seeds=5)
+        assert spec.to_dict()["num_seeds"] == 5
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+        assert spec.digest() != _spec(num_seeds=1).digest()
+
+    def test_num_seeds_must_be_positive(self):
+        with pytest.raises(ValueError, match="num_seeds"):
+            _spec(num_seeds=0)
+
+    def test_runner_override_becomes_the_effective_spec(self):
+        runner = ExperimentRunner(_spec(num_seeds=1), num_seeds=3)
+        assert runner.spec.num_seeds == 3
+        assert runner.spec.digest() == _spec(num_seeds=3).digest()
+
+
+class TestRunnerMonteCarlo:
+    def test_multi_seed_results_grow_stats_columns(self):
+        results = ExperimentRunner(_spec(num_seeds=3)).run()
+        assert len(results) == 2
+        for result in results:
+            metrics = result.metrics_dict
+            assert metrics["num_seeds"] == 3
+            for name in ("mean_waste_ratio", "p99_waste_ratio", "min_usable_gpus"):
+                assert f"{name}_mean" in metrics
+                assert f"{name}_stddev" in metrics
+                assert f"{name}_ci95" in metrics
+                stats = result.metric_stats(name)
+                assert stats["n_seeds"] == 3
+                assert stats["stddev"] >= 0.0
+            # Cluster constants keep their exact single-seed value and type.
+            assert isinstance(metrics["total_gpus"], int)
+
+    def test_single_seed_results_have_no_stats_columns(self):
+        results = ExperimentRunner(_spec(num_seeds=1)).run()
+        for result in results:
+            metrics = result.metrics_dict
+            assert "num_seeds" not in metrics
+            assert not any(key.endswith("_stddev") for key in metrics)
+            stats = result.metric_stats("mean_waste_ratio")
+            assert stats["stddev"] == 0.0
+            assert stats["n_seeds"] == 1
+
+    def test_base_seed_values_and_series_match_single_seed_run(self):
+        single = ExperimentRunner(_spec(num_seeds=1)).run()
+        multi = ExperimentRunner(_spec(num_seeds=3)).run()
+        for one, many in zip(single, multi, strict=True):
+            # The emitted series is always the base (spec) seed's.
+            assert one.series == many.series
+
+    def test_stats_table_shape(self):
+        table = ExperimentRunner(_spec(num_seeds=2)).run().stats_table(
+            "waste", "mean_waste_ratio"
+        )
+        assert set(table) == {"Big-Switch", "NVL-72"}
+        cell = table["NVL-72"][32]
+        assert set(cell) == {"mean", "stddev", "ci95", "n_seeds"}
+        assert cell["n_seeds"] == 2

@@ -20,9 +20,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: behind per-module ``ignore_errors`` until its PR flips it on).
 STRICT_TARGETS = (
     "repro.faults.timeline",
+    "repro.faults.events",
     "repro.api",
     "repro.scheduler",
     "repro.hbd.base",
+    "repro.analysis",
+    "repro.mc",
 )
 
 
