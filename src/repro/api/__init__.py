@@ -46,7 +46,13 @@ from repro.api.spec import (
     WorkloadSpec,
     default_architecture_specs,
 )
-from repro.api.results import ExperimentResult, Provenance, ResultSet
+from repro.api.results import (
+    RESULT_SCHEMA_VERSION,
+    CacheStats,
+    ExperimentResult,
+    Provenance,
+    ResultSet,
+)
 from repro.api.runner import (
     ExperimentRunner,
     compare_architectures_over_trace,
@@ -68,6 +74,8 @@ __all__ = [
     "TraceSpec",
     "WorkloadSpec",
     "default_architecture_specs",
+    "RESULT_SCHEMA_VERSION",
+    "CacheStats",
     "ExperimentResult",
     "Provenance",
     "ResultSet",

@@ -16,6 +16,44 @@ from dataclasses import dataclass, field
 from collections.abc import Iterator, Mapping, Sequence
 from typing import Any
 
+#: Version of the ExperimentResult row shape.  Part of the runner's cache
+#: key (:meth:`repro.api.runner.ExperimentRunner` -- see ``docs/api.md``),
+#: so bumping it invalidates every cached row without touching cache files.
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Result-cache counters for one runner invocation.
+
+    ``hits`` tasks were served from the cache, ``misses`` were computed
+    fresh, ``stored`` of those were written back (always equal to
+    ``misses`` unless a write failed).  Attached to :class:`ResultSet` only
+    when caching was on, so ``cache="off"`` output stays byte-identical to
+    pre-cache dumps.
+
+    >>> stats = CacheStats(mode="disk", hits=3, misses=1, stored=1)
+    >>> CacheStats.from_dict(stats.to_dict()) == stats
+    True
+    """
+
+    mode: str
+    hits: int
+    misses: int
+    stored: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> CacheStats:
+        return cls(
+            mode=data["mode"],
+            hits=data["hits"],
+            misses=data["misses"],
+            stored=data["stored"],
+        )
+
 
 @dataclass(frozen=True)
 class Provenance:
@@ -186,6 +224,7 @@ class ResultSet:
     """
 
     results: list[ExperimentResult] = field(default_factory=list)
+    cache_stats: CacheStats | None = None
 
     def __iter__(self) -> Iterator[ExperimentResult]:
         return iter(self.results)
@@ -240,11 +279,20 @@ class ResultSet:
 
     # ---------------------------------------------------------- serialization
     def to_dict(self) -> dict[str, Any]:
-        return {"results": [r.to_dict() for r in self.results]}
+        data: dict[str, Any] = {"results": [r.to_dict() for r in self.results]}
+        # Emitted only when caching was on, so cache="off" dumps (and every
+        # pre-cache result file) keep their exact byte layout.
+        if self.cache_stats is not None:
+            data["cache_stats"] = self.cache_stats.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> ResultSet:
-        return cls([ExperimentResult.from_dict(r) for r in data["results"]])
+        stats = data.get("cache_stats")
+        return cls(
+            [ExperimentResult.from_dict(r) for r in data["results"]],
+            cache_stats=CacheStats.from_dict(stats) if stats else None,
+        )
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

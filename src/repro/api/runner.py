@@ -36,9 +36,16 @@ from collections.abc import Callable, Mapping, Sequence
 from multiprocessing.context import BaseContext
 from typing import Any
 
-from repro.api.results import ExperimentResult, Provenance, ResultSet
+from repro.api.results import (
+    RESULT_SCHEMA_VERSION,
+    CacheStats,
+    ExperimentResult,
+    Provenance,
+    ResultSet,
+)
 from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
-from repro.faults.timeline import IntervalTimeline
+from repro.cache import ResultCache, content_key
+from repro.faults.timeline import IntervalTimeline, serialize_timeline
 from repro.faults.trace import FaultTrace
 from repro.hbd.base import HBDArchitecture
 from repro.mc import TraceBatch, replay_batch, seed_stats
@@ -573,11 +580,48 @@ _HANDLERS: dict[str, Callable[[ExperimentSpec, Mapping[str, Any]], list[dict[str
 #: Experiments swept over the architecture × TP-size grid.
 _ARCH_SWEEP_EXPERIMENTS = ("waste", "max_job_scale", "fault_waiting", "goodput", "schedule")
 
+#: Experiments that replay the shared exact interval timeline (and therefore
+#: ride the shared-memory event-log fan-out).
+_TIMELINE_EXPERIMENTS = ("waste", "max_job_scale", "fault_waiting", "schedule")
+
 
 def _execute_payload(payload: dict[str, Any]) -> list[dict[str, Any]]:
     """Top-level task entry point (picklable for the process pool)."""
     spec = ExperimentSpec.from_dict(payload["spec"])
     return _HANDLERS[payload["experiment"]](spec, payload)
+
+
+def _round_robin_chunks(n_items: int, n_chunks: int) -> list[list[int]]:
+    """Deal item indices round-robin into at most ``n_chunks`` lists.
+
+    Round-robin (rather than contiguous slabs) balances chunks when task
+    cost correlates with position -- e.g. all of one experiment's cells
+    first -- while each list stays in ascending order so per-chunk results
+    reassemble deterministically.
+    """
+    return [list(range(start, n_items, n_chunks)) for start in range(min(n_chunks, n_items))]
+
+
+def _execute_chunk(chunk: dict[str, Any]) -> list[list[dict[str, Any]]]:
+    """Run one worker's batch of tasks (picklable pool entry point).
+
+    ``chunk`` carries the spec dict once, the shared timeline transports
+    (tiny shm handles or pickled logs), and the per-task payloads minus
+    their ``spec`` key.  Transported timelines are adopted into this
+    process's timeline memo *only when absent* -- forked workers already
+    inherit the parent's cache copy-on-write and must keep those exact
+    objects.
+    """
+    for entry in chunk["timelines"]:
+        key = (TraceSpec.from_dict(entry["trace"]), entry["n_nodes"])
+        with _TIMELINE_LOCK:
+            present = key in _TIMELINE_CACHE
+        if not present:
+            timeline = entry["transport"].timeline()
+            with _TIMELINE_LOCK:
+                _TIMELINE_CACHE.setdefault(key, timeline)
+    spec_dict = chunk["spec"]
+    return [_execute_payload({**task, "spec": spec_dict}) for task in chunk["tasks"]]
 
 
 # ---------------------------------------------------------------- the runner
@@ -589,6 +633,15 @@ class ExperimentRunner:
     experiments replay all seeds in one vectorized :mod:`repro.mc` pass, and
     every numeric metric grows ``*_mean`` / ``*_stddev`` / ``*_ci95``
     columns.  ``num_seeds=1`` (the default) is the exact single-seed path.
+
+    ``ExperimentRunner(spec, cache="memory"|"disk")`` (or ``spec.cache``)
+    consults the content-addressed result store (:mod:`repro.cache`) before
+    computing each task and writes fresh rows back on miss; cached rows are
+    re-stamped with this run's provenance, so hit and miss results are
+    bit-for-bit identical.  When the pool forks, tasks are dealt into one
+    chunk per worker and the shared interval timelines ship as
+    shared-memory event-log handles (:mod:`repro.faults.timeline`) instead
+    of per-task pickles.
 
     >>> from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
     >>> spec = ExperimentSpec.of(
@@ -618,11 +671,17 @@ class ExperimentRunner:
         spec: ExperimentSpec,
         max_workers: int | None = None,
         num_seeds: int | None = None,
+        cache: str | None = None,
     ) -> None:
+        overrides: dict[str, Any] = {}
         if num_seeds is not None and num_seeds != spec.num_seeds:
             # The override becomes part of the effective spec, so stamped
             # digests always describe what actually ran.
-            spec = dataclasses.replace(spec, num_seeds=num_seeds)
+            overrides["num_seeds"] = num_seeds
+        if cache is not None and cache != spec.cache:
+            overrides["cache"] = cache
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
         self.spec = spec
         self.max_workers = max_workers if max_workers is not None else spec.max_workers
 
@@ -662,10 +721,29 @@ class ExperimentRunner:
         return payloads
 
     def run(self) -> ResultSet:
-        """Execute all tasks (parallel when possible) and stamp provenance."""
+        """Execute all tasks (cache-first, parallel on miss), stamp provenance."""
         payloads = self.tasks()
-        self._warm_caches()
-        chunks = _map_tasks(_execute_payload, payloads, self.max_workers)
+        mode = self.spec.cache
+        cache_stats: CacheStats | None = None
+        if mode == "off":
+            rows_per_task = self._execute(payloads)
+        else:
+            store = ResultCache(mode)
+            keys = [self._task_cache_key(p) for p in payloads]
+            cached: list[list[dict[str, Any]] | None] = [store.get(k) for k in keys]
+            miss_indices = [i for i, rows in enumerate(cached) if rows is None]
+            computed = self._execute([payloads[i] for i in miss_indices])
+            stored = 0
+            for index, rows in zip(miss_indices, computed, strict=True):
+                cached[index] = rows
+                stored += store.put(keys[index], rows)
+            rows_per_task = [rows for rows in cached if rows is not None]
+            cache_stats = CacheStats(
+                mode=mode,
+                hits=len(payloads) - len(miss_indices),
+                misses=len(miss_indices),
+                stored=stored,
+            )
         provenance = Provenance(
             seed=self.spec.scenario.seed,
             version=_package_version(),
@@ -673,36 +751,116 @@ class ExperimentRunner:
         )
         results = [
             ExperimentResult.from_dict(data).with_provenance(provenance)
-            for chunk in chunks
-            for data in chunk
+            for task_rows in rows_per_task
+            for data in task_rows
         ]
-        return ResultSet(results)
+        return ResultSet(results, cache_stats=cache_stats)
 
-    def _warm_caches(self) -> None:
+    def _task_cache_key(self, payload: Mapping[str, Any]) -> str:
+        """Content key of one task: everything that determines its rows.
+
+        Covers the scenario, seed count, the experiment plus its options,
+        and the task's own sweep axes -- but not ``max_workers`` or
+        ``cache``, which change how results are obtained, never what they
+        are.  The package and result-schema versions are folded in so any
+        release or row-shape change invalidates every prior entry.
+        """
+        body: dict[str, Any] = {
+            "package_version": _package_version(),
+            "result_schema": RESULT_SCHEMA_VERSION,
+            "scenario": self.spec.scenario.to_dict(),
+            "num_seeds": self.spec.num_seeds,
+            "experiment": payload["experiment"],
+            "options": self.spec.options_for(payload["experiment"]),
+        }
+        for axis in ("arch", "method", "tp_size"):
+            if axis in payload:
+                body[axis] = payload[axis]
+        return content_key(body)
+
+    def _execute(self, payloads: Sequence[Mapping[str, Any]]) -> list[list[dict[str, Any]]]:
+        """Compute tasks fresh: serial in-process, or chunked over a forked pool.
+
+        The parallel path submits one chunk per worker (spec dict pickled
+        once per chunk, not once per task) and ships each shared interval
+        timeline as a single shared-memory event-log handle that every
+        chunk references; segments are unlinked once the pool is done.
+        """
+        if not payloads:
+            return []
+        self._warm_caches(payloads)
+        workers = _resolve_workers(self.max_workers, len(payloads))
+        context = _fork_context() if workers > 1 else None
+        if context is None:
+            return [_execute_payload(dict(p)) for p in payloads]
+
+        transports = self._timeline_transports(payloads)
+        spec_dict = self.spec.to_dict()
+        index_chunks = _round_robin_chunks(len(payloads), workers)
+        chunks = [
+            {
+                "spec": spec_dict,
+                "timelines": transports,
+                "tasks": [
+                    {k: v for k, v in payloads[i].items() if k != "spec"}
+                    for i in indices
+                ],
+            }
+            for indices in index_chunks
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=len(chunks), mp_context=context) as pool:
+                chunk_results = list(pool.map(_execute_chunk, chunks))
+        finally:
+            for entry in transports:
+                entry["transport"].unlink()
+        ordered: list[list[dict[str, Any]] | None] = [None] * len(payloads)
+        for indices, rows_lists in zip(index_chunks, chunk_results, strict=True):
+            for index, rows in zip(indices, rows_lists, strict=True):
+                ordered[index] = rows
+        return [rows for rows in ordered if rows is not None]
+
+    def _timeline_transports(self, payloads: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        """One shared transport per (trace seed, cluster size) the tasks replay.
+
+        Every capacity/schedule cell of a scenario references the same
+        entry, so each distinct event log is serialized exactly once per
+        run no matter how many tasks or workers consume it.
+        """
+        if not any(p["experiment"] in _TIMELINE_EXPERIMENTS for p in payloads):
+            return []
+        n_nodes = self.spec.scenario.n_nodes
+        return [
+            {
+                "trace": trace_spec.to_dict(),
+                "n_nodes": n_nodes,
+                "transport": serialize_timeline(_timeline_for(trace_spec, n_nodes)),
+            }
+            for trace_spec in _seed_trace_specs(self.spec)
+        ]
+
+    def _warm_caches(self, payloads: Sequence[Mapping[str, Any]]) -> None:
         """Build the trace (and shared timelines) before the pool forks.
 
         Forked workers inherit the parent's memo caches copy-on-write, so
         warming here means the trace is generated and sampled exactly once
-        per run instead of once per worker process.
+        per run instead of once per worker process.  Scoped to the
+        experiments actually being computed, so a fully cached run warms
+        nothing.
         """
         scenario = self.spec.scenario
-        needs_trace = any(
-            e in _ARCH_SWEEP_EXPERIMENTS for e in self.spec.experiments
-        )
+        experiments = list(dict.fromkeys(p["experiment"] for p in payloads))
         trace_specs = _seed_trace_specs(self.spec)
-        if needs_trace:
+        if any(e in _ARCH_SWEEP_EXPERIMENTS for e in experiments):
             for trace_spec in trace_specs:
                 trace_spec.build()
-        if any(
-            e in ("waste", "max_job_scale", "fault_waiting", "schedule")
-            for e in self.spec.experiments
-        ):
+        if any(e in _TIMELINE_EXPERIMENTS for e in experiments):
             for trace_spec in trace_specs:
                 _timeline_for(trace_spec, scenario.n_nodes)
 
 
 def run_experiment(
-    spec: ExperimentSpec, max_workers: int | None = None
+    spec: ExperimentSpec, max_workers: int | None = None, cache: str | None = None
 ) -> ResultSet:
     """One-call convenience wrapper around :class:`ExperimentRunner`.
 
@@ -722,7 +880,7 @@ def run_experiment(
     >>> 0.0 <= results[0].metric("mean_waste_ratio") < 1.0
     True
     """
-    return ExperimentRunner(spec, max_workers=max_workers).run()
+    return ExperimentRunner(spec, max_workers=max_workers, cache=cache).run()
 
 
 def _package_version() -> str:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from collections.abc import Mapping
 from typing import TYPE_CHECKING, Any
 
+from repro.cache import CACHE_MODES
 from repro.faults.trace import FaultTrace
 from repro.scheduler.jobs import JobSpec, check_known_fields
 from repro.scheduler.placement import (
@@ -427,7 +428,12 @@ class ExperimentSpec:
     many trace seeds (base seed, base seed + 1, ...) so results grow
     ``*_mean`` / ``*_stddev`` / ``*_ci95`` columns; ``1`` (the default) is
     the exact single-seed path and leaves serialized dumps and digests
-    unchanged.
+    unchanged.  ``cache`` selects the runner's result cache
+    (``"off"`` / ``"memory"`` / ``"disk"``, see :mod:`repro.cache`); it is a
+    *how* knob like ``max_workers`` -- excluded from :meth:`digest` and
+    emitted in dumps only when enabled, so cached and fresh runs share one
+    provenance digest and ``cache="off"`` dumps are byte-identical to
+    pre-cache ones.
 
     >>> spec = ExperimentSpec.of(
     ...     scenario=Scenario.default("demo", trace=TraceSpec(days=5, seed=1)),
@@ -447,10 +453,15 @@ class ExperimentSpec:
     options: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = ()
     max_workers: int | None = None
     num_seeds: int = 1
+    cache: str = "off"
 
     def __post_init__(self) -> None:
         if self.num_seeds < 1:
             raise ValueError("num_seeds must be >= 1")
+        if self.cache not in CACHE_MODES:
+            raise ValueError(
+                f"unknown cache mode {self.cache!r}; known: {list(CACHE_MODES)}"
+            )
         unknown = sorted(set(self.experiments) - set(KNOWN_EXPERIMENTS))
         if unknown:
             raise ValueError(
@@ -484,6 +495,7 @@ class ExperimentSpec:
         options: Mapping[str, Mapping[str, Any]] | None = None,
         max_workers: int | None = None,
         num_seeds: int = 1,
+        cache: str = "off",
     ) -> ExperimentSpec:
         """Build a spec from plain mappings (the ergonomic constructor)."""
         packed = tuple(
@@ -496,6 +508,7 @@ class ExperimentSpec:
             options=packed,
             max_workers=max_workers,
             num_seeds=num_seeds,
+            cache=cache,
         )
 
     def options_for(self, experiment: str) -> dict[str, Any]:
@@ -524,6 +537,8 @@ class ExperimentSpec:
         # (and their digests) are unchanged.
         if self.num_seeds != 1:
             data["num_seeds"] = self.num_seeds
+        if self.cache != "off":
+            data["cache"] = self.cache
         return data
 
     @classmethod
@@ -535,6 +550,7 @@ class ExperimentSpec:
             options=data.get("options"),
             max_workers=data.get("max_workers"),
             num_seeds=int(data.get("num_seeds", 1)),
+            cache=str(data.get("cache", "off")),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -545,6 +561,13 @@ class ExperimentSpec:
         return cls.from_dict(json.loads(text))
 
     def digest(self) -> str:
-        """Stable SHA-256 of the canonical JSON form (stamped into results)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        """Stable SHA-256 of the canonical JSON form (stamped into results).
+
+        The ``cache`` knob is excluded: it changes *how* results are
+        obtained, never *what* they are, so a cached run carries the same
+        provenance digest as the fresh run that populated the cache.
+        """
+        data = self.to_dict()
+        data.pop("cache", None)
+        canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()

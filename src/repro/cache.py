@@ -1,0 +1,332 @@
+"""Content-addressed two-tier cache for experiment results.
+
+:class:`ResultCache` memoizes the result rows of individual runner tasks
+behind a content key, so repeated and overlapping sweeps stop recomputing
+experiments whose inputs have not changed.  The store is deliberately dumb:
+keys are opaque SHA-256 hex digests the caller derives from canonical JSON
+(:func:`content_key`), values are JSON-serializable row lists, and the cache
+never interprets either.
+
+Two tiers:
+
+* **memory** -- a process-wide LRU of canonical-JSON entries (capacity via
+  ``REPRO_CACHE_MEMORY_ENTRIES``, default 256).  Entries are stored as
+  serialized text and parsed on every hit, so a memory hit returns exactly
+  the objects a disk hit would -- and callers can never mutate the cached
+  copy.
+* **disk** -- a persistent content-addressed directory
+  (``REPRO_CACHE_DIR`` or ``~/.cache/repro``), layered *behind* the memory
+  tier.  Entries live at ``v<schema>/<key[:2]>/<key>.json`` and are written
+  atomically (unique temp file + ``os.replace``), so concurrent writers on
+  the same entry can never produce a torn read: a reader sees either the
+  old complete entry or the new complete entry.
+
+Every disk entry is self-verifying: it records the cache schema version,
+its own key, and the SHA-256 of its canonical row payload.  A load that
+finds anything wrong -- unparseable JSON, a truncated file, a schema or key
+mismatch, a row digest that does not match -- evicts the entry and reports
+a miss instead of crashing, so a corrupted cache degrades to recomputation.
+
+This module reads no wall clocks and draws no randomness: eviction is
+explicit (:func:`clear_disk_cache`) or LRU-capacity driven, never TTL
+based, so cache behaviour is a pure function of the calls made against it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Mapping
+from typing import Any
+
+#: Bump when the on-disk entry layout changes; old entries become invisible
+#: (they live under their own ``v<N>`` directory) rather than misread.
+CACHE_SCHEMA_VERSION = 1
+
+#: The cache modes :class:`ResultCache` (and ``ExperimentSpec.cache``) accept.
+CACHE_MODES = ("off", "memory", "disk")
+
+#: Environment variable overriding the on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable overriding the memory-tier LRU capacity.
+CACHE_MEMORY_ENTRIES_ENV = "REPRO_CACHE_MEMORY_ENTRIES"
+
+_DEFAULT_MEMORY_ENTRIES = 256
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical serialized form: sorted keys, no whitespace."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(body: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of ``body``'s canonical JSON form.
+
+    >>> key = content_key({"experiment": "waste", "tp_size": 32})
+    >>> key == content_key({"tp_size": 32, "experiment": "waste"})
+    True
+    >>> len(key)
+    64
+    """
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+def cache_dir() -> Path:
+    """The on-disk cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def _memory_capacity() -> int:
+    raw = os.environ.get(CACHE_MEMORY_ENTRIES_ENV)
+    if raw is None:
+        return _DEFAULT_MEMORY_ENTRIES
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return _DEFAULT_MEMORY_ENTRIES
+
+
+# One process-wide LRU shared by every ResultCache instance: repeated runner
+# invocations in the same process hit it regardless of which instance stored
+# the entry.  Values are canonical-JSON strings (see module docstring).
+_MEMORY: OrderedDict[str, str] = OrderedDict()
+_MEMORY_LOCK = threading.Lock()
+
+
+def clear_memory_cache() -> int:
+    """Drop every memory-tier entry; returns how many were held."""
+    with _MEMORY_LOCK:
+        count = len(_MEMORY)
+        _MEMORY.clear()
+    return count
+
+
+class ResultCache:
+    """Two-tier content-addressed store for JSON result rows.
+
+    ``mode`` is one of :data:`CACHE_MODES`: ``"off"`` turns every operation
+    into a no-op (``get`` always misses), ``"memory"`` uses only the
+    process-wide LRU, ``"disk"`` layers the persistent tier behind it.
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     cache = ResultCache("disk", tmp)
+    ...     key = content_key({"experiment": "waste"})
+    ...     cache.get(key) is None
+    ...     cache.put(key, [{"metrics": {"x": 0.5}}])
+    ...     cache.get(key)
+    True
+    True
+    [{'metrics': {'x': 0.5}}]
+    """
+
+    def __init__(self, mode: str, directory: str | os.PathLike[str] | None = None) -> None:
+        if mode not in CACHE_MODES:
+            raise ValueError(f"unknown cache mode {mode!r}; known: {list(CACHE_MODES)}")
+        self.mode = mode
+        self.directory = Path(directory) if directory is not None else cache_dir()
+        self.memory_entries = _memory_capacity()
+
+    # -------------------------------------------------------------- interface
+    def get(self, key: str) -> list[dict[str, Any]] | None:
+        """The cached rows for ``key``, or ``None`` on a miss.
+
+        Checks the memory tier first, then (in ``"disk"`` mode) the on-disk
+        tier; a disk hit is promoted into the memory LRU.  Corrupt disk
+        entries are evicted and reported as misses.
+        """
+        if self.mode == "off":
+            return None
+        with _MEMORY_LOCK:
+            text = _MEMORY.get(key)
+            if text is not None:
+                _MEMORY.move_to_end(key)
+        if text is not None:
+            return _parse_rows(text)
+        if self.mode != "disk":
+            return None
+        rows = self._load_disk(key)
+        if rows is not None:
+            self._remember(key, canonical_json(rows))
+        return rows
+
+    def put(self, key: str, rows: list[dict[str, Any]]) -> bool:
+        """Store ``rows`` under ``key`` in every enabled tier.
+
+        Disk writes are atomic (temp file + ``os.replace``) and best-effort:
+        an unwritable cache directory degrades to memory-only caching rather
+        than failing the computation that produced the rows.  Returns whether
+        the entry landed in the mode's primary tier (always ``True`` for
+        ``"memory"``; ``False`` in ``"disk"`` mode when the write failed).
+        """
+        if self.mode == "off":
+            return False
+        text = canonical_json(rows)
+        self._remember(key, text)
+        if self.mode == "disk":
+            return self._store_disk(key, rows, text)
+        return True
+
+    def entry_path(self, key: str) -> Path:
+        """Where ``key``'s entry lives (or would live) on disk."""
+        return self.directory / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    # ---------------------------------------------------------- memory tier
+    def _remember(self, key: str, text: str) -> None:
+        with _MEMORY_LOCK:
+            _MEMORY[key] = text
+            _MEMORY.move_to_end(key)
+            while len(_MEMORY) > self.memory_entries:
+                _MEMORY.popitem(last=False)
+
+    # ------------------------------------------------------------ disk tier
+    def _load_disk(self, key: str) -> list[dict[str, Any]] | None:
+        path = self.entry_path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            _evict(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != CACHE_SCHEMA_VERSION
+            or entry.get("key") != key
+        ):
+            _evict(path)
+            return None
+        rows = entry.get("rows")
+        expected = entry.get("rows_sha256")
+        if not isinstance(rows, list) or not isinstance(expected, str):
+            _evict(path)
+            return None
+        digest = hashlib.sha256(canonical_json(rows).encode()).hexdigest()
+        if digest != expected:
+            _evict(path)
+            return None
+        return rows
+
+    def _store_disk(self, key: str, rows: list[dict[str, Any]], text: str) -> bool:
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "package_version": _package_version(),
+            "rows_sha256": hashlib.sha256(text.encode()).hexdigest(),
+            "rows": rows,
+        }
+        path = self.entry_path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(canonical_json(entry), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+            return False
+        return True
+
+
+def _parse_rows(text: str) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = json.loads(text)
+    return rows
+
+
+def _evict(path: Path) -> None:
+    """Best-effort removal of a corrupt or stale entry."""
+    with contextlib.suppress(OSError):
+        path.unlink()
+
+
+def _package_version() -> str:
+    import repro
+
+    return str(getattr(repro, "__version__", "0"))
+
+
+# ------------------------------------------------------------- operability
+@dataclass(frozen=True)
+class CacheInfo:
+    """A point-in-time summary of the on-disk tier (``repro cache info``)."""
+
+    directory: str
+    schema_version: int
+    entries: int
+    total_bytes: int
+
+
+def disk_cache_info(directory: str | os.PathLike[str] | None = None) -> CacheInfo:
+    """Entry count and total size of the current-schema on-disk tier."""
+    base = Path(directory) if directory is not None else cache_dir()
+    root = base / f"v{CACHE_SCHEMA_VERSION}"
+    entries = 0
+    total_bytes = 0
+    if root.is_dir():
+        for path in sorted(root.rglob("*.json")):
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+    return CacheInfo(
+        directory=str(base),
+        schema_version=CACHE_SCHEMA_VERSION,
+        entries=entries,
+        total_bytes=total_bytes,
+    )
+
+
+def clear_disk_cache(directory: str | os.PathLike[str] | None = None) -> int:
+    """Remove every on-disk entry (all schema versions); returns the count.
+
+    Only ``v<digit>``-prefixed subdirectories of the cache root are touched,
+    so pointing ``REPRO_CACHE_DIR`` at a shared directory cannot make
+    ``clear`` delete unrelated files.
+    """
+    base = Path(directory) if directory is not None else cache_dir()
+    removed = 0
+    for version_dir in sorted(base.glob("v[0-9]*")):
+        if not version_dir.is_dir():
+            continue
+        for path in sorted(version_dir.rglob("*.json")):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        for sub in sorted(version_dir.rglob("*"), reverse=True):
+            if sub.is_dir():
+                with contextlib.suppress(OSError):
+                    sub.rmdir()
+        with contextlib.suppress(OSError):
+            version_dir.rmdir()
+    return removed
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_MEMORY_ENTRIES_ENV",
+    "CACHE_MODES",
+    "CACHE_SCHEMA_VERSION",
+    "CacheInfo",
+    "ResultCache",
+    "cache_dir",
+    "canonical_json",
+    "clear_disk_cache",
+    "clear_memory_cache",
+    "content_key",
+    "disk_cache_info",
+]

@@ -13,7 +13,10 @@ regenerated without writing Python:
 * ``schedule``      -- multi-job cluster scheduling (FIFO / smallest-first /
   shortest-remaining, optionally preemptive) over the fault trace.
 * ``run``           -- execute a declarative JSON experiment spec through the
-  Unified Experiment API (:mod:`repro.api`) and emit serializable results.
+  Unified Experiment API (:mod:`repro.api`) and emit serializable results,
+  optionally memoized through the content-addressed result cache
+  (``--cache memory|disk``).
+* ``cache``         -- inspect or clear the on-disk result cache.
 * ``architectures`` -- list every architecture in the plugin registry.
 * ``docs``          -- emit the generated CLI reference (docs/cli.md).
 
@@ -30,7 +33,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
+from typing import Any, cast
 
 from repro.api.runner import ExperimentRunner
 from repro.api.spec import (
@@ -41,6 +45,7 @@ from repro.api.spec import (
     WorkloadSpec,
     default_architecture_specs,
 )
+from repro.cache import CACHE_MODES
 from repro.scheduler.placement import PLACEMENT_NAMES
 from repro.scheduler.policies import POLICY_NAMES
 
@@ -242,7 +247,7 @@ def cmd_run(args: argparse.Namespace) -> list[str]:
     with open(args.spec) as handle:
         spec = ExperimentSpec.from_dict(json.load(handle))
     results = ExperimentRunner(
-        spec, max_workers=args.workers, num_seeds=args.seeds
+        spec, max_workers=args.workers, num_seeds=args.seeds, cache=args.cache
     ).run()
 
     lines = [
@@ -257,11 +262,32 @@ def cmd_run(args: argparse.Namespace) -> list[str]:
         )
         tp = f" tp={result.tp_size}" if result.tp_size else ""
         lines.append(f"{result.experiment:>14s} {result.architecture:20s}{tp} {scalars}")
+    if results.cache_stats is not None:
+        stats = results.cache_stats
+        lines.append(
+            f"cache[{stats.mode}] hits={stats.hits} misses={stats.misses} "
+            f"stored={stats.stored}"
+        )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(results.to_json())
         lines.append(f"wrote {args.output}")
     return lines
+
+
+def cmd_cache(args: argparse.Namespace) -> list[str]:
+    from repro.cache import clear_disk_cache, clear_memory_cache, disk_cache_info
+
+    if args.action == "clear":
+        removed = clear_disk_cache(args.dir)
+        dropped = clear_memory_cache()
+        return [f"removed {removed} disk entries, dropped {dropped} memory entries"]
+    info = disk_cache_info(args.dir)
+    return [
+        f"directory={info.directory}",
+        f"schema_version={info.schema_version}",
+        f"entries={info.entries} total_bytes={info.total_bytes}",
+    ]
 
 
 def cmd_architectures(args: argparse.Namespace) -> list[str]:
@@ -297,7 +323,7 @@ def cmd_lint(args: argparse.Namespace) -> list[str]:
     return lines
 
 
-def _fmt_metric(value) -> str:
+def _fmt_metric(value: Any) -> str:
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):
@@ -331,7 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+    def add_parser(name: str, **kwargs: Any) -> argparse.ArgumentParser:
         kwargs.setdefault("formatter_class", _DocHelpFormatter)
         return sub.add_parser(name, **kwargs)
 
@@ -421,7 +447,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Monte-Carlo seed count: repeat every experiment over "
                         "N trace seeds and add mean/stddev/ci95 metric "
                         "columns (default: the spec's num_seeds, usually 1)")
+    p.add_argument("--cache", choices=CACHE_MODES, default=None,
+                   help="result cache mode: serve repeated tasks from the "
+                        "content-addressed store (memory = this process, "
+                        "disk = persistent under $REPRO_CACHE_DIR or "
+                        "~/.cache/repro; default: the spec's cache, "
+                        "usually off)")
     p.set_defaults(func=cmd_run)
+
+    p = add_parser("cache", help="inspect or clear the on-disk result cache")
+    p.add_argument("action", choices=("info", "clear"),
+                   help="info: entry count and size; clear: remove every entry")
+    p.add_argument("--dir", type=str, default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR or "
+                        "~/.cache/repro)")
+    p.set_defaults(func=cmd_cache)
 
     p = add_parser("architectures", help="list the architecture registry")
     p.set_defaults(func=cmd_architectures)
@@ -453,20 +493,24 @@ _DOC_EXAMPLES = {
     "cost": "python -m repro.cli cost --include-hpn",
     "goodput": "python -m repro.cli goodput --days 60 --job-gpus 2560",
     "schedule": "python -m repro.cli schedule --jobs 200 --placement packed --backfill",
-    "run": "python -m repro.cli run --spec demo.json --output results.json",
+    "run": "python -m repro.cli run --spec demo.json --cache disk --output results.json",
+    "cache": "python -m repro.cli cache info",
     "architectures": "python -m repro.cli architectures",
     "docs": "python -m repro.cli docs > docs/cli.md",
     "lint": "python -m repro.cli lint src",
 }
 
 
-def iter_subcommands(parser: argparse.ArgumentParser | None = None):
+def iter_subcommands(
+    parser: argparse.ArgumentParser | None = None,
+) -> Iterator[tuple[str, argparse.ArgumentParser]]:
     """``(name, subparser)`` pairs of the CLI, in registration order."""
     parser = parser if parser is not None else build_parser()
     for action in parser._actions:
         if isinstance(action, argparse._SubParsersAction):
             # choices preserves registration order and skips alias duplicates
-            yield from action.choices.items()
+            choices = cast("dict[str, argparse.ArgumentParser]", action.choices)
+            yield from choices.items()
 
 
 def render_cli_reference() -> str:

@@ -36,8 +36,10 @@ from numpy.typing import NDArray
 from repro.analysis.cdf import weighted_quantile
 from repro.faults.events import (
     ColumnarIntervals,
+    ShmEventLog,
     columnar_event_log,
     event_log_from_intervals,
+    shm_available,
 )
 from repro.faults.trace import FaultEvent, FaultTrace
 
@@ -247,10 +249,113 @@ class IntervalTimeline:
         return max(len(interval.nodes) for interval in self.intervals) / self.n_nodes
 
 
+# --------------------------------------------------------------- transport
+def _timeline_from_log(
+    log: NDArray[np.void], duration_hours: float, n_nodes: int, gpus_per_node: int
+) -> IntervalTimeline:
+    """Rebuild the exact timeline of a transported event log.
+
+    The sweep re-runs locally (it is cheap relative to shipping intervals);
+    the log itself -- the bulky part -- is adopted as the pre-seeded
+    ``event_log``, so a shared-memory log stays zero-copy end to end.
+    """
+    intervals = (
+        intervals_from_event_log(log, duration_hours) if duration_hours > 0 else ()
+    )
+    timeline = IntervalTimeline(
+        intervals=intervals, n_nodes=n_nodes, gpus_per_node=gpus_per_node
+    )
+    timeline.__dict__["event_log"] = log
+    return timeline
+
+
+@dataclass(frozen=True, eq=False)
+class ShmTimeline:
+    """A picklable :class:`IntervalTimeline` riding a shared-memory log.
+
+    Pickles to the tiny :class:`~repro.faults.events.ShmEventLog` handle
+    plus three scalars; :meth:`timeline` reconstructs the exact timeline in
+    the receiving process over a zero-copy view of the shared pages.  The
+    creating process must :meth:`unlink` once every consumer is done.
+    """
+
+    handle: ShmEventLog
+    duration_hours: float
+    n_nodes: int
+    gpus_per_node: int
+
+    def timeline(self) -> IntervalTimeline:
+        return _timeline_from_log(
+            self.handle.log(), self.duration_hours, self.n_nodes, self.gpus_per_node
+        )
+
+    def unlink(self) -> None:
+        self.handle.unlink()
+
+
+@dataclass(frozen=True, eq=False)
+class PickledTimeline:
+    """Fallback transport when shared memory is unavailable: the log pickles.
+
+    Same interface as :class:`ShmTimeline`; the event log travels by value
+    (one pickle copy per receiving process) instead of by reference.
+    """
+
+    log: NDArray[np.void]
+    duration_hours: float
+    n_nodes: int
+    gpus_per_node: int
+
+    def timeline(self) -> IntervalTimeline:
+        return _timeline_from_log(
+            self.log, self.duration_hours, self.n_nodes, self.gpus_per_node
+        )
+
+    def unlink(self) -> None:
+        """Nothing to release: the log travelled by value."""
+
+
+#: What :func:`serialize_timeline` hands back: shm when possible, pickle otherwise.
+TimelineTransport = ShmTimeline | PickledTimeline
+
+
+def serialize_timeline(timeline: IntervalTimeline) -> TimelineTransport:
+    """Package ``timeline`` for cheap transport to worker processes.
+
+    Serializes the columnar event log **once** into a shared-memory segment
+    (every worker then maps the same pages zero-copy); falls back to a
+    by-value :class:`PickledTimeline` when shared memory is unavailable or
+    segment creation fails.  Call ``unlink()`` on the result when done.
+    """
+    log = timeline.event_log
+    if shm_available():
+        try:
+            handle = ShmEventLog.from_log(log)
+        except OSError:
+            pass
+        else:
+            return ShmTimeline(
+                handle=handle,
+                duration_hours=timeline.duration_hours,
+                n_nodes=timeline.n_nodes,
+                gpus_per_node=timeline.gpus_per_node,
+            )
+    return PickledTimeline(
+        log=log,
+        duration_hours=timeline.duration_hours,
+        n_nodes=timeline.n_nodes,
+        gpus_per_node=timeline.gpus_per_node,
+    )
+
+
 __all__ = [
     "FaultInterval",
     "IntervalStream",
     "IntervalTimeline",
+    "PickledTimeline",
+    "ShmTimeline",
+    "TimelineTransport",
     "intervals_from_event_log",
+    "serialize_timeline",
     "sweep_intervals",
 ]

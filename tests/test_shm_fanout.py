@@ -1,0 +1,250 @@
+"""Tests for the zero-copy shared-memory fan-out (repro.faults transport).
+
+Covers the satellite checklist: ShmEventLog round trips on int- and
+float-time traces, tiny-handle pickling, the ShmTimeline / PickledTimeline
+transports, ShmTraceBatch, segment cleanup (re-attach after ``unlink`` must
+fail), the single-serialization-per-(scenario, trace) regression, and the
+chunked ``_execute_chunk`` worker entry point.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api.runner import (
+    ExperimentRunner,
+    _execute_chunk,
+    _execute_payload,
+    _round_robin_chunks,
+)
+from repro.api.runner import _TIMELINE_CACHE
+from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
+from repro.faults.events import (
+    EVENT_DTYPE,
+    TRANSPORT_STATS,
+    ShmEventLog,
+    columnar_event_log,
+    shm_available,
+)
+from repro.faults.timeline import PickledTimeline, ShmTimeline, serialize_timeline
+from repro.faults.trace import FaultEvent, FaultTrace
+from repro.mc.batch import BatchTraceConfig, ShmTraceBatch, sample_trace_batch
+
+needs_shm = pytest.mark.skipif(not shm_available(), reason="no shared memory")
+
+
+def make_trace(runs, n_nodes=8, duration_days=2.0):
+    events = [
+        FaultEvent(node_id=node, start_hour=float(start), end_hour=float(end))
+        for node, start, end in runs
+    ]
+    return FaultTrace(
+        n_nodes=n_nodes, duration_days=duration_days, events=events, gpus_per_node=4
+    )
+
+
+INT_RUNS = [(0, 1, 5), (3, 2, 8), (3, 6, 12), (7, 40, 44)]
+FLOAT_RUNS = [(0, 0.25, 5.75), (3, 2.5, 8.125), (5, 3.0, 3.0625), (7, 40.5, 47.99)]
+
+
+def assert_timelines_equal(rebuilt, original):
+    assert rebuilt.n_nodes == original.n_nodes
+    assert rebuilt.gpus_per_node == original.gpus_per_node
+    assert rebuilt.duration_hours == original.duration_hours
+    assert rebuilt.intervals == original.intervals
+    assert np.array_equal(rebuilt.event_log, original.event_log)
+
+
+class TestRoundRobinChunks:
+    def test_partitions_every_index_exactly_once(self):
+        chunks = _round_robin_chunks(10, 3)
+        assert len(chunks) == 3
+        assert sorted(i for chunk in chunks for i in chunk) == list(range(10))
+
+    def test_more_chunks_than_items(self):
+        assert _round_robin_chunks(2, 8) == [[0], [1]]
+
+    def test_empty(self):
+        assert _round_robin_chunks(0, 4) == []
+
+
+@needs_shm
+class TestShmEventLog:
+    @pytest.mark.parametrize("runs", [INT_RUNS, FLOAT_RUNS], ids=["int", "float"])
+    def test_round_trip_is_array_equal(self, runs):
+        trace = make_trace(runs)
+        log = columnar_event_log(trace.events, trace.duration_hours)
+        handle = ShmEventLog.from_log(log)
+        try:
+            out = handle.log()
+            assert out.dtype == EVENT_DTYPE
+            assert np.array_equal(out, log)
+        finally:
+            handle.unlink()
+
+    def test_handle_pickles_small_and_reattaches(self):
+        log = columnar_event_log(make_trace(INT_RUNS).events, 48.0)
+        handle = ShmEventLog.from_log(log)
+        try:
+            blob = pickle.dumps(handle)
+            assert len(blob) < 256  # the whole point: a name, not the data
+            assert np.array_equal(pickle.loads(blob).log(), log)
+        finally:
+            handle.unlink()
+
+    def test_empty_log_round_trips(self):
+        log = np.empty(0, dtype=EVENT_DTYPE)
+        handle = ShmEventLog.from_log(log)
+        try:
+            assert len(handle.log()) == 0
+        finally:
+            handle.unlink()
+
+    def test_unlink_releases_the_segment_name(self):
+        log = columnar_event_log(make_trace(INT_RUNS).events, 48.0)
+        handle = ShmEventLog.from_log(log)
+        name, n_events = handle.name, handle.n_events
+        handle.unlink()
+        with pytest.raises(FileNotFoundError):
+            ShmEventLog(name, n_events).log()
+
+    def test_serialization_is_counted(self):
+        log = columnar_event_log(make_trace(FLOAT_RUNS).events, 48.0)
+        before = TRANSPORT_STATS.serialized
+        handle = ShmEventLog.from_log(log)
+        try:
+            assert TRANSPORT_STATS.serialized == before + 1
+        finally:
+            handle.unlink()
+
+
+class TestTimelineTransport:
+    @pytest.mark.parametrize("runs", [INT_RUNS, FLOAT_RUNS], ids=["int", "float"])
+    def test_transport_round_trip(self, runs):
+        timeline = make_trace(runs).interval_timeline()
+        transport = serialize_timeline(timeline)
+        try:
+            rebuilt = pickle.loads(pickle.dumps(transport)).timeline()
+            assert_timelines_equal(rebuilt, timeline)
+        finally:
+            transport.unlink()
+
+    @needs_shm
+    def test_prefers_shared_memory(self):
+        timeline = make_trace(INT_RUNS).interval_timeline()
+        transport = serialize_timeline(timeline)
+        try:
+            assert isinstance(transport, ShmTimeline)
+        finally:
+            transport.unlink()
+
+    def test_pickle_fallback_when_shm_unavailable(self, monkeypatch):
+        import repro.faults.timeline as timeline_mod
+
+        monkeypatch.setattr(timeline_mod, "shm_available", lambda: False)
+        timeline = make_trace(FLOAT_RUNS).interval_timeline()
+        transport = serialize_timeline(timeline)
+        assert isinstance(transport, PickledTimeline)
+        assert_timelines_equal(
+            pickle.loads(pickle.dumps(transport)).timeline(), timeline
+        )
+        transport.unlink()  # no-op, must not raise
+
+    def test_rebuilt_timeline_adopts_the_transported_log(self):
+        timeline = make_trace(INT_RUNS).interval_timeline()
+        transport = serialize_timeline(timeline)
+        try:
+            rebuilt = pickle.loads(pickle.dumps(transport)).timeline()
+            # event_log is pre-seeded, not re-derived: same array object.
+            assert "event_log" in rebuilt.__dict__
+        finally:
+            transport.unlink()
+
+
+@needs_shm
+class TestShmTraceBatch:
+    def test_round_trip_is_bit_for_bit(self):
+        batch = sample_trace_batch(
+            BatchTraceConfig(n_seeds=3, n_nodes=32, duration_days=20, gpus_per_node=4)
+        )
+        shm_batch = ShmTraceBatch.from_batch(batch)
+        assert shm_batch is not None
+        try:
+            rebuilt = pickle.loads(pickle.dumps(shm_batch)).batch()
+            assert np.array_equal(rebuilt.log, batch.log)
+            assert np.array_equal(rebuilt.event_offsets, batch.event_offsets)
+            assert rebuilt.seeds == batch.seeds
+            assert rebuilt.n_nodes == batch.n_nodes
+            assert rebuilt.duration_hours == batch.duration_hours
+            for index in range(batch.n_seeds):
+                assert_timelines_equal(
+                    rebuilt.timeline_for_seed(index), batch.timeline_for_seed(index)
+                )
+        finally:
+            shm_batch.unlink()
+
+
+def fanout_spec(num_seeds=1, tp_sizes=(16, 32)):
+    return ExperimentSpec.of(
+        scenario=Scenario(
+            name="fanout",
+            trace=TraceSpec(days=15, seed=348),
+            architectures=(
+                ArchitectureSpec(name="NVL-72"),
+                ArchitectureSpec(name="InfiniteHBD(K=3)"),
+            ),
+            tp_sizes=tp_sizes,
+            n_nodes=144,
+            job_gpus=256,
+        ),
+        experiments=("waste",),
+        num_seeds=num_seeds,
+    )
+
+
+@needs_shm
+class TestRunnerFanout:
+    def test_one_serialization_per_scenario_trace(self):
+        spec = fanout_spec()
+        TRANSPORT_STATS.reset()
+        parallel = ExperimentRunner(spec, max_workers=4).run()
+        assert TRANSPORT_STATS.serialized == 1  # 4 tasks, ONE shared segment
+        serial = ExperimentRunner(spec, max_workers=1).run()
+        assert parallel.results == serial.results
+
+    def test_multi_seed_serializes_once_per_seed_trace(self):
+        spec = fanout_spec(num_seeds=2)
+        TRANSPORT_STATS.reset()
+        ExperimentRunner(spec, max_workers=4).run()
+        assert TRANSPORT_STATS.serialized == 2  # one segment per seed's trace
+
+    def test_execute_chunk_rebuilds_timelines_from_transport(self):
+        spec = fanout_spec(tp_sizes=(32,))
+        runner = ExperimentRunner(spec)
+        spec_dict = spec.to_dict()
+        payloads = [dict(task, spec=spec_dict) for task in runner.tasks()]
+        expected = [_execute_payload(dict(p)) for p in payloads]
+
+        transports = runner._timeline_transports(payloads)
+        assert len(transports) == 1
+        chunk = {
+            "spec": spec_dict,
+            # Pickle-round-trip the transports exactly as the pool would:
+            # the creator-side handle keeps its own view, a worker attaches.
+            "timelines": pickle.loads(pickle.dumps(transports)),
+            "tasks": [{k: v for k, v in p.items() if k != "spec"} for p in payloads],
+        }
+        saved = dict(_TIMELINE_CACHE)
+        attached_before = TRANSPORT_STATS.attached
+        try:
+            _TIMELINE_CACHE.clear()
+            rows = _execute_chunk(chunk)
+            # The cleared memo forced a real shared-memory attach + rebuild.
+            assert TRANSPORT_STATS.attached > attached_before
+            assert rows == expected
+        finally:
+            _TIMELINE_CACHE.clear()
+            _TIMELINE_CACHE.update(saved)
+            for entry in transports:
+                entry["transport"].unlink()

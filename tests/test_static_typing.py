@@ -26,6 +26,8 @@ STRICT_TARGETS = (
     "repro.hbd.base",
     "repro.analysis",
     "repro.mc",
+    "repro.cache",
+    "repro.cli",
 )
 
 
