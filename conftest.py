@@ -10,6 +10,23 @@ against the working tree.
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden-file snapshots (tests/goldens/) instead of diffing",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when the run should refresh golden snapshots instead of diffing."""
+    return request.config.getoption("--update-goldens")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Blast-radius study: packed vs spread placement under correlated failures.
+
+The independent fault generator can never distinguish placement policies by
+blast radius -- every fault takes out one node.  This study layers the
+correlated overlay (:mod:`repro.faults.correlated`) on the trace: whole
+failure domains go down together, arriving in bursts, so how a scheduler
+*places* jobs across domains starts to matter.  The ``blast_radius``
+experiment sweeps placement x correlation level x architecture and reports,
+per cell, how many running jobs each fault transition descheduled
+(``mean_blast_radius`` / ``max_blast_radius``) next to the usual
+goodput/JCT metrics.
+
+The spec lives in ``examples/blast_radius_spec.json`` -- the exact file
+``python -m repro.cli run --spec examples/blast_radius_spec.json`` consumes;
+this script runs it through the API, prints the study table, and finishes
+with a calibration round-trip (fit the generator to its own output).
+
+Run with:  python examples/blast_radius_study.py [--days 60] [--workers N]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.api import ExperimentRunner, ExperimentSpec
+from repro.faults.calibrate import fit_correlated_config
+from repro.faults.correlated import CorrelatedFaultConfig, generate_correlated_trace
+from repro.faults.synthetic import SyntheticTraceConfig
+
+SPEC_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "blast_radius_spec.json")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=None,
+                        help="override the spec's trace duration (days)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: one per CPU)")
+    args = parser.parse_args()
+
+    # ------------------------------------------------------------------
+    # 1. Load the declarative study and run it.
+    # ------------------------------------------------------------------
+    with open(SPEC_PATH) as handle:
+        spec_data = json.load(handle)
+    if args.days is not None:
+        spec_data["scenario"]["trace"]["days"] = args.days
+    spec = ExperimentSpec.from_dict(spec_data)
+    print(f"spec: {SPEC_PATH}")
+    print(f"spec sha256: {spec.digest()[:16]}...\n")
+
+    results = ExperimentRunner(spec, max_workers=args.workers).run()
+
+    # ------------------------------------------------------------------
+    # 2. The study table: placement x correlation per architecture.
+    # ------------------------------------------------------------------
+    print(f"{'architecture':18s} {'placement':9s} {'corr':>5s} {'events':>7s} "
+          f"{'killed':>7s} {'max':>4s} {'mean':>6s} {'goodput':>8s}")
+    for r in results.filter(experiment="blast_radius"):
+        print(
+            f"{r.architecture:18s} {r.metric('placement'):9s} "
+            f"{r.metric('correlation'):5.2f} {r.metric('fault_events'):7d} "
+            f"{r.metric('jobs_killed'):7d} {r.metric('max_blast_radius'):4d} "
+            f"{r.metric('mean_blast_radius'):6.2f} "
+            f"{r.metric('cluster_goodput'):8.4f}"
+        )
+
+    # ------------------------------------------------------------------
+    # 3. Calibration round-trip: fit the generator to its own output.
+    # ------------------------------------------------------------------
+    trace_spec = spec.scenario.trace
+    truth = CorrelatedFaultConfig(
+        base=SyntheticTraceConfig(
+            n_nodes=trace_spec.source_nodes,
+            duration_days=trace_spec.days,
+            seed=trace_spec.seed,
+        ),
+        correlation=1.0,
+        domain_size=trace_spec.correlated.domain_size,
+        domain_rate_per_day=trace_spec.correlated.domain_rate_per_day,
+    )
+    fit = fit_correlated_config(
+        generate_correlated_trace(truth), domain_size=truth.domain_size
+    )
+    print("\ncalibration round-trip (correlation=1 ground truth):")
+    for line in fit.report():
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ from repro.api.registry import (
 from repro.api.spec import (
     KNOWN_EXPERIMENTS,
     ArchitectureSpec,
+    CorrelatedFaultSpec,
     ExperimentSpec,
     JobSpec,
     Scenario,
@@ -67,6 +68,7 @@ __all__ = [
     "get_registry",
     "KNOWN_EXPERIMENTS",
     "ArchitectureSpec",
+    "CorrelatedFaultSpec",
     "ExperimentSpec",
     "JobSpec",
     "Scenario",

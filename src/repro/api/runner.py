@@ -43,7 +43,13 @@ from repro.api.results import (
     Provenance,
     ResultSet,
 )
-from repro.api.spec import ArchitectureSpec, ExperimentSpec, Scenario, TraceSpec
+from repro.api.spec import (
+    ArchitectureSpec,
+    CorrelatedFaultSpec,
+    ExperimentSpec,
+    Scenario,
+    TraceSpec,
+)
 from repro.cache import ResultCache, content_key
 from repro.faults.timeline import IntervalTimeline, serialize_timeline
 from repro.faults.trace import FaultTrace
@@ -449,6 +455,79 @@ def _run_schedule_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list
     ]
 
 
+def _run_blast_radius_task(
+    spec: ExperimentSpec, payload: Mapping[str, Any]
+) -> list[dict[str, Any]]:
+    """Packed-vs-spread blast-radius study over correlation levels.
+
+    For every (placement, correlation) cell the scenario's trace is replayed
+    with the correlated overlay dialed to that level (the base trace is
+    bit-identical across levels, so differences are pure overlay effects) in
+    placed mode, and the deterministic fault-hit counters become the metrics:
+    ``fault_events``, ``jobs_killed``, ``max_blast_radius`` and
+    ``mean_blast_radius`` (jobs descheduled per fault transition).
+    """
+    from repro.scheduler.engine import ClusterScheduler
+
+    scenario = spec.scenario
+    if scenario.workload is None:
+        raise ValueError("experiment 'blast_radius' needs scenario.workload")
+    arch_spec = ArchitectureSpec.from_dict(payload["arch"])
+    tp_size = payload["tp_size"]
+    architecture = arch_spec.build(gpus_per_node=scenario.trace.gpus_per_node)
+    options = spec.options_for("blast_radius")
+    placements = [str(p) for p in options.get("placements", ("packed", "spread"))]
+    correlations = [float(c) for c in options.get("correlations", (0.0, 0.5, 1.0))]
+    corr_base = scenario.trace.correlated or CorrelatedFaultSpec()
+
+    rows: list[dict[str, Any]] = []
+    for placement in placements:
+        for correlation in correlations:
+            per_seed: list[dict[str, Any]] = []
+            for trace_spec in _seed_trace_specs(spec):
+                cell_spec = dataclasses.replace(
+                    trace_spec,
+                    correlated=dataclasses.replace(corr_base, correlation=correlation),
+                )
+                timeline = _timeline_for(cell_spec, scenario.n_nodes)
+                total_gpus = architecture.total_gpus(timeline.n_nodes)
+                default_max = max(tp_size, total_gpus // 2 // tp_size * tp_size)
+                jobs = scenario.workload.build(tp_size=tp_size, max_gpus=default_max)
+                report = ClusterScheduler(
+                    architecture,
+                    timeline,
+                    jobs,
+                    policy=scenario.scheduler.build(),
+                    horizon_hours=scenario.scheduler.horizon_hours,
+                    placement=placement,
+                    backfill=scenario.scheduler.backfill,
+                ).run()
+                per_seed.append({
+                    "placement": placement,
+                    "correlation": correlation,
+                    "fault_events": report.fault_events,
+                    "jobs_killed": report.jobs_killed,
+                    "max_blast_radius": report.max_blast_radius,
+                    "mean_blast_radius": report.mean_blast_radius,
+                    "n_jobs": report.n_jobs,
+                    "finished_jobs": report.finished_jobs,
+                    "makespan_hours": report.makespan_hours,
+                    "mean_jct_hours": report.mean_jct_hours,
+                    "p99_jct_hours": report.p99_jct_hours,
+                    "cluster_goodput": report.cluster_goodput,
+                    "total_gpus": report.total_gpus,
+                })
+            metrics = (
+                per_seed[0] if len(per_seed) == 1 else _aggregate_seed_metrics(per_seed)
+            )
+            rows.append(
+                ExperimentResult.of(
+                    "blast_radius", scenario.name, architecture.name, tp_size, metrics
+                ).to_dict()
+            )
+    return rows
+
+
 def _run_cross_tor_task(spec: ExperimentSpec, payload: Mapping[str, Any]) -> list[dict[str, Any]]:
     import numpy as np
 
@@ -572,13 +651,21 @@ _HANDLERS: dict[str, Callable[[ExperimentSpec, Mapping[str, Any]], list[dict[str
     "fault_waiting": _run_capacity_task,
     "goodput": _run_goodput_task,
     "schedule": _run_schedule_task,
+    "blast_radius": _run_blast_radius_task,
     "cross_tor": _run_cross_tor_task,
     "mfu": _run_mfu_task,
     "cost": _run_cost_task,
 }
 
 #: Experiments swept over the architecture × TP-size grid.
-_ARCH_SWEEP_EXPERIMENTS = ("waste", "max_job_scale", "fault_waiting", "goodput", "schedule")
+_ARCH_SWEEP_EXPERIMENTS = (
+    "waste",
+    "max_job_scale",
+    "fault_waiting",
+    "goodput",
+    "schedule",
+    "blast_radius",
+)
 
 #: Experiments that replay the shared exact interval timeline (and therefore
 #: ride the shared-memory event-log fan-out).

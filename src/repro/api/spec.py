@@ -52,6 +52,7 @@ KNOWN_EXPERIMENTS = (
     "fault_waiting",
     "goodput",
     "schedule",
+    "blast_radius",
     "cross_tor",
     "mfu",
     "cost",
@@ -63,6 +64,63 @@ _check_fields = check_known_fields
 
 
 # --------------------------------------------------------------------- traces
+@dataclass(frozen=True)
+class CorrelatedFaultSpec:
+    """Declarative correlated-failure overlay on a synthetic trace.
+
+    Mirrors :class:`repro.faults.correlated.CorrelatedFaultConfig` minus the
+    base generator config (which the owning :class:`TraceSpec` supplies):
+    whole ``domain_size``-node failure domains go down together, arrivals
+    come from a two-state Markov-modulated (quiet / burst) process at a
+    time-averaged rate of ``correlation * domain_rate_per_day`` outages per
+    day, and repairs are lognormal -- sub-daily median, heavy tail.
+
+    ``correlation=0.0`` disables the overlay: the generated trace is
+    byte-identical to the plain independent generator's.
+
+    >>> spec = CorrelatedFaultSpec(correlation=0.5, domain_size=4)
+    >>> CorrelatedFaultSpec.from_dict(spec.to_dict()) == spec
+    True
+    >>> CorrelatedFaultSpec(correlation=1.5)
+    Traceback (most recent call last):
+        ...
+    ValueError: correlation must be in [0, 1]
+    """
+
+    correlation: float = 0.0
+    domain_size: int = 8
+    domain_rate_per_day: float = 0.25
+    burst_multiplier: float = 4.0
+    mean_quiet_days: float = 7.0
+    mean_burst_days: float = 1.0
+    repair_median_hours: float = 4.0
+    repair_sigma: float = 1.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ValueError("correlation must be in [0, 1]")
+        if self.domain_size < 1:
+            raise ValueError("domain_size must be >= 1")
+        if self.domain_rate_per_day <= 0.0:
+            raise ValueError("domain_rate_per_day must be positive")
+        if self.burst_multiplier < 1.0:
+            raise ValueError("burst_multiplier must be >= 1")
+        if self.mean_quiet_days <= 0.0 or self.mean_burst_days <= 0.0:
+            raise ValueError("mean_quiet_days and mean_burst_days must be positive")
+        if self.repair_median_hours <= 0.0:
+            raise ValueError("repair_median_hours must be positive")
+        if self.repair_sigma < 0.0:
+            raise ValueError("repair_sigma must be >= 0")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> CorrelatedFaultSpec:
+        _check_fields(cls, data)
+        return cls(**data)
+
+
 _TRACE_CACHE: dict[TraceSpec, FaultTrace] = {}
 _TRACE_CACHE_LOCK = threading.Lock()
 
@@ -75,12 +133,23 @@ class TraceSpec:
     and, when ``gpus_per_node == 4``, applies the Bayes 8-to-4 conversion --
     the two node granularities the paper evaluates.
 
+    ``correlated`` layers domain-level correlated failures on top
+    (:class:`CorrelatedFaultSpec`); ``None`` (the default) keeps the plain
+    independent generator, and the field is omitted from serialized dumps
+    when unset so pre-correlation spec files and digests are unchanged.
+
     >>> spec = TraceSpec(days=5, seed=1)
     >>> TraceSpec.from_dict(spec.to_dict()) == spec
     True
+    >>> "correlated" in spec.to_dict()   # omitted when unset: digests stable
+    False
     >>> trace = spec.build()   # memoized: built once per process
     >>> (trace.n_nodes, trace.gpus_per_node, trace.duration_days)
     (800, 4, 5)
+    >>> burst = TraceSpec(days=5, seed=1,
+    ...                   correlated=CorrelatedFaultSpec(correlation=0.5))
+    >>> TraceSpec.from_dict(burst.to_dict()) == burst
+    True
     """
 
     kind: str = "synthetic"
@@ -90,6 +159,7 @@ class TraceSpec:
     gpus_per_node: int = 4
     mean_fault_ratio: float = 0.0233
     p99_fault_ratio: float = 0.0722
+    correlated: CorrelatedFaultSpec | None = None
 
     def __post_init__(self) -> None:
         if self.kind != "synthetic":
@@ -112,15 +182,37 @@ class TraceSpec:
         from repro.faults.convert import convert_trace_8gpu_to_4gpu
         from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
 
-        trace = generate_synthetic_trace(
-            SyntheticTraceConfig(
-                n_nodes=self.source_nodes,
-                duration_days=self.days,
-                seed=self.seed,
-                mean_fault_ratio=self.mean_fault_ratio,
-                p99_fault_ratio=self.p99_fault_ratio,
-            )
+        base = SyntheticTraceConfig(
+            n_nodes=self.source_nodes,
+            duration_days=self.days,
+            seed=self.seed,
+            mean_fault_ratio=self.mean_fault_ratio,
+            p99_fault_ratio=self.p99_fault_ratio,
         )
+        if self.correlated is not None:
+            # At correlation=0 the correlated generator is an exact
+            # pass-through, so this branch is byte-identical to the plain
+            # generator whenever the overlay is inert.
+            from repro.faults.correlated import (
+                CorrelatedFaultConfig,
+                generate_correlated_trace,
+            )
+
+            trace = generate_correlated_trace(
+                CorrelatedFaultConfig(
+                    base=base,
+                    correlation=self.correlated.correlation,
+                    domain_size=self.correlated.domain_size,
+                    domain_rate_per_day=self.correlated.domain_rate_per_day,
+                    burst_multiplier=self.correlated.burst_multiplier,
+                    mean_quiet_days=self.correlated.mean_quiet_days,
+                    mean_burst_days=self.correlated.mean_burst_days,
+                    repair_median_hours=self.correlated.repair_median_hours,
+                    repair_sigma=self.correlated.repair_sigma,
+                )
+            )
+        else:
+            trace = generate_synthetic_trace(base)
         if self.gpus_per_node == 4:
             trace = convert_trace_8gpu_to_4gpu(trace, seed=self.seed)
         elif self.gpus_per_node == 8:
@@ -132,12 +224,20 @@ class TraceSpec:
         return trace
 
     def to_dict(self) -> dict[str, Any]:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        # Emitted only when set, so pre-correlation spec files (and their
+        # digests) are unchanged.
+        if self.correlated is None:
+            del data["correlated"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> TraceSpec:
         _check_fields(cls, data)
-        return cls(**data)
+        fields = dict(data)
+        if fields.get("correlated") is not None:
+            fields["correlated"] = CorrelatedFaultSpec.from_dict(fields["correlated"])
+        return cls(**fields)
 
 
 # -------------------------------------------------------------- architectures

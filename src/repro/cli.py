@@ -31,6 +31,7 @@ for the full option list.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from collections.abc import Iterator, Sequence
@@ -38,6 +39,7 @@ from typing import Any, cast
 
 from repro.api.runner import ExperimentRunner
 from repro.api.spec import (
+    CorrelatedFaultSpec,
     ExperimentSpec,
     Scenario,
     SchedulerSpec,
@@ -196,10 +198,17 @@ def cmd_goodput(args: argparse.Namespace) -> list[str]:
 
 
 def cmd_schedule(args: argparse.Namespace) -> list[str]:
+    correlated = (
+        CorrelatedFaultSpec(correlation=args.correlation, domain_size=args.domain_size)
+        if args.correlation is not None
+        else None
+    )
     spec = ExperimentSpec.of(
         scenario=Scenario(
             name="cli-schedule",
-            trace=TraceSpec(days=args.days, seed=args.seed, gpus_per_node=4),
+            trace=TraceSpec(
+                days=args.days, seed=args.seed, gpus_per_node=4, correlated=correlated
+            ),
             architectures=default_architecture_specs(),
             tp_sizes=(args.tp,),
             n_nodes=args.nodes,
@@ -246,6 +255,20 @@ def cmd_schedule(args: argparse.Namespace) -> list[str]:
 def cmd_run(args: argparse.Namespace) -> list[str]:
     with open(args.spec) as handle:
         spec = ExperimentSpec.from_dict(json.load(handle))
+    if args.correlation is not None:
+        # Dial the correlated overlay without editing the spec file; the
+        # overlay keeps the spec's other knobs (or the defaults if unset).
+        trace = spec.scenario.trace
+        overlay = dataclasses.replace(
+            trace.correlated or CorrelatedFaultSpec(), correlation=args.correlation
+        )
+        spec = dataclasses.replace(
+            spec,
+            scenario=dataclasses.replace(
+                spec.scenario,
+                trace=dataclasses.replace(trace, correlated=overlay),
+            ),
+        )
     results = ExperimentRunner(
         spec, max_workers=args.workers, num_seeds=args.seeds, cache=args.cache
     ).run()
@@ -430,6 +453,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mean Poisson inter-arrival time (hours)")
     p.add_argument("--median-work", type=float, default=8.0,
                    help="median productive work per job (hours)")
+    p.add_argument("--correlation", type=float, default=None,
+                   help="layer correlated domain failures on the trace at "
+                        "this level in [0, 1] (default: independent faults "
+                        "only; 0 is byte-identical to the default)")
+    p.add_argument("--domain-size", type=int, default=8,
+                   help="nodes per failure domain for --correlation")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool size (default: one per CPU)")
     p.set_defaults(func=cmd_schedule)
@@ -453,6 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "disk = persistent under $REPRO_CACHE_DIR or "
                         "~/.cache/repro; default: the spec's cache, "
                         "usually off)")
+    p.add_argument("--correlation", type=float, default=None,
+                   help="override the trace's correlated-failure level in "
+                        "[0, 1] without editing the spec file (default: the "
+                        "spec's own overlay, usually none)")
     p.set_defaults(func=cmd_run)
 
     p = add_parser("cache", help="inspect or clear the on-disk result cache")

@@ -29,6 +29,20 @@ from repro.faults.timeline import (
     sweep_intervals,
 )
 from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.faults.correlated import (
+    CorrelatedFaultConfig,
+    DomainOutage,
+    architecture_domains,
+    correlated_trace_with_outages,
+    fault_domains,
+    generate_correlated_trace,
+    sample_domain_outages,
+)
+from repro.faults.calibrate import (
+    CalibrationResult,
+    detect_domain_outages,
+    fit_correlated_config,
+)
 from repro.faults.convert import convert_trace_8gpu_to_4gpu, node_fault_probability
 from repro.faults.model import IIDFaultModel, sample_fault_set
 
@@ -47,6 +61,16 @@ __all__ = [
     "sweep_intervals",
     "SyntheticTraceConfig",
     "generate_synthetic_trace",
+    "CorrelatedFaultConfig",
+    "DomainOutage",
+    "architecture_domains",
+    "correlated_trace_with_outages",
+    "fault_domains",
+    "generate_correlated_trace",
+    "sample_domain_outages",
+    "CalibrationResult",
+    "detect_domain_outages",
+    "fit_correlated_config",
     "convert_trace_8gpu_to_4gpu",
     "node_fault_probability",
     "IIDFaultModel",

@@ -705,6 +705,12 @@ class ClusterScheduler:
         self._held.clear()
         self._tp_states.clear()
 
+        # Blast-radius accounting (placed mode): per fault transition that
+        # introduces new down nodes, how many running jobs it descheduled.
+        fault_events = 0
+        jobs_killed = 0
+        max_blast_radius = 0
+
         runtimes = [_JobRuntime(spec, i) for i, spec in enumerate(self.jobs)]
         pending = sorted(runtimes, key=lambda rt: (rt.spec.submit_hour, rt.sequence))
         pending_index = 0
@@ -818,6 +824,8 @@ class ClusterScheduler:
                 # Exactly the jobs whose held nodes went down restart: each
                 # direct hit costs half a checkpoint interval plus the
                 # restart overhead, and the job's nodes are released.
+                fault_events += 1
+                killed = 0
                 released: set[int] = set()
                 for rt in in_system:
                     if not rt.allocated:
@@ -835,6 +843,9 @@ class ClusterScheduler:
                         rt.allocated = False
                         released |= rt.nodes
                         rt.nodes = frozenset()
+                        killed += 1
+                jobs_killed += killed
+                max_blast_radius = max(max_blast_radius, killed)
                 self._release_nodes(frozenset(released))
 
             # -------------------------------------------------- reallocation
@@ -926,6 +937,9 @@ class ClusterScheduler:
             horizon_hours=end_hour if horizon is None else horizon,
             placement=self.placement.name if self.placement is not None else None,
             backfill=self.backfill,
+            fault_events=fault_events,
+            jobs_killed=jobs_killed,
+            max_blast_radius=max_blast_radius,
         )
 
 

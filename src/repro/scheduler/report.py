@@ -51,6 +51,12 @@ class ClusterReport:
     placement: str | None = None
     #: Whether EASY backfilling past a blocked head was enabled.
     backfill: bool = False
+    #: Fault transitions that brought down at least one new node (placed mode).
+    fault_events: int = 0
+    #: Running jobs descheduled by a direct fault hit, summed over transitions.
+    jobs_killed: int = 0
+    #: Most jobs any single fault transition descheduled at once.
+    max_blast_radius: int = 0
 
     # ------------------------------------------------------------ population
     @property
@@ -184,6 +190,14 @@ class ClusterReport:
         squares = sum(rho * rho for rho in rhos)
         return (total * total) / (len(rhos) * squares)
 
+    # ---------------------------------------------------------- blast radius
+    @property
+    def mean_blast_radius(self) -> float:
+        """Jobs descheduled per fault transition (0.0 when no transitions)."""
+        if self.fault_events == 0:
+            return 0.0
+        return self.jobs_killed / self.fault_events
+
     # ------------------------------------------------------------- serialise
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -207,6 +221,10 @@ class ClusterReport:
             "mean_finish_time_fairness": self.mean_finish_time_fairness,
             "max_finish_time_fairness": self.max_finish_time_fairness,
             "jain_fairness_index": self.jain_fairness_index,
+            "fault_events": self.fault_events,
+            "jobs_killed": self.jobs_killed,
+            "max_blast_radius": self.max_blast_radius,
+            "mean_blast_radius": self.mean_blast_radius,
             "jobs": [job.to_dict() for job in self.jobs],
         }
 

@@ -14,7 +14,15 @@ import multiprocessing
 import pytest
 
 import repro
-from repro.api import ArchitectureSpec, ExperimentRunner, ExperimentSpec, Scenario, TraceSpec
+from repro.api import (
+    ArchitectureSpec,
+    CorrelatedFaultSpec,
+    ExperimentRunner,
+    ExperimentSpec,
+    Scenario,
+    TraceSpec,
+)
+from repro.api.spec import WorkloadSpec
 from repro.cache import (
     CACHE_SCHEMA_VERSION,
     ResultCache,
@@ -318,6 +326,50 @@ class TestRunnerWiring:
         before = runner._task_cache_key(payload)
         monkeypatch.setattr(repro, "__version__", "999.0-test", raising=False)
         assert runner._task_cache_key(payload) != before
+
+    def test_correlated_spec_sweep_hit_equals_miss(self):
+        # A correlated-overlay sweep (the blast_radius experiment fans out
+        # placements x correlations internally) must cache bit-for-bit: the
+        # warm run serves every task from the store and the rows agree.
+        spec = small_spec(
+            experiments=("blast_radius",),
+            scenario={
+                "trace": TraceSpec(
+                    days=10, seed=348,
+                    correlated=CorrelatedFaultSpec(domain_rate_per_day=1.0),
+                ),
+                "n_nodes": 64,
+                "workload": WorkloadSpec(n_jobs=6, seed=1, median_work_hours=120.0),
+            },
+            options={"blast_radius": {"correlations": [0.0, 1.0]}},
+        )
+        fresh = ExperimentRunner(spec, max_workers=1, cache="disk").run()
+        warm = ExperimentRunner(spec, max_workers=1, cache="disk").run()
+        n_tasks = len(ExperimentRunner(spec).tasks())
+        assert fresh.cache_stats.misses == n_tasks
+        assert warm.cache_stats.hits == n_tasks
+        assert warm.cache_stats.misses == 0
+        assert warm.results == fresh.results
+        assert json.dumps([r.to_dict() for r in warm]) == json.dumps(
+            [r.to_dict() for r in fresh]
+        )
+
+    def test_correlated_overlay_changes_the_task_key(self):
+        plain = small_spec()
+        correlated = small_spec(
+            scenario={"trace": TraceSpec(
+                days=15, seed=348, correlated=CorrelatedFaultSpec(correlation=0.5)
+            )},
+        )
+        runner = ExperimentRunner(plain, max_workers=1)
+        key_plain = runner._task_cache_key(
+            dict(runner.tasks()[0], spec=plain.to_dict())
+        )
+        other = ExperimentRunner(correlated, max_workers=1)
+        key_corr = other._task_cache_key(
+            dict(other.tasks()[0], spec=correlated.to_dict())
+        )
+        assert key_plain != key_corr
 
     def test_parallel_and_serial_agree_through_the_cache(self):
         spec = small_spec(

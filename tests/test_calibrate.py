@@ -1,0 +1,214 @@
+"""Calibration of the correlated generator from ingested CSV logs.
+
+Fuzz/edge coverage for the :meth:`FaultTrace.from_csv` -> ``fit_correlated_config``
+pipeline: overlapping domain outages, zero-duration repairs, out-of-order rows,
+and a 50k-row synthetic Philly-style log round-trip.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.calibrate import (
+    CalibrationResult,
+    detect_domain_outages,
+    fit_correlated_config,
+)
+from repro.faults.correlated import (
+    CorrelatedFaultConfig,
+    correlated_trace_with_outages,
+    fault_domains,
+)
+from repro.faults.synthetic import SyntheticTraceConfig
+from repro.faults.trace import FaultTrace
+
+
+def _csv(rows):
+    lines = ["node_id,start_hour,end_hour"]
+    lines += [f"{n},{s},{e}" for n, s, e in rows]
+    return "\n".join(lines) + "\n"
+
+
+def _domain_outage_rows(domain_nodes, start, duration, jitter=0.0):
+    return [
+        (node, start + i * jitter, start + i * jitter + duration)
+        for i, node in enumerate(domain_nodes)
+    ]
+
+
+# --------------------------------------------------------------------------
+# outage detection on hand-built logs
+# --------------------------------------------------------------------------
+class TestDetectDomainOutages:
+    def test_detects_a_clean_domain_outage(self):
+        rows = _domain_outage_rows(range(8), start=10.0, duration=4.0)
+        trace = FaultTrace.from_csv(_csv(rows), n_nodes=32, duration_days=2)
+        outages = detect_domain_outages(trace, domain_size=8)
+        assert len(outages) == 1
+        assert outages[0].nodes == tuple(range(8))
+        assert outages[0].start_hour == 10.0
+        assert outages[0].end_hour == 14.0
+
+    def test_scattered_singles_are_not_an_outage(self):
+        rows = [(n, 5.0 * n, 5.0 * n + 1.0) for n in range(8)]
+        trace = FaultTrace.from_csv(_csv(rows), n_nodes=32, duration_days=2)
+        assert detect_domain_outages(trace, domain_size=8) == []
+
+    def test_partial_coverage_respects_min_coverage(self):
+        rows = _domain_outage_rows(range(4), start=3.0, duration=2.0)  # 4 of 8
+        trace = FaultTrace.from_csv(_csv(rows), n_nodes=32, duration_days=1)
+        assert detect_domain_outages(trace, domain_size=8, min_coverage=0.75) == []
+        half = detect_domain_outages(trace, domain_size=8, min_coverage=0.5)
+        assert len(half) == 1 and half[0].nodes == (0, 1, 2, 3)
+
+    def test_overlapping_outages_in_one_domain_merge_within_window(self):
+        # Two monitors log the same incident with overlapping windows; the
+        # ingest merge plus the start-window clustering yield one incident.
+        rows = _domain_outage_rows(range(8), start=10.0, duration=4.0)
+        rows += _domain_outage_rows(range(8), start=10.5, duration=5.0)
+        trace = FaultTrace.from_csv(_csv(rows), n_nodes=32, duration_days=2)
+        outages = detect_domain_outages(trace, domain_size=8)
+        assert len(outages) == 1
+        assert outages[0].start_hour == 10.0
+        assert outages[0].end_hour == 15.5
+
+    def test_distant_outages_stay_separate_incidents(self):
+        rows = _domain_outage_rows(range(8), start=10.0, duration=2.0)
+        rows += _domain_outage_rows(range(8), start=30.0, duration=2.0)
+        trace = FaultTrace.from_csv(_csv(rows), n_nodes=32, duration_days=2)
+        assert len(detect_domain_outages(trace, domain_size=8)) == 2
+
+    def test_validation(self):
+        trace = FaultTrace(n_nodes=8, duration_days=1, events=[])
+        with pytest.raises(ValueError, match="min_coverage"):
+            detect_domain_outages(trace, domain_size=8, min_coverage=0.0)
+        with pytest.raises(ValueError, match="start_window_hours"):
+            detect_domain_outages(trace, domain_size=8, start_window_hours=-1.0)
+
+
+# --------------------------------------------------------------------------
+# from_csv edge cases feeding calibration
+# --------------------------------------------------------------------------
+class TestFromCsvEdgeCases:
+    def test_zero_duration_repairs_survive_ingest_and_fit(self):
+        rows = [(n, 2.0, 2.0) for n in range(8)]                # instant repair
+        rows += _domain_outage_rows(range(8, 16), start=9.0, duration=3.0)
+        trace = FaultTrace.from_csv(_csv(rows), n_nodes=16, duration_days=30)
+        fit = fit_correlated_config(trace, domain_size=8)
+        assert isinstance(fit, CalibrationResult)
+        # The zero-duration incident contributes no downtime but must not
+        # crash the lognormal fit (it is excluded from the duration sample).
+        assert fit.config.repair_median_hours > 0.0
+        assert math.isfinite(fit.repair_ks_distance)
+
+    def test_out_of_order_rows_fit_identically(self):
+        rows = _domain_outage_rows(range(8), start=5.0, duration=2.0)
+        rows += _domain_outage_rows(range(8, 16), start=40.0, duration=6.0)
+        shuffled = list(rows)
+        random.Random(3).shuffle(shuffled)
+        kwargs = {"n_nodes": 16, "duration_days": 30}
+        ordered_fit = fit_correlated_config(
+            FaultTrace.from_csv(_csv(rows), **kwargs), domain_size=8
+        )
+        shuffled_fit = fit_correlated_config(
+            FaultTrace.from_csv(_csv(shuffled), **kwargs), domain_size=8
+        )
+        assert ordered_fit == shuffled_fit
+
+    def test_empty_trace_fits_the_defaults(self):
+        trace = FaultTrace.from_csv(_csv([]), n_nodes=16, duration_days=10)
+        fit = fit_correlated_config(trace, domain_size=8)
+        assert fit.n_domain_outages == 0
+        assert fit.config.correlation == 0.0
+        assert fit.correlated_downtime_share == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fit_never_crashes_on_arbitrary_valid_logs(self, raw):
+        rows = [(n, round(s, 3), round(s + d, 3)) for n, s, d in raw]
+        trace = FaultTrace.from_csv(_csv(rows), n_nodes=16, duration_days=10)
+        fit = fit_correlated_config(trace, domain_size=4)
+        assert 0.0 <= fit.config.correlation <= 1.0
+        assert fit.config.domain_rate_per_day > 0.0
+        assert fit.config.burst_multiplier >= 1.0
+        assert math.isfinite(fit.fault_ratio_rel_error)
+        assert len(fit.report()) == 5
+
+
+# --------------------------------------------------------------------------
+# round-trips
+# --------------------------------------------------------------------------
+class TestRoundTrips:
+    def test_50k_row_philly_style_log_round_trips(self):
+        # Synthesize a Philly-style operational log: heavy node churn plus
+        # domain incidents, ~50k rows, then CSV -> trace -> CSV -> trace.
+        rng = random.Random(42)
+        n_nodes, horizon = 400, 90 * 24.0
+        rows = []
+        while len(rows) < 49_000:                       # independent churn
+            node = rng.randrange(n_nodes)
+            start = rng.uniform(0.0, horizon - 1.0)
+            rows.append((node, round(start, 3), round(start + rng.uniform(0.1, 24.0), 3)))
+        domains = fault_domains(n_nodes, 8)
+        while len(rows) < 50_000:                       # domain incidents
+            domain = domains[rng.randrange(len(domains))]
+            start = rng.uniform(0.0, horizon - 8.0)
+            rows.extend((n, round(start, 3), round(start + 6.0, 3)) for n in domain)
+        text = _csv(rows)
+        trace = FaultTrace.from_csv(
+            text, n_nodes=n_nodes, duration_days=90, merge_overlaps=False
+        )
+        assert len(trace.events) == len(rows)
+        again = FaultTrace.from_csv(
+            trace.to_csv(), n_nodes=n_nodes, duration_days=90, merge_overlaps=False
+        )
+        assert again.events == trace.events
+        fit = fit_correlated_config(trace, domain_size=8)
+        assert fit.n_domain_outages > 0
+        assert 0.0 < fit.config.correlation <= 1.0
+
+    def test_calibration_recovers_a_known_generator(self):
+        truth = CorrelatedFaultConfig(
+            base=SyntheticTraceConfig(n_nodes=128, duration_days=180, seed=17),
+            correlation=1.0,
+            domain_size=8,
+            domain_rate_per_day=0.5,
+            repair_median_hours=4.0,
+            repair_sigma=1.0,
+        )
+        trace, outages = correlated_trace_with_outages(truth)
+        fit = fit_correlated_config(trace, domain_size=8)
+        # Most generated incidents are re-detected, and the repair lognormal
+        # is close (KS distance small on a ~90-incident sample).
+        assert fit.n_domain_outages >= 0.7 * len(outages)
+        assert fit.config.correlation > 0.2
+        assert fit.repair_ks_distance < 0.25
+        assert 1.0 <= fit.config.repair_median_hours <= 16.0
+
+    def test_fit_survives_a_csv_round_trip(self):
+        truth = CorrelatedFaultConfig(
+            base=SyntheticTraceConfig(n_nodes=64, duration_days=60, seed=5),
+            correlation=0.8,
+            domain_rate_per_day=0.5,
+        )
+        trace, _ = correlated_trace_with_outages(truth)
+        direct = fit_correlated_config(trace, domain_size=8)
+        reloaded = FaultTrace.from_csv(
+            trace.to_csv(),
+            n_nodes=trace.n_nodes,
+            duration_days=trace.duration_days,
+            gpus_per_node=trace.gpus_per_node,
+            merge_overlaps=False,
+        )
+        assert fit_correlated_config(reloaded, domain_size=8) == direct

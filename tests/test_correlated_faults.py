@@ -1,0 +1,261 @@
+"""Property suite for the correlated-failure generator (repro.faults.correlated).
+
+The contracts under test:
+
+* every correlated event lands on exactly one failure domain's node set,
+* the generator is a pure function of its config (same spec => array-equal
+  event logs, across processes and call counts),
+* ``correlation=0`` is an exact pass-through of the independent generator --
+  event for event, statistic for statistic, digest for digest.
+"""
+
+import dataclasses
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.spec import CorrelatedFaultSpec, TraceSpec
+from repro.faults.correlated import (
+    CorrelatedFaultConfig,
+    DomainOutage,
+    architecture_domains,
+    correlated_trace_with_outages,
+    fault_domains,
+    generate_correlated_trace,
+)
+from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.hbd import NVLHBD, TPUv4HBD
+
+
+def _config(seed=0, correlation=1.0, n_nodes=64, days=30, **overlay):
+    overlay.setdefault("domain_rate_per_day", 0.5)
+    return CorrelatedFaultConfig(
+        base=SyntheticTraceConfig(n_nodes=n_nodes, duration_days=days, seed=seed),
+        correlation=correlation,
+        **overlay,
+    )
+
+
+# --------------------------------------------------------------------------
+# failure domains
+# --------------------------------------------------------------------------
+class TestFaultDomains:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_domains_partition_the_cluster(self, n_nodes, domain_size):
+        domains = fault_domains(n_nodes, domain_size)
+        flat = [node for domain in domains for node in domain]
+        assert sorted(flat) == list(range(n_nodes))       # cover, no overlap
+        assert len(flat) == len(set(flat))
+        # No domain is smaller than requested (the tail folds upward), and
+        # none grows past one extra short tail.
+        if len(domains) > 1:
+            assert all(len(domain) >= domain_size for domain in domains)
+            assert all(len(domain) < 2 * domain_size for domain in domains)
+
+    def test_architecture_domains_are_placement_groups(self):
+        domains = architecture_domains(NVLHBD(36, 4), n_nodes=18, tp_size=4)
+        assert [len(d) for d in domains] == [9, 9]
+        domains = architecture_domains(TPUv4HBD(4, 64), n_nodes=32, tp_size=4)
+        flat = [node for domain in domains for node in domain]
+        assert sorted(flat) == list(range(32))
+
+    def test_architecture_domains_rejects_non_architectures(self):
+        with pytest.raises(TypeError, match="HBDArchitecture"):
+            architecture_domains(object(), n_nodes=8, tp_size=4)
+
+
+# --------------------------------------------------------------------------
+# overlay properties
+# --------------------------------------------------------------------------
+class TestOverlayProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+        st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_outages_land_on_a_single_domain(self, seed, correlation, domain_size):
+        config = _config(seed=seed, correlation=correlation, domain_size=domain_size)
+        trace, outages = correlated_trace_with_outages(config)
+        domains = set(fault_domains(config.base.n_nodes, domain_size))
+        base = generate_synthetic_trace(config.base)
+        for outage in outages:
+            assert outage.nodes in domains                 # one whole domain
+        # The overlay added exactly one event per (outage, node) -- nothing
+        # else changed relative to the independent base trace.  FaultTrace
+        # keeps events sorted, so compare as multisets of exact records.
+        def counted(events):
+            return Counter((e.node_id, e.start_hour, e.end_hour) for e in events)
+
+        overlay = Counter(
+            (node, o.start_hour, o.end_hour) for o in outages for node in o.nodes
+        )
+        assert counted(trace.events) == counted(base.events) + overlay
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_same_config_gives_array_equal_event_logs(self, seed, correlation):
+        config = _config(seed=seed, correlation=correlation)
+        first = generate_correlated_trace(config)
+        second = generate_correlated_trace(config)
+        assert first.events == second.events
+        assert np.array_equal(
+            first.interval_timeline().event_log, second.interval_timeline().event_log
+        )
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_base_trace_is_identical_at_every_correlation_level(self, seed):
+        base = generate_synthetic_trace(_config(seed=seed).base)
+        base_counts = Counter(
+            (e.node_id, e.start_hour, e.end_hour) for e in base.events
+        )
+        for correlation in (0.0, 0.3, 1.0):
+            config = _config(seed=seed, correlation=correlation)
+            trace, outages = correlated_trace_with_outages(config)
+            overlay = Counter(
+                (node, o.start_hour, o.end_hour) for o in outages for node in o.nodes
+            )
+            got = Counter((e.node_id, e.start_hour, e.end_hour) for e in trace.events)
+            assert got == base_counts + overlay
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_correlation_zero_is_the_independent_generator(self, seed):
+        config = _config(seed=seed, correlation=0.0)
+        independent = generate_synthetic_trace(config.base)
+        trace, outages = correlated_trace_with_outages(config)
+        assert outages == ()
+        assert trace.events == independent.events
+        # Marginal per-node fault statistics are those of the independent
+        # generator -- exactly, not approximately.
+        assert trace.statistics() == independent.statistics()
+        assert np.array_equal(
+            trace.interval_timeline().event_log,
+            independent.interval_timeline().event_log,
+        )
+
+    def test_higher_correlation_adds_downtime(self):
+        quiet = generate_correlated_trace(_config(seed=5, correlation=0.0, days=120))
+        noisy = generate_correlated_trace(
+            _config(seed=5, correlation=1.0, days=120, domain_rate_per_day=1.0)
+        )
+        assert len(noisy.events) > len(quiet.events)
+        assert (
+            noisy.statistics().mean_fault_ratio > quiet.statistics().mean_fault_ratio
+        )
+
+    def test_custom_domains_are_respected(self):
+        domains = ((0, 1), (2, 3, 4, 5), (6, 7))
+        config = _config(seed=9, correlation=1.0, n_nodes=8, domain_rate_per_day=2.0)
+        _, outages = correlated_trace_with_outages(config, domains=domains)
+        assert outages  # rate is high enough that a 30-day window has some
+        assert all(o.nodes in set(domains) for o in outages)
+
+    def test_out_of_range_domain_nodes_are_rejected(self):
+        config = _config(seed=9, correlation=1.0, n_nodes=8)
+        with pytest.raises(ValueError, match="outside cluster"):
+            correlated_trace_with_outages(config, domains=((0, 99),))
+
+    def test_outages_never_extend_past_the_trace(self):
+        config = _config(
+            seed=2, correlation=1.0, days=10, domain_rate_per_day=3.0,
+            repair_median_hours=48.0, repair_sigma=2.0,
+        )
+        trace, outages = correlated_trace_with_outages(config)
+        horizon = config.base.duration_days * 24.0
+        assert all(o.end_hour <= horizon for o in outages)
+        assert all(e.end_hour <= horizon for e in trace.events)
+
+
+# --------------------------------------------------------------------------
+# config validation
+# --------------------------------------------------------------------------
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"correlation": -0.1},
+            {"correlation": 1.5},
+            {"domain_size": 0},
+            {"domain_rate_per_day": 0.0},
+            {"burst_multiplier": 0.5},
+            {"mean_quiet_days": 0.0},
+            {"mean_burst_days": -1.0},
+            {"repair_median_hours": 0.0},
+            {"repair_sigma": -0.5},
+        ],
+    )
+    def test_config_rejects_bad_parameters(self, overrides):
+        kwargs = {"base": SyntheticTraceConfig(n_nodes=8, duration_days=1, seed=0)}
+        kwargs.update(overrides)
+        with pytest.raises(ValueError):
+            CorrelatedFaultConfig(**kwargs)
+
+    def test_outage_validation(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            DomainOutage(domain=0, nodes=(), start_hour=0.0, end_hour=1.0)
+        with pytest.raises(ValueError, match="end_hour"):
+            DomainOutage(domain=0, nodes=(0,), start_hour=2.0, end_hour=1.0)
+
+
+# --------------------------------------------------------------------------
+# spec plumbing
+# --------------------------------------------------------------------------
+class TestSpecPlumbing:
+    def test_spec_build_matches_direct_generation(self):
+        spec = TraceSpec(
+            days=10, seed=4, gpus_per_node=8,
+            correlated=CorrelatedFaultSpec(correlation=0.8, domain_rate_per_day=1.0),
+        )
+        config = CorrelatedFaultConfig(
+            base=SyntheticTraceConfig(
+                n_nodes=spec.source_nodes, duration_days=10, seed=4
+            ),
+            correlation=0.8,
+            domain_rate_per_day=1.0,
+        )
+        assert spec.build().events == generate_correlated_trace(config).events
+
+    def test_correlation_zero_spec_builds_the_independent_trace(self):
+        plain = TraceSpec(days=8, seed=6)
+        zero = dataclasses.replace(plain, correlated=CorrelatedFaultSpec())
+        assert zero.build().events == plain.build().events
+
+    def test_plain_spec_serialization_is_unchanged(self):
+        spec = TraceSpec(days=8, seed=6)
+        data = spec.to_dict()
+        assert "correlated" not in data       # pre-correlation digests stable
+        assert TraceSpec.from_dict(data) == spec
+
+    def test_correlated_spec_round_trips(self):
+        spec = TraceSpec(
+            days=8, seed=6, correlated=CorrelatedFaultSpec(correlation=0.4)
+        )
+        data = spec.to_dict()
+        assert data["correlated"]["correlation"] == 0.4
+        assert TraceSpec.from_dict(data) == spec
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"correlation": 1.5},
+            {"correlation": -0.1},
+            {"domain_size": 0},
+            {"domain_rate_per_day": 0.0},
+            {"burst_multiplier": 0.0},
+            {"repair_median_hours": -1.0},
+        ],
+    )
+    def test_correlated_spec_rejects_bad_parameters(self, overrides):
+        with pytest.raises(ValueError):
+            CorrelatedFaultSpec(**overrides)

@@ -1,0 +1,110 @@
+"""Golden-file regression snapshots for the blast-radius study.
+
+A small canonical packed-vs-spread blast-radius :class:`ResultSet` (two
+architectures, three correlation levels) is kept as checked-in JSON and must
+stay **byte-stable**: any change to the generators, the scheduler, the
+runner's aggregation or the serialization shows up as a diff here.
+
+Refresh intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExperimentRunner, ExperimentSpec, Scenario
+from repro.api.spec import (
+    ArchitectureSpec,
+    CorrelatedFaultSpec,
+    TraceSpec,
+    WorkloadSpec,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def _golden_spec():
+    """The canonical blast-radius study: fixed forever unless goldens refresh."""
+    return ExperimentSpec.of(
+        scenario=Scenario(
+            name="golden-blast-radius",
+            trace=TraceSpec(
+                days=30,
+                seed=348,
+                correlated=CorrelatedFaultSpec(domain_rate_per_day=1.0),
+            ),
+            architectures=(
+                ArchitectureSpec(name="NVL-72"),
+                ArchitectureSpec(name="InfiniteHBD(K=2)"),
+            ),
+            tp_sizes=(8,),
+            n_nodes=64,
+            workload=WorkloadSpec(n_jobs=8, seed=1, median_work_hours=200.0),
+        ),
+        experiments=("blast_radius",),
+        options={"blast_radius": {"correlations": [0.0, 0.5, 1.0]}},
+        max_workers=1,
+    )
+
+
+def _check_or_update(name, rendered, update):
+    path = GOLDEN_DIR / name
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered)
+        return
+    assert path.is_file(), (
+        f"golden {path} is missing; generate it with "
+        "pytest tests/test_goldens.py --update-goldens"
+    )
+    assert rendered == path.read_text(), (
+        f"golden {name} drifted; if the change is intentional refresh with "
+        "pytest tests/test_goldens.py --update-goldens"
+    )
+
+
+class TestBlastRadiusGolden:
+    def test_blast_radius_resultset_is_byte_stable(self, update_goldens):
+        results = ExperimentRunner(_golden_spec()).run()
+        _check_or_update(
+            "blast_radius_resultset.json", results.to_json() + "\n", update_goldens
+        )
+
+    def test_golden_covers_both_placements_and_architectures(self):
+        data = json.loads((GOLDEN_DIR / "blast_radius_resultset.json").read_text())
+        rows = data["results"]
+        # 2 architectures x 2 placements x 3 correlation levels.
+        assert len(rows) == 12
+        assert {r["architecture"] for r in rows} == {"NVL-72", "InfiniteHBD(K=2)"}
+        placements = {r["metrics"]["placement"] for r in rows}
+        assert placements == {"packed", "spread"}
+        correlations = {r["metrics"]["correlation"] for r in rows}
+        assert correlations == {0.0, 0.5, 1.0}
+        # The study is non-degenerate: correlated cells record fault hits.
+        assert any(r["metrics"]["fault_events"] > 0 for r in rows)
+
+    def test_golden_matches_a_fresh_run_not_just_bytes(self):
+        # Belt and braces: the deserialized metrics agree with a fresh run
+        # even if whitespace/serialization conventions ever change.
+        fresh = ExperimentRunner(_golden_spec()).run()
+        stored = json.loads((GOLDEN_DIR / "blast_radius_resultset.json").read_text())
+        fresh_rows = [r.to_dict() for r in fresh]
+        assert fresh_rows == stored["results"]
+
+
+class TestGoldenHygiene:
+    def test_goldens_are_valid_pretty_json(self):
+        for path in sorted(GOLDEN_DIR.glob("*.json")):
+            text = path.read_text()
+            parsed = json.loads(text)
+            assert text == json.dumps(parsed, indent=2) + "\n", path.name
+
+    def test_update_flag_is_registered(self, request):
+        assert request.config.getoption("--update-goldens") in (True, False)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__]))

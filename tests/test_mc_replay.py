@@ -163,6 +163,53 @@ class TestBatchedMatchesScalar:
         assert kernel_for(architecture, 24, 8) is None
 
 
+class TestCorrelatedDifferential:
+    """Correlated traces are ordinary traces to the batched engine.
+
+    The overlay emits plain per-node events, so a correlated timeline must
+    replay through ``replay_batch`` bit-for-bit equal to the scalar
+    ``replay_intervals`` on every registry architecture -- same contract as
+    the independent generator, no special-casing anywhere downstream.
+    """
+
+    def _correlated_timelines(self, correlations, seed=11):
+        from repro.faults.correlated import CorrelatedFaultConfig, generate_correlated_trace
+        from repro.faults.synthetic import SyntheticTraceConfig
+
+        return [
+            generate_correlated_trace(
+                CorrelatedFaultConfig(
+                    base=SyntheticTraceConfig(
+                        n_nodes=64, duration_days=20, gpus_per_node=4, seed=seed
+                    ),
+                    correlation=c,
+                    domain_rate_per_day=1.0,
+                )
+            ).interval_timeline()
+            for c in correlations
+        ]
+
+    def test_correlated_batch_bit_for_bit_across_registry(self):
+        timelines = self._correlated_timelines((0.0, 0.5, 1.0))
+        batch = TraceBatch.from_timelines(timelines)
+        for architecture in ARCHITECTURES:
+            for tp_size in TP_SIZES:
+                series = replay_batch(architecture, batch, tp_size)
+                for index, timeline in enumerate(timelines):
+                    ref = replay_intervals(architecture, timeline, tp_size)
+                    _assert_series_equal(series.series_for_seed(index), ref)
+
+    def test_correlation_zero_timeline_equals_independent(self):
+        from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+
+        zero = self._correlated_timelines((0.0,))[0]
+        independent = generate_synthetic_trace(
+            SyntheticTraceConfig(n_nodes=64, duration_days=20, gpus_per_node=4, seed=11)
+        ).interval_timeline()
+        assert zero.intervals == independent.intervals
+        assert np.array_equal(zero.event_log, independent.event_log)
+
+
 class TestFaultCountDecompositions:
     @given(
         st.sets(st.integers(min_value=0, max_value=95), max_size=40),
