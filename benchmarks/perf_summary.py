@@ -8,9 +8,20 @@ one markdown table; the CI ``perf`` job appends its output to
 ``$GITHUB_STEP_SUMMARY`` so every run publishes the measured numbers next to
 their floors.
 
+Trend tracking: with ``--emit-bench --sha <sha>`` the collected measurements
+are also persisted as ``results/BENCH_<sha>.json`` (uploaded as a CI
+artifact, and one snapshot per landed tentpole is committed to the repo so a
+fresh checkout always has a baseline).  The table then grows a ``trend``
+column comparing each gate's measured value against the most recent previous
+``BENCH_*.json`` -- perf regressions show up as a percentage drift next to
+the hard bound, before they ever trip it.
+
 Usage:  python benchmarks/perf_summary.py [results_dir]
+                                          [--sha SHA] [--emit-bench]
+                                          [--previous BENCH_JSON]
 """
 
+import argparse
 import json
 import operator
 import os
@@ -20,14 +31,20 @@ RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"
 
 _OPERATORS = {">=": operator.ge, "<=": operator.le}
 
+_BENCH_PREFIX = "BENCH_"
+
 
 def load_gates(results_dir):
-    """All persisted gate records, sorted by benchmark name."""
+    """All persisted gate records, sorted by benchmark name.
+
+    ``BENCH_<sha>.json`` snapshots live in the same directory but are
+    aggregates of these records, not gate sources -- skip them.
+    """
     gates = []
     if not os.path.isdir(results_dir):
         return gates
     for entry in sorted(os.listdir(results_dir)):
-        if not entry.endswith(".json"):
+        if not entry.endswith(".json") or entry.startswith(_BENCH_PREFIX):
             continue
         with open(os.path.join(results_dir, entry)) as handle:
             payload = json.load(handle)
@@ -44,31 +61,118 @@ def load_gates(results_dir):
     return gates
 
 
-def render_markdown(gates):
-    """The perf table as GitHub-flavoured markdown."""
-    lines = [
-        "## Benchmark perf gates",
-        "",
-        "| benchmark | gate | measured | bound | status |",
-        "| --- | --- | ---: | ---: | :---: |",
-    ]
+def emit_bench(results_dir, sha, gates):
+    """Persist this run's measurements as ``BENCH_<sha>.json``."""
+    path = os.path.join(results_dir, f"{_BENCH_PREFIX}{sha}.json")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump({"sha": sha, "gates": gates}, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def find_previous_bench(results_dir, current_sha=None):
+    """Path of the most recent ``BENCH_*.json``, excluding the current sha.
+
+    "Most recent" is by mtime with filename as tie-break: in CI the
+    committed baseline and the just-emitted snapshot are distinguished by
+    mtime; in a fresh checkout all committed snapshots share one mtime and
+    the name ordering keeps the choice deterministic.
+    """
+    if not os.path.isdir(results_dir):
+        return None
+    candidates = []
+    for entry in os.listdir(results_dir):
+        if not entry.startswith(_BENCH_PREFIX) or not entry.endswith(".json"):
+            continue
+        sha = entry[len(_BENCH_PREFIX) : -len(".json")]
+        if current_sha is not None and sha == current_sha:
+            continue
+        path = os.path.join(results_dir, entry)
+        candidates.append((os.path.getmtime(path), entry, path))
+    if not candidates:
+        return None
+    return max(candidates)[2]
+
+
+def load_previous(path):
+    """Previous measurements keyed by (benchmark, label), or empty."""
+    if path is None or not os.path.isfile(path):
+        return {}
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {
+        (gate["benchmark"], gate["label"]): float(gate["measured"])
+        for gate in payload.get("gates", ())
+    }
+
+
+def _trend(gate, previous):
+    baseline = previous.get((gate["benchmark"], gate["label"]))
+    if baseline is None:
+        return "new"
+    if baseline == 0.0:
+        return "n/a"
+    delta = (gate["measured"] - baseline) / abs(baseline) * 100.0
+    if abs(delta) < 0.5:
+        return "= 0%"
+    arrow = "▲" if delta > 0 else "▼"
+    return f"{arrow} {delta:+.1f}%"
+
+
+def render_markdown(gates, previous=None):
+    """The perf table as GitHub-flavoured markdown.
+
+    ``previous`` (a ``load_previous`` mapping) adds a trend column with the
+    drift of each measured value versus the prior run's snapshot.
+    """
+    with_trend = previous is not None
+    header = "| benchmark | gate | measured | bound | status |"
+    rule = "| --- | --- | ---: | ---: | :---: |"
+    if with_trend:
+        header += " trend |"
+        rule += " ---: |"
+    lines = ["## Benchmark perf gates", "", header, rule]
     if not gates:
-        lines.append("| _no gate results found_ | | | | |")
+        lines.append("| _no gate results found_ | | | | |" + (" |" if with_trend else ""))
         return "\n".join(lines)
     for gate in gates:
         passed = _OPERATORS[gate["direction"]](gate["measured"], gate["bound"])
-        lines.append(
+        row = (
             f"| {gate['benchmark']} | {gate['label']} "
             f"| {gate['measured']:.2f}x | {gate['direction']} {gate['bound']:g}x "
             f"| {'✅' if passed else '❌'} |"
         )
+        if with_trend:
+            row += f" {_trend(gate, previous)} |"
+        lines.append(row)
     return "\n".join(lines)
 
 
 def main(argv):
-    results_dir = argv[1] if len(argv) > 1 else RESULTS_DIR
-    gates = load_gates(results_dir)
-    print(render_markdown(gates))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results_dir", nargs="?", default=RESULTS_DIR)
+    parser.add_argument("--sha", default=None, help="commit sha of this run")
+    parser.add_argument(
+        "--emit-bench",
+        action="store_true",
+        help="persist this run's measurements as BENCH_<sha>.json (needs --sha)",
+    )
+    parser.add_argument(
+        "--previous",
+        default=None,
+        help="explicit previous BENCH_*.json (default: newest in results_dir)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    gates = load_gates(args.results_dir)
+    previous_path = args.previous or find_previous_bench(args.results_dir, args.sha)
+    previous = load_previous(previous_path)
+    if args.emit_bench:
+        if not args.sha:
+            parser.error("--emit-bench requires --sha")
+        emit_bench(args.results_dir, args.sha, gates)
+    print(render_markdown(gates, previous))
     return 0 if all(
         _OPERATORS[g["direction"]](g["measured"], g["bound"]) for g in gates
     ) else 1

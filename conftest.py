@@ -5,6 +5,12 @@ Ensures ``src/`` is importable even when the package has not been installed
 editable wheel).  When the package *is* installed, the installed copy wins
 only if it shadows the same path; inserting ``src`` first keeps tests running
 against the working tree.
+
+Hypothesis profiles: ``default`` keeps the library's stock example budget
+for interactive runs and PR CI; ``nightly`` raises ``max_examples`` an
+order of magnitude and drops the deadline so the scheduled deep-fuzz run
+(.github/workflows/nightly.yml) explores the invariant space much harder.
+Select with ``HYPOTHESIS_PROFILE=nightly``.
 """
 
 import os
@@ -15,6 +21,15 @@ import pytest
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
+else:
+    settings.register_profile("default", settings())
+    settings.register_profile("nightly", max_examples=500, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 def pytest_addoption(parser):

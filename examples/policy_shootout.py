@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Policy shootout: six scheduling policies on one contended cluster.
+
+Replays a single heavy-tailed job queue (lognormal sizes and durations,
+offered load near capacity) against a fault trace under every policy in
+the registry:
+
+* ``fifo``, ``smallest-first``, ``shortest-remaining`` -- the classic
+  non-preemptive queue orders;
+* ``gittins`` -- Tiresias-style discretized attained-service queues with
+  preemption: jobs demote as they accumulate GPU-hours, so short jobs
+  escape quickly without knowing durations in advance;
+* ``lookahead`` -- Horus-style k-job look-ahead admission that scores
+  queued jobs by how well they fill the free capacity;
+* ``optimizer`` -- AdaptDL-style global re-allocation that re-solves a
+  small assignment LP at each interval boundary, charging migrations as
+  preemptions.
+
+Under heavy-tailed durations the attained-service and re-allocation
+policies cut mean JCT dramatically versus FIFO's head-of-line blocking;
+the preemption column shows what they pay for it in restarts.
+
+Run with:  python examples/policy_shootout.py [--days 45] [--jobs 300]
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.faults.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.hbd import NVLHBD
+from repro.scheduler import ClusterScheduler, WorkloadConfig, generate_workload
+from repro.scheduler.policies import POLICY_NAMES, policy_by_name
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=45, help="trace duration in days")
+    parser.add_argument("--jobs", type=int, default=300, help="jobs in the queue")
+    parser.add_argument("--nodes", type=int, default=1250)
+    parser.add_argument("--tp", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    trace = generate_synthetic_trace(
+        SyntheticTraceConfig(n_nodes=args.nodes, duration_days=args.days, seed=90)
+    )
+    timeline = trace.interval_timeline()
+    architecture = NVLHBD(72, gpus_per_node=8)
+    jobs = generate_workload(
+        WorkloadConfig(
+            n_jobs=args.jobs,
+            seed=args.seed,
+            tp_size=args.tp,
+            max_gpus=args.nodes * 8 // 4 // args.tp * args.tp,
+            mean_interarrival_hours=0.5,
+            median_tp_groups=4.0,
+            sigma_tp_groups=1.2,
+            median_work_hours=16.0,
+            sigma_work_hours=1.2,
+        )
+    )
+
+    print("=" * 78)
+    print(f"Policy shootout: NVL-72, {args.nodes} nodes, {len(jobs)} heavy-tailed jobs")
+    print("=" * 78)
+    print(
+        f"{'policy':20s} {'preempt':>7s} {'mean JCT':>9s} {'p99 JCT':>9s} "
+        f"{'queue':>7s} {'goodput':>8s} {'rho':>6s} {'Jain':>6s} {'evict':>6s} {'sec':>6s}"
+    )
+    for name in POLICY_NAMES:
+        start = time.perf_counter()
+        report = ClusterScheduler(
+            architecture, timeline, jobs, policy=policy_by_name(name)
+        ).run()
+        seconds = time.perf_counter() - start
+        preemptions = sum(job.preemptions for job in report.jobs)
+        print(
+            f"{name:20s} {'yes' if report.preemptive else 'no':>7s} "
+            f"{report.mean_jct_hours:9.2f} {report.p99_jct_hours:9.2f} "
+            f"{report.mean_queueing_delay_hours:7.2f} {report.cluster_goodput:8.4f} "
+            f"{report.mean_finish_time_fairness:6.2f} "
+            f"{report.jain_fairness_index:6.3f} {preemptions:6d} {seconds:6.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -391,14 +391,29 @@ class SchedulerSpec:
     ``backfill`` lets small jobs jump a blocked FIFO head when they cannot
     delay its projected start.
 
+    ``preemptive=False`` (the default) keeps each policy's own preemption
+    mode -- off for ``fifo`` / ``smallest-first`` / ``shortest-remaining``,
+    on for ``gittins`` and ``optimizer``, whose whole point is moving work
+    mid-flight; ``preemptive=True`` forces preemption on for the classic
+    queue orders.  The per-policy knobs (``gittins_*``, ``lookahead_k``,
+    ``optimizer_*``) are serialized only when they differ from their
+    defaults, so spec files and digests written before a knob existed stay
+    byte-stable.
+
     >>> SchedulerSpec(policy="smallest-first", preemptive=True).build()
     SmallestFirstPolicy(smallest-first, preemptive)
+    >>> SchedulerSpec(policy="gittins").build()   # preemptive by default
+    GittinsPolicy(gittins, preemptive)
+    >>> SchedulerSpec(policy="lookahead", lookahead_k=3).build().lookahead_k
+    3
     >>> SchedulerSpec(placement="packed").build_placement()
     PackedPlacement(packed)
+    >>> sorted(SchedulerSpec(policy="gittins").to_dict())   # knobs at defaults
+    ['backfill', 'horizon_hours', 'placement', 'policy', 'preemptive']
     >>> SchedulerSpec(policy="lifo")
     Traceback (most recent call last):
         ...
-    ValueError: unknown scheduling policy 'lifo'; known: ['fifo', 'smallest-first', 'shortest-remaining']
+    ValueError: unknown scheduling policy 'lifo'; known: ['fifo', 'smallest-first', 'shortest-remaining', 'gittins', 'lookahead', 'optimizer']
     >>> SchedulerSpec(placement="scattered")
     Traceback (most recent call last):
         ...
@@ -410,6 +425,12 @@ class SchedulerSpec:
     horizon_hours: float | None = None
     placement: str | None = None
     backfill: bool = False
+    gittins_threshold_gpu_hours: float = 2048.0
+    gittins_levels: int = 3
+    gittins_starve_limit: float = 4.0
+    lookahead_k: int = 5
+    optimizer_horizon_hours: float = 8.0
+    optimizer_stability_bonus: float = 0.5
 
     def __post_init__(self) -> None:
         if self.policy not in POLICY_NAMES:
@@ -423,9 +444,40 @@ class SchedulerSpec:
                 f"unknown placement policy {self.placement!r}; "
                 f"known: {list(PLACEMENT_NAMES)}"
             )
+        if self.gittins_threshold_gpu_hours <= 0:
+            raise ValueError("gittins_threshold_gpu_hours must be positive")
+        if self.gittins_levels < 1:
+            raise ValueError("gittins_levels must be >= 1")
+        if self.gittins_starve_limit <= 0:
+            raise ValueError("gittins_starve_limit must be positive")
+        if self.lookahead_k < 1:
+            raise ValueError("lookahead_k must be >= 1")
+        if self.optimizer_horizon_hours <= 0:
+            raise ValueError("optimizer_horizon_hours must be positive")
+        if self.optimizer_stability_bonus < 0:
+            raise ValueError("optimizer_stability_bonus must be non-negative")
 
     def build(self) -> SchedulingPolicy:
-        return policy_by_name(self.policy, preemptive=self.preemptive)
+        # False defers to the policy's own preemption mode; True forces it on.
+        preemptive = True if self.preemptive else None
+        if self.policy == "gittins":
+            return policy_by_name(
+                self.policy,
+                preemptive,
+                threshold_gpu_hours=self.gittins_threshold_gpu_hours,
+                levels=self.gittins_levels,
+                starve_limit=self.gittins_starve_limit,
+            )
+        if self.policy == "lookahead":
+            return policy_by_name(self.policy, preemptive, k=self.lookahead_k)
+        if self.policy == "optimizer":
+            return policy_by_name(
+                self.policy,
+                preemptive,
+                horizon_hours=self.optimizer_horizon_hours,
+                stability_bonus=self.optimizer_stability_bonus,
+            )
+        return policy_by_name(self.policy, preemptive)
 
     def build_placement(self) -> PlacementPolicy | None:
         if self.placement is None:
@@ -433,12 +485,35 @@ class SchedulerSpec:
         return placement_by_name(self.placement)
 
     def to_dict(self) -> dict[str, Any]:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        # Per-policy knobs are emitted only when they differ from their
+        # defaults, keeping pre-knob spec files and digests byte-stable.
+        for spec_field in dataclasses.fields(self):
+            if (
+                spec_field.name in _SCHEDULER_KNOB_FIELDS
+                and data[spec_field.name] == spec_field.default
+            ):
+                del data[spec_field.name]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> SchedulerSpec:
         _check_fields(cls, data)
         return cls(**data)
+
+
+#: Per-policy knob fields of :class:`SchedulerSpec`, serialized only when
+#: they differ from their defaults (digest stability for pre-knob specs).
+_SCHEDULER_KNOB_FIELDS = frozenset(
+    {
+        "gittins_threshold_gpu_hours",
+        "gittins_levels",
+        "gittins_starve_limit",
+        "lookahead_k",
+        "optimizer_horizon_hours",
+        "optimizer_stability_bonus",
+    }
+)
 
 
 # ------------------------------------------------------------------ scenarios

@@ -10,8 +10,9 @@ regenerated without writing Python:
 * ``mfu``           -- MFU-optimal parallelism search for Llama / GPT-MoE.
 * ``cost``          -- interconnect cost and power table (Table 6).
 * ``goodput``       -- job goodput over the fault trace.
-* ``schedule``      -- multi-job cluster scheduling (FIFO / smallest-first /
-  shortest-remaining, optionally preemptive) over the fault trace.
+* ``schedule``      -- multi-job cluster scheduling over the fault trace;
+  every policy in the :mod:`repro.scheduler.policies` registry is available
+  (``--policy`` enumerates them), optionally preemptive / placed.
 * ``run``           -- execute a declarative JSON experiment spec through the
   Unified Experiment API (:mod:`repro.api`) and emit serializable results,
   optionally memoized through the content-addressed result cache
@@ -224,14 +225,23 @@ def cmd_schedule(args: argparse.Namespace) -> list[str]:
                 preemptive=args.preemptive,
                 placement=args.placement,
                 backfill=args.backfill,
+                gittins_threshold_gpu_hours=args.gittins_threshold,
+                gittins_levels=args.gittins_levels,
+                gittins_starve_limit=args.gittins_starve_limit,
+                lookahead_k=args.lookahead_k,
+                optimizer_horizon_hours=args.optimizer_horizon,
+                optimizer_stability_bonus=args.optimizer_stability,
             ),
         ),
         experiments=("schedule",),
         max_workers=args.workers,
     )
     results = ExperimentRunner(spec).run()
+    # Report the resolved preemption mode (gittins / optimizer preempt by
+    # default even without --preemptive).
+    resolved = spec.scenario.scheduler.build().preemptive
     lines = [
-        f"policy={args.policy} preemptive={args.preemptive} "
+        f"policy={args.policy} preemptive={resolved} "
         f"placement={args.placement or 'expected-value'} "
         f"backfill={args.backfill} jobs={args.jobs}",
         f"{'architecture':20s} {'done':>9s} {'makespan':>9s} {'mean JCT':>9s} "
@@ -441,8 +451,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tp", type=int, default=32)
     p.add_argument("--jobs", type=int, default=200,
                    help="number of synthetic jobs in the queue")
-    p.add_argument("--policy", choices=POLICY_NAMES, default="fifo")
-    p.add_argument("--preemptive", action="store_true")
+    p.add_argument("--policy", choices=POLICY_NAMES, default="fifo",
+                   help="scheduling policy, from the policy registry "
+                        f"({', '.join(POLICY_NAMES)}; default: fifo)")
+    p.add_argument("--preemptive", action="store_true",
+                   help="force preemption on (gittins and optimizer are "
+                        "preemptive by default)")
+    p.add_argument("--gittins-threshold", type=float, default=2048.0,
+                   help="gittins: first demotion threshold in attained "
+                        "GPU-hours; doubles per queue level")
+    p.add_argument("--gittins-levels", type=int, default=3,
+                   help="gittins: number of discretized priority queues")
+    p.add_argument("--gittins-starve-limit", type=float, default=4.0,
+                   help="gittins: promote a demoted job once it has waited "
+                        "this many times its executed hours")
+    p.add_argument("--lookahead-k", type=int, default=5,
+                   help="lookahead: queue window scored per admission")
+    p.add_argument("--optimizer-horizon", type=float, default=8.0,
+                   help="optimizer: goodput-utility planning horizon (hours)")
+    p.add_argument("--optimizer-stability", type=float, default=0.5,
+                   help="optimizer: per-GPU utility bonus for keeping an "
+                        "allocated job in place (migration penalty)")
     p.add_argument("--placement", choices=PLACEMENT_NAMES, default=None,
                    help="node-level placement policy (default: expected-value "
                         "capacity replay without concrete nodes)")

@@ -9,7 +9,9 @@ HBD architecture preserves under faults.
   and :class:`JobReport` (per-job outcome; productive + waiting + restart
   hours partition the job's wall-clock time).
 * :mod:`repro.scheduler.policies` -- pluggable policies: FIFO,
-  smallest-job-first, shortest-remaining-work, each with or without
+  smallest-job-first, shortest-remaining-work, Tiresias-style Gittins
+  attained-service queues, Horus-style k-job look-ahead scoring and an
+  AdaptDL-style global re-allocation optimizer, each with or without
   preemption.
 * :mod:`repro.scheduler.placement` -- node-placement policies (packed /
   spread) for placed mode, where jobs hold concrete node ids and fault
@@ -36,6 +38,9 @@ from repro.scheduler.placement import (
 )
 from repro.scheduler.policies import (
     FifoPolicy,
+    GittinsPolicy,
+    LookaheadPolicy,
+    OptimizerPolicy,
     POLICY_NAMES,
     SchedulingPolicy,
     ShortestRemainingPolicy,
@@ -49,8 +54,11 @@ __all__ = [
     "ClusterReport",
     "ClusterScheduler",
     "FifoPolicy",
+    "GittinsPolicy",
     "JobReport",
     "JobSpec",
+    "LookaheadPolicy",
+    "OptimizerPolicy",
     "PLACEMENT_NAMES",
     "POLICY_NAMES",
     "PackedPlacement",

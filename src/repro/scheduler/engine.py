@@ -70,6 +70,17 @@ lasted (``shadow``) and the capacity left over at that instant (``extra``)
 finish before ``shadow`` or fit inside ``extra``, so the head's projected
 start is never delayed.  Non-strict policies skip blocked jobs anyway, so
 the flag is a no-op for them.
+
+**Policy machinery**: jobs are ranked through
+:meth:`~repro.scheduler.policies.SchedulingPolicy.runtime_key`, which sees
+each job's attained service, waiting time and allocation state, so
+history-aware policies (Gittins attained-service queues, the optimizer's
+stability bonus) plug into the same greedy walk.  Policies flagged
+``dynamic_priority`` additionally get wake-up events at their exact
+demotion/promotion crossings, and policies with a ``lookahead_k`` window
+replace the admission walk with a k-job look-ahead that scores every
+fitting window candidate and admits the best one (dry-run placement plans
+in placed mode).
 """
 
 from __future__ import annotations
@@ -463,23 +474,19 @@ class ClusterScheduler:
             self._held -= nodes
             self._placed_sync(nodes)
 
-    def _try_place(
-        self, rt: _JobRuntime, faults: frozenset[int]
-    ) -> frozenset[int] | None:
-        """Carve the job's TP groups out of free domain nodes, or fail clean.
+    def _place_plan(
+        self, state: _TpPlacementState, needed: int
+    ) -> list[tuple[int, int]] | None:
+        """Pick ``(domain index, TP groups)`` per the placement policy, or fail.
 
-        Domains are filled in the placement policy's preference order; the
-        nodes handed out are always the first free nodes of each chosen
-        domain (deployment order), so the outcome is a deterministic
-        function of the schedule history.
+        Pure planning: no nodes are taken, so look-ahead selection can dry-run
+        candidate placements and commit only the winner.  Domains are filled
+        in the placement policy's preference order.
         """
-        spec = rt.spec
-        state = self._tp_state(spec.tp_size, faults)
-        needed = spec.gpus // spec.tp_size
         if state.avail_total < needed:
             return None
         placement = self.placement
-        assert placement is not None  # _try_place only runs in placed mode
+        assert placement is not None  # placed mode only
         bands = placement.bands
         plan: list[tuple[int, int]] = []
         if bands is not None:
@@ -508,6 +515,15 @@ class ClusterScheduler:
                 needed -= take
                 if not needed:
                     break
+        return plan
+
+    def _commit_plan(
+        self, state: _TpPlacementState, plan: list[tuple[int, int]], tp_size: int
+    ) -> frozenset[int]:
+        """Take the planned nodes.  The nodes handed out are always the first
+        free nodes of each chosen domain (deployment order), so the outcome
+        is a deterministic function of the schedule history.
+        """
         taken: list[int] = []
         for index, take in plan:
             count = take * state.npg[index]
@@ -516,8 +532,19 @@ class ClusterScheduler:
             state.set_avail(index, state.avail[index] - take)
         nodes = frozenset(taken)
         self._held |= nodes
-        self._placed_sync(nodes, skip=spec.tp_size)
+        self._placed_sync(nodes, skip=tp_size)
         return nodes
+
+    def _try_place(
+        self, rt: _JobRuntime, faults: frozenset[int]
+    ) -> frozenset[int] | None:
+        """Carve the job's TP groups out of free domain nodes, or fail clean."""
+        spec = rt.spec
+        state = self._tp_state(spec.tp_size, faults)
+        plan = self._place_plan(state, spec.gpus // spec.tp_size)
+        if plan is None:
+            return None
+        return self._commit_plan(state, plan, spec.tp_size)
 
     # ----------------------------------------------------------- allocation
     def _backfill_window(
@@ -570,15 +597,108 @@ class ClusterScheduler:
             return True, True
         return False, False
 
+    def _runtime_key(self, rt: _JobRuntime) -> tuple[Any, ...]:
+        """Policy sort key with the job's runtime history folded in."""
+        return self.policy.runtime_key(
+            rt.spec,
+            rt.remaining_work,
+            rt.sequence,
+            attained_hours=rt.productive,
+            waiting_hours=rt.waiting,
+            allocated=rt.allocated,
+        )
+
+    def _lookahead_fill(
+        self,
+        admission: list[_JobRuntime],
+        selected: set[int],
+        used: int,
+        faults: frozenset[int],
+    ) -> None:
+        """k-job look-ahead admission (expected-value capacity model).
+
+        Repeatedly score the first ``k`` queued jobs that fit the remaining
+        capacity (``lookahead_score`` on the fraction of free capacity the
+        job would fill) and admit the best-scoring one; stop when nothing in
+        the window fits.  Ties break by submit time then sequence, so the
+        outcome is deterministic.
+        """
+        policy = self.policy
+        k = policy.lookahead_k
+        assert k is not None
+        queue = list(admission)
+        while queue:
+            best = -1
+            best_rank: tuple[float, float, int] | None = None
+            for index, rt in enumerate(queue[:k]):
+                free = self._capacity(faults, rt.spec.tp_size) - used
+                if rt.spec.gpus > free:
+                    continue
+                fill = rt.spec.gpus / free
+                score = policy.lookahead_score(rt.spec, rt.remaining_work, fill)
+                rank = (-score, rt.spec.submit_hour, rt.sequence)
+                if best_rank is None or rank < best_rank:
+                    best_rank = rank
+                    best = index
+            if best < 0:
+                break
+            winner = queue.pop(best)
+            selected.add(winner.sequence)
+            used += winner.spec.gpus
+
+    def _lookahead_place(
+        self,
+        admission: list[_JobRuntime],
+        placements: dict[int, frozenset[int]],
+        faults: frozenset[int],
+    ) -> None:
+        """k-job look-ahead admission over concrete placement domains.
+
+        Each window candidate dry-runs a placement plan (``_place_plan`` is
+        pure); the fill score is the job's TP-group demand over the open
+        slots of the domains its plan touches, so tightly fitting candidates
+        win.  Only the winner's plan is committed, then the window re-scores
+        against the updated free lists.
+        """
+        policy = self.policy
+        k = policy.lookahead_k
+        assert k is not None
+        queue = list(admission)
+        while queue:
+            best = -1
+            best_rank: tuple[float, float, int] | None = None
+            best_plan: list[tuple[int, int]] | None = None
+            best_state: _TpPlacementState | None = None
+            for index, rt in enumerate(queue[:k]):
+                spec = rt.spec
+                state = self._tp_state(spec.tp_size, faults)
+                needed = spec.gpus // spec.tp_size
+                plan = self._place_plan(state, needed)
+                if plan is None:
+                    continue
+                slots_open = sum(state.avail[i] for i, _ in plan)
+                fill = needed / slots_open
+                score = policy.lookahead_score(spec, rt.remaining_work, fill)
+                rank = (-score, spec.submit_hour, rt.sequence)
+                if best_rank is None or rank < best_rank:
+                    best_rank = rank
+                    best = index
+                    best_plan = plan
+                    best_state = state
+            if best < 0:
+                break
+            winner = queue.pop(best)
+            assert best_plan is not None and best_state is not None
+            placements[winner.sequence] = self._commit_plan(
+                best_state, best_plan, winner.spec.tp_size
+            )
+
     def _select(
         self, in_system: list[_JobRuntime], faults: frozenset[int], t: float
     ) -> set[int]:
         """Greedy policy-ordered allocation; returns the selected sequences."""
         policy = self.policy
-
-        def key(rt: _JobRuntime) -> tuple[Any, ...]:
-            return policy.priority_key(rt.spec, rt.remaining_work, rt.sequence)
-
+        key = self._runtime_key
         selected: set[int] = set()
         chosen: list[_JobRuntime] = []
         used = 0
@@ -602,6 +722,9 @@ class ClusterScheduler:
             admission = sorted(
                 [rt for rt in in_system if not rt.allocated] + displaced, key=key
             )
+        if policy.lookahead_k is not None:
+            self._lookahead_fill(admission, selected, used, faults)
+            return selected
         shadow: float | None = None
         extra = 0.0
         for rt in admission:
@@ -631,10 +754,7 @@ class ClusterScheduler:
     ) -> dict[int, frozenset[int]]:
         """Placed-mode allocation: concrete nodes per selected job."""
         policy = self.policy
-
-        def key(rt: _JobRuntime) -> tuple[Any, ...]:
-            return policy.priority_key(rt.spec, rt.remaining_work, rt.sequence)
-
+        key = self._runtime_key
         placements: dict[int, frozenset[int]] = {}
         chosen: list[_JobRuntime] = []
         if policy.preemptive:
@@ -655,6 +775,10 @@ class ClusterScheduler:
             admission = sorted(
                 [rt for rt in in_system if not rt.allocated], key=key
             )
+        if policy.lookahead_k is not None:
+            self._lookahead_place(admission, placements, faults)
+            return placements
+
         def attempt(rt: _JobRuntime) -> frozenset[int] | None:
             # A still-allocated job keeps its exact nodes whenever no
             # higher-priority job claimed them (stability: an unmoved job
@@ -702,6 +826,7 @@ class ClusterScheduler:
         elif horizon <= 0:
             raise ValueError("horizon_hours must be positive")
         placed = self.placement is not None
+        self.policy.reset()
         self._held.clear()
         self._tp_states.clear()
 
@@ -756,7 +881,25 @@ class ClusterScheduler:
                 t_next = interval_ends[interval_index]
             if pending_index < len(pending):
                 t_next = min(t_next, pending[pending_index].spec.submit_hour)
+            dynamic = self.policy.dynamic_priority
             for rt in in_system:
+                if dynamic and rt.restart_debt <= _EPS:
+                    # Dynamic-priority policies (Gittins) drift between
+                    # queues as attained service / waiting time accumulate;
+                    # wake exactly at the next crossing so the boundary
+                    # re-sort never misses a demotion or promotion.  Jobs
+                    # paying restart debt change neither clock, and the
+                    # debt pay-off is an event of its own.
+                    change = self.policy.next_priority_change_hours(
+                        rt.spec,
+                        rt.remaining_work,
+                        rt.sequence,
+                        attained_hours=rt.productive,
+                        waiting_hours=rt.waiting,
+                        allocated=rt.allocated,
+                    )
+                    if change is not None and change > _EPS:
+                        t_next = min(t_next, t + change)
                 if not rt.allocated:
                     continue
                 if rt.restart_debt > _EPS:

@@ -105,3 +105,21 @@ class TestCliReference:
         with redirect_stdout(buffer):
             assert main(["docs"]) == 0
         assert buffer.getvalue() == render_cli_reference()
+
+
+class TestPolicyRegistryDrift:
+    """Every registered scheduling policy must be documented by name.
+
+    The CLI help enumerates ``POLICY_NAMES`` dynamically, so a policy added
+    to the registry appears in ``docs/cli.md`` on regeneration; this check
+    also keeps the hand-written policy definitions in ``docs/metrics.md``
+    from silently falling behind the registry.
+    """
+
+    @pytest.mark.parametrize("doc", ["cli.md", "metrics.md"])
+    def test_every_policy_name_is_documented(self, doc):
+        from repro.scheduler.policies import POLICY_NAMES
+
+        text = (REPO_ROOT / "docs" / doc).read_text()
+        missing = [name for name in POLICY_NAMES if name not in text]
+        assert not missing, f"docs/{doc} does not mention policies: {missing}"

@@ -1,0 +1,501 @@
+"""Tests for the advanced scheduling policies (gittins, lookahead, optimizer).
+
+Complements :mod:`tests.test_scheduler` (engine mechanics and the classic
+queue orders) with the policy-specific behavior of the three advanced
+policies:
+
+* **gittins** -- discretized attained-service levels, the stateful PROMOTE
+  rule (promotion resets the demotion clock, so it cannot oscillate), the
+  dynamic-priority wake-up math, and the no-starvation guarantee on finite
+  workloads;
+* **lookahead** -- the k-job window admits by fill score rather than
+  arrival order, but never reaches past the window;
+* **optimizer** -- the greedy-LP utility densities, and the stability
+  bonus's churn hysteresis (marginal gains do not migrate, large gains do);
+
+plus the shared invariants: wall-clock conservation under random traces
+and workloads in both capacity modes, and byte-identical ClusterReport
+JSON across fresh runs (the policies' per-run state must not leak).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import SchedulerSpec
+from repro.faults.trace import FaultEvent, FaultTrace
+from repro.hbd import BigSwitchHBD
+from repro.scheduler import ClusterScheduler, JobSpec, WorkloadConfig, generate_workload
+from repro.scheduler.policies import (
+    POLICY_NAMES,
+    GittinsPolicy,
+    LookaheadPolicy,
+    OptimizerPolicy,
+    policy_by_name,
+)
+
+NEW_POLICIES = ("gittins", "lookahead", "optimizer")
+
+
+def quiet_trace(n_nodes=4, days=30, events=(), gpus_per_node=4):
+    return FaultTrace(
+        n_nodes=n_nodes,
+        duration_days=days,
+        events=list(events),
+        gpus_per_node=gpus_per_node,
+    )
+
+
+def run_jobs(jobs, policy, n_nodes=4, days=30, horizon=None, **scheduler_kwargs):
+    return ClusterScheduler(
+        BigSwitchHBD(4),
+        quiet_trace(n_nodes=n_nodes, days=days).interval_timeline(),
+        jobs,
+        policy=policy,
+        horizon_hours=horizon,
+        **scheduler_kwargs,
+    ).run()
+
+
+def job(name, gpus, work, submit=0.0, overhead=0.25):
+    return JobSpec(
+        name=name,
+        gpus=gpus,
+        tp_size=4,
+        work_hours=work,
+        submit_hour=submit,
+        restart_overhead_hours=overhead,
+    )
+
+
+class TestRegistry:
+    def test_all_six_registered(self):
+        assert POLICY_NAMES == (
+            "fifo",
+            "smallest-first",
+            "shortest-remaining",
+            "gittins",
+            "lookahead",
+            "optimizer",
+        )
+
+    def test_default_preemption_modes(self):
+        assert policy_by_name("gittins").preemptive
+        assert policy_by_name("optimizer").preemptive
+        assert not policy_by_name("lookahead").preemptive
+        assert not policy_by_name("fifo").preemptive
+        # Explicit preemptive overrides the per-policy default.
+        assert not policy_by_name("gittins", preemptive=False).preemptive
+        assert policy_by_name("lookahead", preemptive=True).preemptive
+
+    def test_knobs_pass_through(self):
+        gittins = policy_by_name(
+            "gittins", threshold_gpu_hours=64.0, levels=2, starve_limit=8.0
+        )
+        assert isinstance(gittins, GittinsPolicy)
+        assert gittins.threshold_gpu_hours == 64.0
+        assert gittins.levels == 2
+        assert gittins.starve_limit == 8.0
+        lookahead = policy_by_name("lookahead", k=2)
+        assert isinstance(lookahead, LookaheadPolicy)
+        assert lookahead.lookahead_k == 2
+        optimizer = policy_by_name("optimizer", horizon_hours=4.0, stability_bonus=0.1)
+        assert isinstance(optimizer, OptimizerPolicy)
+        assert optimizer.horizon_hours == 4.0
+        assert optimizer.stability_bonus == 0.1
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(TypeError):
+            policy_by_name("gittins", window=3)
+
+    def test_validations(self):
+        with pytest.raises(ValueError, match="threshold"):
+            GittinsPolicy(threshold_gpu_hours=0.0)
+        with pytest.raises(ValueError, match="levels"):
+            GittinsPolicy(levels=0)
+        with pytest.raises(ValueError, match="starve"):
+            GittinsPolicy(starve_limit=0.0)
+        with pytest.raises(ValueError, match="k must be"):
+            LookaheadPolicy(k=0)
+        with pytest.raises(ValueError, match="horizon"):
+            OptimizerPolicy(horizon_hours=0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            OptimizerPolicy(stability_bonus=-0.1)
+
+
+class TestGittinsMath:
+    def test_level_boundaries_double(self):
+        policy = GittinsPolicy(threshold_gpu_hours=64.0, levels=3)
+        assert policy.level_of(0.0) == 0
+        assert policy.level_of(63.9) == 0
+        assert policy.level_of(64.0) == 1
+        assert policy.level_of(127.9) == 1  # boundaries at 64 * 2**level
+        assert policy.level_of(128.0) == 2
+        assert policy.level_of(1e9) == 2  # capped at levels - 1
+
+    def test_promotion_resets_demotion_clock(self):
+        policy = GittinsPolicy(threshold_gpu_hours=64.0, levels=3, starve_limit=4.0)
+        j = job("j", gpus=16, work=100.0)
+        # Demoted: 80 GPU-h attained, not yet starved.
+        assert policy.runtime_key(j, 95.0, 0, attained_hours=5.0)[0] == 1
+        # Starved past starve_limit x attained -> promoted to the top queue.
+        assert (
+            policy.runtime_key(j, 95.0, 0, attained_hours=5.0, waiting_hours=20.0)[0]
+            == 0
+        )
+        # The demotion clock restarted: the same cumulative attained service
+        # now counts from the promotion baseline, so the job keeps its fresh
+        # quantum instead of oscillating back to the demoted level.
+        assert (
+            policy.runtime_key(j, 95.0, 0, attained_hours=5.5, waiting_hours=30.0)[0]
+            == 0
+        )
+        # A full fresh quantum later it demotes again.
+        assert (
+            policy.runtime_key(j, 90.0, 0, attained_hours=10.0, waiting_hours=30.0)[0]
+            == 1
+        )
+
+    def test_reset_clears_promotion_state(self):
+        policy = GittinsPolicy(threshold_gpu_hours=64.0, levels=3)
+        j = job("j", gpus=16, work=100.0)
+        policy.runtime_key(j, 95.0, 0, attained_hours=5.0, waiting_hours=20.0)
+        assert policy._promo_base
+        policy.reset()
+        assert not policy._promo_base
+
+    def test_next_change_while_allocated_is_demotion_boundary(self):
+        policy = GittinsPolicy(threshold_gpu_hours=64.0, levels=3)
+        j = job("j", gpus=16, work=100.0)
+        # Level 0 with 32 GPU-h attained: 32 GPU-h to the 64 boundary = 2h.
+        assert policy.next_priority_change_hours(
+            j, 98.0, 0, attained_hours=2.0, waiting_hours=0.0, allocated=True
+        ) == pytest.approx(2.0)
+        # Level 1 at 80 GPU-h: 48 GPU-h to the 128 boundary = 3h.
+        assert policy.next_priority_change_hours(
+            j, 95.0, 0, attained_hours=5.0, waiting_hours=0.0, allocated=True
+        ) == pytest.approx(3.0)
+        # Bottom level never demotes further.
+        assert (
+            policy.next_priority_change_hours(
+                j, 80.0, 0, attained_hours=20.0, waiting_hours=0.0, allocated=True
+            )
+            is None
+        )
+
+    def test_next_change_while_waiting_is_promotion(self):
+        policy = GittinsPolicy(threshold_gpu_hours=64.0, levels=3, starve_limit=4.0)
+        j = job("j", gpus=16, work=100.0)
+        # Top-queue jobs have no promotion pending.
+        assert (
+            policy.next_priority_change_hours(
+                j, 99.0, 0, attained_hours=1.0, waiting_hours=5.0, allocated=False
+            )
+            is None
+        )
+        # Demoted job: promotes at starve_limit * attained = 20h of waiting.
+        assert policy.next_priority_change_hours(
+            j, 95.0, 0, attained_hours=5.0, waiting_hours=12.0, allocated=False
+        ) == pytest.approx(8.0)
+
+
+class TestLookaheadAdmission:
+    JOBS = [
+        job("running", gpus=16, work=10.0, submit=0.0),
+        job("narrow", gpus=8, work=5.0, submit=1.0),
+        job("wide", gpus=12, work=5.0, submit=2.0),
+    ]
+
+    @staticmethod
+    def starts(report):
+        return {j.name: j.first_start_hour for j in report.jobs}
+
+    def test_admits_best_fill_within_window(self):
+        # At t=10 the whole 16-GPU cluster frees up; "wide" fills 12/16
+        # versus "narrow" 8/16 at equal remaining work, so look-ahead
+        # admits it first even though "narrow" arrived earlier.
+        starts = self.starts(run_jobs(self.JOBS, policy_by_name("lookahead")))
+        assert starts["wide"] == pytest.approx(10.0)
+        assert starts["narrow"] == pytest.approx(15.0)
+
+    def test_fifo_admits_in_arrival_order(self):
+        starts = self.starts(run_jobs(self.JOBS, policy_by_name("fifo")))
+        assert starts["narrow"] == pytest.approx(10.0)
+        assert starts["wide"] == pytest.approx(15.0)
+
+    def test_k1_never_reaches_past_the_head(self):
+        # A one-job window degenerates to arrival order: "wide" cannot be
+        # scored while "narrow" heads the queue.
+        starts = self.starts(run_jobs(self.JOBS, policy_by_name("lookahead", k=1)))
+        assert starts["narrow"] == pytest.approx(10.0)
+        assert starts["wide"] == pytest.approx(15.0)
+
+    def test_score_shape(self):
+        policy = LookaheadPolicy(k=3)
+        assert policy.lookahead_score(self.JOBS[1], 4.0, fill=0.5) == pytest.approx(0.1)
+        assert policy.lookahead_score(self.JOBS[1], float("inf"), fill=0.5) == 0.0
+        # Tighter fill wins at equal remaining work.
+        assert policy.lookahead_score(self.JOBS[2], 4.0, fill=0.75) > (
+            policy.lookahead_score(self.JOBS[1], 4.0, fill=0.5)
+        )
+
+
+class TestOptimizerReallocation:
+    def test_density_shape(self):
+        policy = OptimizerPolicy(horizon_hours=8.0, stability_bonus=0.5)
+        assert policy.utility_density(0.0, allocated=False) == pytest.approx(1.0)
+        assert policy.utility_density(8.0, allocated=False) == pytest.approx(0.5)
+        assert policy.utility_density(8.0, allocated=True) == pytest.approx(1.0)
+        # Monotone decreasing in remaining work.
+        assert policy.utility_density(24.0, allocated=False) < (
+            policy.utility_density(8.0, allocated=False)
+        )
+
+    def test_stability_bonus_prevents_marginal_churn(self):
+        # b is 1h shorter than a's remaining work: without the bonus the
+        # LP would migrate, with it the running job is kept.
+        report = run_jobs(
+            [job("a", gpus=8, work=10.0), job("b", gpus=8, work=9.0, submit=1.0)],
+            policy_by_name("optimizer"),
+            n_nodes=2,
+            days=40,
+        )
+        outcomes = {j.name: j for j in report.jobs}
+        assert outcomes["a"].preemptions == 0
+        assert outcomes["a"].completion_hour == pytest.approx(10.0)
+        assert outcomes["b"].completion_hour == pytest.approx(19.0)
+
+    def test_large_gain_preempts_despite_bonus(self):
+        report = run_jobs(
+            [job("a", gpus=8, work=100.0), job("b", gpus=8, work=1.0, submit=1.0)],
+            policy_by_name("optimizer"),
+            n_nodes=2,
+            days=40,
+        )
+        outcomes = {j.name: j for j in report.jobs}
+        assert outcomes["a"].preemptions == 1
+        assert outcomes["b"].completion_hour == pytest.approx(2.0)
+        assert report.all_finished
+
+
+class TestGittinsNoStarvation:
+    def test_promotion_rescues_demoted_job_from_short_stream(self):
+        # A continuous 120h stream of 2h jobs would hold a demoted job off
+        # the cluster forever without PROMOTE; with it the big job finishes
+        # long before the stream drains, and earlier for lower starve
+        # limits.
+        stream = [job(f"s{i}", gpus=16, work=2.0, submit=2.0 * i) for i in range(60)]
+        completions = []
+        for starve_limit in (1.0, 2.0, 4.0):
+            report = run_jobs(
+                [job("big", gpus=16, work=10.0)] + stream,
+                policy_by_name(
+                    "gittins", threshold_gpu_hours=64.0, starve_limit=starve_limit
+                ),
+                days=60,
+            )
+            assert report.all_finished
+            big = next(j for j in report.jobs if j.name == "big")
+            assert big.completion_hour < 120.0
+            completions.append(big.completion_hour)
+        assert completions == sorted(completions)
+
+    def test_finite_contended_workload_always_finishes(self):
+        # No horizon: every job must complete on its own merits.
+        jobs = [job("big", gpus=16, work=100.0)] + [
+            job(f"s{i}", gpus=16, work=2.0, submit=5.0 * i) for i in range(20)
+        ]
+        report = run_jobs(
+            jobs, policy_by_name("gittins", threshold_gpu_hours=64.0), days=60
+        )
+        assert report.all_finished
+
+
+# --------------------------------------------------------------- properties
+@st.composite
+def fault_traces(draw):
+    n_nodes = draw(st.integers(min_value=2, max_value=8))
+    duration_days = draw(st.integers(min_value=1, max_value=4))
+    duration_hours = duration_days * 24.0
+    events = []
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        node = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        start = draw(st.floats(min_value=0.0, max_value=duration_hours, allow_nan=False))
+        length = draw(st.floats(min_value=0.1, max_value=36.0, allow_nan=False))
+        events.append(FaultEvent(node_id=node, start_hour=start, end_hour=start + length))
+    return FaultTrace(
+        n_nodes=n_nodes, duration_days=duration_days, events=events, gpus_per_node=4
+    )
+
+
+@st.composite
+def workloads(draw, n_nodes):
+    total = n_nodes * 4
+    jobs = []
+    for i in range(draw(st.integers(min_value=1, max_value=5))):
+        tp = draw(st.sampled_from([1, 2, 4]))
+        groups = draw(st.integers(min_value=1, max_value=max(1, total // tp)))
+        jobs.append(
+            JobSpec(
+                name=f"j{i}",
+                gpus=min(groups * tp, total // tp * tp),
+                tp_size=tp,
+                work_hours=draw(st.floats(min_value=0.5, max_value=48.0)),
+                submit_hour=draw(st.floats(min_value=0.0, max_value=72.0)),
+                checkpoint_interval_hours=draw(st.floats(min_value=0.25, max_value=4.0)),
+                restart_overhead_hours=draw(st.floats(min_value=0.0, max_value=1.0)),
+            )
+        )
+    return jobs
+
+
+class TestNewPolicyInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_time_buckets_partition_wall_clock(self, data):
+        trace = data.draw(fault_traces())
+        jobs = data.draw(workloads(trace.n_nodes))
+        name = data.draw(st.sampled_from(NEW_POLICIES))
+        placement = data.draw(st.sampled_from([None, "packed", "spread"]))
+        horizon = trace.duration_hours * 3.0
+
+        report = ClusterScheduler(
+            BigSwitchHBD(4),
+            trace.interval_timeline(),
+            jobs,
+            policy=policy_by_name(name),
+            placement=placement,
+            horizon_hours=horizon,
+        ).run()
+
+        for outcome in report.jobs:
+            buckets = (
+                outcome.productive_hours + outcome.waiting_hours + outcome.restart_hours
+            )
+            assert buckets == pytest.approx(outcome.wall_clock_hours, abs=1e-6), (
+                f"{outcome.name}: {buckets} != wall clock {outcome.wall_clock_hours} "
+                f"under {name} (placement={placement})"
+            )
+            if outcome.finished:
+                assert outcome.productive_hours == pytest.approx(
+                    outcome.work_hours, abs=1e-6
+                )
+
+    @pytest.mark.parametrize("name", NEW_POLICIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_report_json_byte_identical_across_fresh_runs(self, name, seed):
+        trace = quiet_trace(n_nodes=6, days=10)
+        jobs = generate_workload(
+            WorkloadConfig(n_jobs=15, seed=seed, tp_size=4, max_gpus=16)
+        )
+
+        def one_run():
+            report = ClusterScheduler(
+                BigSwitchHBD(4),
+                trace.interval_timeline(),
+                jobs,
+                policy=policy_by_name(name),
+                horizon_hours=2000.0,
+            ).run()
+            return json.dumps(report.to_dict(), sort_keys=True)
+
+        assert one_run() == one_run()
+
+    @pytest.mark.parametrize("name", NEW_POLICIES)
+    def test_reused_policy_instance_replays_identically(self, name):
+        # reset() must clear any per-run state (gittins promotion
+        # baselines): running the same engine twice with one policy object
+        # must give byte-identical reports.
+        trace = quiet_trace(n_nodes=6, days=10)
+        jobs = generate_workload(
+            WorkloadConfig(n_jobs=15, seed=3, tp_size=4, max_gpus=16)
+        )
+        if name == "gittins":
+            policy = policy_by_name(name, threshold_gpu_hours=16.0)
+        else:
+            policy = policy_by_name(name)
+        runs = [
+            json.dumps(
+                ClusterScheduler(
+                    BigSwitchHBD(4),
+                    trace.interval_timeline(),
+                    jobs,
+                    policy=policy,
+                    horizon_hours=2000.0,
+                )
+                .run()
+                .to_dict(),
+                sort_keys=True,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestSchedulerSpecKnobs:
+    def test_default_dict_shape_is_stable(self):
+        # Pre-existing specs must digest identically: knob fields only
+        # appear in to_dict() when they differ from their defaults.
+        assert sorted(SchedulerSpec().to_dict()) == [
+            "backfill",
+            "horizon_hours",
+            "placement",
+            "policy",
+            "preemptive",
+        ]
+        assert sorted(SchedulerSpec(policy="gittins").to_dict()) == [
+            "backfill",
+            "horizon_hours",
+            "placement",
+            "policy",
+            "preemptive",
+        ]
+
+    def test_non_default_knobs_round_trip(self):
+        spec = SchedulerSpec(
+            policy="gittins",
+            gittins_threshold_gpu_hours=64.0,
+            gittins_levels=4,
+            gittins_starve_limit=2.0,
+        )
+        data = spec.to_dict()
+        assert data["gittins_threshold_gpu_hours"] == 64.0
+        assert SchedulerSpec.from_dict(data) == spec
+
+    def test_build_routes_knobs(self):
+        gittins = SchedulerSpec(
+            policy="gittins", gittins_threshold_gpu_hours=64.0, gittins_levels=2
+        ).build()
+        assert isinstance(gittins, GittinsPolicy)
+        assert gittins.threshold_gpu_hours == 64.0
+        assert gittins.levels == 2
+        assert gittins.preemptive  # policy default applies
+
+        lookahead = SchedulerSpec(policy="lookahead", lookahead_k=2).build()
+        assert isinstance(lookahead, LookaheadPolicy)
+        assert lookahead.lookahead_k == 2
+        assert not lookahead.preemptive
+
+        optimizer = SchedulerSpec(
+            policy="optimizer",
+            optimizer_horizon_hours=4.0,
+            optimizer_stability_bonus=0.25,
+            preemptive=True,
+        ).build()
+        assert isinstance(optimizer, OptimizerPolicy)
+        assert optimizer.horizon_hours == 4.0
+        assert optimizer.stability_bonus == 0.25
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerSpec(gittins_threshold_gpu_hours=0.0)
+        with pytest.raises(ValueError):
+            SchedulerSpec(gittins_levels=0)
+        with pytest.raises(ValueError):
+            SchedulerSpec(lookahead_k=0)
+        with pytest.raises(ValueError):
+            SchedulerSpec(optimizer_horizon_hours=-1.0)
+        with pytest.raises(ValueError):
+            SchedulerSpec(optimizer_stability_bonus=-0.5)
